@@ -1,0 +1,33 @@
+//! # protoquot-baselines
+//!
+//! The prior-work converter-derivation methods the Calvert–Lam paper
+//! positions itself against (§§1–2), implemented as comparison
+//! baselines:
+//!
+//! * [`okumura`] — Okumura's bottom-up method (SIGCOMM '86): couple the
+//!   *missing* protocol halves under a conversion seed, prune
+//!   deadlocks. No service specification involved — success must still
+//!   be checked globally, and can be hollow.
+//! * [`projection`] — Lam's projection/common-image method (ToSE '88):
+//!   if both protocol systems project faithfully onto a common image,
+//!   a stateless (relabelling) converter follows.
+//! * [`merlin_bochmann`] — submodule construction (TOPLAS '83): the
+//!   quotient for *safety only*; its answers may deadlock, which is
+//!   precisely the gap the paper's progress phase closes.
+//!
+//! The cited papers are not part of this reproduction's inputs; each
+//! module documents the interpretation taken, which follows the
+//! characterisation in Calvert & Lam §2. The comparisons reproduced are
+//! the paper's *qualitative* ones (see the crate and integration
+//! tests).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod merlin_bochmann;
+pub mod okumura;
+pub mod projection;
+
+pub use merlin_bochmann::{submodule_construction, SubmoduleError};
+pub use okumura::{okumura_converter, prune_deadlocks, OkumuraError};
+pub use projection::{common_image, project, stateless_converter, Projection, ProjectionError};

@@ -1,0 +1,141 @@
+//! The Merlin–Bochmann "submodule construction" baseline (TOPLAS '83):
+//! solves the quotient problem for **safety properties only**. As the
+//! Calvert–Lam paper notes, this predates their contribution — the
+//! paper's advance is handling *progress* as well.
+//!
+//! Implementation-wise this is the quotient's safety phase without the
+//! progress phase, packaged with the same problem-statement validation.
+//! Exposed so benches can measure the marginal cost of progress
+//! (EXP-C2) and tests can exhibit systems where the safety-only answer
+//! is wrong (a converter exists w.r.t. safety, but the conversion
+//! system deadlocks).
+
+use protoquot_core::safety::{safety_phase, SafetyLimits};
+use protoquot_core::solver::validate_problem;
+use protoquot_spec::{normalize, Alphabet, Spec, SpecError};
+
+/// Why the safety-only construction failed.
+#[derive(Debug)]
+pub enum SubmoduleError {
+    /// Malformed problem statement.
+    BadProblem(SpecError),
+    /// No safe converter exists at all.
+    NoSafeConverter,
+    /// State budget exceeded.
+    Budget,
+}
+
+impl std::fmt::Display for SubmoduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmoduleError::BadProblem(e) => write!(f, "malformed problem: {e}"),
+            SubmoduleError::NoSafeConverter => write!(f, "no safe converter exists"),
+            SubmoduleError::Budget => write!(f, "state budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SubmoduleError {}
+
+/// Derives the maximal converter that is correct **with respect to
+/// safety only** — trace inclusion of `B ‖ C` in `A`. The result may
+/// deadlock; use the full quotient for progress.
+pub fn submodule_construction(
+    b: &Spec,
+    a: &Spec,
+    int: &Alphabet,
+) -> Result<Spec, SubmoduleError> {
+    validate_problem(b, a, int).map_err(SubmoduleError::BadProblem)?;
+    let na = normalize(a);
+    match safety_phase(b, &na, int, false, SafetyLimits::default()) {
+        Ok(Some(s)) => Ok(s.c0),
+        Ok(None) => Err(SubmoduleError::Budget),
+        Err(_) => Err(SubmoduleError::NoSafeConverter),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{compose, satisfies, satisfies_safety, SpecBuilder, Violation};
+
+    fn service() -> Spec {
+        let mut sb = SpecBuilder::new("S");
+        let u0 = sb.state("u0");
+        let u1 = sb.state("u1");
+        sb.ext(u0, "acc", u1);
+        sb.ext(u1, "del", u0);
+        sb.build().unwrap()
+    }
+
+    /// On a progress-friendly problem, safety-only output already
+    /// satisfies the full service — the methods agree.
+    #[test]
+    fn agrees_with_quotient_when_progress_is_free() {
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        let b2 = bb.state("b2");
+        bb.ext(b0, "acc", b1);
+        bb.ext(b1, "fwd", b2);
+        bb.ext(b2, "del", b0);
+        let b = bb.build().unwrap();
+        let int = Alphabet::from_names(["fwd"]);
+        let c = submodule_construction(&b, &service(), &int).unwrap();
+        assert!(satisfies(&compose(&b, &c), &service()).unwrap().is_ok());
+    }
+
+    /// Where safety and progress conflict, the safety-only method
+    /// "succeeds" with a converter that deadlocks — the limitation the
+    /// Calvert–Lam paper addresses.
+    #[test]
+    fn safety_only_answer_can_deadlock() {
+        // B deadlocks after acc; no Int event helps.
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        bb.ext(b0, "acc", b1);
+        bb.event("decoy");
+        bb.event("del");
+        let b = bb.build().unwrap();
+        let int = Alphabet::from_names(["decoy"]);
+        let c = submodule_construction(&b, &service(), &int).unwrap();
+        let composite = compose(&b, &c);
+        // Safe…
+        assert!(satisfies_safety(&composite, &service()).unwrap().is_ok());
+        // …but not progress-correct.
+        assert!(matches!(
+            satisfies(&composite, &service()).unwrap(),
+            Err(Violation::Progress { .. })
+        ));
+        // The full quotient correctly reports non-existence.
+        assert!(protoquot_core::solve(&b, &service(), &int).is_err());
+    }
+
+    #[test]
+    fn unsafe_problem_rejected() {
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        bb.ext(b0, "del", b0);
+        bb.event("acc");
+        bb.event("m");
+        let b = bb.build().unwrap();
+        let int = Alphabet::from_names(["m"]);
+        assert!(matches!(
+            submodule_construction(&b, &service(), &int),
+            Err(SubmoduleError::NoSafeConverter)
+        ));
+    }
+
+    #[test]
+    fn bad_problem_rejected() {
+        let mut bb = SpecBuilder::new("B");
+        bb.state("b0");
+        let b = bb.build().unwrap();
+        let int = Alphabet::from_names(["m"]);
+        assert!(matches!(
+            submodule_construction(&b, &service(), &int),
+            Err(SubmoduleError::BadProblem(_))
+        ));
+    }
+}

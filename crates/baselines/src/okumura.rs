@@ -1,0 +1,225 @@
+//! Okumura's bottom-up conversion method (SIGCOMM '86), as characterised
+//! in §2 of the Calvert–Lam paper.
+//!
+//! Inputs are the *missing* halves of the two protocols — `P1` (the peer
+//! the converter replaces toward `P0`) and `Q0` (toward `Q1`) — plus a
+//! *conversion seed*: a partial specification over (a subset of) the
+//! converter's events constraining how the two halves may be coupled.
+//! The converter candidate is the synchronous product of the three
+//! machines, with the seed-only coupling events hidden and deadlocking
+//! states iteratively pruned.
+//!
+//! The crucial difference from the top-down quotient: the service
+//! specification is **not** an input. If this method produces a
+//! converter, the whole conversion system must still be checked against
+//! the desired global service — and the paper's point is that it can
+//! fail that check (see the crate tests, which reproduce exactly this
+//! on the AB→NS example).
+
+use protoquot_spec::{
+    prune_unreachable, spec_from_parts, sync_product, Alphabet, Spec, StateId,
+};
+
+/// Outcome of the bottom-up construction.
+#[derive(Debug)]
+pub enum OkumuraError {
+    /// Pruning deadlocks removed the initial state: the halves cannot
+    /// be coupled under this seed.
+    NoCoupling,
+}
+
+impl std::fmt::Display for OkumuraError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "the protocol halves cannot be coupled under the given conversion seed"
+        )
+    }
+}
+
+impl std::error::Error for OkumuraError {}
+
+/// Derives a converter candidate bottom-up.
+///
+/// * `p_half` — the missing peer of protocol P (its user-level events
+///   already renamed to coupling events where the seed links them);
+/// * `q_half` — the missing peer of protocol Q, likewise;
+/// * `seed` — the conversion seed: a spec over coupling and/or message
+///   events whose traces constrain the converter;
+/// * `hide_events` — coupling events internal to the converter (e.g.
+///   the renamed `del`→`xfer`→`acc` handoff), removed from its
+///   interface.
+pub fn okumura_converter(
+    p_half: &Spec,
+    q_half: &Spec,
+    seed: &Spec,
+    hide_events: &Alphabet,
+) -> Result<Spec, OkumuraError> {
+    let coupled = sync_product(&sync_product(p_half, q_half), seed);
+    let hidden = protoquot_spec::hide(&coupled, hide_events);
+    let pruned = prune_deadlocks(&hidden).ok_or(OkumuraError::NoCoupling)?;
+    Ok(prune_unreachable(&pruned).with_name("C-okumura"))
+}
+
+/// Iteratively removes states with no outgoing transitions (and the
+/// transitions into them) — Okumura's deadlock elimination. Returns
+/// `None` if the initial state dies.
+pub fn prune_deadlocks(spec: &Spec) -> Option<Spec> {
+    let n = spec.num_states();
+    let mut alive = vec![true; n];
+    loop {
+        let mut changed = false;
+        for s in spec.states() {
+            if !alive[s.index()] {
+                continue;
+            }
+            let has_out = spec
+                .external_from(s)
+                .iter()
+                .any(|&(_, t)| alive[t.index()])
+                || spec.internal_from(s).iter().any(|&t| alive[t.index()]);
+            if !has_out {
+                alive[s.index()] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    if !alive[spec.initial().index()] {
+        return None;
+    }
+    let names: Vec<String> = spec
+        .states()
+        .map(|s| spec.state_name(s).to_owned())
+        .collect();
+    let ext = spec
+        .external_transitions()
+        .filter(|&(s, _, t)| alive[s.index()] && alive[t.index()])
+        .collect();
+    let int: Vec<(StateId, StateId)> = spec
+        .internal_transitions()
+        .filter(|&(s, t)| alive[s.index()] && alive[t.index()])
+        .collect();
+    Some(
+        spec_from_parts(
+            spec.name().to_owned(),
+            spec.alphabet().clone(),
+            names,
+            spec.initial(),
+            ext,
+            int,
+        )
+        .expect("deadlock pruning preserves validity"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::SpecBuilder;
+
+    #[test]
+    fn deadlock_pruning_removes_traps() {
+        let mut b = SpecBuilder::new("trap");
+        let a = b.state("a");
+        let good = b.state("good");
+        let dead = b.state("dead");
+        b.ext(a, "x", good);
+        b.ext(good, "y", a);
+        b.ext(a, "z", dead);
+        let s = b.build().unwrap();
+        let p = prune_deadlocks(&s).unwrap();
+        assert_eq!(
+            p.external_transitions()
+                .filter(|&(_, e, _)| e.name() == "z")
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn cascading_deadlocks_pruned() {
+        // a -> d1 -> d2 (both die once d2 dies).
+        let mut b = SpecBuilder::new("cascade");
+        let a = b.state("a");
+        let d1 = b.state("d1");
+        let d2 = b.state("d2");
+        b.ext(a, "loop", a);
+        b.ext(a, "x", d1);
+        b.ext(d1, "y", d2);
+        let s = b.build().unwrap();
+        let p = prune_deadlocks(&s).unwrap();
+        assert_eq!(p.num_external(), 1); // only the self-loop survives
+    }
+
+    #[test]
+    fn fully_deadlocked_returns_none() {
+        let mut b = SpecBuilder::new("dead");
+        let a = b.state("a");
+        let c = b.state("c");
+        b.ext(a, "x", c);
+        let s = b.build().unwrap();
+        assert!(prune_deadlocks(&s).is_none());
+    }
+
+    #[test]
+    fn coupling_two_relays() {
+        // P-half consumes `+p` then hands over via `xfer`; Q-half takes
+        // `xfer` then emits `-q`. Seed: unconstrained over xfer.
+        let mut pb = SpecBuilder::new("P1");
+        let p0 = pb.state("p0");
+        let p1 = pb.state("p1");
+        pb.ext(p0, "+p", p1);
+        pb.ext(p1, "xfer", p0);
+        let p = pb.build().unwrap();
+
+        let mut qb = SpecBuilder::new("Q0");
+        let q0 = qb.state("q0");
+        let q1 = qb.state("q1");
+        qb.ext(q0, "xfer", q1);
+        qb.ext(q1, "-q", q0);
+        let q = qb.build().unwrap();
+
+        let mut sb = SpecBuilder::new("seed");
+        let s0 = sb.state("s0");
+        sb.ext(s0, "xfer", s0);
+        let seed = sb.build().unwrap();
+
+        let c = okumura_converter(&p, &q, &seed, &Alphabet::from_names(["xfer"])).unwrap();
+        assert_eq!(c.alphabet(), &Alphabet::from_names(["+p", "-q"]));
+        assert!(protoquot_spec::has_trace(
+            &c,
+            &protoquot_spec::trace_of(&["+p", "-q", "+p"])
+        ));
+        assert!(!protoquot_spec::has_trace(
+            &c,
+            &protoquot_spec::trace_of(&["-q"])
+        ));
+    }
+
+    #[test]
+    fn restrictive_seed_blocks_coupling() {
+        // Same halves, but a seed that forbids xfer entirely: the
+        // coupled machine deadlocks after +p and pruning kills it all.
+        let mut pb = SpecBuilder::new("P1");
+        let p0 = pb.state("p0");
+        let p1 = pb.state("p1");
+        pb.ext(p0, "+p", p1);
+        pb.ext(p1, "xfer", p0);
+        let p = pb.build().unwrap();
+        let mut qb = SpecBuilder::new("Q0");
+        let q0 = qb.state("q0");
+        let q1 = qb.state("q1");
+        qb.ext(q0, "xfer", q1);
+        qb.ext(q1, "-q", q0);
+        let q = qb.build().unwrap();
+        let mut sb = SpecBuilder::new("seed");
+        sb.state("s0");
+        sb.event("xfer");
+        let seed = sb.build().unwrap();
+        let r = okumura_converter(&p, &q, &seed, &Alphabet::from_names(["xfer"]));
+        assert!(matches!(r, Err(OkumuraError::NoCoupling)));
+    }
+}

@@ -1,0 +1,276 @@
+//! Lam's projection / image-protocol method (IEEE ToSE '88), as
+//! characterised in §2 of the Calvert–Lam paper.
+//!
+//! Idea: find a *projection* of each existing protocol system onto a
+//! common image protocol. If both systems project onto the same image,
+//! the image defines the service of the conversion system and a simple
+//! **stateless** converter (a message relabelling) follows.
+//!
+//! A projection is given by a state aggregation (concrete state →
+//! image state) and an event mapping (concrete event → image event, or
+//! hidden). The projection is *faithful* when hidden events never
+//! change the image state — then the image is an ordinary specification
+//! whose transitions are exactly the mapped concrete ones.
+
+use protoquot_spec::{
+    bisimilar, spec_from_parts, EventId, Spec, SpecBuilder, SpecError, StateId,
+};
+use std::collections::HashMap;
+
+/// A projection: state aggregation + event mapping, both by name.
+#[derive(Clone, Debug, Default)]
+pub struct Projection {
+    /// Concrete state name → image state name. States not listed keep
+    /// their own name.
+    pub state_map: HashMap<String, String>,
+    /// Concrete event name → image event name (`None` hides the
+    /// event). Events not listed keep their own name.
+    pub event_map: HashMap<String, Option<String>>,
+}
+
+impl Projection {
+    /// Convenience constructor from name pairs.
+    pub fn new(states: &[(&str, &str)], events: &[(&str, Option<&str>)]) -> Projection {
+        Projection {
+            state_map: states
+                .iter()
+                .map(|&(a, b)| (a.to_owned(), b.to_owned()))
+                .collect(),
+            event_map: events
+                .iter()
+                .map(|&(a, b)| (a.to_owned(), b.map(str::to_owned)))
+                .collect(),
+        }
+    }
+
+    fn image_state<'a>(&'a self, name: &'a str) -> &'a str {
+        self.state_map.get(name).map(String::as_str).unwrap_or(name)
+    }
+
+    fn image_event(&self, e: EventId) -> Option<EventId> {
+        match self.event_map.get(&e.name()) {
+            Some(Some(img)) => Some(EventId::new(img)),
+            Some(None) => None,
+            None => Some(e),
+        }
+    }
+}
+
+/// Why a projection is not faithful.
+#[derive(Debug)]
+pub enum ProjectionError {
+    /// A hidden (or internal) transition crosses image states — the
+    /// image would need internal transitions and is not a clean image
+    /// protocol.
+    HiddenCrossesImage {
+        /// Source concrete state.
+        from: String,
+        /// Target concrete state.
+        to: String,
+    },
+    /// The underlying spec construction failed.
+    Spec(SpecError),
+}
+
+impl std::fmt::Display for ProjectionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProjectionError::HiddenCrossesImage { from, to } => write!(
+                f,
+                "hidden transition {from} → {to} crosses image states; \
+                 the aggregation is not a faithful image"
+            ),
+            ProjectionError::Spec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProjectionError {}
+
+/// Computes the image of `spec` under `proj`, checking faithfulness.
+pub fn project(spec: &Spec, proj: &Projection, image_name: &str) -> Result<Spec, ProjectionError> {
+    // Image states in first-seen order.
+    let mut index: HashMap<String, StateId> = HashMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut id_of = |name: &str, names: &mut Vec<String>| -> StateId {
+        if let Some(&id) = index.get(name) {
+            return id;
+        }
+        let id = StateId(names.len() as u32);
+        index.insert(name.to_owned(), id);
+        names.push(name.to_owned());
+        id
+    };
+    let mut image_of = vec![StateId(0); spec.num_states()];
+    for s in spec.states() {
+        image_of[s.index()] = id_of(proj.image_state(spec.state_name(s)), &mut names);
+    }
+
+    let mut ext = Vec::new();
+    let mut alphabet = protoquot_spec::Alphabet::new();
+    for (s, e, t) in spec.external_transitions() {
+        match proj.image_event(e) {
+            Some(img) => {
+                alphabet.insert(img);
+                ext.push((image_of[s.index()], img, image_of[t.index()]));
+            }
+            None => {
+                if image_of[s.index()] != image_of[t.index()] {
+                    return Err(ProjectionError::HiddenCrossesImage {
+                        from: spec.state_name(s).to_owned(),
+                        to: spec.state_name(t).to_owned(),
+                    });
+                }
+            }
+        }
+    }
+    for (s, t) in spec.internal_transitions() {
+        if image_of[s.index()] != image_of[t.index()] {
+            return Err(ProjectionError::HiddenCrossesImage {
+                from: spec.state_name(s).to_owned(),
+                to: spec.state_name(t).to_owned(),
+            });
+        }
+    }
+    // Alphabet: every image of a declared event.
+    for e in spec.alphabet().iter() {
+        if let Some(img) = proj.image_event(e) {
+            alphabet.insert(img);
+        }
+    }
+    spec_from_parts(
+        image_name.to_owned(),
+        alphabet,
+        names,
+        image_of[spec.initial().index()],
+        ext,
+        Vec::new(),
+    )
+    .map_err(ProjectionError::Spec)
+}
+
+/// Checks whether two image protocols coincide (strong bisimilarity —
+/// the images are deterministic in practice, where this equals
+/// language equality).
+pub fn common_image(p_image: &Spec, q_image: &Spec) -> bool {
+    bisimilar(p_image, q_image)
+}
+
+/// Builds the stateless converter induced by a common image: for each
+/// `(receive, send)` pair, the converter takes `receive` from the P
+/// side and immediately issues `send` on the Q side. "Stateless" in
+/// Lam's sense: no protocol state beyond the in-flight message.
+pub fn stateless_converter(pairs: &[(&str, &str)]) -> Spec {
+    let mut b = SpecBuilder::new("C-stateless");
+    let idle = b.state("idle");
+    for &(recv, send) in pairs {
+        let holding = b.state(&format!("got_{recv}"));
+        b.ext(idle, recv, holding);
+        b.ext(holding, send, idle);
+    }
+    b.initial(idle);
+    b.build().expect("stateless converter is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{has_trace, trace_of};
+
+    /// A two-phase protocol whose retransmission structure projects
+    /// onto a simple request/response image.
+    fn concrete() -> Spec {
+        let mut b = SpecBuilder::new("P");
+        let idle = b.state("idle");
+        let sent1 = b.state("sent1");
+        let sent2 = b.state("sent2");
+        let done = b.state("done");
+        b.ext(idle, "send_v1", sent1);
+        b.ext(idle, "send_v2", sent2);
+        b.ext(sent1, "retry", sent1);
+        b.ext(sent1, "ok1", done);
+        b.ext(sent2, "ok2", done);
+        b.ext(done, "reset", idle);
+        b.build().unwrap()
+    }
+
+    fn proj() -> Projection {
+        Projection::new(
+            &[("sent1", "sent"), ("sent2", "sent")],
+            &[
+                ("send_v1", Some("send")),
+                ("send_v2", Some("send")),
+                ("ok1", Some("ok")),
+                ("ok2", Some("ok")),
+                ("retry", None),
+            ],
+        )
+    }
+
+    #[test]
+    fn faithful_projection_produces_image() {
+        let img = project(&concrete(), &proj(), "image").unwrap();
+        assert_eq!(img.num_states(), 3); // idle, sent, done
+        assert!(has_trace(&img, &trace_of(&["send", "ok", "reset"])));
+        assert!(!has_trace(&img, &trace_of(&["ok"])));
+    }
+
+    #[test]
+    fn hidden_crossing_rejected() {
+        // Hiding ok1 makes sent1 → done a hidden crossing.
+        let mut p = proj();
+        p.event_map.insert("ok1".into(), None);
+        match project(&concrete(), &p, "image") {
+            Err(ProjectionError::HiddenCrossesImage { from, to }) => {
+                assert_eq!(from, "sent1");
+                assert_eq!(to, "done");
+            }
+            other => panic!("expected crossing error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn common_image_detected() {
+        // A second concrete protocol with different event names but the
+        // same image under its own projection.
+        let mut b = SpecBuilder::new("Q");
+        let i = b.state("i");
+        let s = b.state("s");
+        let d = b.state("d");
+        b.ext(i, "xmit", s);
+        b.ext(s, "ack", d);
+        b.ext(d, "clear", i);
+        let q = b.build().unwrap();
+        let qp = Projection::new(
+            &[],
+            &[
+                ("xmit", Some("send")),
+                ("ack", Some("ok")),
+                ("clear", Some("reset")),
+            ],
+        );
+        let p_img = project(&concrete(), &proj(), "img").unwrap();
+        let mut q_img = project(&q, &qp, "img").unwrap();
+        // State names differ; bisimilarity doesn't care.
+        assert!(common_image(&p_img, &q_img));
+        // Destroying a transition breaks it.
+        q_img = {
+            let mut b = SpecBuilder::new("img");
+            let i = b.state("i");
+            let s = b.state("s");
+            b.ext(i, "send", s);
+            b.ext(s, "ok", i);
+            b.event("reset");
+            b.build().unwrap()
+        };
+        assert!(!common_image(&p_img, &q_img));
+    }
+
+    #[test]
+    fn stateless_converter_relabels() {
+        let c = stateless_converter(&[("+d0", "-D"), ("+d1", "-D")]);
+        assert!(has_trace(&c, &trace_of(&["+d0", "-D", "+d1", "-D"])));
+        assert!(!has_trace(&c, &trace_of(&["+d0", "+d1"])));
+        assert_eq!(c.num_states(), 3);
+    }
+}

@@ -1,0 +1,57 @@
+//! Ablations over the solver's knobs on the paper's co-located problem:
+//! vacuous-state inclusion, progress strategy, constraint folding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protoquot_core::{solve_constrained, solve_with, ProgressStrategy, QuotientOptions};
+use protoquot_protocols::{colocated_configuration, exactly_once};
+use protoquot_spec::SpecBuilder;
+
+fn bench_ablation(c: &mut Criterion) {
+    let cfg = colocated_configuration();
+    let service = exactly_once();
+    let base = QuotientOptions::default();
+
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(30);
+
+    g.bench_function("lean(default)", |b| {
+        b.iter(|| solve_with(&cfg.b, &service, &cfg.int, &base).unwrap())
+    });
+
+    let vac = QuotientOptions {
+        include_vacuous: true,
+        ..base.clone()
+    };
+    g.bench_function("with-vacuous-states", |b| {
+        b.iter(|| solve_with(&cfg.b, &service, &cfg.int, &vac).unwrap())
+    });
+
+    let reach = QuotientOptions {
+        strategy: ProgressStrategy::ReachableProduct,
+        ..base.clone()
+    };
+    g.bench_function("reachable-product-progress", |b| {
+        b.iter(|| solve_with(&cfg.b, &service, &cfg.int, &reach).unwrap())
+    });
+
+    // Constraint folding: the +D/-A alternation constraint.
+    let k = {
+        let mut kb = SpecBuilder::new("K");
+        let k0 = kb.state("k0");
+        let k1 = kb.state("k1");
+        kb.ext(k0, "+D", k1);
+        kb.ext(k1, "-A", k0);
+        for e in ["+d0", "+d1", "-a0", "-a1"] {
+            kb.ext(k0, e, k0);
+        }
+        kb.build().unwrap()
+    };
+    g.bench_function("constrained(+D/-A alternation)", |b| {
+        b.iter(|| solve_constrained(&cfg.b, &k, &service, &cfg.int).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

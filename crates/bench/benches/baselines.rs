@@ -1,0 +1,64 @@
+//! Top-down quotient vs the prior-work baselines on the paper's
+//! co-located problem: what does handling progress cost, and how fast
+//! are the methods that solve less?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protoquot_baselines::{okumura_converter, submodule_construction};
+use protoquot_core::solve;
+use protoquot_protocols::{ab_receiver, colocated_configuration, exactly_once};
+use protoquot_spec::{Alphabet, EventId, SpecBuilder};
+
+fn bench_baselines(c: &mut Criterion) {
+    let cfg = colocated_configuration();
+    let exact = exactly_once();
+
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(30);
+
+    g.bench_function("quotient/full(safety+progress)", |b| {
+        b.iter(|| solve(&cfg.b, &exact, &cfg.int).unwrap())
+    });
+
+    g.bench_function("merlin-bochmann/safety-only", |b| {
+        b.iter(|| submodule_construction(&cfg.b, &exact, &cfg.int).unwrap())
+    });
+
+    // Okumura's construction works on the (much smaller) protocol
+    // halves rather than the composed B — fast, but it neither sees the
+    // service nor guarantees global correctness.
+    let del = EventId::new("del");
+    let xfer = EventId::new("xfer");
+    let p_half = ab_receiver().rename_event(del, xfer).unwrap();
+    let q_half = {
+        let mut qb = SpecBuilder::new("Q0-direct");
+        let q0 = qb.state("q0");
+        let q1 = qb.state("q1");
+        let q2 = qb.state("q2");
+        qb.ext(q0, "xfer", q1);
+        qb.ext(q1, "+D", q2);
+        qb.ext(q2, "-A", q0);
+        qb.build().unwrap()
+    };
+    let seed = {
+        let mut sb = SpecBuilder::new("seed");
+        let s0 = sb.state("s0");
+        let s1 = sb.state("s1");
+        let s2 = sb.state("s2");
+        sb.ext(s0, "xfer", s1);
+        sb.ext(s1, "-A", s2);
+        sb.ext(s2, "-a0", s0);
+        sb.ext(s2, "-a1", s0);
+        sb.ext(s0, "-a0", s0);
+        sb.ext(s0, "-a1", s0);
+        sb.build().unwrap()
+    };
+    let hide = Alphabet::from_names(["xfer"]);
+    g.bench_function("okumura/coupled-halves", |b| {
+        b.iter(|| okumura_converter(&p_half, &q_half, &seed, &hide).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! The composition operator on the paper's configurations and the
+//! scaling family: reachable-product construction cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use protoquot_protocols::{
+    ab_channel, ab_receiver, ab_sender, modk_system, ns_channel, ns_receiver,
+};
+use protoquot_spec::{compose, compose_all, compose_full};
+
+fn bench_composition(c: &mut Criterion) {
+    let a0 = ab_sender();
+    let ach = ab_channel();
+    let a1 = ab_receiver();
+    let nch = ns_channel();
+    let n1 = ns_receiver();
+
+    let mut g = c.benchmark_group("composition");
+
+    g.bench_function("binary/A0||Ach", |b| b.iter(|| compose(&a0, &ach)));
+    g.bench_function("binary/full-product/A0||Ach", |b| {
+        b.iter(|| compose_full(&a0, &ach))
+    });
+    g.bench_function("nary/AB-system", |b| {
+        b.iter(|| compose_all(&[&a0, &ach, &a1]).unwrap())
+    });
+    g.bench_function("nary/symmetric-configuration", |b| {
+        b.iter(|| compose_all(&[&a0, &ach, &nch, &n1]).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("modk_system");
+    for k in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, &k| {
+            bench.iter(|| modk_system(k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_composition);
+criterion_main!(benches);

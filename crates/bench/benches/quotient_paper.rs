@@ -1,0 +1,83 @@
+//! EXP-F12 / EXP-F13/14 / EXP-W: the paper's §5 derivations, timed.
+//!
+//! * `symmetric/full(no-converter)` — the Figure 9 problem: safety
+//!   phase builds the Figure 12 converter, progress proves
+//!   non-existence;
+//! * `colocated/full` — the Figure 13 problem: derives the Figure 14
+//!   converter;
+//! * `colocated/safety-only` / `colocated/progress-only` — the phase
+//!   split (cf. §7: progress is cheap relative to safety);
+//! * `weakened/full` — the at-least-once service on the symmetric
+//!   configuration (§5 remark);
+//! * `colocated/verify` — the independent satisfaction check;
+//! * `colocated/prune` — the superfluous-behaviour pruning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protoquot_bench::paper_report;
+use protoquot_core::{
+    progress_phase, prune_useless, safety_phase, solve, verify_converter, SafetyLimits,
+};
+use protoquot_protocols::{
+    at_least_once, colocated_configuration, exactly_once, symmetric_configuration,
+};
+use protoquot_spec::normalize;
+
+fn bench_paper(c: &mut Criterion) {
+    // Print the experiment report once, so `cargo bench` output doubles
+    // as the paper-vs-measured record.
+    println!("{}", paper_report());
+
+    let sym = symmetric_configuration();
+    let col = colocated_configuration();
+    let exact = exactly_once();
+    let weak = at_least_once();
+
+    let mut g = c.benchmark_group("quotient_paper");
+    g.sample_size(20);
+
+    g.bench_function("symmetric/full(no-converter)", |b| {
+        b.iter(|| {
+            let r = solve(&sym.b, &exact, &sym.int);
+            assert!(r.is_err());
+        })
+    });
+
+    g.bench_function("colocated/full", |b| {
+        b.iter(|| solve(&col.b, &exact, &col.int).unwrap())
+    });
+
+    let na = normalize(&exact);
+    g.bench_function("colocated/safety-only", |b| {
+        b.iter(|| {
+            safety_phase(&col.b, &na, &col.int, false, SafetyLimits::default())
+                .unwrap()
+                .unwrap()
+        })
+    });
+
+    let safety = safety_phase(&col.b, &na, &col.int, false, SafetyLimits::default())
+        .unwrap()
+        .unwrap();
+    g.bench_function("colocated/progress-only", |b| {
+        b.iter(|| progress_phase(&col.b, &na, &safety))
+    });
+
+    g.bench_function("weakened/full", |b| {
+        b.iter(|| solve(&sym.b, &weak, &sym.int).unwrap())
+    });
+
+    let q = solve(&col.b, &exact, &col.int).unwrap();
+    g.bench_function("colocated/verify", |b| {
+        b.iter(|| verify_converter(&col.b, &exact, &q.converter).unwrap())
+    });
+
+    g.sample_size(10);
+    g.bench_function("colocated/prune", |b| {
+        b.iter(|| prune_useless(&col.b, &exact, &q.converter))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_paper);
+criterion_main!(benches);

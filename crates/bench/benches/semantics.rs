@@ -1,0 +1,63 @@
+//! EXP-F4 and the semantic machinery: sink-set analysis, normalization,
+//! and the two-part satisfaction check on the paper's systems.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use protoquot_protocols::{ab_system, at_least_once, exactly_once, ns_system};
+use protoquot_spec::{collapse_sinks, normalize, satisfies, Closures, SinkInfo, SpecBuilder};
+
+/// A machine full of internal cycles (Figure 4's situation, scaled):
+/// `n` two-state sink cycles hanging off a dispatcher.
+fn sinky(n: usize) -> protoquot_spec::Spec {
+    let mut b = SpecBuilder::new("sinky");
+    let hub = b.state("hub");
+    for i in 0..n {
+        let c1 = b.state(&format!("c{i}a"));
+        let c2 = b.state(&format!("c{i}b"));
+        b.ext(hub, &format!("go{i}"), c1);
+        b.int(c1, c2);
+        b.int(c2, c1);
+        b.ext(c1, &format!("f{i}"), hub);
+        b.ext(c2, &format!("g{i}"), hub);
+    }
+    b.build().unwrap()
+}
+
+fn bench_semantics(c: &mut Criterion) {
+    let ab = ab_system();
+    let ns = ns_system();
+    let exact = exactly_once();
+    let weak = at_least_once();
+
+    let mut g = c.benchmark_group("semantics");
+
+    g.bench_function("sinks/collapse-fig4-x32", |b| {
+        let s = sinky(32);
+        b.iter(|| collapse_sinks(&s))
+    });
+
+    g.bench_function("sinks/detect-ab-system", |b| {
+        b.iter(|| SinkInfo::compute(&ab))
+    });
+
+    g.bench_function("closures/ab-system", |b| {
+        b.iter(|| Closures::compute(&ab))
+    });
+
+    g.bench_function("normalize/ab-system", |b| b.iter(|| normalize(&ab)));
+    g.bench_function("normalize/ns-system", |b| b.iter(|| normalize(&ns)));
+
+    g.bench_function("satisfies/ab-vs-exactly-once(ok)", |b| {
+        b.iter(|| satisfies(&ab, &exact).unwrap().is_ok())
+    });
+    g.bench_function("satisfies/ns-vs-exactly-once(violation)", |b| {
+        b.iter(|| satisfies(&ns, &exact).unwrap().is_err())
+    });
+    g.bench_function("satisfies/ns-vs-at-least-once(ok)", |b| {
+        b.iter(|| satisfies(&ns, &weak).unwrap().is_ok())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_semantics);
+criterion_main!(benches);

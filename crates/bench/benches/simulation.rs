@@ -1,0 +1,50 @@
+//! Simulation-engine throughput: steps/second of the full conversion
+//! pipeline (AB sender, lossy channel, derived converter, NS receiver)
+//! under a service monitor, at several loss rates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use protoquot_core::solve;
+use protoquot_protocols::{
+    ab_channel, ab_sender, colocated_configuration, exactly_once, ns_receiver,
+};
+use protoquot_sim::{run_monitored, SimConfig};
+
+fn bench_simulation(c: &mut Criterion) {
+    let cfg = colocated_configuration();
+    let service = exactly_once();
+    let converter = solve(&cfg.b, &service, &cfg.int).unwrap().converter;
+
+    const STEPS: u64 = 10_000;
+    let mut g = c.benchmark_group("simulation");
+    g.throughput(Throughput::Elements(STEPS));
+    for loss in [0u32, 5, 20] {
+        g.bench_with_input(
+            BenchmarkId::new("conversion-pipeline", loss),
+            &loss,
+            |b, &loss| {
+                b.iter(|| {
+                    let report = run_monitored(
+                        vec![
+                            ab_sender(),
+                            ab_channel(),
+                            converter.clone(),
+                            ns_receiver(),
+                        ],
+                        &service,
+                        &SimConfig {
+                            seed: 1,
+                            max_steps: STEPS,
+                            internal_weights: vec![(1, loss)],
+                        },
+                    );
+                    assert!(report.is_clean());
+                    report
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,291 @@
+//! Prints the full experiment report used to fill `EXPERIMENTS.md`:
+//! the §5 qualitative results plus the §7 complexity-shape tables.
+//!
+//! Run with: `cargo run -p protoquot-bench --bin report --release`
+
+use protoquot_bench::paper_report;
+use protoquot_core::{progress_phase, safety_phase, solve, SafetyLimits};
+use protoquot_protocols::service::windowed;
+use protoquot_protocols::{exactly_once, nfa_blowup, relay_chain, toggle_puzzle};
+use protoquot_spec::normalize;
+use std::time::Instant;
+
+fn main() {
+    println!("{}", paper_report());
+
+    println!("== EXP-C1: safety-phase growth (paper §7: worst-case exponential) ==");
+    println!(
+        "{:>14} {:>10} {:>12} {:>12} {:>12}",
+        "family", "param", "|B| states", "C0 states", "safety ms"
+    );
+    for n in [2usize, 4, 8, 12, 16] {
+        let (b, int) = relay_chain(n);
+        let na = normalize(&exactly_once());
+        let t = Instant::now();
+        let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+            .unwrap()
+            .unwrap();
+        println!(
+            "{:>14} {:>10} {:>12} {:>12} {:>12.3}",
+            "relay-chain",
+            n,
+            b.num_states(),
+            s.c0.num_states(),
+            t.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    for n in [3usize, 5, 7, 9, 11] {
+        let (b, int) = nfa_blowup(n);
+        let na = normalize(&exactly_once());
+        let t = Instant::now();
+        let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+            .unwrap()
+            .unwrap();
+        println!(
+            "{:>14} {:>10} {:>12} {:>12} {:>12.3}",
+            "nfa-blowup",
+            n,
+            b.num_states(),
+            s.c0.num_states(),
+            t.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    for n in [2usize, 3, 4, 5, 6] {
+        let (b, int) = toggle_puzzle(n);
+        let na = normalize(&exactly_once());
+        let t = Instant::now();
+        let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+            .unwrap()
+            .unwrap();
+        println!(
+            "{:>14} {:>10} {:>12} {:>12} {:>12.3}",
+            "toggle-puzzle",
+            n,
+            b.num_states(),
+            s.c0.num_states(),
+            t.elapsed().as_secs_f64() * 1e3
+        );
+    }
+
+    println!("\n== EXP-C2: progress phase is cheap relative to safety (paper §7) ==");
+    println!(
+        "{:>14} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "family", "param", "safety ms", "progress ms", "C0 states", "prog iters"
+    );
+    for w in [1usize, 2, 3] {
+        // Windowed services over the relay chain grow the quotient.
+        let (b, int) = relay_chain(2 * w + 2);
+        let na = normalize(&windowed(w));
+        let t0 = Instant::now();
+        let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+            .unwrap()
+            .unwrap();
+        let safety_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let p = progress_phase(&b, &na, &s);
+        let progress_ms = t1.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:>14} {:>10} {:>12.3} {:>12.3} {:>12} {:>10}",
+            "relay/window",
+            w,
+            safety_ms,
+            progress_ms,
+            s.c0.num_states(),
+            p.iterations
+        );
+    }
+    {
+        let cfg = protoquot_protocols::colocated_configuration();
+        let q = solve(&cfg.b, &exactly_once(), &cfg.int).unwrap();
+        println!(
+            "{:>14} {:>10} {:>12.3} {:>12.3} {:>12} {:>10}",
+            "paper/Fig14",
+            "-",
+            q.stats.safety_time.as_secs_f64() * 1e3,
+            q.stats.progress_time.as_secs_f64() * 1e3,
+            q.stats.safety_states,
+            q.stats.progress_iterations
+        );
+        let sym = protoquot_protocols::symmetric_configuration();
+        if let Err(protoquot_core::QuotientError::NoProgressingConverter { .. }) =
+            solve(&sym.b, &exactly_once(), &sym.int)
+        {
+            // timings via a fresh phase split
+            let na = normalize(&exactly_once());
+            let t0 = Instant::now();
+            let s = safety_phase(&sym.b, &na, &sym.int, false, SafetyLimits::default())
+                .unwrap()
+                .unwrap();
+            let safety_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = Instant::now();
+            let p = progress_phase(&sym.b, &na, &s);
+            let progress_ms = t1.elapsed().as_secs_f64() * 1e3;
+            println!(
+                "{:>14} {:>10} {:>12.3} {:>12.3} {:>12} {:>10}",
+                "paper/Fig12",
+                "-",
+                safety_ms,
+                progress_ms,
+                s.c0.num_states(),
+                p.iterations
+            );
+        }
+    }
+
+    println!("\n== EXP-C2b: progress time vs quotient size (polynomial, §7) ==");
+    println!(
+        "{:>14} {:>10} {:>12} {:>12} {:>14}",
+        "family", "param", "C0 states", "progress ms", "ms per state"
+    );
+    for n in [5usize, 7, 9, 11] {
+        let (b, int) = nfa_blowup(n);
+        let na = normalize(&exactly_once());
+        let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+            .unwrap()
+            .unwrap();
+        let t = Instant::now();
+        let p = progress_phase(&b, &na, &s);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        assert!(p.converter.is_some());
+        println!(
+            "{:>14} {:>10} {:>12} {:>12.3} {:>14.5}",
+            "nfa-blowup",
+            n,
+            s.c0.num_states(),
+            ms,
+            ms / s.c0.num_states() as f64
+        );
+    }
+
+    println!("\n== EXP-K: mod-k sequence-number scaling (input growth) ==");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "k", "|B| states", "C states", "exists", "total ms"
+    );
+    for k in [2usize, 3, 4] {
+        // Converter between mod-k ABP sender and the NS receiver,
+        // co-located (generalising the paper's Fig. 13 problem).
+        let sender = protoquot_protocols::modk_sender(k);
+        let msgs = protoquot_protocols::modk_messages(k);
+        let msg_refs: Vec<&str> = msgs.iter().map(String::as_str).collect();
+        let ch = protoquot_protocols::duplex_lossy_channel("ch", &msg_refs, "t_A");
+        let n1 = protoquot_protocols::ns_receiver();
+        let b = protoquot_spec::compose_all(&[&sender, &ch, &n1]).unwrap();
+        let mut int_names: Vec<String> = Vec::new();
+        for i in 0..k {
+            int_names.push(format!("+d{i}"));
+            int_names.push(format!("-a{i}"));
+        }
+        int_names.push("+D".into());
+        int_names.push("-A".into());
+        let int: protoquot_spec::Alphabet =
+            int_names.iter().map(String::as_str).collect();
+        let t = Instant::now();
+        let r = solve(&b, &exactly_once(), &int);
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        match r {
+            Ok(q) => println!(
+                "{:>6} {:>12} {:>12} {:>12} {:>12.3}",
+                k,
+                b.num_states(),
+                q.converter.num_states(),
+                "yes",
+                ms
+            ),
+            Err(_) => println!(
+                "{:>6} {:>12} {:>12} {:>12} {:>12.3}",
+                k,
+                b.num_states(),
+                "-",
+                "no",
+                ms
+            ),
+        }
+    }
+
+    println!("\n== EXP-NAK: corruption instead of loss (extension) ==");
+    {
+        use protoquot_protocols::{nak_system_fully_corrupting, nak_system_half_corrupting};
+        let half = nak_system_half_corrupting();
+        let fullc = nak_system_fully_corrupting();
+        println!(
+            "half-corrupting NAK system ({} states): exactly-once = {}",
+            half.num_states(),
+            protoquot_spec::satisfies(&half, &exactly_once()).unwrap().is_ok()
+        );
+        println!(
+            "fully-corrupting NAK system ({} states): exactly-once = {}, at-least-once = {}",
+            fullc.num_states(),
+            protoquot_spec::satisfies(&fullc, &exactly_once()).unwrap().is_ok(),
+            protoquot_spec::satisfies(&fullc, &protoquot_protocols::at_least_once())
+                .unwrap()
+                .is_ok()
+        );
+        let cfg = protoquot_protocols::ab_to_nak_configuration();
+        match solve(&cfg.b, &exactly_once(), &cfg.int) {
+            Ok(q) => println!(
+                "AB→NAK conversion (direct responses): converter DERIVED ({} states)",
+                q.converter.num_states()
+            ),
+            Err(e) => println!("AB→NAK conversion: UNEXPECTED {e}"),
+        }
+    }
+
+    println!("\n== EXP-DUPLEX: one converter, both directions (extension) ==");
+    {
+        let cfg = protoquot_protocols::duplex_configuration();
+        let service = protoquot_protocols::duplex_service();
+        let t = Instant::now();
+        match solve(&cfg.b, &service, &cfg.int) {
+            Ok(q) => println!(
+                "B = {} states, |Int| = {}: bidirectional converter DERIVED \
+                 ({} states, {} transitions; safety {} states) in {:.1} ms",
+                cfg.b.num_states(),
+                cfg.int.len(),
+                q.converter.num_states(),
+                q.converter.num_external(),
+                q.stats.safety_states,
+                t.elapsed().as_secs_f64() * 1e3
+            ),
+            Err(e) => println!("duplex: UNEXPECTED {e}"),
+        }
+    }
+
+    println!("\n== EXP-FLOW: window flow control (extension) ==");
+    {
+        use protoquot_protocols::flow_control_configuration;
+        use protoquot_protocols::service::windowed as win;
+        for (w, c) in [(1usize, 1usize), (2, 2), (3, 2)] {
+            let cfg = flow_control_configuration(w, c);
+            let t = Instant::now();
+            match solve(&cfg.b, &win(w), &cfg.int) {
+                Ok(q) => println!(
+                    "w={w} cap={c}: B = {} states -> converter {} states / {} transitions \
+                     (safety {}) in {:.1} ms",
+                    cfg.b.num_states(),
+                    q.converter.num_states(),
+                    q.converter.num_external(),
+                    q.stats.safety_states,
+                    t.elapsed().as_secs_f64() * 1e3
+                ),
+                Err(e) => println!("w={w} cap={c}: UNEXPECTED {e}"),
+            }
+        }
+    }
+
+    println!("\n== EXP-FRONT: the §6 front man (extension) ==");
+    {
+        let cfg = protoquot_protocols::frontman_configuration();
+        let service = protoquot_protocols::two_client_service();
+        match solve(&cfg.b, &service, &cfg.int) {
+            Ok(q) => println!(
+                "B = {} states: front-man converter DERIVED ({} states / {} transitions); \
+                 native traffic untouched by construction",
+                cfg.b.num_states(),
+                q.converter.num_states(),
+                q.converter.num_external()
+            ),
+            Err(e) => println!("front man: UNEXPECTED {e}"),
+        }
+    }
+}

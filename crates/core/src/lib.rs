@@ -1,0 +1,84 @@
+//! # protoquot-core
+//!
+//! The quotient algorithm of *Calvert & Lam, "Deriving a Protocol
+//! Converter: A Top-Down Method" (SIGCOMM 1989)*, §4 — the paper's
+//! primary contribution.
+//!
+//! Given
+//!
+//! * `B` — the specification of the fixed components of a conversion
+//!   system (e.g. `P0 ‖ channels ‖ Q1`), with alphabet `Int ∪ Ext`, and
+//! * `A` — a service specification with alphabet `Ext`,
+//!
+//! [`solve`] produces the **maximal** converter `C` over `Int` such that
+//! `B ‖ C` satisfies `A` (both safety and progress), or proves that no
+//! converter exists. The construction runs in two phases:
+//!
+//! 1. **safety** ([`safety::safety_phase`], paper Fig. 5) — a worklist
+//!    construction over canonical sets of `(a, b)` pairs guarded by the
+//!    `ok` predicate; the result `C0` has the largest trace set that is
+//!    safe;
+//! 2. **progress** ([`progress::progress_phase`], paper Fig. 6) — a
+//!    fixpoint deletion of *bad* states whose composite `τ*` cannot
+//!    cover any service acceptance set.
+//!
+//! Extras beyond the bare algorithm:
+//!
+//! * [`verify_converter`] — independent re-check of any derivation;
+//! * [`prune_useless`] — automated removal of the "superfluous"
+//!   maximal-converter behaviour the paper trims by hand (Fig. 14's
+//!   dotted boxes);
+//! * full diagnostics on failure ([`QuotientError`]), distinguishing a
+//!   safety-impossible problem from a safety/progress conflict.
+//!
+//! ## Example
+//!
+//! ```
+//! use protoquot_spec::{Alphabet, SpecBuilder, compose, satisfies};
+//! use protoquot_core::solve;
+//!
+//! // Service: strictly alternating accept/deliver.
+//! let mut sb = SpecBuilder::new("service");
+//! let u0 = sb.state("u0");
+//! let u1 = sb.state("u1");
+//! sb.ext(u0, "acc", u1);
+//! sb.ext(u1, "del", u0);
+//! let service = sb.build().unwrap();
+//!
+//! // Fixed components: a relay that needs a `fwd` nudge to deliver.
+//! let mut bb = SpecBuilder::new("relay");
+//! let b0 = bb.state("b0");
+//! let b1 = bb.state("b1");
+//! let b2 = bb.state("b2");
+//! bb.ext(b0, "acc", b1);
+//! bb.ext(b1, "fwd", b2);
+//! bb.ext(b2, "del", b0);
+//! let relay = bb.build().unwrap();
+//!
+//! let int = Alphabet::from_names(["fwd"]);
+//! let quotient = solve(&relay, &service, &int).unwrap();
+//! let composite = compose(&relay, &quotient.converter);
+//! assert!(satisfies(&composite, &service).unwrap().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pairset;
+pub mod progress;
+pub mod prune;
+pub mod safety;
+pub mod solver;
+pub mod verify;
+
+pub use pairset::{close, h_epsilon, phi, OkViolation, Pair, PairSet};
+pub use progress::{
+    progress_phase, progress_phase_with, ProgressPhase, ProgressStrategy, ProgressWitness,
+};
+pub use prune::prune_useless;
+pub use safety::{safety_phase, SafetyFailure, SafetyLimits, SafetyPhase};
+pub use solver::{
+    solve, solve_constrained, solve_normalized, solve_with, validate_problem, Quotient,
+    QuotientError, QuotientOptions, QuotientStats,
+};
+pub use verify::{verify_converter, VerifyError};

@@ -1,0 +1,240 @@
+//! The `(a, b)` pair-set machinery of §4.
+//!
+//! Each state `c` of the derived converter carries `f.c` — a set of
+//! pairs `(a, b)` recording, for every trace `t` of B that matches the
+//! converter trace `r` leading to `c` (`i.t = r`), the B-state `b`
+//! reached and the service tracker state `a = ψ_A.(o.t)`.
+//!
+//! Pair sets are kept closed under:
+//!
+//! * internal moves of B (`b λ b'` keeps `a`), and
+//! * environment moves (`b --g--> b'` with `g ∈ Ext` advances `a` by the
+//!   ψ-step on `g`),
+//!
+//! because the paper's `h.r` is closed under both (the `↦` relation
+//! absorbs them between `Int` events). The paper's `ok` predicate —
+//! every `Ext` event enabled in `b` is allowed by `a` — is exactly the
+//! condition that this closure never needs an undefined ψ-step, so the
+//! closure computation *is* the `ok` check.
+
+use protoquot_spec::{Alphabet, EventId, NormalSpec, Spec, StateId};
+use std::collections::HashSet;
+
+/// One `(a, b)` pair: the service hub (ψ-state index in the
+/// [`NormalSpec`]) and the B-state.
+pub type Pair = (usize, StateId);
+
+/// A canonical (sorted, deduplicated) set of `(a, b)` pairs.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PairSet(Vec<Pair>);
+
+impl PairSet {
+    /// The empty pair set (the `f.c` of a *vacuous* converter state — no
+    /// trace of B matches the trace leading here).
+    pub fn empty() -> PairSet {
+        PairSet(Vec::new())
+    }
+
+    /// Canonicalises an arbitrary collection of pairs.
+    pub fn from_pairs<I: IntoIterator<Item = Pair>>(pairs: I) -> PairSet {
+        let mut v: Vec<Pair> = pairs.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        PairSet(v)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the vacuous set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = Pair> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: Pair) -> bool {
+        self.0.binary_search(&p).is_ok()
+    }
+}
+
+/// Why a pair-set closure failed the `ok` predicate: B can perform an
+/// external event the service cannot accept here.
+#[derive(Clone, Debug)]
+pub struct OkViolation {
+    /// The service hub at the violation.
+    pub hub: usize,
+    /// The B-state enabling the forbidden event.
+    pub b_state: StateId,
+    /// The forbidden external event.
+    pub event: EventId,
+}
+
+/// Closes `seed` under internal B-moves and tracked `Ext` moves,
+/// checking `ok` along the way (see module docs).
+pub fn close(
+    na: &NormalSpec,
+    b: &Spec,
+    ext: &Alphabet,
+    seed: impl IntoIterator<Item = Pair>,
+) -> Result<PairSet, OkViolation> {
+    let mut seen: HashSet<Pair> = HashSet::new();
+    let mut work: Vec<Pair> = Vec::new();
+    for p in seed {
+        if seen.insert(p) {
+            work.push(p);
+        }
+    }
+    while let Some((hub, bs)) = work.pop() {
+        for &t in b.internal_from(bs) {
+            let p = (hub, t);
+            if seen.insert(p) {
+                work.push(p);
+            }
+        }
+        for &(e, t) in b.external_from(bs) {
+            if !ext.contains(e) {
+                continue; // an Int event: the converter's move, not ours
+            }
+            match na.step(hub, e) {
+                Some(hub2) => {
+                    let p = (hub2, t);
+                    if seen.insert(p) {
+                        work.push(p);
+                    }
+                }
+                None => {
+                    return Err(OkViolation {
+                        hub,
+                        b_state: bs,
+                        event: e,
+                    })
+                }
+            }
+        }
+    }
+    Ok(PairSet::from_pairs(seen))
+}
+
+/// The paper's `h.ε`: the closure of `(ψ_A.ε, b0)`.
+pub fn h_epsilon(na: &NormalSpec, b: &Spec, ext: &Alphabet) -> Result<PairSet, OkViolation> {
+    close(na, b, ext, [(na.initial_hub(), b.initial())])
+}
+
+/// The paper's step function `φ(J, e)` for `e ∈ Int`: all pairs
+/// reachable from `J` by B performing exactly one `e`, then closure.
+/// Returns `Ok(empty)` when no pair of `J` can perform `e` — the
+/// *vacuous* case (`r·e` is trivially safe because no trace of B matches
+/// it).
+pub fn phi(
+    na: &NormalSpec,
+    b: &Spec,
+    ext: &Alphabet,
+    j: &PairSet,
+    e: EventId,
+) -> Result<PairSet, OkViolation> {
+    let stepped = j
+        .iter()
+        .flat_map(|(hub, bs)| b.ext_successors(bs, e).map(move |t| (hub, t)));
+    close(na, b, ext, stepped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{normalize, SpecBuilder};
+
+    /// Service over {acc, del}; B over {acc, del, m} where m is Int.
+    fn setup() -> (NormalSpec, Spec, Alphabet, Alphabet) {
+        let mut sb = SpecBuilder::new("S");
+        let u0 = sb.state("u0");
+        let u1 = sb.state("u1");
+        sb.ext(u0, "acc", u1);
+        sb.ext(u1, "del", u0);
+        let service = sb.build().unwrap();
+
+        // B: b0 --acc--> b1 --m--> b2 --del--> b0, with b1 ~> b1x (idle).
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        let b1x = bb.state("b1x");
+        let b2 = bb.state("b2");
+        bb.ext(b0, "acc", b1);
+        bb.int(b1, b1x);
+        bb.ext(b1x, "m", b2);
+        bb.ext(b1, "m", b2);
+        bb.ext(b2, "del", b0);
+        let b = bb.build().unwrap();
+
+        let ext = Alphabet::from_names(["acc", "del"]);
+        let int = Alphabet::from_names(["m"]);
+        (normalize(&service), b, ext, int)
+    }
+
+    #[test]
+    fn h_epsilon_closes_over_ext_and_internal() {
+        let (na, b, ext, _) = setup();
+        let h0 = h_epsilon(&na, &b, &ext).unwrap();
+        // (hub0,b0), then acc => (hub1,b1), internal => (hub1,b1x).
+        assert_eq!(h0.len(), 3);
+    }
+
+    #[test]
+    fn phi_steps_on_int_event() {
+        let (na, b, ext, _) = setup();
+        let m = EventId::new("m");
+        let h0 = h_epsilon(&na, &b, &ext).unwrap();
+        let h1 = phi(&na, &b, &ext, &h0, m).unwrap();
+        // After m: (hub1, b2); closure adds del => (hub0, b0), then acc
+        // => (hub1, b1), internal => (hub1, b1x).
+        assert_eq!(h1.len(), 4);
+        let b2 = b.state_by_name("b2").unwrap();
+        assert!(h1.iter().any(|(_, bs)| bs == b2));
+    }
+
+    #[test]
+    fn phi_vacuous_when_event_not_enabled() {
+        let (na, b, ext, _) = setup();
+        let other = EventId::new("unused_int_event");
+        let h0 = h_epsilon(&na, &b, &ext).unwrap();
+        let empty = phi(&na, &b, &ext, &h0, other).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn ok_violation_detected() {
+        // B can `del` immediately, which the service forbids at u0.
+        let mut sb = SpecBuilder::new("S");
+        let u0 = sb.state("u0");
+        let u1 = sb.state("u1");
+        sb.ext(u0, "acc", u1);
+        sb.ext(u1, "del", u0);
+        let service = sb.build().unwrap();
+        let mut bb = SpecBuilder::new("Bad");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        bb.ext(b0, "del", b1);
+        bb.event("acc");
+        let bad = bb.build().unwrap();
+        let ext = Alphabet::from_names(["acc", "del"]);
+        let err = h_epsilon(&normalize(&service), &bad, &ext).unwrap_err();
+        assert_eq!(err.event, EventId::new("del"));
+    }
+
+    #[test]
+    fn pairset_canonicalisation() {
+        let p1 = PairSet::from_pairs([(1, StateId(2)), (0, StateId(1)), (1, StateId(2))]);
+        let p2 = PairSet::from_pairs([(0, StateId(1)), (1, StateId(2))]);
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 2);
+        assert!(p1.contains((0, StateId(1))));
+        assert!(!p1.contains((9, StateId(9))));
+        assert!(PairSet::empty().is_empty());
+    }
+}

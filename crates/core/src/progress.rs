@@ -1,0 +1,563 @@
+//! The progress phase of the quotient algorithm (paper Figure 6).
+//!
+//! Iteratively deletes *bad* states from the safety-phase output `C0`.
+//! A converter state `c` is bad iff some `(a, b) ∈ f.c` has
+//! `¬prog.a.⟨b,c⟩`: the service may be in a sink set none of whose
+//! acceptance sets is fully offered (via τ*) by the composite `B ‖ C`
+//! at `⟨b, c⟩`. Deleting states shrinks τ* in the composite, so the
+//! check repeats until a fixpoint; removing the initial state means no
+//! converter exists.
+//!
+//! τ*⟨b,c⟩ is computed on the `S_B × S_C` product: internal edges are
+//! B's λ moves plus `Int`-synchronised moves of B and C (and, for
+//! reachability, B's `Ext` moves); the per-node enabled set is
+//! `τ.b ∩ Ext` (C has no `Ext` events). The per-node sets propagate
+//! over the condensation of the internal graph. `Ext` is limited to 64
+//! events so sets are `u64` masks.
+//!
+//! ## Strategies
+//!
+//! * [`ProgressStrategy::FullProduct`] — the paper's Figure 6 verbatim:
+//!   every `(a, b) ∈ f.c` is checked, with τ* computed over the whole
+//!   product (the definition is forward-looking, so this is always
+//!   well-defined).
+//! * [`ProgressStrategy::ReachableProduct`] — an ablation this
+//!   implementation adds: as deletions make parts of the composite
+//!   unreachable, pairs whose product node can no longer occur are
+//!   *skipped* rather than checked against stale τ* values. This is a
+//!   sound refinement — unreachable states cannot cause a violation —
+//!   and can only keep **more** converter behaviour than Figure 6
+//!   (every output still passes independent verification; see the
+//!   tests and `tests/properties.rs`).
+
+use crate::safety::SafetyPhase;
+use protoquot_spec::{prune_unreachable, Alphabet, EventId, NormalSpec, Spec, StateId};
+use std::collections::HashMap;
+
+/// How the fixpoint treats pairs made unreachable by earlier deletions
+/// (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProgressStrategy {
+    /// The paper's Figure 6, verbatim.
+    #[default]
+    FullProduct,
+    /// Skip pairs whose composite state has become unreachable.
+    ReachableProduct,
+}
+
+/// A concrete explanation of the *first* bad state found: after the
+/// converter trace `trace`, the components may be in `b_state` with the
+/// service at hub `hub`; the composite can then only ever offer
+/// `offered`, which covers none of the service's acceptance sets
+/// `needed`.
+#[derive(Clone, Debug)]
+pub struct ProgressWitness {
+    /// The bad converter state (index in `C0`).
+    pub state: StateId,
+    /// A converter trace (over `Int`) reaching it.
+    pub trace: Vec<EventId>,
+    /// The failing pair's service hub.
+    pub hub: usize,
+    /// The failing pair's B-state.
+    pub b_state: StateId,
+    /// A's sink acceptance sets at the hub.
+    pub needed: Vec<Alphabet>,
+    /// τ* of the composite at `(b_state, state)`.
+    pub offered: Alphabet,
+}
+
+/// Outcome of the progress phase.
+#[derive(Clone, Debug)]
+pub struct ProgressPhase {
+    /// The converter, if one survives (reachable states only).
+    pub converter: Option<Spec>,
+    /// Number of remove-and-recompute iterations performed.
+    pub iterations: usize,
+    /// Converter states removed as bad (cumulative, before the final
+    /// reachability prune).
+    pub removed: usize,
+    /// Why the first bad state was bad (useful when the phase empties
+    /// the converter); `None` if nothing was ever removed.
+    pub first_witness: Option<ProgressWitness>,
+}
+
+/// Runs the Figure 6 fixpoint (paper-exact strategy).
+pub fn progress_phase(b: &Spec, na: &NormalSpec, safety: &SafetyPhase) -> ProgressPhase {
+    progress_phase_with(b, na, safety, ProgressStrategy::FullProduct)
+}
+
+/// Runs the progress fixpoint with an explicit strategy.
+pub fn progress_phase_with(
+    b: &Spec,
+    na: &NormalSpec,
+    safety: &SafetyPhase,
+    strategy: ProgressStrategy,
+) -> ProgressPhase {
+    let ext = b.alphabet().difference(safety.c0.alphabet());
+    let ext_bits = ExtBits::new(&ext);
+    // Per-hub acceptance sets as masks.
+    let acceptance: Vec<Vec<u64>> = (0..na.num_hubs())
+        .map(|h| na.acceptance(h).iter().map(|a| ext_bits.mask(a)).collect())
+        .collect();
+    // τ.b ∩ Ext per B-state.
+    let b_tau: Vec<u64> = b.states().map(|s| ext_bits.mask(&b.tau(s))).collect();
+
+    let nb = b.num_states();
+    let nc = safety.c0.num_states();
+    let node = |bs: usize, cs: usize| bs * nc + cs;
+    let mut alive = vec![true; nc];
+    let mut iterations = 0usize;
+    let mut removed = 0usize;
+    let mut first_witness: Option<ProgressWitness> = None;
+
+    // B's transitions grouped: internal, Ext-labelled, Int-labelled.
+    let mut b_int_edges: HashMap<EventId, Vec<(StateId, StateId)>> = HashMap::new();
+    let mut b_ext_edges: Vec<(StateId, StateId)> = Vec::new();
+    for (s, e, t) in b.external_transitions() {
+        if ext.contains(e) {
+            b_ext_edges.push((s, t));
+        } else {
+            b_int_edges.entry(e).or_default().push((s, t));
+        }
+    }
+
+    loop {
+        iterations += 1;
+        // Internal-edge adjacency of the (alive) product: B's λ moves
+        // and Int-synchronised moves.
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nb * nc];
+        for bs in b.states() {
+            for &tb in b.internal_from(bs) {
+                for cs in 0..nc {
+                    if alive[cs] {
+                        adj[node(bs.index(), cs)].push(node(tb.index(), cs));
+                    }
+                }
+            }
+        }
+        for (cs, e, ct) in safety.c0.external_transitions() {
+            if !alive[cs.index()] || !alive[ct.index()] {
+                continue;
+            }
+            if let Some(edges) = b_int_edges.get(&e) {
+                for &(bs, bt) in edges {
+                    adj[node(bs.index(), cs.index())].push(node(bt.index(), ct.index()));
+                }
+            }
+        }
+
+        // For the reachable strategy: which product nodes can occur at
+        // all? Forward closure over internal edges *plus* B's Ext moves
+        // (which keep the converter state fixed).
+        let reachable = match strategy {
+            ProgressStrategy::FullProduct => None,
+            ProgressStrategy::ReachableProduct => {
+                let mut seen = vec![false; nb * nc];
+                let start = node(b.initial().index(), safety.c0.initial().index());
+                let mut stack = vec![start];
+                seen[start] = true;
+                while let Some(n) = stack.pop() {
+                    let (bs, cs) = (n / nc, n % nc);
+                    for &m in &adj[n] {
+                        if !seen[m] {
+                            seen[m] = true;
+                            stack.push(m);
+                        }
+                    }
+                    // Ext moves of B leave the converter state alone.
+                    for &(s, t) in &b_ext_edges {
+                        if s.index() == bs {
+                            let m = node(t.index(), cs);
+                            if !seen[m] {
+                                seen[m] = true;
+                                stack.push(m);
+                            }
+                        }
+                    }
+                }
+                Some(seen)
+            }
+        };
+
+        // τ* over the product: SCC condensation + propagation.
+        let local: Vec<u64> = (0..nb * nc).map(|n| b_tau[n / nc]).collect();
+        let tau_star = propagate_tau_star(&adj, &local);
+
+        // Mark bad states.
+        let mut any_bad = false;
+        for cs in 0..nc {
+            if !alive[cs] {
+                continue;
+            }
+            let bad_pair = safety.f[cs].iter().find(|&(hub, bs)| {
+                if let Some(seen) = &reachable {
+                    if !seen[node(bs.index(), cs)] {
+                        return false; // cannot occur: skip
+                    }
+                }
+                let offered = tau_star[node(bs.index(), cs)];
+                !acceptance[hub].iter().any(|&req| req & !offered == 0)
+            });
+            if let Some((hub, bs)) = bad_pair {
+                if first_witness.is_none() {
+                    first_witness = Some(ProgressWitness {
+                        state: StateId(cs as u32),
+                        trace: trace_to_state(&safety.c0, &alive, StateId(cs as u32)),
+                        hub,
+                        b_state: bs,
+                        needed: na.acceptance(hub).to_vec(),
+                        offered: ext_bits.unmask(tau_star[node(bs.index(), cs)]),
+                    });
+                }
+                alive[cs] = false;
+                removed += 1;
+                any_bad = true;
+            }
+        }
+        if !alive[safety.c0.initial().index()] {
+            return ProgressPhase {
+                converter: None,
+                iterations,
+                removed,
+                first_witness,
+            };
+        }
+        if !any_bad {
+            break;
+        }
+    }
+
+    // Materialize the surviving converter and drop unreachable states.
+    let names: Vec<String> = (0..nc).map(|i| format!("c{i}")).collect();
+    let transitions: Vec<(StateId, EventId, StateId)> = safety
+        .c0
+        .external_transitions()
+        .filter(|(s, _, t)| alive[s.index()] && alive[t.index()])
+        .collect();
+    // Dead states stay as isolated vertices; pruning removes them along
+    // with anything no longer reachable.
+    let full = protoquot_spec::spec_from_parts(
+        "C".to_owned(),
+        safety.c0.alphabet().clone(),
+        names,
+        safety.c0.initial(),
+        transitions,
+        Vec::new(),
+    )
+    .expect("progress phase constructs a valid spec");
+    ProgressPhase {
+        converter: Some(prune_unreachable(&full)),
+        iterations,
+        removed,
+        first_witness,
+    }
+}
+
+/// Shortest trace from `c0`'s initial state to `target` through alive
+/// states (BFS over the converter graph).
+fn trace_to_state(c0: &Spec, alive: &[bool], target: StateId) -> Vec<EventId> {
+    let n = c0.num_states();
+    let mut parent: Vec<Option<(StateId, EventId)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[c0.initial().index()] = true;
+    queue.push_back(c0.initial());
+    while let Some(s) = queue.pop_front() {
+        if s == target {
+            break;
+        }
+        for &(e, t) in c0.external_from(s) {
+            if alive[t.index()] && !seen[t.index()] {
+                seen[t.index()] = true;
+                parent[t.index()] = Some((s, e));
+                queue.push_back(t);
+            }
+        }
+    }
+    let mut rev = Vec::new();
+    let mut cur = target;
+    while let Some((p, e)) = parent[cur.index()] {
+        rev.push(e);
+        cur = p;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Maps an `Ext` alphabet (≤ 64 events) to bit positions.
+struct ExtBits {
+    bit: HashMap<EventId, u32>,
+    events: Vec<EventId>,
+}
+
+impl ExtBits {
+    fn new(ext: &Alphabet) -> ExtBits {
+        assert!(
+            ext.len() <= 64,
+            "progress phase supports at most 64 external events (got {})",
+            ext.len()
+        );
+        ExtBits {
+            bit: ext.iter().zip(0u32..).collect(),
+            events: ext.iter().collect(),
+        }
+    }
+
+    /// Mask of the events of `a` that are in `Ext`.
+    fn mask(&self, a: &Alphabet) -> u64 {
+        a.iter()
+            .filter_map(|e| self.bit.get(&e))
+            .fold(0u64, |m, &b| m | (1 << b))
+    }
+
+    /// Inverse of [`mask`](Self::mask).
+    fn unmask(&self, m: u64) -> Alphabet {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| m & (1 << i) != 0)
+            .map(|(_, &e)| e)
+            .collect()
+    }
+}
+
+/// τ* over a directed graph: for each node, the union of `local` over
+/// all reachable nodes (including itself). Tarjan condensation; SCCs are
+/// emitted in reverse topological order, so a single ascending pass
+/// accumulates cross-edges.
+fn propagate_tau_star(adj: &[Vec<usize>], local: &[u64]) -> Vec<u64> {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_of = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut num_sccs = 0usize;
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, ci)) = call.last() {
+            if ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if ci < adj[v].len() {
+                call.last_mut().unwrap().1 += 1;
+                let w = adj[v][ci];
+                if index[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().unwrap();
+                        on_stack[w] = false;
+                        scc_of[w] = num_sccs;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    num_sccs += 1;
+                }
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+
+    // Accumulate local masks per SCC.
+    let mut scc_mask = vec![0u64; num_sccs];
+    for v in 0..n {
+        scc_mask[scc_of[v]] |= local[v];
+    }
+    // Cross edges always point to an earlier-emitted SCC, so ascending
+    // order sees targets finalized first.
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (v, outs) in adj.iter().enumerate() {
+        for &w in outs {
+            let (s, t) = (scc_of[v], scc_of[w]);
+            if s != t {
+                edges.push((s, t));
+            }
+        }
+    }
+    edges.sort_unstable_by_key(|&(s, _)| s);
+    for (s, t) in edges {
+        debug_assert!(t < s);
+        scc_mask[s] |= scc_mask[t];
+    }
+    (0..n).map(|v| scc_mask[scc_of[v]]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::{safety_phase, SafetyLimits};
+    use protoquot_spec::{compose, normalize, satisfies, SpecBuilder};
+
+    fn service() -> Spec {
+        let mut sb = SpecBuilder::new("S");
+        let u0 = sb.state("u0");
+        let u1 = sb.state("u1");
+        sb.ext(u0, "acc", u1);
+        sb.ext(u1, "del", u0);
+        sb.build().unwrap()
+    }
+
+    /// B where the converter simply forwards: progress achievable.
+    #[test]
+    fn progress_keeps_working_converter() {
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        let b2 = bb.state("b2");
+        bb.ext(b0, "acc", b1);
+        bb.ext(b1, "fwd", b2);
+        bb.ext(b2, "del", b0);
+        let b = bb.build().unwrap();
+        let int = Alphabet::from_names(["fwd"]);
+        let na = normalize(&service());
+        let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+            .unwrap()
+            .unwrap();
+        let p = progress_phase(&b, &na, &s);
+        let conv = p.converter.expect("converter must exist");
+        assert!(satisfies(&compose(&b, &conv), &service()).unwrap().is_ok());
+        assert!(p.first_witness.is_none());
+    }
+
+    /// B that deadlocks after acc unless the converter fires `go`,
+    /// which is unsafe (leads to double delivery). Safety admits the
+    /// do-nothing converter; progress then removes everything — and the
+    /// witness explains why.
+    #[test]
+    fn progress_detects_unresolvable_conflict_with_witness() {
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        let b2 = bb.state("b2");
+        let b3 = bb.state("b3");
+        bb.ext(b0, "acc", b1);
+        bb.ext(b1, "go", b2);
+        bb.ext(b2, "del", b3);
+        bb.ext(b3, "del", b0);
+        let b = bb.build().unwrap();
+        let int = Alphabet::from_names(["go"]);
+        let na = normalize(&service());
+        let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+            .unwrap()
+            .unwrap();
+        let p = progress_phase(&b, &na, &s);
+        assert!(p.converter.is_none(), "no converter should survive");
+        let w = p.first_witness.expect("witness explains the failure");
+        // The stuck pair: service wants del, composite offers nothing.
+        assert_eq!(w.b_state, b1);
+        assert!(w.offered.is_empty());
+        assert!(w.needed.iter().any(|n| n.contains(EventId::new("del"))));
+        assert!(w.trace.is_empty(), "the initial state itself is bad");
+    }
+
+    /// Progress must iterate: removing one state makes another bad.
+    #[test]
+    fn progress_iterates_to_fixpoint() {
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        let b2 = bb.state("b2");
+        let b3 = bb.state("b3");
+        bb.ext(b0, "acc", b1);
+        bb.ext(b1, "m1", b2);
+        bb.ext(b2, "m2", b3);
+        bb.ext(b3, "del", b0);
+        bb.event("m3");
+        let b = bb.build().unwrap();
+        let int = Alphabet::from_names(["m1", "m2", "m3"]);
+        let na = normalize(&service());
+        let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+            .unwrap()
+            .unwrap();
+        let p = progress_phase(&b, &na, &s);
+        let conv = p.converter.expect("converter exists");
+        assert!(satisfies(&compose(&b, &conv), &service()).unwrap().is_ok());
+    }
+
+    /// Both strategies verify; the reachable strategy never keeps fewer
+    /// states.
+    #[test]
+    fn strategies_agree_on_verification() {
+        for (mk, expect_some) in [
+            (relay_b as fn() -> (Spec, Alphabet), true),
+            (dead_b as fn() -> (Spec, Alphabet), false),
+        ] {
+            let (b, int) = mk();
+            let na = normalize(&service());
+            let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+                .unwrap()
+                .unwrap();
+            let full = progress_phase_with(&b, &na, &s, ProgressStrategy::FullProduct);
+            let reach = progress_phase_with(&b, &na, &s, ProgressStrategy::ReachableProduct);
+            assert_eq!(full.converter.is_some(), expect_some);
+            if let Some(cf) = &full.converter {
+                let cr = reach.converter.as_ref().expect("reachable keeps at least as much");
+                assert!(cr.num_states() >= cf.num_states());
+                assert!(satisfies(&compose(&b, cf), &service()).unwrap().is_ok());
+                assert!(satisfies(&compose(&b, cr), &service()).unwrap().is_ok());
+            }
+        }
+    }
+
+    fn relay_b() -> (Spec, Alphabet) {
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        let b2 = bb.state("b2");
+        bb.ext(b0, "acc", b1);
+        bb.ext(b1, "fwd", b2);
+        bb.ext(b2, "del", b0);
+        (bb.build().unwrap(), Alphabet::from_names(["fwd"]))
+    }
+
+    fn dead_b() -> (Spec, Alphabet) {
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        bb.ext(b0, "acc", b1);
+        bb.event("decoy");
+        bb.event("del");
+        (bb.build().unwrap(), Alphabet::from_names(["decoy"]))
+    }
+
+    #[test]
+    fn ext_bits_masks_roundtrip() {
+        let ext = Alphabet::from_names(["x", "y"]);
+        let bits = ExtBits::new(&ext);
+        let m = bits.mask(&Alphabet::from_names(["y", "z"]));
+        assert_eq!(m.count_ones(), 1);
+        assert_eq!(bits.unmask(m), Alphabet::from_names(["y"]));
+        assert_eq!(bits.mask(&ext).count_ones(), 2);
+        assert_eq!(bits.unmask(bits.mask(&ext)), ext);
+        assert_eq!(bits.mask(&Alphabet::new()), 0);
+    }
+
+    #[test]
+    fn tau_star_propagation_on_dag_and_cycle() {
+        // 0 -> 1 -> 2, 2 -> 1 (cycle 1-2), local: 0:001, 1:010, 2:100.
+        let adj = vec![vec![1], vec![2], vec![1]];
+        let local = vec![0b001, 0b010, 0b100];
+        let t = propagate_tau_star(&adj, &local);
+        assert_eq!(t[2], 0b110);
+        assert_eq!(t[1], 0b110);
+        assert_eq!(t[0], 0b111);
+    }
+}

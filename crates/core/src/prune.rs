@@ -1,0 +1,133 @@
+//! Removal of "superfluous" converter behaviour.
+//!
+//! The quotient algorithm returns the *maximal* converter, which — as
+//! the paper notes for its Figure 14 (the dotted boxes) — may contain
+//! cycles that are harmless but contribute nothing to progress,
+//! decreasing efficiency. The paper observes that removing them is
+//! "computationally expensive and best done by hand"; this module
+//! automates the hand-procedure greedily: tentatively delete a
+//! transition, re-verify `B ‖ C satisfies A`, and keep the deletion if
+//! verification still passes. Quadratic in the number of transitions
+//! times the cost of verification — fine at paper scale, and exactly
+//! the expense the paper predicted.
+
+use crate::verify::verify_converter;
+use protoquot_spec::{prune_unreachable, spec_from_parts, EventId, Spec, StateId};
+
+/// Greedily removes converter transitions (and then unreachable states)
+/// while `B ‖ C` still satisfies `A`. The input converter must verify;
+/// the result verifies and is transition-minimal w.r.t. single
+/// deletions in the order tried.
+pub fn prune_useless(b: &Spec, a: &Spec, converter: &Spec) -> Spec {
+    debug_assert!(verify_converter(b, a, converter).is_ok());
+    let mut transitions: Vec<(StateId, EventId, StateId)> =
+        converter.external_transitions().collect();
+    // Try removing later transitions first: the construction order puts
+    // the "core" behaviour near the initial state.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = transitions.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = transitions.clone();
+            candidate.remove(i);
+            let trial = rebuild(converter, &candidate);
+            if verify_converter(b, a, &trial).is_ok() {
+                transitions = candidate;
+                changed = true;
+            }
+        }
+    }
+    prune_unreachable(&rebuild(converter, &transitions))
+}
+
+fn rebuild(template: &Spec, transitions: &[(StateId, EventId, StateId)]) -> Spec {
+    spec_from_parts(
+        format!("{}/pruned", template.name()),
+        template.alphabet().clone(),
+        template
+            .states()
+            .map(|s| template.state_name(s).to_owned())
+            .collect(),
+        template.initial(),
+        transitions.to_vec(),
+        Vec::new(),
+    )
+    .expect("pruning preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+    use protoquot_spec::{Alphabet, SpecBuilder};
+
+    /// B offers a useless detour: after acc the converter may bounce
+    /// `ping`/`pong` any number of times before `fwd`. The maximal
+    /// converter includes the bounce cycle; pruning removes it.
+    #[test]
+    fn prune_removes_useless_cycle() {
+        let mut sb = SpecBuilder::new("S");
+        let u0 = sb.state("u0");
+        let u1 = sb.state("u1");
+        sb.ext(u0, "acc", u1);
+        sb.ext(u1, "del", u0);
+        let a = sb.build().unwrap();
+
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        let b1b = bb.state("b1b");
+        let b2 = bb.state("b2");
+        bb.ext(b0, "acc", b1);
+        bb.ext(b1, "ping", b1b);
+        bb.ext(b1b, "pong", b1);
+        bb.ext(b1, "fwd", b2);
+        bb.ext(b1b, "fwd", b2);
+        bb.ext(b2, "del", b0);
+        let b = bb.build().unwrap();
+
+        let int = Alphabet::from_names(["ping", "pong", "fwd"]);
+        let q = solve(&b, &a, &int).unwrap();
+        let ping = protoquot_spec::EventId::new("ping");
+        assert!(
+            q.converter
+                .external_transitions()
+                .any(|(_, e, _)| e == ping),
+            "maximal converter should include the detour"
+        );
+        let pruned = prune_useless(&b, &a, &q.converter);
+        assert!(
+            pruned.external_transitions().all(|(_, e, _)| e != ping),
+            "pruned converter should drop the detour: {:?}",
+            pruned
+        );
+        assert!(pruned.num_external() < q.converter.num_external());
+        crate::verify::verify_converter(&b, &a, &pruned).unwrap();
+    }
+
+    /// Pruning a minimal converter changes nothing.
+    #[test]
+    fn prune_is_identity_on_minimal() {
+        let mut sb = SpecBuilder::new("S");
+        let u0 = sb.state("u0");
+        let u1 = sb.state("u1");
+        sb.ext(u0, "acc", u1);
+        sb.ext(u1, "del", u0);
+        let a = sb.build().unwrap();
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        let b2 = bb.state("b2");
+        bb.ext(b0, "acc", b1);
+        bb.ext(b1, "fwd", b2);
+        bb.ext(b2, "del", b0);
+        let b = bb.build().unwrap();
+        let int = Alphabet::from_names(["fwd"]);
+        let q = solve(&b, &a, &int).unwrap();
+        let pruned = prune_useless(&b, &a, &q.converter);
+        assert_eq!(pruned.num_external(), q.converter.num_external());
+        assert_eq!(pruned.num_states(), q.converter.num_states());
+    }
+}

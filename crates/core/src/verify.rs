@@ -1,0 +1,136 @@
+//! Independent verification that a candidate converter actually works:
+//! composes `B ‖ C` and runs the full satisfaction check against `A`.
+//!
+//! The quotient algorithm is proven correct in the paper, but this crate
+//! re-checks every derivation in tests and benches — the implementation,
+//! not the theorem, is what could be wrong.
+
+use protoquot_spec::{compose, satisfies, Spec, SpecError, Violation};
+
+/// Result of a verification: `Ok(())`, a counterexample, or a malformed
+/// setup (alphabet mismatch between `B ‖ C` and `A`).
+#[derive(Debug)]
+pub enum VerifyError {
+    /// The composite's interface differs from the service's — usually a
+    /// wrong `Int` split.
+    Setup(SpecError),
+    /// `B ‖ C` does not satisfy `A`.
+    Unsatisfied(Violation),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Setup(e) => write!(f, "verification setup error: {e}"),
+            VerifyError::Unsatisfied(v) => write!(f, "converter does not work: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks `B ‖ converter satisfies A`.
+///
+/// ```
+/// use protoquot_core::{solve, verify_converter};
+/// use protoquot_spec::{Alphabet, SpecBuilder};
+/// let mut sb = SpecBuilder::new("S");
+/// let u0 = sb.state("u0");
+/// let u1 = sb.state("u1");
+/// sb.ext(u0, "acc", u1);
+/// sb.ext(u1, "del", u0);
+/// let service = sb.build().unwrap();
+/// let mut bb = SpecBuilder::new("B");
+/// let b0 = bb.state("b0");
+/// let b1 = bb.state("b1");
+/// let b2 = bb.state("b2");
+/// bb.ext(b0, "acc", b1);
+/// bb.ext(b1, "fwd", b2);
+/// bb.ext(b2, "del", b0);
+/// let b = bb.build().unwrap();
+/// let int = Alphabet::from_names(["fwd"]);
+/// let q = solve(&b, &service, &int).unwrap();
+/// verify_converter(&b, &service, &q.converter).unwrap();
+/// ```
+pub fn verify_converter(b: &Spec, a: &Spec, converter: &Spec) -> Result<(), VerifyError> {
+    let composite = compose(b, converter);
+    match satisfies(&composite, a) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(v)) => Err(VerifyError::Unsatisfied(v)),
+        Err(e) => Err(VerifyError::Setup(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve;
+    use protoquot_spec::{Alphabet, SpecBuilder};
+
+    fn service() -> Spec {
+        let mut sb = SpecBuilder::new("S");
+        let u0 = sb.state("u0");
+        let u1 = sb.state("u1");
+        sb.ext(u0, "acc", u1);
+        sb.ext(u1, "del", u0);
+        sb.build().unwrap()
+    }
+
+    fn relay() -> Spec {
+        let mut bb = SpecBuilder::new("B");
+        let b0 = bb.state("b0");
+        let b1 = bb.state("b1");
+        let b2 = bb.state("b2");
+        bb.ext(b0, "acc", b1);
+        bb.ext(b1, "fwd", b2);
+        bb.ext(b2, "del", b0);
+        bb.build().unwrap()
+    }
+
+    #[test]
+    fn derived_converter_verifies() {
+        let b = relay();
+        let a = service();
+        let int = Alphabet::from_names(["fwd"]);
+        let q = solve(&b, &a, &int).unwrap();
+        verify_converter(&b, &a, &q.converter).unwrap();
+    }
+
+    #[test]
+    fn broken_converter_rejected() {
+        let b = relay();
+        let a = service();
+        // A converter that never forwards: deadlock after acc.
+        let mut cb = SpecBuilder::new("stuck");
+        cb.state("c0");
+        cb.event("fwd");
+        let stuck = cb.build().unwrap();
+        match verify_converter(&b, &a, &stuck) {
+            Err(VerifyError::Unsatisfied(Violation::Progress { .. })) => {}
+            other => panic!("expected progress violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_interface_rejected() {
+        let b = relay();
+        let a = service();
+        // Converter whose alphabet leaves `fwd` exposed.
+        let mut cb = SpecBuilder::new("noop");
+        cb.state("c0");
+        cb.event("unrelated");
+        let noop = cb.build().unwrap();
+        match verify_converter(&b, &a, &noop) {
+            Err(VerifyError::Setup(_)) => {}
+            other => panic!("expected setup error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = VerifyError::Unsatisfied(Violation::Safety {
+            trace: protoquot_spec::trace_of(&["x"]),
+        });
+        assert!(e.to_string().contains("does not work"));
+    }
+}

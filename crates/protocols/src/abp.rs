@@ -1,0 +1,150 @@
+//! The alternating-bit protocol (paper Figure 7).
+//!
+//! Reconstructed from the paper's description: the sender `A0` attaches
+//! a one-bit sequence number to each data message (`-d0`/`-d1`); the
+//! receiver `A1` delivers each message exactly once, re-acknowledging
+//! duplicates; acknowledgements (`a0`/`a1`) carry the sequence number of
+//! the last-delivered message. `-x` passes message `x` into a channel,
+//! `+x` removes it. Timeouts (`t_A`) are signalled by the lossy channel
+//! and never occur prematurely (see [`crate::channel`]).
+//!
+//! Event conventions match [`crate::channel::duplex_lossy_channel`] so
+//! the pieces compose by name.
+
+use protoquot_spec::{Spec, SpecBuilder};
+
+/// The AB sender `A0` (6 states).
+///
+/// Interface: `acc` (user), `-d0`, `-d1` (data out), `+a0`, `+a1`
+/// (acks in), `t_A` (timeout from the channel).
+///
+/// ```text
+/// idle0 --acc--> snd0 --(-d0)--> wai0 --(+a0)--> idle1
+///                 ^-- t_A --------|  (stale +a1 self-loops on wai0)
+/// idle1 --acc--> snd1 --(-d1)--> wai1 --(+a1)--> idle0
+/// ```
+pub fn ab_sender() -> Spec {
+    let mut b = SpecBuilder::new("A0");
+    let idle0 = b.state("idle0");
+    let snd0 = b.state("snd0");
+    let wai0 = b.state("wai0");
+    let idle1 = b.state("idle1");
+    let snd1 = b.state("snd1");
+    let wai1 = b.state("wai1");
+    b.ext(idle0, "acc", snd0);
+    b.ext(snd0, "-d0", wai0);
+    b.ext(wai0, "+a0", idle1);
+    b.ext(wai0, "t_A", snd0);
+    b.ext(wai0, "+a1", wai0); // stale ack: ignore
+    b.ext(idle1, "acc", snd1);
+    b.ext(snd1, "-d1", wai1);
+    b.ext(wai1, "+a1", idle0);
+    b.ext(wai1, "t_A", snd1);
+    b.ext(wai1, "+a0", wai1); // stale ack: ignore
+    b.build().expect("A0 is well-formed")
+}
+
+/// The AB receiver `A1` (6 states).
+///
+/// Interface: `+d0`, `+d1` (data in), `del` (user), `-a0`, `-a1`
+/// (acks out). A duplicate data message (wrong bit) is re-acknowledged
+/// without delivery.
+///
+/// ```text
+/// exp0 --(+d0)--> dlv0 --del--> ack0 --(-a0)--> exp1
+/// exp0 --(+d1)--> ack1                       (duplicate: re-ack)
+/// exp1 --(+d1)--> dlv1 --del--> ack1 --(-a1)--> exp0
+/// exp1 --(+d0)--> ack0                       (duplicate: re-ack)
+/// ```
+pub fn ab_receiver() -> Spec {
+    let mut b = SpecBuilder::new("A1");
+    let exp0 = b.state("exp0");
+    let dlv0 = b.state("dlv0");
+    let ack0 = b.state("ack0");
+    let exp1 = b.state("exp1");
+    let dlv1 = b.state("dlv1");
+    let ack1 = b.state("ack1");
+    b.ext(exp0, "+d0", dlv0);
+    b.ext(exp0, "+d1", ack1); // duplicate of previous message
+    b.ext(dlv0, "del", ack0);
+    b.ext(ack0, "-a0", exp1);
+    b.ext(exp1, "+d1", dlv1);
+    b.ext(exp1, "+d0", ack0); // duplicate
+    b.ext(dlv1, "del", ack1);
+    b.ext(ack1, "-a1", exp0);
+    b.build().expect("A1 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{trace_of, has_trace, Alphabet};
+
+    #[test]
+    fn sender_shape() {
+        let s = ab_sender();
+        assert_eq!(s.num_states(), 6);
+        assert_eq!(s.num_internal(), 0);
+        assert_eq!(
+            s.alphabet(),
+            &Alphabet::from_names(["acc", "-d0", "-d1", "+a0", "+a1", "t_A"])
+        );
+    }
+
+    #[test]
+    fn receiver_shape() {
+        let r = ab_receiver();
+        assert_eq!(r.num_states(), 6);
+        assert_eq!(
+            r.alphabet(),
+            &Alphabet::from_names(["+d0", "+d1", "del", "-a0", "-a1"])
+        );
+    }
+
+    #[test]
+    fn sender_alternates_bits() {
+        let s = ab_sender();
+        assert!(has_trace(
+            &s,
+            &trace_of(&["acc", "-d0", "+a0", "acc", "-d1", "+a1", "acc"])
+        ));
+        // Cannot send d1 in the first round.
+        assert!(!has_trace(&s, &trace_of(&["acc", "-d1"])));
+        // Cannot accept a second message before the first is acked.
+        assert!(!has_trace(&s, &trace_of(&["acc", "-d0", "acc"])));
+    }
+
+    #[test]
+    fn sender_retransmits_on_timeout() {
+        let s = ab_sender();
+        assert!(has_trace(
+            &s,
+            &trace_of(&["acc", "-d0", "t_A", "-d0", "t_A", "-d0", "+a0"])
+        ));
+        // No premature timeout: nothing outstanding, no t_A.
+        assert!(!has_trace(&s, &trace_of(&["t_A"])));
+        assert!(!has_trace(&s, &trace_of(&["acc", "t_A"])));
+    }
+
+    #[test]
+    fn receiver_delivers_exactly_once_per_bit() {
+        let r = ab_receiver();
+        assert!(has_trace(
+            &r,
+            &trace_of(&["+d0", "del", "-a0", "+d1", "del", "-a1"])
+        ));
+        // A duplicate d0 after delivering is re-acked, not re-delivered.
+        assert!(has_trace(
+            &r,
+            &trace_of(&["+d0", "del", "-a0", "+d0", "-a0", "+d1", "del"])
+        ));
+        assert!(!has_trace(&r, &trace_of(&["+d0", "del", "-a0", "+d0", "del"])));
+    }
+
+    #[test]
+    fn receiver_re_acks_old_bit_initially() {
+        // An initial d1 is treated as a duplicate of "message -1": ack a1.
+        let r = ab_receiver();
+        assert!(has_trace(&r, &trace_of(&["+d1", "-a1", "+d0", "del"])));
+    }
+}

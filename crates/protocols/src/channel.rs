@@ -1,0 +1,235 @@
+//! Lossy channels with non-premature timeouts (paper Figure 10).
+//!
+//! A (duplex) channel is modelled as a single-slot store: `-x` puts
+//! message `x` in, `+x` takes it out. While holding a message the
+//! channel may *lose* it — an unlabelled internal transition, abstracting
+//! the actual causes of loss as the paper prescribes — after which the
+//! only possible step is the timeout event delivered to the sending
+//! side. Timeouts therefore never occur prematurely: the timeout event
+//! fires only after an actual loss.
+
+use protoquot_spec::{Spec, SpecBuilder};
+
+/// Builds a single-slot lossy duplex channel.
+///
+/// * `name` — spec name (`Ach`, `Nch`, …);
+/// * `messages` — the message vocabulary; for each `m`, the channel
+///   accepts `-m` when empty and offers `+m` while holding it;
+/// * `timeout` — the event announcing a loss to the protocol's sender
+///   side (e.g. `t_A`); shared by name with that component.
+pub fn duplex_lossy_channel(name: &str, messages: &[&str], timeout: &str) -> Spec {
+    let mut b = SpecBuilder::new(name);
+    let empty = b.state("empty");
+    let lost = b.state("lost");
+    for m in messages {
+        let holding = b.state(&format!("has_{m}"));
+        b.ext(empty, &format!("-{m}"), holding);
+        b.ext(holding, &format!("+{m}"), empty);
+        b.int(holding, lost);
+    }
+    b.ext(lost, timeout, empty);
+    b.initial(empty);
+    b.build().expect("channel is well-formed")
+}
+
+/// A lossless variant: no loss transition, no timeout event. Models the
+/// reliable local path of the paper's co-located configuration
+/// (Figure 13) when an explicit channel component is still wanted.
+pub fn duplex_reliable_channel(name: &str, messages: &[&str]) -> Spec {
+    let mut b = SpecBuilder::new(name);
+    let empty = b.state("empty");
+    for m in messages {
+        let holding = b.state(&format!("has_{m}"));
+        b.ext(empty, &format!("-{m}"), holding);
+        b.ext(holding, &format!("+{m}"), empty);
+    }
+    b.initial(empty);
+    b.build().expect("channel is well-formed")
+}
+
+/// The AB-side channel `Ach` of the paper: carries `d0`, `d1`, `a0`,
+/// `a1`; announces losses via `t_A`.
+pub fn ab_channel() -> Spec {
+    duplex_lossy_channel("Ach", &["d0", "d1", "a0", "a1"], "t_A")
+}
+
+/// The NS-side channel `Nch` of the paper: carries `D`, `A`; announces
+/// losses via `t_N`.
+pub fn ns_channel() -> Spec {
+    duplex_lossy_channel("Nch", &["D", "A"], "t_N")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{has_trace, trace_of, Alphabet};
+
+    #[test]
+    fn ab_channel_shape() {
+        let c = ab_channel();
+        // empty + lost + one holding state per message.
+        assert_eq!(c.num_states(), 6);
+        assert_eq!(c.num_internal(), 4);
+        assert_eq!(
+            c.alphabet(),
+            &Alphabet::from_names([
+                "-d0", "+d0", "-d1", "+d1", "-a0", "+a0", "-a1", "+a1", "t_A"
+            ])
+        );
+    }
+
+    #[test]
+    fn ns_channel_shape() {
+        let c = ns_channel();
+        assert_eq!(c.num_states(), 4);
+        assert_eq!(c.num_internal(), 2);
+    }
+
+    #[test]
+    fn store_and_forward() {
+        let c = ns_channel();
+        assert!(has_trace(&c, &trace_of(&["-D", "+D", "-A", "+A"])));
+        // Single slot: no second put while holding.
+        assert!(!has_trace(&c, &trace_of(&["-D", "-D"])));
+        assert!(!has_trace(&c, &trace_of(&["-D", "-A"])));
+        // Cannot take what was never put.
+        assert!(!has_trace(&c, &trace_of(&["+D"])));
+    }
+
+    #[test]
+    fn timeout_only_after_loss() {
+        let c = ns_channel();
+        // t_N possible after a put (via the internal loss).
+        assert!(has_trace(&c, &trace_of(&["-D", "t_N", "-D"])));
+        // But never from the empty channel.
+        assert!(!has_trace(&c, &trace_of(&["t_N"])));
+    }
+
+    #[test]
+    fn loss_consumes_the_message() {
+        let c = ns_channel();
+        // After a loss is signalled, the message is gone.
+        assert!(!has_trace(&c, &trace_of(&["-D", "t_N", "+D"])));
+    }
+
+    #[test]
+    fn reliable_channel_never_times_out() {
+        let c = duplex_reliable_channel("R", &["D", "A"]);
+        assert_eq!(c.num_states(), 3);
+        assert_eq!(c.num_internal(), 0);
+        assert!(has_trace(&c, &trace_of(&["-D", "+D"])));
+    }
+}
+
+/// A variant where the timeout **races the delivery**: while holding a
+/// message the channel may either hand it over or time out (dropping
+/// it) — no internal "loss committed" state in between. The paper's
+/// channels are stricter ("these timeouts never occur prematurely"):
+/// there, a timeout *proves* a loss happened. Here it proves nothing —
+/// the message may have been deliverable.
+///
+/// The tests measure what that modelling choice costs: the AB protocol
+/// still provides exactly-once (a raced retransmission is a duplicate,
+/// which the sequence bit absorbs), while the NS protocol — fine with
+/// the paper's honest timeouts as far as at-least-once goes — keeps
+/// the same service but duplicates on races it can no longer tell
+/// apart. (A third variant, timeouts firing even on an *empty* duplex
+/// channel, genuinely deadlocks the AB system: the spurious
+/// retransmission contends with the ack for the single slot. That is a
+/// modelling artefact of the shared duplex slot, and a good example of
+/// the checker catching an "obviously harmless" specification tweak.)
+pub fn duplex_premature_timeout_channel(name: &str, messages: &[&str], timeout: &str) -> Spec {
+    let mut b = SpecBuilder::new(name);
+    let empty = b.state("empty");
+    for m in messages {
+        let holding = b.state(&format!("has_{m}"));
+        b.ext(empty, &format!("-{m}"), holding);
+        b.ext(holding, &format!("+{m}"), empty);
+        b.ext(holding, timeout, empty); // races the delivery
+    }
+    b.initial(empty);
+    b.build().expect("channel is well-formed")
+}
+
+/// The spurious-timeout variant described above (fires even when
+/// empty); exists to demonstrate the deadlock.
+pub fn duplex_spurious_timeout_channel(name: &str, messages: &[&str], timeout: &str) -> Spec {
+    let mut b = SpecBuilder::new(name);
+    let empty = b.state("empty");
+    b.ext(empty, timeout, empty);
+    for m in messages {
+        let holding = b.state(&format!("has_{m}"));
+        b.ext(empty, &format!("-{m}"), holding);
+        b.ext(holding, &format!("+{m}"), empty);
+        b.ext(holding, timeout, empty);
+    }
+    b.initial(empty);
+    b.build().expect("channel is well-formed")
+}
+
+#[cfg(test)]
+mod premature_tests {
+    use super::*;
+    use crate::service::{at_least_once, exactly_once};
+    use protoquot_spec::{compose_all, satisfies};
+
+    #[test]
+    fn ab_protocol_tolerates_premature_timeouts() {
+        let ch = duplex_premature_timeout_channel(
+            "Ach'",
+            &["d0", "d1", "a0", "a1"],
+            "t_A",
+        );
+        let sys = compose_all(&[
+            &crate::abp::ab_sender(),
+            &ch,
+            &crate::abp::ab_receiver(),
+        ])
+        .unwrap();
+        let verdict = satisfies(&sys, &exactly_once()).unwrap();
+        assert!(
+            verdict.is_ok(),
+            "sequence bits absorb spurious retransmissions: {:?}",
+            verdict.err()
+        );
+    }
+
+    #[test]
+    fn spurious_timeouts_deadlock_the_ab_system() {
+        // The checker catches the modelling artefact: a spurious
+        // retransmission contends with the in-flight ack for the single
+        // duplex slot, and neither side can move.
+        let ch = duplex_spurious_timeout_channel(
+            "Ach''",
+            &["d0", "d1", "a0", "a1"],
+            "t_A",
+        );
+        let sys = compose_all(&[
+            &crate::abp::ab_sender(),
+            &ch,
+            &crate::abp::ab_receiver(),
+        ])
+        .unwrap();
+        match satisfies(&sys, &exactly_once()).unwrap() {
+            Err(protoquot_spec::Violation::Progress { offered, .. }) => {
+                assert!(offered.is_empty(), "expected a hard deadlock");
+            }
+            other => panic!("expected the deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ns_protocol_duplicates_under_premature_timeouts() {
+        let ch = duplex_premature_timeout_channel("Nch'", &["D", "A"], "t_N");
+        let sys = compose_all(&[
+            &crate::nonseq::ns_sender(),
+            &ch,
+            &crate::nonseq::ns_receiver(),
+        ])
+        .unwrap();
+        // A premature timeout while the ack is in flight forces a
+        // retransmission the receiver cannot recognise.
+        assert!(satisfies(&sys, &exactly_once()).unwrap().is_err());
+        assert!(satisfies(&sys, &at_least_once()).unwrap().is_ok());
+    }
+}

@@ -1,0 +1,246 @@
+//! Parameterised machine families for the complexity benchmarks
+//! (paper §7: the quotient is PSPACE-hard and the safety phase is
+//! worst-case exponential, while the progress phase is polynomial in
+//! the safety phase's output).
+
+use protoquot_spec::{Alphabet, Spec, SpecBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A linear relay: `acc`, then `n` forwarding hops `m0 … m{n-1}` the
+/// converter must drive, then `del`. The quotient grows linearly with
+/// `n` — the benign case.
+pub fn relay_chain(n: usize) -> (Spec, Alphabet) {
+    assert!(n >= 1);
+    let mut b = SpecBuilder::new(&format!("relay-{n}"));
+    let start = b.state("start");
+    let mut prev = b.state("hop0");
+    b.ext(start, "acc", prev);
+    for i in 0..n {
+        let next = b.state(&format!("hop{}", i + 1));
+        b.ext(prev, &format!("m{i}"), next);
+        prev = next;
+    }
+    b.ext(prev, "del", start);
+    let int: Alphabet = (0..n).map(|i| format!("m{i}")).collect::<Vec<_>>().iter().map(String::as_str).collect();
+    (b.build().expect("relay is well-formed"), int)
+}
+
+/// A family with an exponential safety phase: `B` consists of `n`
+/// independent one-bit registers the converter can toggle (`t<i>`),
+/// plus a probe protocol. After `acc`, B nondeterministically (via an
+/// internal choice) commits to a secret subset pattern; `del` is only
+/// enabled once the toggles match. The converter cannot observe the
+/// choice, so its pair sets track subsets of register valuations.
+///
+/// In practice the interesting measurement is the growth of the
+/// safety-phase state count with `n`, which is exponential because the
+/// converter alphabet's trace space over `n` toggles must be explored
+/// against `2^n` register valuations.
+pub fn toggle_puzzle(n: usize) -> (Spec, Alphabet) {
+    assert!((1..=10).contains(&n));
+    let mut b = SpecBuilder::new(&format!("toggles-{n}"));
+    // States: (registers valuation, phase) where phase 0 = idle,
+    // 1 = delivering. Registers start at 0; del enabled iff all 1s,
+    // resetting to all 0s.
+    let num = 1usize << n;
+    let idle: Vec<_> = (0..num).map(|v| b.state(&format!("i{v}"))).collect();
+    let busy: Vec<_> = (0..num).map(|v| b.state(&format!("b{v}"))).collect();
+    for v in 0..num {
+        b.ext(idle[v], "acc", busy[v]);
+        for bit in 0..n {
+            let w = v ^ (1 << bit);
+            b.ext(idle[v], &format!("t{bit}"), idle[w]);
+            b.ext(busy[v], &format!("t{bit}"), busy[w]);
+        }
+    }
+    b.ext(busy[num - 1], "del", idle[0]);
+    b.initial(idle[0]);
+    let names: Vec<String> = (0..n).map(|i| format!("t{i}")).collect();
+    let int: Alphabet = names.iter().map(String::as_str).collect();
+    (b.build().expect("toggle puzzle is well-formed"), int)
+}
+
+/// Parameters for [`random_component`].
+#[derive(Clone, Copy, Debug)]
+pub struct RandomParams {
+    /// Number of states.
+    pub states: usize,
+    /// Number of `Int` events.
+    pub int_events: usize,
+    /// Outgoing external transitions per state (approximate).
+    pub ext_degree: usize,
+    /// Probability (percent) of an internal transition per state.
+    pub int_percent: u32,
+}
+
+impl Default for RandomParams {
+    fn default() -> Self {
+        RandomParams {
+            states: 8,
+            int_events: 3,
+            ext_degree: 2,
+            int_percent: 30,
+        }
+    }
+}
+
+/// A seeded random `B` component over `Ext = {acc, del}` plus
+/// `Int = {m0 …}`: used by property tests ("every derived quotient
+/// verifies") and robustness benches. The machine is made connected by
+/// a random spanning arborescence before the extra edges are thrown in.
+pub fn random_component(seed: u64, p: RandomParams) -> (Spec, Alphabet) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SpecBuilder::new(&format!("random-{seed}"));
+    let states: Vec<_> = (0..p.states).map(|i| b.state(&format!("s{i}"))).collect();
+    let int_names: Vec<String> = (0..p.int_events).map(|i| format!("m{i}")).collect();
+    let mut all_events: Vec<String> = vec!["acc".into(), "del".into()];
+    all_events.extend(int_names.iter().cloned());
+
+    // Spanning structure: state i>0 reachable from a random earlier one.
+    for i in 1..p.states {
+        let from = rng.gen_range(0..i);
+        let ev = &all_events[rng.gen_range(0..all_events.len())];
+        b.ext(states[from], ev, states[i]);
+    }
+    // Extra edges.
+    for &s in &states {
+        for _ in 0..p.ext_degree {
+            let ev = &all_events[rng.gen_range(0..all_events.len())];
+            let to = states[rng.gen_range(0..p.states)];
+            b.ext(s, ev, to);
+        }
+        if rng.gen_range(0..100) < p.int_percent {
+            let to = states[rng.gen_range(0..p.states)];
+            b.int(s, to);
+        }
+    }
+    // Guarantee the full interface is declared even if unused.
+    for ev in &all_events {
+        b.event(ev);
+    }
+    let int: Alphabet = int_names.iter().map(String::as_str).collect();
+    (b.build().expect("random component is well-formed"), int)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relay_chain_shape() {
+        let (s, int) = relay_chain(3);
+        assert_eq!(s.num_states(), 5);
+        assert_eq!(int.len(), 3);
+        assert!(s.alphabet().contains(protoquot_spec::EventId::new("acc")));
+    }
+
+    #[test]
+    fn toggle_puzzle_shape() {
+        let (s, int) = toggle_puzzle(3);
+        assert_eq!(s.num_states(), 2 * 8);
+        assert_eq!(int.len(), 3);
+    }
+
+    #[test]
+    fn random_component_is_deterministic_in_seed() {
+        let (a, _) = random_component(42, RandomParams::default());
+        let (b, _) = random_component(42, RandomParams::default());
+        assert_eq!(a.num_states(), b.num_states());
+        assert_eq!(a.num_external(), b.num_external());
+        assert_eq!(a.num_internal(), b.num_internal());
+        let (c, _) = random_component(43, RandomParams::default());
+        // Different seeds almost surely differ somewhere.
+        assert!(
+            a.num_external() != c.num_external()
+                || a.num_internal() != c.num_internal()
+                || format!("{a:?}") != format!("{c:?}")
+        );
+    }
+
+    #[test]
+    fn random_component_declares_interface() {
+        let (s, int) = random_component(7, RandomParams::default());
+        for e in int.iter() {
+            assert!(s.alphabet().contains(e));
+        }
+        assert!(s.alphabet().contains(protoquot_spec::EventId::new("del")));
+    }
+}
+
+/// The genuinely-exponential family (EXP-C1): a *small* `B` whose
+/// quotient is exponential. Classic NFA→DFA blowup embedded in the
+/// quotient: after `acc`, B loops on converter events `m0`/`m1` and
+/// nondeterministically guesses that an `m1` was the `n`-th-from-last
+/// symbol; only then is `del` enabled. The safety phase must track the
+/// subset of guess positions — one converter state per reachable
+/// subset, ~`2^n` of them — while `|B| = n + 2`.
+pub fn nfa_blowup(n: usize) -> (Spec, Alphabet) {
+    assert!(n >= 1);
+    let mut b = SpecBuilder::new(&format!("nfa-blowup-{n}"));
+    let idle = b.state("idle");
+    let q0 = b.state("q0");
+    b.ext(idle, "acc", q0);
+    b.ext(q0, "m0", q0);
+    b.ext(q0, "m1", q0);
+    let mut prev = b.state("r1");
+    b.ext(q0, "m1", prev); // the guess
+    for i in 2..=n {
+        let next = b.state(&format!("r{i}"));
+        b.ext(prev, "m0", next);
+        b.ext(prev, "m1", next);
+        prev = next;
+    }
+    b.ext(prev, "del", idle);
+    let int: Alphabet = ["m0", "m1"].into_iter().collect();
+    (b.build().expect("nfa family is well-formed"), int)
+}
+
+#[cfg(test)]
+mod blowup_tests {
+    use super::*;
+
+    #[test]
+    fn nfa_blowup_is_small_in_n() {
+        for n in 1..6 {
+            let (s, _) = nfa_blowup(n);
+            assert_eq!(s.num_states(), n + 2);
+        }
+    }
+
+    #[test]
+    fn nfa_blowup_quotient_is_exponential() {
+        // The safety phase output roughly doubles per increment of n
+        // while B grows by one state: the §7 worst case realised.
+        let service = crate::service::exactly_once();
+        let na = protoquot_spec::normalize(&service);
+        let mut sizes = Vec::new();
+        for n in [3usize, 4, 5, 6] {
+            let (b, int) = nfa_blowup(n);
+            let s = protoquot_core::safety_phase(
+                &b,
+                &na,
+                &int,
+                false,
+                protoquot_core::SafetyLimits::default(),
+            )
+            .unwrap()
+            .unwrap();
+            sizes.push(s.c0.num_states());
+        }
+        for w in sizes.windows(2) {
+            assert!(
+                w[1] as f64 >= 1.7 * w[0] as f64,
+                "expected ~2x growth, got {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nfa_blowup_converter_exists_and_verifies() {
+        let service = crate::service::exactly_once();
+        let (b, int) = nfa_blowup(3);
+        let q = protoquot_core::solve(&b, &service, &int).unwrap();
+        protoquot_core::verify_converter(&b, &service, &q.converter).unwrap();
+    }
+}

@@ -1,0 +1,165 @@
+//! The §6 closing scenario: the converter as a **front man** for a
+//! server (EXP-FRONT in EXPERIMENTS.md).
+//!
+//! "TB1 might be a yellow pages server, and TA0 a client on a different
+//! network that is designed to work with a slightly different service.
+//! The converter serves as a 'front man' for the B server, allowing
+//! Network A clients … to access the service. At the same time,
+//! 'normal' clients of TB1 can access the server directly."
+//!
+//! Modelled with one native client (talking to the server's native
+//! port directly), one foreign client whose protocol entity speaks a
+//! different message vocabulary over a transport channel, and a server
+//! that serves one request at a time from either port. The converter
+//! bridges the foreign messages onto the server's second port; native
+//! traffic never touches it. The service is the interleaved product of
+//! two request/response alternations.
+
+use crate::paper::Configuration;
+use protoquot_spec::{compose, compose_all, Alphabet, Spec, SpecBuilder};
+
+/// The server: serves one request at a time, from the native port
+/// (`rq_n`/`rs_n`) or the front-man port (`rq_f`/`rs_f`).
+pub fn server() -> Spec {
+    let mut b = SpecBuilder::new("SRV");
+    let idle = b.state("idle");
+    let busy_n = b.state("busy_n");
+    let busy_f = b.state("busy_f");
+    b.ext(idle, "rq_n", busy_n);
+    b.ext(idle, "rq_f", busy_f);
+    b.ext(busy_n, "rs_n", idle);
+    b.ext(busy_f, "rs_f", idle);
+    b.build().expect("server is well-formed")
+}
+
+/// The native client: a direct user of the server's native port.
+pub fn native_client() -> Spec {
+    let mut b = SpecBuilder::new("NC");
+    let idle = b.state("idle");
+    let asking = b.state("asking");
+    let waiting = b.state("waiting");
+    let answering = b.state("answering");
+    b.ext(idle, "nreq", asking);
+    b.ext(asking, "rq_n", waiting);
+    b.ext(waiting, "rs_n", answering);
+    b.ext(answering, "nresp", idle);
+    b.build().expect("native client is well-formed")
+}
+
+/// The foreign client's protocol entity: a different vocabulary (`FQ`
+/// request / `FR` response messages) over a transport channel.
+pub fn foreign_client() -> Spec {
+    let mut b = SpecBuilder::new("FC0");
+    let idle = b.state("idle");
+    let asking = b.state("asking");
+    let waiting = b.state("waiting");
+    let answering = b.state("answering");
+    b.ext(idle, "freq", asking);
+    b.ext(asking, "-FQ", waiting);
+    b.ext(waiting, "+FR", answering);
+    b.ext(answering, "fresp", idle);
+    b.build().expect("foreign client is well-formed")
+}
+
+/// The two-client service: both request/response conversations proceed
+/// independently (interleaved product of two alternations).
+pub fn two_client_service() -> Spec {
+    let mk = |name: &str, req: &str, resp: &str| {
+        let mut b = SpecBuilder::new(name);
+        let i = b.state("i");
+        let w = b.state("w");
+        b.ext(i, req, w);
+        b.ext(w, resp, i);
+        b.build().unwrap()
+    };
+    compose(
+        &mk("Sn", "nreq", "nresp"),
+        &mk("Sf", "freq", "fresp"),
+    )
+    .with_name("S-two-clients")
+}
+
+/// The front-man quotient problem: the converter bridges the foreign
+/// transport (`+FQ`/`-FR` at the channel's near end) onto the server's
+/// second port (`rq_f`/`rs_f`). Native traffic (`rq_n`/`rs_n`) is
+/// entirely outside its interface.
+pub fn frontman_configuration() -> Configuration {
+    let srv = server();
+    let nc = native_client();
+    let fc = foreign_client();
+    let fch = crate::channel::duplex_reliable_channel("Fch", &["FQ", "FR"]);
+    let b = compose_all(&[&srv, &nc, &fc, &fch])
+        .expect("each event shared pairwise")
+        .with_name("SRV||NC||FC0||Fch");
+    let int: Alphabet = ["+FQ", "-FR", "rq_f", "rs_f"].into_iter().collect();
+    let ext: Alphabet = ["nreq", "nresp", "freq", "fresp"].into_iter().collect();
+    debug_assert_eq!(b.alphabet(), &int.union(&ext));
+    Configuration { b, int, ext }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{has_trace, trace_of, EventId};
+
+    #[test]
+    fn shapes_and_interfaces() {
+        assert_eq!(server().num_states(), 3);
+        assert_eq!(native_client().num_states(), 4);
+        assert_eq!(foreign_client().num_states(), 4);
+        let cfg = frontman_configuration();
+        assert_eq!(cfg.int.len(), 4);
+        assert_eq!(cfg.ext.len(), 4);
+    }
+
+    #[test]
+    fn service_interleaves_the_clients() {
+        let s = two_client_service();
+        assert!(has_trace(&s, &trace_of(&["nreq", "freq", "fresp", "nresp"])));
+        assert!(!has_trace(&s, &trace_of(&["nreq", "nreq"])));
+        assert!(!has_trace(&s, &trace_of(&["fresp"])));
+    }
+
+    #[test]
+    fn frontman_converter_derived_and_verified() {
+        let cfg = frontman_configuration();
+        let service = two_client_service();
+        let q = protoquot_core::solve(&cfg.b, &service, &cfg.int)
+            .expect("the front man exists");
+        protoquot_core::verify_converter(&cfg.b, &service, &q.converter).expect("verifies");
+        // The front man never touches native traffic: its alphabet has
+        // no native-port events (by problem construction)…
+        assert!(!q.converter.alphabet().contains(EventId::new("rq_n")));
+        // …and it bridges the foreign vocabulary onto the server port.
+        let used: Alphabet = q
+            .converter
+            .external_transitions()
+            .map(|(_, e, _)| e)
+            .collect();
+        assert!(used.contains(EventId::new("+FQ")));
+        assert!(used.contains(EventId::new("rq_f")));
+    }
+
+    #[test]
+    fn native_round_trips_survive_a_dead_front_man() {
+        // "Normal clients of TB1 can access the server directly": even a
+        // front man that never does anything leaves the native path
+        // usable (though the whole system then fails the two-client
+        // service on progress, as it must).
+        let cfg = frontman_configuration();
+        let mut cb = SpecBuilder::new("stuck");
+        cb.state("c0");
+        for e in cfg.int.iter() {
+            cb.event(&e.name());
+        }
+        let stuck = cb.build().unwrap();
+        let composite = protoquot_spec::compose(&cfg.b, &stuck);
+        assert!(has_trace(
+            &composite,
+            &trace_of(&["nreq", "nresp", "nreq", "nresp"])
+        ));
+        assert!(
+            protoquot_core::verify_converter(&cfg.b, &two_client_service(), &stuck).is_err()
+        );
+    }
+}

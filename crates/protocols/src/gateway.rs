@@ -1,0 +1,209 @@
+//! The §6 architectural scenario: transport-level conversion between
+//! heterogeneous layered networks (paper Figures 15–18).
+//!
+//! Two transport protocols with disjoint message vocabularies must
+//! jointly provide a connection-oriented service with **orderly close**
+//! — the §6 motivating property: "all user data have been delivered to
+//! the remote end by the time the connection closes". A naive
+//! pass-through entity (Figure 16) synchronises only between user and
+//! converter, so the close can outrun delivery; replacing it with a
+//! derived converter (Figure 17/18) restores end-to-end ordering.
+//!
+//! The machines model one connection round: open, one data transfer,
+//! close. Transport A is the initiator (user events `open`, `send`,
+//! `close`), transport B the responder (user event `deliver`).
+
+use protoquot_spec::{Alphabet, Spec, SpecBuilder};
+
+/// Transport A initiator `TA0`.
+///
+/// User events: `open`, `send`, `close` (the close *request*; the
+/// machine returns to idle only after the FIN/FC handshake, which is
+/// how "close completes" is modelled). Peer messages: `CRa` (connect
+/// request), `CCa` (connect confirm), `DTa` (data), `AKa` (ack), `FINa`,
+/// `FCa` (fin confirm). The crucial feature: the user may request
+/// `close` as soon as `+AKa` arrives — so an entity that acknowledges
+/// early breaks orderly close.
+pub fn transport_a_initiator() -> Spec {
+    let mut b = SpecBuilder::new("TA0");
+    let idle = b.state("idle");
+    let o1 = b.state("opening");
+    let o2 = b.state("awaiting_cc");
+    let est = b.state("established");
+    let d1 = b.state("sending");
+    let d2 = b.state("awaiting_ak");
+    let rdy = b.state("acked");
+    let f0 = b.state("closing");
+    let f1 = b.state("awaiting_fc");
+    b.ext(idle, "open", o1);
+    b.ext(o1, "-CRa", o2);
+    b.ext(o2, "+CCa", est);
+    b.ext(est, "send", d1);
+    b.ext(d1, "-DTa", d2);
+    b.ext(d2, "+AKa", rdy);
+    b.ext(rdy, "close", f0);
+    b.ext(f0, "-FINa", f1);
+    b.ext(f1, "+FCa", idle);
+    b.build().expect("TA0 is well-formed")
+}
+
+/// Transport B responder `TB1`.
+///
+/// User event: `deliver`. Peer messages: `CRb`, `CCb`, `DTb`, `AKb`,
+/// `FINb`, `FCb`. Acknowledges only *after* delivering to the user —
+/// the end-to-end guarantee the conversion system must preserve.
+pub fn transport_b_responder() -> Spec {
+    let mut b = SpecBuilder::new("TB1");
+    let idle = b.state("idle");
+    let r1 = b.state("answering");
+    let est = b.state("established");
+    let e1 = b.state("holding_data");
+    let e2 = b.state("delivered");
+    let rdy = b.state("acked");
+    let g1 = b.state("fin_seen");
+    b.ext(idle, "+CRb", r1);
+    b.ext(r1, "-CCb", est);
+    b.ext(est, "+DTb", e1);
+    b.ext(e1, "deliver", e2);
+    b.ext(e2, "-AKb", rdy);
+    b.ext(rdy, "+FINb", g1);
+    b.ext(g1, "-FCb", idle);
+    b.build().expect("TB1 is well-formed")
+}
+
+/// The composite transport service `CST` (one connection round):
+/// `open`, then `send`, then `deliver`, then `close` — delivery
+/// *precedes* the close request, which is exactly the orderly-close
+/// ordering.
+pub fn connection_service() -> Spec {
+    let mut b = SpecBuilder::new("CST");
+    let c0 = b.state("closed");
+    let c1 = b.state("opened");
+    let c2 = b.state("sent");
+    let c3 = b.state("delivered");
+    b.ext(c0, "open", c1);
+    b.ext(c1, "send", c2);
+    b.ext(c2, "deliver", c3);
+    b.ext(c3, "close", c0);
+    b.build().expect("CST is well-formed")
+}
+
+/// The Figure 18 quotient problem: converter co-located with `TB1`,
+/// both transport entities reached directly (the reliable internet
+/// substrate of §6 is abstracted into direct interaction; see
+/// [`symmetric_gateway`] for the variant with lossy network services).
+pub fn gateway_configuration() -> crate::paper::Configuration {
+    let ta = transport_a_initiator();
+    let tb = transport_b_responder();
+    let b = protoquot_spec::compose_all(&[&ta, &tb])
+        .expect("transport alphabets are disjoint")
+        .with_name("TA0||TB1");
+    let int = Alphabet::from_names([
+        "-CRa", "+CCa", "-DTa", "+AKa", "-FINa", "+FCa", "+CRb", "-CCb", "+DTb", "-AKb",
+        "+FINb", "-FCb",
+    ]);
+    let ext = Alphabet::from_names(["open", "send", "deliver", "close"]);
+    debug_assert_eq!(b.alphabet(), &int.union(&ext));
+    crate::paper::Configuration { b, int, ext }
+}
+
+/// The Figure 17 variant: the converter reaches both transport
+/// entities through lossy network services (`NSa`, `NSb`), each
+/// announcing losses with its own timeout. Timeouts go to the
+/// converter, which — as in the paper's symmetric example — may not be
+/// able to reconcile safety and progress.
+pub fn symmetric_gateway() -> crate::paper::Configuration {
+    let ta = transport_a_initiator();
+    let tb = transport_b_responder();
+    let nsa = crate::channel::duplex_lossy_channel(
+        "NSa",
+        &["CRa", "CCa", "DTa", "AKa", "FINa", "FCa"],
+        "t_a",
+    );
+    let nsb = crate::channel::duplex_lossy_channel(
+        "NSb",
+        &["CRb", "CCb", "DTb", "AKb", "FINb", "FCb"],
+        "t_b",
+    );
+    let b = protoquot_spec::compose_all(&[&ta, &nsa, &nsb, &tb])
+        .expect("each message event is shared by exactly two components")
+        .with_name("TA0||NSa||NSb||TB1");
+    // The converter sees the channel-far ends plus both timeouts.
+    let int = Alphabet::from_names([
+        "+CRa", "-CCa", "+DTa", "-AKa", "+FINa", "-FCa", "t_a", "-CRb", "+CCb", "-DTb",
+        "+AKb", "-FINb", "+FCb", "t_b",
+    ]);
+    let ext = Alphabet::from_names(["open", "send", "deliver", "close"]);
+    debug_assert_eq!(b.alphabet(), &int.union(&ext));
+    crate::paper::Configuration { b, int, ext }
+}
+
+/// The Figure 16 naive pass-through entity: relays each message as soon
+/// as it arrives and — fatally — acknowledges `DTa` locally, before the
+/// data reaches TB1's user. Provided so the §6 example can demonstrate
+/// the orderly-close failure concretely.
+pub fn naive_passthrough() -> Spec {
+    let mut b = SpecBuilder::new("C-naive");
+    let states: Vec<_> = (0..12).map(|i| b.state(&format!("n{i}"))).collect();
+    let script = [
+        "-CRa", "+CRb", "-CCb", "+CCa", "-DTa", "+AKa", // local ack: too early!
+        "+DTb", "-AKb", "-FINa", "+FINb", "-FCb", "+FCa",
+    ];
+    for (i, ev) in script.iter().enumerate() {
+        b.ext(states[i], ev, states[(i + 1) % 12]);
+    }
+    b.initial(states[0]);
+    b.build().expect("naive passthrough is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{compose, has_trace, satisfies, trace_of, Violation};
+
+    #[test]
+    fn transport_machines_shape() {
+        assert_eq!(transport_a_initiator().num_states(), 9);
+        assert_eq!(transport_b_responder().num_states(), 7);
+        assert!(transport_a_initiator()
+            .alphabet()
+            .is_disjoint(transport_b_responder().alphabet()));
+    }
+
+    #[test]
+    fn service_orders_delivery_before_close() {
+        let s = connection_service();
+        assert!(has_trace(&s, &trace_of(&["open", "send", "deliver", "close"])));
+        assert!(!has_trace(&s, &trace_of(&["open", "send", "close"])));
+    }
+
+    #[test]
+    fn naive_passthrough_breaks_orderly_close() {
+        let cfg = gateway_configuration();
+        let composite = compose(&cfg.b, &naive_passthrough());
+        match satisfies(&composite, &connection_service()).unwrap() {
+            Err(Violation::Safety { trace }) => {
+                // The witness closes before delivering.
+                let names: Vec<String> = trace.iter().map(|e| e.name()).collect();
+                assert_eq!(names, ["open", "send", "close"]);
+            }
+            other => panic!("expected the orderly-close violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_gateway_converter_preserves_orderly_close() {
+        let cfg = gateway_configuration();
+        let q = protoquot_core::solve(&cfg.b, &connection_service(), &cfg.int)
+            .expect("a correct gateway converter exists");
+        protoquot_core::verify_converter(&cfg.b, &connection_service(), &q.converter)
+            .expect("derived converter verifies");
+        // The derived converter must NOT acknowledge before +DTb/-AKb:
+        // no trace …-DTa, +AKa… without an intervening -AKb.
+        let composite = compose(&cfg.b, &q.converter);
+        assert!(!has_trace(
+            &composite,
+            &trace_of(&["open", "send", "close"])
+        ));
+    }
+}

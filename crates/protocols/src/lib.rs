@@ -1,0 +1,62 @@
+//! # protoquot-protocols
+//!
+//! The protocol and service specification zoo for the Calvert & Lam
+//! SIGCOMM '89 reproduction:
+//!
+//! * [`abp`] — the alternating-bit protocol (paper Figure 7);
+//! * [`nonseq`] — the non-sequenced protocol (Figure 8);
+//! * [`channel`] — lossy single-slot duplex channels with non-premature
+//!   timeouts (Figure 10);
+//! * [`service`] — the exactly-once service (Figure 11) and the §5
+//!   at-least-once weakening;
+//! * [`paper`] — the exact §5 problem configurations (Figures 9 and 13)
+//!   plus the complete AB/NS systems used to validate the formalism;
+//! * [`sliding`] — a mod-k sequence-number generalisation (k = 2 is the
+//!   AB protocol) for scaling studies;
+//! * [`families`] — parameterised machine families for the §7
+//!   complexity claims and randomized property tests.
+//!
+//! All machines compose by event *name* (e.g. the sender's `-d0` is the
+//! channel's `-d0`), mirroring how the paper wires Figure 9.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abp;
+pub mod channel;
+pub mod duplex;
+pub mod families;
+pub mod frontman;
+pub mod gateway;
+pub mod nak;
+pub mod nonseq;
+pub mod paper;
+pub mod pipelined;
+pub mod service;
+pub mod sliding;
+
+pub use abp::{ab_receiver, ab_sender};
+pub use channel::{
+    ab_channel, duplex_lossy_channel, duplex_premature_timeout_channel,
+    duplex_reliable_channel, duplex_spurious_timeout_channel, ns_channel,
+};
+pub use duplex::{direct_sender, duplex_configuration, duplex_service, rename_suffixed};
+pub use families::{nfa_blowup, random_component, relay_chain, toggle_puzzle, RandomParams};
+pub use frontman::{
+    foreign_client, frontman_configuration, native_client, server, two_client_service,
+};
+pub use gateway::{
+    connection_service, gateway_configuration, naive_passthrough, symmetric_gateway,
+    transport_a_initiator, transport_b_responder,
+};
+pub use nak::{
+    ab_to_nak_configuration, corrupting_channel, nak_receiver, nak_sender,
+    nak_system_fully_corrupting, nak_system_half_corrupting,
+};
+pub use nonseq::{ns_receiver, ns_sender};
+pub use pipelined::{
+    fifo_channel, flow_control_configuration, window_receiver, window_sender, windowed_system,
+};
+pub use paper::{ab_system, colocated_configuration, ns_system, symmetric_configuration, Configuration};
+pub use service::{at_least_once, exactly_once, windowed};
+pub use sliding::{modk_messages, modk_receiver, modk_sender, modk_system};

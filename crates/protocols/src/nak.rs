@@ -1,0 +1,240 @@
+//! A NAK-based (negative-acknowledgement) protocol over corrupting
+//! channels — an extension experiment (EXP-NAK in EXPERIMENTS.md).
+//!
+//! Where the paper's channels *lose* messages and signal timeouts, these
+//! channels *corrupt* them: the receiver always gets something, but it
+//! may be garbage (`+junk`). The receiver answers good data with `ack`
+//! and garbage with `nak`; the sender retransmits on `nak`.
+//!
+//! The interesting structure mirrors the paper's §5 conflict in a
+//! different guise:
+//!
+//! * if only the **data** direction corrupts, the NAK protocol provides
+//!   exactly-once delivery;
+//! * if the **return** direction corrupts too, a garbled response is
+//!   ambiguous — was it the ack (retransmitting duplicates) or the nak
+//!   (not retransmitting deadlocks)? Exactly-once becomes impossible,
+//!   for the same safety/progress reason the paper's symmetric
+//!   configuration fails.
+//!
+//! The corresponding conversion problem (AB sender ↔ NAK machinery) is
+//! exercised in the crate tests and the experiment report.
+
+use protoquot_spec::{Spec, SpecBuilder};
+
+/// A corrupting single-slot simplex channel: `-x` in, then either `+x`
+/// (intact) or — after an internal corruption step — `+junk_<tag>`.
+/// `tag` distinguishes multiple channels' junk events.
+pub fn corrupting_channel(name: &str, messages: &[&str], tag: &str) -> Spec {
+    let mut b = SpecBuilder::new(name);
+    let empty = b.state("empty");
+    let garbled = b.state("garbled");
+    for m in messages {
+        let holding = b.state(&format!("has_{m}"));
+        b.ext(empty, &format!("-{m}"), holding);
+        b.ext(holding, &format!("+{m}"), empty);
+        b.int(holding, garbled);
+    }
+    b.ext(garbled, &format!("+junk_{tag}"), empty);
+    b.initial(empty);
+    b.build().expect("corrupting channel is well-formed")
+}
+
+/// NAK sender: accepts a message, transmits `msg`, then waits for the
+/// response: `ack` completes, `nak` retransmits. If the return channel
+/// can corrupt, it may also see `junk_r` — and must decide; this
+/// machine retransmits (the safe-for-progress, unsafe-for-duplication
+/// choice), which is what makes the full-corruption system fail
+/// exactly-once.
+pub fn nak_sender() -> Spec {
+    let mut b = SpecBuilder::new("K0");
+    let idle = b.state("idle");
+    let sending = b.state("sending");
+    let waiting = b.state("waiting");
+    b.ext(idle, "acc", sending);
+    b.ext(sending, "-msg", waiting);
+    b.ext(waiting, "+ack", idle);
+    b.ext(waiting, "+nak", sending);
+    b.ext(waiting, "+junk_r", sending); // ambiguous response: retransmit
+    b.build().expect("K0 is well-formed")
+}
+
+/// NAK receiver: delivers good data then acks; answers garbage with a
+/// nak. No sequence numbers, so a retransmission after a corrupted
+/// *ack* is delivered twice.
+pub fn nak_receiver() -> Spec {
+    let mut b = SpecBuilder::new("K1");
+    let idle = b.state("idle");
+    let holding = b.state("holding");
+    let acking = b.state("acking");
+    let naking = b.state("naking");
+    b.ext(idle, "+msg", holding);
+    b.ext(idle, "+junk_d", naking);
+    b.ext(holding, "del", acking);
+    b.ext(acking, "-ack", idle);
+    b.ext(naking, "-nak", idle);
+    b.build().expect("K1 is well-formed")
+}
+
+/// The data-direction channel (sender → receiver), corrupting.
+pub fn nak_data_channel() -> Spec {
+    corrupting_channel("Kd", &["msg"], "d")
+}
+
+/// The return channel (receiver → sender): reliable variant. It
+/// declares `+junk_r` in its interface without ever enabling it, so
+/// composing with the sender hides the event (a reliable channel never
+/// produces garbage — and per the composition rules, a shared event
+/// not enabled on both sides simply cannot occur).
+pub fn nak_return_channel_reliable() -> Spec {
+    let junk: protoquot_spec::Alphabet = ["+junk_r"].into_iter().collect();
+    crate::channel::duplex_reliable_channel("Kr", &["ack", "nak"]).with_alphabet_extended(&junk)
+}
+
+/// The return channel: corrupting variant.
+pub fn nak_return_channel_corrupting() -> Spec {
+    corrupting_channel("Kr", &["ack", "nak"], "r")
+}
+
+/// The complete NAK system with a corrupting data channel and a
+/// *reliable* return channel: provides exactly-once delivery.
+pub fn nak_system_half_corrupting() -> Spec {
+    protoquot_spec::compose_all(&[
+        &nak_sender(),
+        &nak_data_channel(),
+        &nak_return_channel_reliable(),
+        &nak_receiver(),
+    ])
+    .expect("each event shared pairwise")
+    .with_name("K0||Kd||Kr||K1")
+}
+
+/// The complete NAK system with corruption in both directions: the
+/// ambiguous garbled response breaks exactly-once.
+pub fn nak_system_fully_corrupting() -> Spec {
+    protoquot_spec::compose_all(&[
+        &nak_sender(),
+        &nak_data_channel(),
+        &nak_return_channel_corrupting(),
+        &nak_receiver(),
+    ])
+    .expect("each event shared pairwise")
+    .with_name("K0||Kd||Kr'||K1")
+}
+
+/// The conversion problem: the paper's AB sender (with its lossy
+/// channel) on one side, the NAK receiver behind a corrupting data
+/// channel on the other; the converter bridges them, seeing the AB
+/// channel events, the NAK channel events and the NAK responses
+/// directly (it is co-located with the NAK machinery's near end).
+pub fn ab_to_nak_configuration() -> crate::paper::Configuration {
+    let a0 = crate::abp::ab_sender();
+    let ach = crate::channel::ab_channel();
+    let kd = nak_data_channel();
+    let k1 = nak_receiver();
+    // The receiver's responses come straight back to the converter.
+    let b = protoquot_spec::compose_all(&[&a0, &ach, &kd, &k1])
+        .expect("each event shared pairwise")
+        .with_name("A0||Ach||Kd||K1");
+    let int: protoquot_spec::Alphabet = [
+        "+d0", "+d1", "-a0", "-a1", // AB channel far end
+        "-msg", // into the corrupting data channel
+        "-ack", "-nak", // NAK responses, direct
+    ]
+    .into_iter()
+    .collect();
+    let ext: protoquot_spec::Alphabet = ["acc", "del"].into_iter().collect();
+    debug_assert_eq!(b.alphabet(), &int.union(&ext));
+    crate::paper::Configuration { b, int, ext }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{at_least_once, exactly_once};
+    use protoquot_spec::{satisfies, Violation};
+
+    #[test]
+    fn shapes() {
+        assert_eq!(nak_sender().num_states(), 3);
+        assert_eq!(nak_receiver().num_states(), 4);
+        assert_eq!(nak_data_channel().num_states(), 3);
+        assert_eq!(nak_return_channel_corrupting().num_states(), 4);
+    }
+
+    #[test]
+    fn half_corrupting_system_is_exactly_once() {
+        let sys = nak_system_half_corrupting();
+        let verdict = satisfies(&sys, &exactly_once()).unwrap();
+        assert!(verdict.is_ok(), "half-corrupting NAK failed: {:?}", verdict.err());
+    }
+
+    #[test]
+    fn fully_corrupting_system_duplicates() {
+        let sys = nak_system_fully_corrupting();
+        match satisfies(&sys, &exactly_once()).unwrap() {
+            Err(Violation::Safety { trace }) => {
+                let del = protoquot_spec::EventId::new("del");
+                assert_eq!(*trace.last().unwrap(), del);
+                assert_eq!(trace[trace.len() - 2], del);
+            }
+            other => panic!("expected duplicate delivery, got {other:?}"),
+        }
+        // But at-least-once still holds: the retransmit-on-junk choice
+        // preserves progress.
+        assert!(satisfies(&sys, &at_least_once()).unwrap().is_ok());
+    }
+
+    #[test]
+    fn ab_to_nak_converter_exists_for_exactly_once() {
+        // The converter sees the NAK responses directly (no corruption
+        // between it and K1's answers), so — like the paper's
+        // co-located configuration — exact delivery is achievable: on
+        // `-nak` it retransmits `-msg`, on `-ack` it acknowledges the
+        // AB side.
+        let cfg = ab_to_nak_configuration();
+        let q = protoquot_core::solve(&cfg.b, &exactly_once(), &cfg.int)
+            .expect("converter must exist");
+        protoquot_core::verify_converter(&cfg.b, &exactly_once(), &q.converter)
+            .expect("and verify");
+        // Its core handles retransmission: some state reacts to -nak by
+        // eventually re-sending -msg.
+        let nak = protoquot_spec::EventId::new("-nak");
+        assert!(q
+            .converter
+            .external_transitions()
+            .any(|(_, e, _)| e == nak));
+    }
+
+    #[test]
+    fn ab_to_nak_with_corrupting_return_fails() {
+        // Variant: the converter hears responses through a corrupting
+        // return channel — the garbled response is ambiguous and the
+        // same conflict as the paper's Fig. 9 appears.
+        let a0 = crate::abp::ab_sender();
+        let ach = crate::channel::ab_channel();
+        let kd = nak_data_channel();
+        let kr = nak_return_channel_corrupting();
+        let k1 = nak_receiver();
+        let b = protoquot_spec::compose_all(&[&a0, &ach, &kd, &kr, &k1])
+            .unwrap()
+            .with_name("A0||Ach||Kd||Kr'||K1");
+        let int: protoquot_spec::Alphabet = [
+            "+d0", "+d1", "-a0", "-a1", "-msg", "+ack", "+nak", "+junk_r",
+        ]
+        .into_iter()
+        .collect();
+        let r = protoquot_core::solve(&b, &exactly_once(), &int);
+        assert!(
+            matches!(
+                r,
+                Err(protoquot_core::QuotientError::NoProgressingConverter { .. })
+            ),
+            "ambiguous corruption must make exactly-once impossible"
+        );
+        // The weakening restores existence, as in the paper.
+        let q = protoquot_core::solve(&b, &at_least_once(), &int)
+            .expect("at-least-once admits a converter");
+        protoquot_core::verify_converter(&b, &at_least_once(), &q.converter).unwrap();
+    }
+}

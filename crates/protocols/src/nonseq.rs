@@ -1,0 +1,79 @@
+//! The non-sequenced (NS) protocol (paper Figure 8).
+//!
+//! No sequence numbers: the sender `N0` repeatedly transmits a data
+//! message `D` until an acknowledgement `A` is received; the receiver
+//! `N1` delivers *every* received data message. The protocol guarantees
+//! at-least-once delivery, so its service is strictly weaker than the
+//! AB protocol's exactly-once service.
+
+use protoquot_spec::{Spec, SpecBuilder};
+
+/// The NS sender `N0` (3 states).
+///
+/// Interface: `acc` (user), `-D` (data out), `+A` (ack in), `t_N`
+/// (timeout from the channel).
+pub fn ns_sender() -> Spec {
+    let mut b = SpecBuilder::new("N0");
+    let n0 = b.state("n0");
+    let n1 = b.state("n1");
+    let n2 = b.state("n2");
+    b.ext(n0, "acc", n1);
+    b.ext(n1, "-D", n2);
+    b.ext(n2, "+A", n0);
+    b.ext(n2, "t_N", n1); // retransmit after loss
+    b.build().expect("N0 is well-formed")
+}
+
+/// The NS receiver `N1` (3 states).
+///
+/// Interface: `+D` (data in), `del` (user), `-A` (ack out). Delivers
+/// every received message — duplicates included.
+pub fn ns_receiver() -> Spec {
+    let mut b = SpecBuilder::new("N1");
+    let m0 = b.state("m0");
+    let m1 = b.state("m1");
+    let m2 = b.state("m2");
+    b.ext(m0, "+D", m1);
+    b.ext(m1, "del", m2);
+    b.ext(m2, "-A", m0);
+    b.build().expect("N1 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{has_trace, trace_of, Alphabet};
+
+    #[test]
+    fn shapes() {
+        let s = ns_sender();
+        let r = ns_receiver();
+        assert_eq!(s.num_states(), 3);
+        assert_eq!(r.num_states(), 3);
+        assert_eq!(
+            s.alphabet(),
+            &Alphabet::from_names(["acc", "-D", "+A", "t_N"])
+        );
+        assert_eq!(r.alphabet(), &Alphabet::from_names(["+D", "del", "-A"]));
+    }
+
+    #[test]
+    fn sender_retransmits_until_acked() {
+        let s = ns_sender();
+        assert!(has_trace(&s, &trace_of(&["acc", "-D", "t_N", "-D", "+A", "acc"])));
+        assert!(!has_trace(&s, &trace_of(&["acc", "-D", "-D"])));
+        assert!(!has_trace(&s, &trace_of(&["-D"])));
+    }
+
+    #[test]
+    fn receiver_delivers_every_message() {
+        let r = ns_receiver();
+        assert!(has_trace(
+            &r,
+            &trace_of(&["+D", "del", "-A", "+D", "del", "-A"])
+        ));
+        // Must ack before the next receive (half-duplex discipline).
+        assert!(!has_trace(&r, &trace_of(&["+D", "+D"])));
+        assert!(!has_trace(&r, &trace_of(&["+D", "del", "del"])));
+    }
+}

@@ -1,0 +1,141 @@
+//! The exact problem configurations of the paper's §5 example.
+//!
+//! * Figure 9 (symmetric): `B = A0 ‖ Ach ‖ Nch ‖ N1` — the converter
+//!   sits between the two lossy channels. The safety phase yields a
+//!   converter (Figure 12), but safety and progress conflict — a loss in
+//!   `Nch` cannot be told apart as data-loss vs ack-loss — so **no**
+//!   converter exists.
+//! * Figure 13 (co-located): `B = A0 ‖ Ach ‖ N1` — the converter talks
+//!   to the NS receiver directly (`+D`/`-A` synchronise with `N1`), and
+//!   the quotient succeeds (Figure 14).
+//!
+//! Both use the Figure 11 service. The §5 weakening —
+//! [`crate::service::at_least_once`] — restores existence for the
+//! symmetric configuration.
+
+use crate::abp::{ab_receiver, ab_sender};
+use crate::channel::{ab_channel, ns_channel};
+use crate::nonseq::{ns_receiver, ns_sender};
+use protoquot_spec::{compose_all, Alphabet, Spec};
+
+/// A quotient problem instance: the fixed components `B`, the converter
+/// interface `Int`, and the user interface `Ext`.
+#[derive(Clone, Debug)]
+pub struct Configuration {
+    /// The composed fixed components.
+    pub b: Spec,
+    /// The converter's interface.
+    pub int: Alphabet,
+    /// The users' interface (= the service alphabet).
+    pub ext: Alphabet,
+}
+
+/// The Figure 9 configuration: converter between two lossy channels.
+pub fn symmetric_configuration() -> Configuration {
+    let a0 = ab_sender();
+    let ach = ab_channel();
+    let nch = ns_channel();
+    let n1 = ns_receiver();
+    let b = compose_all(&[&a0, &ach, &nch, &n1])
+        .expect("paper components share each event pairwise")
+        .with_name("A0||Ach||Nch||N1");
+    let int = Alphabet::from_names(["+d0", "+d1", "-a0", "-a1", "-D", "+A", "t_N"]);
+    let ext = Alphabet::from_names(["acc", "del"]);
+    debug_assert_eq!(b.alphabet(), &int.union(&ext));
+    Configuration { b, int, ext }
+}
+
+/// The Figure 13 configuration: converter co-located with the NS
+/// receiver (no `Nch`; `+D`/`-A` are direct interactions with `N1`).
+pub fn colocated_configuration() -> Configuration {
+    let a0 = ab_sender();
+    let ach = ab_channel();
+    let n1 = ns_receiver();
+    let b = compose_all(&[&a0, &ach, &n1])
+        .expect("paper components share each event pairwise")
+        .with_name("A0||Ach||N1");
+    let int = Alphabet::from_names(["+d0", "+d1", "-a0", "-a1", "+D", "-A"]);
+    let ext = Alphabet::from_names(["acc", "del"]);
+    debug_assert_eq!(b.alphabet(), &int.union(&ext));
+    Configuration { b, int, ext }
+}
+
+/// The complete AB protocol system `A0 ‖ Ach ‖ A1` — used to validate
+/// the formalization: it must satisfy the exactly-once service.
+pub fn ab_system() -> Spec {
+    compose_all(&[&ab_sender(), &ab_channel(), &ab_receiver()])
+        .expect("AB system shares each event pairwise")
+        .with_name("A0||Ach||A1")
+}
+
+/// The complete NS protocol system `N0 ‖ Nch ‖ N1` — must satisfy the
+/// at-least-once service but *not* the exactly-once service.
+pub fn ns_system() -> Spec {
+    compose_all(&[&ns_sender(), &ns_channel(), &ns_receiver()])
+        .expect("NS system shares each event pairwise")
+        .with_name("N0||Nch||N1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{at_least_once, exactly_once};
+    use protoquot_spec::{satisfies, satisfies_safety, Violation};
+
+    #[test]
+    fn configurations_have_expected_interfaces() {
+        let sym = symmetric_configuration();
+        assert_eq!(sym.int.len(), 7);
+        assert_eq!(sym.ext.len(), 2);
+        assert!(sym.int.is_disjoint(&sym.ext));
+        let col = colocated_configuration();
+        assert_eq!(col.int.len(), 6);
+        assert!(col.b.num_states() < sym.b.num_states());
+    }
+
+    #[test]
+    fn ab_system_satisfies_exactly_once() {
+        let sys = ab_system();
+        let verdict = satisfies(&sys, &exactly_once()).unwrap();
+        assert!(verdict.is_ok(), "AB system must work: {:?}", verdict.err());
+    }
+
+    #[test]
+    fn ns_system_violates_exactly_once_by_duplication() {
+        let sys = ns_system();
+        match satisfies(&sys, &exactly_once()).unwrap() {
+            Err(Violation::Safety { trace }) => {
+                // The witness ends in a duplicate delivery.
+                let del = protoquot_spec::EventId::new("del");
+                assert_eq!(*trace.last().unwrap(), del);
+                assert_eq!(trace[trace.len() - 2], del);
+            }
+            other => panic!("expected duplicate-delivery violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ns_system_satisfies_at_least_once() {
+        let sys = ns_system();
+        let verdict = satisfies(&sys, &at_least_once()).unwrap();
+        assert!(verdict.is_ok(), "NS system must work: {:?}", verdict.err());
+    }
+
+    #[test]
+    fn ab_system_is_safe_for_at_least_once_but_wrong_interface() {
+        // Same alphabet, so this is legal: exactly-once behaviour is a
+        // subset of at-least-once behaviour.
+        let sys = ab_system();
+        assert!(satisfies_safety(&sys, &at_least_once()).unwrap().is_ok());
+    }
+
+    #[test]
+    fn composed_sizes_are_modest() {
+        // Reachable compositions stay far below the full products.
+        let sym = symmetric_configuration();
+        assert!(sym.b.num_states() <= 6 * 6 * 4 * 3);
+        assert!(sym.b.num_states() > 10);
+        let ab = ab_system();
+        assert!(ab.num_states() <= 6 * 6 * 6);
+    }
+}

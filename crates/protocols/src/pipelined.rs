@@ -1,0 +1,252 @@
+//! A pipelined sliding-window protocol over bounded FIFO channels —
+//! the window-flow-control generalisation of the paper's stop-and-wait
+//! machinery (EXP-FLOW in EXPERIMENTS.md).
+//!
+//! The sender may have up to `w` messages outstanding (sequence numbers
+//! mod `w + 1`); the receiver delivers in order and acknowledges each
+//! message; channels are reliable bounded FIFOs (loss recovery is the
+//! AB protocol's department — the dimension explored here is
+//! *pipelining*).
+//!
+//! The derived conversion problem is the interesting part: putting the
+//! windowed sender in front of the strictly one-at-a-time NS receiver
+//! forces the quotient to synthesise a converter that does **flow
+//! control** — buffering the pipelined data and withholding
+//! acknowledgements so the end-to-end window is never exceeded.
+
+use protoquot_spec::{Spec, SpecBuilder};
+
+/// A reliable simplex FIFO channel with the given capacity: state =
+/// the queued message sequence. `-m` enqueues (when not full), `+m`
+/// dequeues the head.
+pub fn fifo_channel(name: &str, messages: &[&str], capacity: usize) -> Spec {
+    assert!(capacity >= 1);
+    let mut b = SpecBuilder::new(name);
+    // Enumerate all queue contents up to `capacity`.
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
+    for _ in 0..capacity {
+        let mut next = Vec::new();
+        for q in &frontier {
+            for m in 0..messages.len() {
+                let mut q2 = q.clone();
+                q2.push(m);
+                queues.push(q2.clone());
+                next.push(q2);
+            }
+        }
+        frontier = next;
+    }
+    let label = |q: &[usize]| {
+        if q.is_empty() {
+            "ε".to_owned()
+        } else {
+            q.iter().map(|&m| messages[m]).collect::<Vec<_>>().join("·")
+        }
+    };
+    let ids: Vec<_> = queues.iter().map(|q| b.state(&label(q))).collect();
+    let index = |q: &[usize]| queues.iter().position(|x| x == q).unwrap();
+    for (qi, q) in queues.iter().enumerate() {
+        if q.len() < capacity {
+            for (m, name) in messages.iter().enumerate() {
+                let mut q2 = q.clone();
+                q2.push(m);
+                b.ext(ids[qi], &format!("-{name}"), ids[index(&q2)]);
+            }
+        }
+        if let Some((&head, rest)) = q.split_first() {
+            b.ext(ids[qi], &format!("+{}", messages[head]), ids[index(rest)]);
+        }
+    }
+    b.initial(ids[0]);
+    b.build().expect("fifo channel is well-formed")
+}
+
+/// Windowed sender: up to `w` outstanding messages, sequence numbers
+/// mod `w + 1`. State `(next phase, outstanding)` plus a pending state
+/// between `acc` and the actual transmission.
+pub fn window_sender(w: usize) -> Spec {
+    assert!(w >= 1);
+    let k = w + 1;
+    let mut b = SpecBuilder::new(&format!("W0-{w}"));
+    // (p, o) for p in 0..k, o in 0..=w ; pending states (p, o) after acc.
+    let ready: Vec<Vec<_>> = (0..k)
+        .map(|p| (0..=w).map(|o| b.state(&format!("r{p}_{o}"))).collect())
+        .collect();
+    let pending: Vec<Vec<_>> = (0..k)
+        .map(|p| (0..w).map(|o| b.state(&format!("p{p}_{o}"))).collect())
+        .collect();
+    for p in 0..k {
+        for o in 0..=w {
+            if o < w {
+                b.ext(ready[p][o], "acc", pending[p][o]);
+                b.ext(pending[p][o], &format!("-d{p}"), ready[(p + 1) % k][o + 1]);
+            }
+            if o > 0 {
+                // Oldest outstanding has phase (p - o) mod k.
+                let oldest = (p + k - (o % k)) % k;
+                b.ext(ready[p][o], &format!("+a{oldest}"), ready[p][o - 1]);
+                if o < w {
+                    b.ext(pending[p][o], &format!("+a{oldest}"), pending[p][o - 1]);
+                }
+            }
+        }
+    }
+    b.initial(ready[0][0]);
+    b.build().expect("window sender is well-formed")
+}
+
+/// In-order windowed receiver: expects phase `q`, delivers, acks.
+pub fn window_receiver(w: usize) -> Spec {
+    assert!(w >= 1);
+    let k = w + 1;
+    let mut b = SpecBuilder::new(&format!("W1-{w}"));
+    let exp: Vec<_> = (0..k).map(|q| b.state(&format!("exp{q}"))).collect();
+    let dlv: Vec<_> = (0..k).map(|q| b.state(&format!("dlv{q}"))).collect();
+    let ack: Vec<_> = (0..k).map(|q| b.state(&format!("ack{q}"))).collect();
+    for q in 0..k {
+        b.ext(exp[q], &format!("+d{q}"), dlv[q]);
+        b.ext(dlv[q], "del", ack[q]);
+        b.ext(ack[q], &format!("-a{q}"), exp[(q + 1) % k]);
+    }
+    b.initial(exp[0]);
+    b.build().expect("window receiver is well-formed")
+}
+
+/// The homogeneous windowed system: sender ‖ data FIFO ‖ receiver ‖
+/// ack FIFO, all reliable.
+pub fn windowed_system(w: usize, capacity: usize) -> Spec {
+    let k = w + 1;
+    let d_msgs: Vec<String> = (0..k).map(|i| format!("d{i}")).collect();
+    let a_msgs: Vec<String> = (0..k).map(|i| format!("a{i}")).collect();
+    let d_refs: Vec<&str> = d_msgs.iter().map(String::as_str).collect();
+    let a_refs: Vec<&str> = a_msgs.iter().map(String::as_str).collect();
+    let dfifo = fifo_channel("Dfifo", &d_refs, capacity);
+    let afifo = fifo_channel("Afifo", &a_refs, capacity);
+    protoquot_spec::compose_all(&[&window_sender(w), &dfifo, &window_receiver(w), &afifo])
+        .expect("each event shared pairwise")
+        .with_name(&format!("windowed-{w}/{capacity}"))
+}
+
+/// The flow-control conversion problem (EXP-FLOW): the windowed sender
+/// pipelines through FIFOs, but the destination is the strictly
+/// serial NS receiver. The converter must buffer and withhold
+/// acknowledgements so that the end-to-end service — `windowed(w)` —
+/// is never violated.
+pub fn flow_control_configuration(w: usize, capacity: usize) -> crate::paper::Configuration {
+    let k = w + 1;
+    let d_msgs: Vec<String> = (0..k).map(|i| format!("d{i}")).collect();
+    let a_msgs: Vec<String> = (0..k).map(|i| format!("a{i}")).collect();
+    let d_refs: Vec<&str> = d_msgs.iter().map(String::as_str).collect();
+    let a_refs: Vec<&str> = a_msgs.iter().map(String::as_str).collect();
+    let dfifo = fifo_channel("Dfifo", &d_refs, capacity);
+    let afifo = fifo_channel("Afifo", &a_refs, capacity);
+    let b = protoquot_spec::compose_all(&[
+        &window_sender(w),
+        &dfifo,
+        &afifo,
+        &crate::nonseq::ns_receiver(),
+    ])
+    .expect("each event shared pairwise")
+    .with_name(&format!("flow-{w}/{capacity}"));
+    let mut int_names: Vec<String> = Vec::new();
+    for i in 0..k {
+        int_names.push(format!("+d{i}")); // take pipelined data out
+        int_names.push(format!("-a{i}")); // ack back (or not yet!)
+    }
+    int_names.push("+D".into()); // hand to NS receiver
+    int_names.push("-A".into()); // its ack
+    let int: protoquot_spec::Alphabet = int_names.iter().map(String::as_str).collect();
+    let ext: protoquot_spec::Alphabet = ["acc", "del"].into_iter().collect();
+    debug_assert_eq!(b.alphabet(), &int.union(&ext));
+    crate::paper::Configuration { b, int, ext }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::windowed;
+    use protoquot_spec::{has_trace, satisfies, trace_of};
+
+    #[test]
+    fn fifo_preserves_order_and_capacity() {
+        let f = fifo_channel("F", &["x", "y"], 2);
+        // 1 + 2 + 4 queue contents.
+        assert_eq!(f.num_states(), 7);
+        assert!(has_trace(&f, &trace_of(&["-x", "-y", "+x", "+y"])));
+        assert!(!has_trace(&f, &trace_of(&["-x", "-y", "+y"])));
+        assert!(!has_trace(&f, &trace_of(&["-x", "-y", "-x"])));
+        assert!(!has_trace(&f, &trace_of(&["+x"])));
+    }
+
+    #[test]
+    fn window_sender_pipelines_up_to_w() {
+        let s = window_sender(2);
+        assert!(has_trace(&s, &trace_of(&["acc", "-d0", "acc", "-d1"])));
+        assert!(!has_trace(
+            &s,
+            &trace_of(&["acc", "-d0", "acc", "-d1", "acc"])
+        ));
+        // In-order ack frees a slot.
+        assert!(has_trace(
+            &s,
+            &trace_of(&["acc", "-d0", "acc", "-d1", "+a0", "acc", "-d2"])
+        ));
+        // Out-of-order ack is not accepted.
+        assert!(!has_trace(&s, &trace_of(&["acc", "-d0", "acc", "-d1", "+a1"])));
+    }
+
+    #[test]
+    fn stop_and_wait_is_the_w1_case() {
+        let sys = windowed_system(1, 1);
+        let verdict = satisfies(&sys, &windowed(1)).unwrap();
+        assert!(verdict.is_ok(), "{:?}", verdict.err());
+    }
+
+    #[test]
+    fn windowed_system_satisfies_its_window_service() {
+        for (w, c) in [(2usize, 2usize), (3, 3)] {
+            let sys = windowed_system(w, c);
+            let verdict = satisfies(&sys, &windowed(w)).unwrap();
+            assert!(verdict.is_ok(), "w={w} c={c}: {:?}", verdict.err());
+            // And it genuinely pipelines: the stricter window-1 service
+            // is violated.
+            assert!(satisfies(&sys, &windowed(1)).unwrap().is_err());
+        }
+    }
+
+    #[test]
+    fn flow_control_converter_derived_and_verified() {
+        let cfg = flow_control_configuration(2, 2);
+        let service = windowed(2);
+        let q = protoquot_core::solve(&cfg.b, &service, &cfg.int)
+            .expect("flow-control converter exists");
+        protoquot_core::verify_converter(&cfg.b, &service, &q.converter).expect("verifies");
+        // The converter must be able to hold two undelivered messages:
+        // trace acc acc (two in flight) must be possible end-to-end.
+        let composite = protoquot_spec::compose(&cfg.b, &q.converter);
+        assert!(has_trace(&composite, &trace_of(&["acc", "acc"])));
+        assert!(has_trace(
+            &composite,
+            &trace_of(&["acc", "acc", "del", "del", "acc"])
+        ));
+    }
+
+    #[test]
+    fn window_cannot_be_shrunk_from_inside() {
+        // Instructive impossibility: asking the converter to impose a
+        // *smaller* end-to-end window than the sender's is hopeless —
+        // `acc` and the data FIFO are not on the converter's interface,
+        // so the sender can always run `w` ahead on its own. The solver
+        // proves it: not even a safe converter exists, and the witness
+        // names the uncontrollable `acc`.
+        let cfg = flow_control_configuration(2, 2);
+        let service = windowed(1);
+        match protoquot_core::solve(&cfg.b, &service, &cfg.int) {
+            Err(protoquot_core::QuotientError::NoSafeConverter { violation }) => {
+                assert_eq!(violation.event.name(), "acc");
+            }
+            other => panic!("expected NoSafeConverter, got {other:?}"),
+        }
+    }
+}

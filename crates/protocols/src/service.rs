@@ -1,0 +1,118 @@
+//! Service specifications (paper Figure 11 and §5 variants).
+
+use protoquot_spec::{Spec, SpecBuilder};
+
+/// The paper's desired service (Figure 11): strict alternation of
+/// `acc` (accept a message from the sending user) and `del` (deliver it
+/// to the receiving user) — exactly-once delivery.
+pub fn exactly_once() -> Spec {
+    let mut b = SpecBuilder::new("S-exactly-once");
+    let u0 = b.state("u0");
+    let u1 = b.state("u1");
+    b.ext(u0, "acc", u1);
+    b.ext(u1, "del", u0);
+    b.build().expect("service is well-formed")
+}
+
+/// The §5 weakening: duplicates allowed. After an `acc` and at least
+/// one `del`, the service makes an internal (unfair, design-time)
+/// choice between "done with this message" (`acc` next) and "a
+/// duplicate delivery is coming" (`del` next). Modelling the choice
+/// internally gets the acceptance sets right in both directions:
+///
+/// * an implementation that never duplicates (the AB system, or the
+///   exactly-once service itself) satisfies this service via the
+///   `{acc}` option;
+/// * an implementation that can *force* a duplicate on the user — the
+///   NS system after an acknowledgement loss offers only `del` until
+///   the retransmitted message is delivered — satisfies it via the
+///   `{del}` option.
+///
+/// The paper notes this weakening makes a converter possible for the
+/// symmetric configuration.
+pub fn at_least_once() -> Spec {
+    let mut b = SpecBuilder::new("S-at-least-once");
+    let u0 = b.state("u0");
+    let u1 = b.state("u1");
+    let hub = b.state("u2");
+    let done = b.state("u2-done");
+    let dup = b.state("u2-dup");
+    b.ext(u0, "acc", u1);
+    b.ext(u1, "del", hub);
+    b.int(hub, done);
+    b.int(hub, dup);
+    b.ext(done, "acc", u1);
+    b.ext(dup, "del", hub);
+    b.build().expect("service is well-formed")
+}
+
+/// A windowed generalisation used by the scaling benches: up to `w`
+/// accepted-but-undelivered messages may be outstanding, deliveries in
+/// order. `w = 1` is [`exactly_once`].
+pub fn windowed(w: usize) -> Spec {
+    assert!(w >= 1, "window must be positive");
+    let mut b = SpecBuilder::new(&format!("S-window-{w}"));
+    let states: Vec<_> = (0..=w).map(|i| b.state(&format!("out{i}"))).collect();
+    for i in 0..w {
+        b.ext(states[i], "acc", states[i + 1]);
+        b.ext(states[i + 1], "del", states[i]);
+    }
+    b.initial(states[0]);
+    b.build().expect("service is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{has_trace, is_normal_form, trace_of};
+
+    #[test]
+    fn exactly_once_alternates() {
+        let s = exactly_once();
+        assert!(is_normal_form(&s));
+        assert!(has_trace(&s, &trace_of(&["acc", "del", "acc", "del"])));
+        assert!(!has_trace(&s, &trace_of(&["del"])));
+        assert!(!has_trace(&s, &trace_of(&["acc", "acc"])));
+        assert!(!has_trace(&s, &trace_of(&["acc", "del", "del"])));
+    }
+
+    #[test]
+    fn at_least_once_allows_duplicates() {
+        let s = at_least_once();
+        assert!(is_normal_form(&s));
+        assert!(has_trace(&s, &trace_of(&["acc", "del", "del", "del", "acc"])));
+        assert!(!has_trace(&s, &trace_of(&["acc", "acc"])));
+        assert!(!has_trace(&s, &trace_of(&["del"])));
+        assert!(!has_trace(&s, &trace_of(&["acc", "del", "acc", "acc"])));
+    }
+
+    #[test]
+    fn exactly_once_refines_at_least_once() {
+        // Every exactly-once behaviour is an at-least-once behaviour,
+        // and because duplicates are optional (internal choice), the
+        // refinement holds for progress too.
+        assert!(protoquot_spec::satisfy::satisfies(&exactly_once(), &at_least_once())
+            .unwrap()
+            .is_ok());
+        // But not vice versa: a duplicate delivery violates safety.
+        assert!(protoquot_spec::satisfy::satisfies(&at_least_once(), &exactly_once())
+            .unwrap()
+            .is_err());
+    }
+
+    #[test]
+    fn windowed_shapes() {
+        assert_eq!(windowed(1).num_states(), 2);
+        assert_eq!(windowed(3).num_states(), 4);
+        let w2 = windowed(2);
+        assert!(has_trace(&w2, &trace_of(&["acc", "acc", "del", "acc", "del", "del"])));
+        assert!(!has_trace(&w2, &trace_of(&["acc", "acc", "acc"])));
+        assert!(!has_trace(&w2, &trace_of(&["acc", "del", "del"])));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn windowed_zero_panics() {
+        windowed(0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Mod-k sequence-number generalisation of the alternating-bit protocol.
+//!
+//! `k = 2` reduces exactly to the paper's AB protocol (Figure 7) up to
+//! state naming; larger `k` gives a family of growing-but-similar
+//! protocols used by the scaling benchmarks (EXP-C1/C2): the input
+//! machines grow linearly in `k`, and the quotient's work grows with
+//! them.
+//!
+//! Like the paper's AB protocol this is stop-and-wait (one outstanding
+//! message); the sequence space, not the window, is what scales.
+
+use protoquot_spec::{Spec, SpecBuilder};
+
+/// Sender with mod-`k` sequence numbers: per phase `i`,
+/// `idle_i --acc--> snd_i --(-d<i>)--> wai_i --(+a<i>)--> idle_{i+1}`,
+/// with timeout retransmission and stale-ack self-loops.
+pub fn modk_sender(k: usize) -> Spec {
+    assert!(k >= 2, "need at least two sequence numbers");
+    let mut b = SpecBuilder::new(&format!("A0-mod{k}"));
+    let idle: Vec<_> = (0..k).map(|i| b.state(&format!("idle{i}"))).collect();
+    let snd: Vec<_> = (0..k).map(|i| b.state(&format!("snd{i}"))).collect();
+    let wai: Vec<_> = (0..k).map(|i| b.state(&format!("wai{i}"))).collect();
+    for i in 0..k {
+        b.ext(idle[i], "acc", snd[i]);
+        b.ext(snd[i], &format!("-d{i}"), wai[i]);
+        b.ext(wai[i], &format!("+a{i}"), idle[(i + 1) % k]);
+        b.ext(wai[i], "t_A", snd[i]);
+        for j in 0..k {
+            if j != i {
+                b.ext(wai[i], &format!("+a{j}"), wai[i]); // stale ack
+            }
+        }
+    }
+    b.initial(idle[0]);
+    b.build().expect("mod-k sender is well-formed")
+}
+
+/// Receiver with mod-`k` sequence numbers: delivers `d<i>` when
+/// expecting `i`; re-acknowledges the previous number on a duplicate.
+pub fn modk_receiver(k: usize) -> Spec {
+    assert!(k >= 2, "need at least two sequence numbers");
+    let mut b = SpecBuilder::new(&format!("A1-mod{k}"));
+    let exp: Vec<_> = (0..k).map(|i| b.state(&format!("exp{i}"))).collect();
+    let dlv: Vec<_> = (0..k).map(|i| b.state(&format!("dlv{i}"))).collect();
+    let ack: Vec<_> = (0..k).map(|i| b.state(&format!("ack{i}"))).collect();
+    for i in 0..k {
+        let prev = (i + k - 1) % k;
+        b.ext(exp[i], &format!("+d{i}"), dlv[i]);
+        b.ext(exp[i], &format!("+d{prev}"), ack[prev]); // duplicate
+        b.ext(dlv[i], "del", ack[i]);
+        b.ext(ack[i], &format!("-a{i}"), exp[(i + 1) % k]);
+    }
+    b.initial(exp[0]);
+    b.build().expect("mod-k receiver is well-formed")
+}
+
+/// The message vocabulary of the mod-`k` protocol (for building its
+/// channel via [`crate::channel::duplex_lossy_channel`]).
+pub fn modk_messages(k: usize) -> Vec<String> {
+    (0..k)
+        .map(|i| format!("d{i}"))
+        .chain((0..k).map(|i| format!("a{i}")))
+        .collect()
+}
+
+/// The complete mod-`k` system: sender ‖ lossy channel ‖ receiver.
+pub fn modk_system(k: usize) -> Spec {
+    let msgs = modk_messages(k);
+    let msg_refs: Vec<&str> = msgs.iter().map(String::as_str).collect();
+    let ch = crate::channel::duplex_lossy_channel(&format!("ch-mod{k}"), &msg_refs, "t_A");
+    protoquot_spec::compose_all(&[&modk_sender(k), &ch, &modk_receiver(k)])
+        .expect("mod-k system shares each event pairwise")
+        .with_name(&format!("mod{k}-system"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::exactly_once;
+    use protoquot_spec::{bisimilar, satisfies};
+
+    #[test]
+    fn mod2_is_the_ab_protocol() {
+        assert!(bisimilar(&modk_sender(2), &crate::abp::ab_sender()));
+        assert!(bisimilar(&modk_receiver(2), &crate::abp::ab_receiver()));
+    }
+
+    #[test]
+    fn sizes_grow_linearly() {
+        for k in 2..=5 {
+            assert_eq!(modk_sender(k).num_states(), 3 * k);
+            assert_eq!(modk_receiver(k).num_states(), 3 * k);
+            assert_eq!(modk_messages(k).len(), 2 * k);
+        }
+    }
+
+    #[test]
+    fn modk_systems_satisfy_exactly_once() {
+        for k in 2..=4 {
+            let sys = modk_system(k);
+            let verdict = satisfies(&sys, &exactly_once()).unwrap();
+            assert!(verdict.is_ok(), "mod-{k} failed: {:?}", verdict.err());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn k1_rejected() {
+        modk_sender(1);
+    }
+}

@@ -1,0 +1,366 @@
+//! Step semantics for a set of composed specifications.
+//!
+//! Where `protoquot-spec` analyses machines symbolically, this engine
+//! *runs* them: at each step the set of globally enabled actions is
+//! computed, one is chosen by a seeded weighted RNG, and every involved
+//! component moves. Used to validate derived converters dynamically —
+//! the running system, not just the theorem, should behave.
+//!
+//! Semantics match the composition operator: an event in two or more
+//! component alphabets fires only when *all* of them enable it
+//! (handshake); internal transitions fire unilaterally. Events in
+//! exactly one alphabet are the closed system's interface to its users;
+//! by default the simulated environment is always willing
+//! ([`ExternalPolicy::AlwaysEnabled`]).
+
+use protoquot_spec::{EventId, Spec, StateId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+
+/// How the engine treats events owned by exactly one component.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExternalPolicy {
+    /// The environment accepts any external event (closed-world users).
+    AlwaysEnabled,
+    /// External events never fire (components only interact with each
+    /// other).
+    Disabled,
+}
+
+/// One globally enabled action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// An internal transition of one component.
+    Internal {
+        /// Index of the component.
+        component: usize,
+        /// Target state.
+        to: StateId,
+    },
+    /// An event fired jointly by every component sharing it (one entry
+    /// per participant; a single entry means an external event).
+    Event {
+        /// The event.
+        event: EventId,
+        /// `(component, target)` for each participant.
+        moves: Vec<(usize, StateId)>,
+    },
+}
+
+/// A set of components wired by event-name sharing, ready to run.
+pub struct System {
+    components: Vec<Spec>,
+    /// For each event: the components having it in their alphabet.
+    /// Ordered so that action enumeration (and hence seeded runs) is
+    /// deterministic.
+    owners: BTreeMap<EventId, Vec<usize>>,
+    policy: ExternalPolicy,
+}
+
+impl System {
+    /// Builds a system from components. Like the composition operator,
+    /// events are wired by name.
+    pub fn new(components: Vec<Spec>, policy: ExternalPolicy) -> System {
+        let mut owners: BTreeMap<EventId, Vec<usize>> = BTreeMap::new();
+        for (i, c) in components.iter().enumerate() {
+            for e in c.alphabet().iter() {
+                owners.entry(e).or_default().push(i);
+            }
+        }
+        System {
+            components,
+            owners,
+            policy,
+        }
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[Spec] {
+        &self.components
+    }
+
+    /// Number of components sharing `event`.
+    pub fn owner_count(&self, event: EventId) -> usize {
+        self.owners.get(&event).map_or(0, Vec::len)
+    }
+
+    /// Every action enabled in the given global state (including all
+    /// internal transitions; callers may filter). Deterministic order.
+    pub fn actions_from(&self, states: &[StateId]) -> Vec<Action> {
+        let mut actions = Vec::new();
+        for (i, c) in self.components.iter().enumerate() {
+            for &t in c.internal_from(states[i]) {
+                actions.push(Action::Internal { component: i, to: t });
+            }
+        }
+        for (&event, owners) in &self.owners {
+            if owners.len() == 1 && self.policy == ExternalPolicy::Disabled {
+                continue;
+            }
+            // Every owner must enable the event; nondeterministic
+            // per-owner choices multiply out — enumerate combinations.
+            let per_owner: Vec<Vec<StateId>> = owners
+                .iter()
+                .map(|&i| self.components[i].ext_successors(states[i], event).collect())
+                .collect();
+            if per_owner.iter().any(Vec::is_empty) {
+                continue;
+            }
+            let mut combos: Vec<Vec<(usize, StateId)>> = vec![Vec::new()];
+            for (oi, targets) in per_owner.iter().enumerate() {
+                let mut next = Vec::with_capacity(combos.len() * targets.len());
+                for combo in &combos {
+                    for &t in targets {
+                        let mut c2 = combo.clone();
+                        c2.push((owners[oi], t));
+                        next.push(c2);
+                    }
+                }
+                combos = next;
+            }
+            for moves in combos {
+                actions.push(Action::Event { event, moves });
+            }
+        }
+        actions
+    }
+}
+
+/// A running instance of a [`System`].
+pub struct Runner {
+    system: System,
+    states: Vec<StateId>,
+    rng: StdRng,
+    /// Weight multiplier for internal transitions, per component
+    /// (default 1). Raising a lossy channel's weight simulates a bad
+    /// link; lowering it a good one. Zero disables its internal moves.
+    internal_weight: Vec<u32>,
+    steps: u64,
+    event_counts: HashMap<EventId, u64>,
+    internal_counts: Vec<u64>,
+}
+
+impl Runner {
+    /// Creates a runner with a deterministic seed.
+    pub fn new(system: System, seed: u64) -> Runner {
+        let n = system.components.len();
+        let states = system.components.iter().map(Spec::initial).collect();
+        Runner {
+            system,
+            states,
+            rng: StdRng::seed_from_u64(seed),
+            internal_weight: vec![1; n],
+            steps: 0,
+            event_counts: HashMap::new(),
+            internal_counts: vec![0; n],
+        }
+    }
+
+    /// Sets the internal-transition weight of one component (e.g. the
+    /// loss likelihood of a channel). Weight 0 disables.
+    pub fn set_internal_weight(&mut self, component: usize, weight: u32) {
+        self.internal_weight[component] = weight;
+    }
+
+    /// Number of components in the system.
+    pub fn num_components(&self) -> usize {
+        self.system.components.len()
+    }
+
+    /// Current state of each component.
+    pub fn states(&self) -> &[StateId] {
+        &self.states
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// How many times `event` has fired.
+    pub fn event_count(&self, event: EventId) -> u64 {
+        self.event_counts.get(&event).copied().unwrap_or(0)
+    }
+
+    /// How many internal transitions component `i` has taken.
+    pub fn internal_count(&self, i: usize) -> u64 {
+        self.internal_counts[i]
+    }
+
+    /// All actions enabled in the current global state (internal
+    /// transitions of zero-weight components excluded).
+    pub fn enabled_actions(&self) -> Vec<Action> {
+        self.system
+            .actions_from(&self.states)
+            .into_iter()
+            .filter(|a| match a {
+                Action::Internal { component, .. } => self.internal_weight[*component] > 0,
+                Action::Event { .. } => true,
+            })
+            .collect()
+    }
+
+    /// Applies an action (must be currently enabled).
+    pub fn apply(&mut self, action: &Action) {
+        match action {
+            Action::Internal { component, to } => {
+                self.states[*component] = *to;
+                self.internal_counts[*component] += 1;
+            }
+            Action::Event { event, moves } => {
+                for &(c, t) in moves {
+                    self.states[c] = t;
+                }
+                *self.event_counts.entry(*event).or_insert(0) += 1;
+            }
+        }
+        self.steps += 1;
+    }
+
+    /// Takes one weighted-random enabled action; returns it, or `None`
+    /// on deadlock.
+    pub fn step_random(&mut self) -> Option<Action> {
+        let actions = self.enabled_actions();
+        if actions.is_empty() {
+            return None;
+        }
+        let weights: Vec<u32> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Internal { component, .. } => self.internal_weight[*component],
+                Action::Event { .. } => 1,
+            })
+            .collect();
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        debug_assert!(total > 0);
+        let mut pick = self.rng.gen_range(0..total);
+        let mut chosen = 0;
+        for (i, &w) in weights.iter().enumerate() {
+            if pick < w as u64 {
+                chosen = i;
+                break;
+            }
+            pick -= w as u64;
+        }
+        let action = actions[chosen].clone();
+        self.apply(&action);
+        Some(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::SpecBuilder;
+
+    fn handshake_pair() -> Vec<Spec> {
+        let mut a = SpecBuilder::new("A");
+        let a0 = a.state("a0");
+        let a1 = a.state("a1");
+        a.ext(a0, "sync", a1);
+        a.ext(a1, "solo_a", a0);
+        let mut b = SpecBuilder::new("B");
+        let b0 = b.state("b0");
+        let b1 = b.state("b1");
+        b.ext(b0, "sync", b1);
+        b.ext(b1, "back", b0);
+        b.int(b1, b0);
+        vec![a.build().unwrap(), b.build().unwrap()]
+    }
+
+    #[test]
+    fn shared_events_need_all_owners() {
+        let sys = System::new(handshake_pair(), ExternalPolicy::AlwaysEnabled);
+        assert_eq!(sys.owner_count(EventId::new("sync")), 2);
+        assert_eq!(sys.owner_count(EventId::new("solo_a")), 1);
+        let r = Runner::new(sys, 1);
+        let actions = r.enabled_actions();
+        // Only "sync" is enabled initially (solo_a needs state a1).
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Event { event, moves } => {
+                assert_eq!(*event, EventId::new("sync"));
+                assert_eq!(moves.len(), 2);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_moves_all_participants() {
+        let sys = System::new(handshake_pair(), ExternalPolicy::AlwaysEnabled);
+        let mut r = Runner::new(sys, 1);
+        let a = r.enabled_actions().remove(0);
+        r.apply(&a);
+        assert_eq!(r.states()[0], StateId(1));
+        assert_eq!(r.states()[1], StateId(1));
+        assert_eq!(r.event_count(EventId::new("sync")), 1);
+        assert_eq!(r.steps(), 1);
+    }
+
+    #[test]
+    fn disabled_externals_are_skipped() {
+        let sys = System::new(handshake_pair(), ExternalPolicy::Disabled);
+        let mut r = Runner::new(sys, 1);
+        r.step_random().unwrap(); // sync
+        // Now A enables solo_a (external) and B enables back (external)
+        // and B's internal; with externals disabled only the internal
+        // remains.
+        let actions = r.enabled_actions();
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], Action::Internal { component: 1, .. }));
+    }
+
+    #[test]
+    fn zero_weight_disables_internal() {
+        let sys = System::new(handshake_pair(), ExternalPolicy::Disabled);
+        let mut r = Runner::new(sys, 1);
+        r.set_internal_weight(1, 0);
+        r.step_random().unwrap(); // sync
+        assert!(r.step_random().is_none(), "deadlock expected");
+    }
+
+    #[test]
+    fn runs_are_reproducible_by_seed() {
+        let mk = || {
+            let sys = System::new(handshake_pair(), ExternalPolicy::AlwaysEnabled);
+            let mut r = Runner::new(sys, 42);
+            let mut log = Vec::new();
+            for _ in 0..50 {
+                match r.step_random() {
+                    Some(a) => log.push(format!("{a:?}")),
+                    None => break,
+                }
+            }
+            log
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn nondeterministic_choices_enumerate() {
+        let mut a = SpecBuilder::new("N");
+        let s = a.state("s");
+        let t1 = a.state("t1");
+        let t2 = a.state("t2");
+        a.ext(s, "e", t1);
+        a.ext(s, "e", t2);
+        let sys = System::new(vec![a.build().unwrap()], ExternalPolicy::AlwaysEnabled);
+        let r = Runner::new(sys, 1);
+        assert_eq!(r.enabled_actions().len(), 2);
+    }
+
+    #[test]
+    fn internal_counts_tracked() {
+        let mut a = SpecBuilder::new("I");
+        let s = a.state("s");
+        let t = a.state("t");
+        a.int(s, t);
+        let sys = System::new(vec![a.build().unwrap()], ExternalPolicy::AlwaysEnabled);
+        let mut r = Runner::new(sys, 1);
+        assert!(r.step_random().is_some());
+        assert_eq!(r.internal_count(0), 1);
+        assert!(r.step_random().is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Execution logging and ASCII message-sequence-chart rendering.
+//!
+//! A [`TraceEntry`] records one scheduler step; [`render_msc`] draws a
+//! fixed-width chart with one column per component — the classic
+//! protocol-trace picture, handy for eyeballing a converter at work:
+//!
+//! ```text
+//! step  A0           Ach          C            N1
+//! ----- ------------ ------------ ------------ ------------
+//!     0 acc          .            .            .
+//!     1 -d0 --------> -d0         .            .
+//!     3 .            +d0 --------> +d0         .
+//! ```
+
+use crate::engine::Action;
+use protoquot_spec::EventId;
+
+/// One logged scheduler step.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Scheduler step number (0-based).
+    pub step: u64,
+    /// What happened.
+    pub what: TraceEvent,
+}
+
+/// The step's content.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// An internal transition of one component (e.g. a channel loss).
+    Internal {
+        /// Component index.
+        component: usize,
+    },
+    /// An event fired by the listed components (one = external).
+    Event {
+        /// The event.
+        event: EventId,
+        /// Participating component indices, ascending.
+        participants: Vec<usize>,
+    },
+}
+
+impl TraceEntry {
+    /// Converts an applied [`Action`] into a log entry.
+    pub fn from_action(step: u64, action: &Action) -> TraceEntry {
+        let what = match action {
+            Action::Internal { component, .. } => TraceEvent::Internal {
+                component: *component,
+            },
+            Action::Event { event, moves } => {
+                let mut participants: Vec<usize> = moves.iter().map(|&(c, _)| c).collect();
+                participants.sort_unstable();
+                participants.dedup();
+                TraceEvent::Event {
+                    event: *event,
+                    participants,
+                }
+            }
+        };
+        TraceEntry { step, what }
+    }
+}
+
+/// Renders a log as an ASCII sequence chart. `names` are the component
+/// column headers (index-aligned with the engine's component list).
+pub fn render_msc(names: &[&str], entries: &[TraceEntry]) -> String {
+    const W: usize = 13;
+    let cell = |s: &str| format!("{:<W$}", truncate(s, W - 1));
+    let mut out = String::new();
+    out.push_str(&format!("{:>5} ", "step"));
+    for n in names {
+        out.push_str(&cell(n));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:->5} ", ""));
+    for _ in names {
+        out.push_str(&format!("{:-<w$} ", "", w = W - 1));
+    }
+    out.push('\n');
+    for e in entries {
+        out.push_str(&format!("{:>5} ", e.step));
+        match &e.what {
+            TraceEvent::Internal { component } => {
+                for i in 0..names.len() {
+                    if i == *component {
+                        out.push_str(&cell("~internal~"));
+                    } else {
+                        out.push_str(&cell("."));
+                    }
+                }
+            }
+            TraceEvent::Event {
+                event,
+                participants,
+            } => {
+                let first = *participants.first().unwrap_or(&0);
+                let last = *participants.last().unwrap_or(&0);
+                let name = event.name();
+                for i in 0..names.len() {
+                    if participants.contains(&i) {
+                        // Draw an arrow across the span between the
+                        // first and last participants.
+                        if participants.len() > 1 && i == first {
+                            let arrowed = format!("{name} ");
+                            let mut c = format!("{:-<w$}>", arrowed, w = W - 2);
+                            c.push(' ');
+                            out.push_str(&c);
+                        } else {
+                            out.push_str(&cell(&name));
+                        }
+                    } else if i > first && i < last {
+                        out.push_str(&cell("------------"));
+                    } else {
+                        out.push_str(&cell("."));
+                    }
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_owned()
+    } else {
+        s.chars().take(max.saturating_sub(1)).chain(['…']).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Action;
+    use protoquot_spec::StateId;
+
+    fn entry_event(step: u64, name: &str, parts: &[usize]) -> TraceEntry {
+        TraceEntry::from_action(
+            step,
+            &Action::Event {
+                event: EventId::new(name),
+                moves: parts.iter().map(|&c| (c, StateId(0))).collect(),
+            },
+        )
+    }
+
+    #[test]
+    fn from_action_sorts_participants() {
+        let e = entry_event(3, "sync", &[2, 0]);
+        match e.what {
+            TraceEvent::Event { participants, .. } => assert_eq!(participants, vec![0, 2]),
+            _ => panic!(),
+        }
+        assert_eq!(e.step, 3);
+    }
+
+    #[test]
+    fn msc_renders_headers_and_rows() {
+        let entries = vec![
+            entry_event(0, "acc", &[0]),
+            entry_event(1, "-d0", &[0, 1]),
+            TraceEntry::from_action(
+                2,
+                &Action::Internal {
+                    component: 1,
+                    to: StateId(0),
+                },
+            ),
+        ];
+        let msc = render_msc(&["A0", "Ach", "C"], &entries);
+        let lines: Vec<&str> = msc.lines().collect();
+        assert!(lines[0].contains("A0"));
+        assert!(lines[0].contains("Ach"));
+        assert!(lines[2].contains("acc"));
+        assert!(lines[3].contains("-d0"));
+        assert!(lines[3].contains('>'), "arrow expected: {}", lines[3]);
+        assert!(lines[4].contains("~internal~"));
+    }
+
+    #[test]
+    fn long_names_truncated() {
+        assert_eq!(truncate("short", 10), "short");
+        let t = truncate("averyveryverylongname", 8);
+        assert!(t.chars().count() <= 8);
+        assert!(t.ends_with('…'));
+    }
+}

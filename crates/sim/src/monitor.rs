@@ -1,0 +1,148 @@
+//! Online service monitoring: checks a running system's external trace
+//! against a (normalized) service specification, flagging safety
+//! violations the moment they occur.
+
+use protoquot_spec::{normalize, EventId, NormalSpec, Spec};
+
+/// What the monitor observed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MonitorVerdict {
+    /// All observed events so far are consistent with the service.
+    Conforming,
+    /// The event at `position` (index into the observed trace) is not
+    /// allowed by the service after the preceding trace.
+    SafetyViolation {
+        /// Offset of the offending event in the observed trace.
+        position: usize,
+        /// The offending event.
+        event: EventId,
+    },
+}
+
+/// Tracks ψ through the service as events are observed.
+pub struct ServiceMonitor {
+    service: NormalSpec,
+    hub: usize,
+    observed: Vec<EventId>,
+    verdict: MonitorVerdict,
+}
+
+impl ServiceMonitor {
+    /// Builds a monitor for `service` (normalized internally).
+    pub fn new(service: &Spec) -> ServiceMonitor {
+        let service = normalize(service);
+        let hub = service.initial_hub();
+        ServiceMonitor {
+            service,
+            hub,
+            observed: Vec::new(),
+            verdict: MonitorVerdict::Conforming,
+        }
+    }
+
+    /// The service's alphabet — feed the monitor exactly these events.
+    pub fn monitored_events(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.service.spec().alphabet().iter()
+    }
+
+    /// True if `event` is one the monitor watches.
+    pub fn watches(&self, event: EventId) -> bool {
+        self.service.spec().alphabet().contains(event)
+    }
+
+    /// Observes one event. Events outside the service alphabet are
+    /// ignored; after a violation further events are recorded but not
+    /// tracked.
+    pub fn observe(&mut self, event: EventId) {
+        if !self.watches(event) {
+            return;
+        }
+        let position = self.observed.len();
+        self.observed.push(event);
+        if self.verdict != MonitorVerdict::Conforming {
+            return;
+        }
+        match self.service.step(self.hub, event) {
+            Some(h) => self.hub = h,
+            None => {
+                self.verdict = MonitorVerdict::SafetyViolation { position, event };
+            }
+        }
+    }
+
+    /// The verdict so far.
+    pub fn verdict(&self) -> &MonitorVerdict {
+        &self.verdict
+    }
+
+    /// The observed (service-alphabet) trace.
+    pub fn observed(&self) -> &[EventId] {
+        &self.observed
+    }
+
+    /// Events the service could accept next (τ* of the current hub);
+    /// empty after a violation.
+    pub fn acceptable_next(&self) -> Vec<EventId> {
+        if self.verdict != MonitorVerdict::Conforming {
+            return Vec::new();
+        }
+        self.service.tau_star(self.hub).iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::SpecBuilder;
+
+    fn service() -> Spec {
+        let mut b = SpecBuilder::new("S");
+        let u0 = b.state("u0");
+        let u1 = b.state("u1");
+        b.ext(u0, "acc", u1);
+        b.ext(u1, "del", u0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn conforming_run() {
+        let mut m = ServiceMonitor::new(&service());
+        for e in ["acc", "del", "acc", "del"] {
+            m.observe(EventId::new(e));
+        }
+        assert_eq!(*m.verdict(), MonitorVerdict::Conforming);
+        assert_eq!(m.observed().len(), 4);
+        assert_eq!(m.acceptable_next(), vec![EventId::new("acc")]);
+    }
+
+    #[test]
+    fn violation_flagged_at_position() {
+        let mut m = ServiceMonitor::new(&service());
+        m.observe(EventId::new("acc"));
+        m.observe(EventId::new("del"));
+        m.observe(EventId::new("del"));
+        assert_eq!(
+            *m.verdict(),
+            MonitorVerdict::SafetyViolation {
+                position: 2,
+                event: EventId::new("del")
+            }
+        );
+        assert!(m.acceptable_next().is_empty());
+        // Later events don't change the verdict.
+        m.observe(EventId::new("acc"));
+        assert!(matches!(
+            m.verdict(),
+            MonitorVerdict::SafetyViolation { position: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn unwatched_events_ignored() {
+        let mut m = ServiceMonitor::new(&service());
+        m.observe(EventId::new("noise"));
+        assert_eq!(m.observed().len(), 0);
+        assert!(!m.watches(EventId::new("noise")));
+        assert!(m.watches(EventId::new("acc")));
+    }
+}

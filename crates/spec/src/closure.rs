@@ -1,0 +1,167 @@
+//! λ* closures and the τ/τ* enabled-event sets of §3.
+//!
+//! * `s λ* s'` — `s'` is reachable from `s` via zero or more internal
+//!   transitions.
+//! * `τ.s` — external events enabled directly in `s`.
+//! * `τ*.s` — external events enabled in any state internally reachable
+//!   from `s` ("all events that may occur next if the current state is
+//!   `s`").
+
+use crate::event::Alphabet;
+use crate::spec::{Spec, StateId};
+use crate::stateset::StateSet;
+
+/// Precomputed λ* closure and τ* sets for every state of one spec.
+#[derive(Clone, Debug)]
+pub struct Closures {
+    lambda_star: Vec<StateSet>,
+    tau_star: Vec<Alphabet>,
+}
+
+impl Closures {
+    /// Computes closures for `spec`.
+    pub fn compute(spec: &Spec) -> Closures {
+        let n = spec.num_states();
+        let mut lambda_star = Vec::with_capacity(n);
+        for s in spec.states() {
+            lambda_star.push(lambda_closure_of(spec, s));
+        }
+        let tau_star = (0..n)
+            .map(|i| {
+                let mut acc = Alphabet::new();
+                for t in lambda_star[i].iter() {
+                    acc = acc.union(&spec.tau(t));
+                }
+                acc
+            })
+            .collect();
+        Closures {
+            lambda_star,
+            tau_star,
+        }
+    }
+
+    /// The set `{s' : s λ* s'}` (always contains `s` itself).
+    pub fn lambda_star(&self, s: StateId) -> &StateSet {
+        &self.lambda_star[s.index()]
+    }
+
+    /// True iff `s λ* t`.
+    pub fn reaches(&self, s: StateId, t: StateId) -> bool {
+        self.lambda_star[s.index()].contains(t)
+    }
+
+    /// τ*.s per the paper.
+    pub fn tau_star(&self, s: StateId) -> &Alphabet {
+        &self.tau_star[s.index()]
+    }
+}
+
+/// Computes `{s' : start λ* s'}` by DFS over internal edges.
+pub fn lambda_closure_of(spec: &Spec, start: StateId) -> StateSet {
+    let mut set = StateSet::new(spec.num_states());
+    let mut stack = vec![start];
+    set.insert(start);
+    while let Some(s) = stack.pop() {
+        for &t in spec.internal_from(s) {
+            if set.insert(t) {
+                stack.push(t);
+            }
+        }
+    }
+    set
+}
+
+/// Extends a set of states to its λ* closure in place.
+pub fn close_lambda(spec: &Spec, set: &mut StateSet) {
+    let mut stack: Vec<StateId> = set.iter().collect();
+    while let Some(s) = stack.pop() {
+        for &t in spec.internal_from(s) {
+            if set.insert(t) {
+                stack.push(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::spec::SpecBuilder;
+
+    /// a ~> b ~> c, with c --e--> a and b --f--> b.
+    fn chain() -> Spec {
+        let mut bld = SpecBuilder::new("chain");
+        let a = bld.state("a");
+        let b = bld.state("b");
+        let c = bld.state("c");
+        bld.int(a, b);
+        bld.int(b, c);
+        bld.ext(c, "e", a);
+        bld.ext(b, "f", b);
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn lambda_star_is_reflexive_and_transitive() {
+        let s = chain();
+        let cl = Closures::compute(&s);
+        let a = s.state_by_name("a").unwrap();
+        let b = s.state_by_name("b").unwrap();
+        let c = s.state_by_name("c").unwrap();
+        assert!(cl.reaches(a, a));
+        assert!(cl.reaches(a, b));
+        assert!(cl.reaches(a, c));
+        assert!(!cl.reaches(c, b));
+        assert_eq!(cl.lambda_star(a).len(), 3);
+        assert_eq!(cl.lambda_star(c).len(), 1);
+    }
+
+    #[test]
+    fn tau_star_collects_enabled_events_along_internal_paths() {
+        let s = chain();
+        let cl = Closures::compute(&s);
+        let a = s.state_by_name("a").unwrap();
+        let c = s.state_by_name("c").unwrap();
+        assert_eq!(cl.tau_star(a), &Alphabet::from_names(["e", "f"]));
+        assert_eq!(cl.tau_star(c), &Alphabet::from_names(["e"]));
+        // τ (direct) differs from τ* for `a`.
+        assert!(s.tau(a).is_empty());
+    }
+
+    #[test]
+    fn closure_handles_internal_cycles() {
+        let mut bld = SpecBuilder::new("cycle");
+        let a = bld.state("a");
+        let b = bld.state("b");
+        bld.int(a, b);
+        bld.int(b, a);
+        bld.ext(b, "g", a);
+        let s = bld.build().unwrap();
+        let cl = Closures::compute(&s);
+        assert!(cl.reaches(a, b) && cl.reaches(b, a));
+        assert_eq!(cl.tau_star(a), &Alphabet::from_names(["g"]));
+        assert_eq!(cl.tau_star(b), &Alphabet::from_names(["g"]));
+    }
+
+    #[test]
+    fn close_lambda_extends_in_place() {
+        let s = chain();
+        let mut set = StateSet::new(s.num_states());
+        set.insert(s.state_by_name("a").unwrap());
+        close_lambda(&s, &mut set);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn unused_event_never_in_tau_star() {
+        let mut bld = SpecBuilder::new("iface");
+        let a = bld.state("a");
+        bld.ext(a, "used", a);
+        bld.event("declared_only");
+        let s = bld.build().unwrap();
+        let cl = Closures::compute(&s);
+        assert!(!cl.tau_star(a).contains(EventId::new("declared_only")));
+    }
+}

@@ -1,0 +1,121 @@
+//! Rendering specifications: Graphviz DOT and a plain-text listing.
+
+use crate::spec::Spec;
+
+/// Renders the specification as a Graphviz digraph. Internal transitions
+/// are dashed, the initial state is doubly circled.
+pub fn to_dot(spec: &Spec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("digraph \"{}\" {{\n", escape(spec.name())));
+    out.push_str("  rankdir=LR;\n  node [shape=circle];\n");
+    for s in spec.states() {
+        let shape = if s == spec.initial() {
+            "doublecircle"
+        } else {
+            "circle"
+        };
+        out.push_str(&format!(
+            "  n{} [label=\"{}\", shape={}];\n",
+            s.index(),
+            escape(spec.state_name(s)),
+            shape
+        ));
+    }
+    for (s, e, t) in spec.external_transitions() {
+        out.push_str(&format!(
+            "  n{} -> n{} [label=\"{}\"];\n",
+            s.index(),
+            t.index(),
+            escape(&e.name())
+        ));
+    }
+    for (s, t) in spec.internal_transitions() {
+        out.push_str(&format!(
+            "  n{} -> n{} [style=dashed];\n",
+            s.index(),
+            t.index()
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Plain-text adjacency listing, stable across runs; useful in golden
+/// tests and terminal output.
+pub fn to_text(spec: &Spec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "spec {} [{} states, initial {}]\n",
+        spec.name(),
+        spec.num_states(),
+        spec.state_name(spec.initial())
+    ));
+    out.push_str(&format!("alphabet: {}\n", spec.alphabet()));
+    for s in spec.states() {
+        let mut edges: Vec<String> = Vec::new();
+        let mut ext: Vec<_> = spec.external_from(s).to_vec();
+        ext.sort_by_key(|&(e, t)| (e.name(), t));
+        for (e, t) in ext {
+            edges.push(format!("{} -> {}", e, spec.state_name(t)));
+        }
+        let mut int: Vec<_> = spec.internal_from(s).to_vec();
+        int.sort();
+        for t in int {
+            edges.push(format!("~> {}", spec.state_name(t)));
+        }
+        out.push_str(&format!(
+            "  {}: {}\n",
+            spec.state_name(s),
+            if edges.is_empty() {
+                "(no transitions)".to_owned()
+            } else {
+                edges.join(" | ")
+            }
+        ));
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    fn sample() -> Spec {
+        let mut b = SpecBuilder::new("sam\"ple");
+        let a = b.state("a");
+        let c = b.state("c");
+        b.ext(a, "go", c);
+        b.int(c, a);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_escapes() {
+        let d = to_dot(&sample());
+        assert!(d.contains("digraph \"sam\\\"ple\""));
+        assert!(d.contains("doublecircle"));
+        assert!(d.contains("label=\"go\""));
+        assert!(d.contains("style=dashed"));
+    }
+
+    #[test]
+    fn text_listing_is_stable() {
+        let t = to_text(&sample());
+        assert!(t.contains("2 states"));
+        assert!(t.contains("a: go -> c"));
+        assert!(t.contains("c: ~> a"));
+    }
+
+    #[test]
+    fn text_marks_stuck_states() {
+        let mut b = SpecBuilder::new("stuck");
+        b.state("only");
+        let t = to_text(&b.build().unwrap());
+        assert!(t.contains("(no transitions)"));
+    }
+}

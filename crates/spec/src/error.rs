@@ -1,0 +1,81 @@
+//! Error types for specification construction and analysis.
+
+use std::fmt;
+
+/// Errors raised while building or transforming a [`Spec`](crate::Spec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A specification must have a nonempty state set.
+    NoStates(String),
+    /// A transition or the initial state referenced a state index out of
+    /// range.
+    InvalidState(usize),
+    /// An operation referenced an event outside the alphabet.
+    UnknownEvent(String),
+    /// An operation would have introduced a duplicate event.
+    DuplicateEvent(String),
+    /// Two specifications that must share an interface do not.
+    InterfaceMismatch {
+        /// Alphabet of the left operand.
+        left: String,
+        /// Alphabet of the right operand.
+        right: String,
+    },
+    /// An event was found in more than two component alphabets of an
+    /// n-ary composition; the paper's binary `‖` hides an event as soon
+    /// as two components share it, so a third user would silently
+    /// mis-synchronise.
+    EventSharedByMoreThanTwo(String),
+    /// A textual spec failed to parse (detail in the message).
+    Parse(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoStates(name) => {
+                write!(f, "specification `{name}` has no states")
+            }
+            SpecError::InvalidState(i) => write!(f, "state index {i} out of range"),
+            SpecError::UnknownEvent(e) => write!(f, "event `{e}` is not in the alphabet"),
+            SpecError::DuplicateEvent(e) => write!(f, "event `{e}` already in the alphabet"),
+            SpecError::InterfaceMismatch { left, right } => write!(
+                f,
+                "interface mismatch: left alphabet {left}, right alphabet {right}"
+            ),
+            SpecError::EventSharedByMoreThanTwo(e) => write!(
+                f,
+                "event `{e}` appears in more than two component alphabets; \
+                 binary composition would hide it after the first pair"
+            ),
+            SpecError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SpecError::NoStates("x".into()).to_string().contains("x"));
+        assert!(SpecError::InvalidState(3).to_string().contains('3'));
+        assert!(SpecError::UnknownEvent("e".into()).to_string().contains("`e`"));
+        assert!(SpecError::DuplicateEvent("e".into())
+            .to_string()
+            .contains("already"));
+        assert!(SpecError::InterfaceMismatch {
+            left: "{a}".into(),
+            right: "{b}".into()
+        }
+        .to_string()
+        .contains("mismatch"));
+        assert!(SpecError::EventSharedByMoreThanTwo("e".into())
+            .to_string()
+            .contains("more than two"));
+        assert!(SpecError::Parse("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Refusals and acceptance sets — the semantic layer beneath the
+//! paper's progress definition.
+//!
+//! §3 notes that its notion of progress "is similar to the 'refusals'
+//! of Hoare, or the 'acceptance sets' of Hennessey". This module makes
+//! those objects directly queryable:
+//!
+//! * the **acceptance sets** after a trace `t` are the τ* sets of the
+//!   sink states reachable after `t` — the alternatives the system may
+//!   internally commit to;
+//! * the system **may refuse** an offered set `X` after `t` iff it can
+//!   commit to an acceptance set disjoint from `X` (with `X` = the
+//!   whole alphabet: may deadlock);
+//! * the system **must accept** `X` iff every acceptance set meets it.
+//!
+//! "B satisfies A with respect to progress" (the paper's `prog`) is
+//! then: whenever A *must* make some offer, B can cover one of A's
+//! acceptance alternatives — which is exactly what
+//! [`crate::satisfy::satisfies`] checks; tests below cross-validate.
+
+use crate::event::{Alphabet, EventId};
+use crate::normal::{normalize, NormalSpec};
+use crate::spec::Spec;
+
+/// Failures-semantics queries over one specification.
+///
+/// Construction normalizes the specification once; queries are then
+/// cheap ψ-walks.
+pub struct Failures {
+    na: NormalSpec,
+}
+
+impl Failures {
+    /// Prepares the failures view of `spec`.
+    pub fn new(spec: &Spec) -> Failures {
+        Failures {
+            na: normalize(spec),
+        }
+    }
+
+    /// The acceptance sets after `t`: the distinct τ* sets of sink
+    /// states reachable by `t`. `None` iff `t` is not a trace.
+    pub fn acceptances_after(&self, t: &[EventId]) -> Option<Vec<Alphabet>> {
+        let hub = self.na.psi(t)?;
+        Some(self.na.acceptance(hub).to_vec())
+    }
+
+    /// Everything that may happen next after `t` (the τ* of the trace).
+    pub fn possible_after(&self, t: &[EventId]) -> Option<Alphabet> {
+        let hub = self.na.psi(t)?;
+        Some(self.na.tau_star(hub).clone())
+    }
+
+    /// May the system refuse the entire offered set `x` after `t`?
+    /// (`(t, x)` is a *failure* in CSP terms.) `None` iff `t` is not a
+    /// trace.
+    pub fn may_refuse(&self, t: &[EventId], x: &Alphabet) -> Option<bool> {
+        let accs = self.acceptances_after(t)?;
+        Some(accs.iter().any(|r| r.is_disjoint(x)))
+    }
+
+    /// Must the system accept something from `x` after `t` (i.e. can it
+    /// never refuse all of `x`)?
+    pub fn must_accept(&self, t: &[EventId], x: &Alphabet) -> Option<bool> {
+        self.may_refuse(t, x).map(|r| !r)
+    }
+
+    /// May the system deadlock after `t` (refuse the whole alphabet)?
+    pub fn may_deadlock(&self, t: &[EventId]) -> Option<bool> {
+        self.may_refuse(t, &self.na.spec().alphabet().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+    use crate::trace::trace_of;
+
+    /// After `req`, the service internally commits to offering `ok`
+    /// or to offering `err`.
+    fn choice() -> Spec {
+        let mut b = SpecBuilder::new("C");
+        let s0 = b.state("s0");
+        let mid = b.state("mid");
+        let l = b.state("l");
+        let r = b.state("r");
+        b.ext(s0, "req", mid);
+        b.int(mid, l);
+        b.int(mid, r);
+        b.ext(l, "ok", s0);
+        b.ext(r, "err", s0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn acceptances_reflect_internal_choice() {
+        let f = Failures::new(&choice());
+        let accs = f.acceptances_after(&trace_of(&["req"])).unwrap();
+        assert_eq!(accs.len(), 2);
+        assert!(accs.contains(&Alphabet::from_names(["ok"])));
+        assert!(accs.contains(&Alphabet::from_names(["err"])));
+        assert_eq!(
+            f.possible_after(&trace_of(&["req"])).unwrap(),
+            Alphabet::from_names(["ok", "err"])
+        );
+    }
+
+    #[test]
+    fn refusals_against_partial_offers() {
+        let f = Failures::new(&choice());
+        let t = trace_of(&["req"]);
+        // Offering only `ok`: the system may have committed to `err`.
+        assert_eq!(f.may_refuse(&t, &Alphabet::from_names(["ok"])), Some(true));
+        assert_eq!(f.may_refuse(&t, &Alphabet::from_names(["err"])), Some(true));
+        // Offering both: some acceptance always meets it.
+        assert_eq!(
+            f.must_accept(&t, &Alphabet::from_names(["ok", "err"])),
+            Some(true)
+        );
+        // Never deadlocks here.
+        assert_eq!(f.may_deadlock(&t), Some(false));
+        // Initially only `req` is on offer; refusing {req} is impossible.
+        assert_eq!(f.must_accept(&[], &Alphabet::from_names(["req"])), Some(true));
+    }
+
+    #[test]
+    fn deadlock_is_refusal_of_everything() {
+        let mut b = SpecBuilder::new("D");
+        let s0 = b.state("s0");
+        let dead = b.state("dead");
+        let live = b.state("live");
+        b.ext(s0, "go", live);
+        b.int(live, dead); // may silently die
+        b.ext(live, "more", s0);
+        let spec = b.build().unwrap();
+        let f = Failures::new(&spec);
+        assert_eq!(f.may_deadlock(&trace_of(&["go"])), Some(true));
+        assert_eq!(f.may_deadlock(&[]), Some(false));
+    }
+
+    #[test]
+    fn non_traces_are_none() {
+        let f = Failures::new(&choice());
+        assert!(f.acceptances_after(&trace_of(&["ok"])).is_none());
+        assert!(f.may_refuse(&trace_of(&["nope"]), &Alphabet::new()).is_none());
+        assert!(f.may_deadlock(&trace_of(&["req", "req"])).is_none());
+    }
+
+    /// Cross-validation with `satisfies`: B fails progress against A
+    /// exactly when, after some common trace, B may refuse an offer A
+    /// must be prepared for — demonstrated on the deadlocking example.
+    #[test]
+    fn refusals_explain_progress_verdicts() {
+        let mut sb = SpecBuilder::new("S");
+        let u0 = sb.state("u0");
+        let u1 = sb.state("u1");
+        sb.ext(u0, "acc", u1);
+        sb.ext(u1, "del", u0);
+        let service = sb.build().unwrap();
+
+        let mut ib = SpecBuilder::new("impl");
+        let s0 = ib.state("s0");
+        let s1 = ib.state("s1");
+        let dead = ib.state("dead");
+        ib.ext(s0, "acc", s1);
+        ib.ext(s1, "del", s0);
+        ib.int(s1, dead);
+        let imp = ib.build().unwrap();
+
+        // The checker reports a progress violation after `acc`…
+        let verdict = crate::satisfy::satisfies(&imp, &service).unwrap();
+        assert!(matches!(
+            verdict,
+            Err(crate::satisfy::Violation::Progress { .. })
+        ));
+        // …and the failures view shows why: the service's sole
+        // acceptance after `acc` is {del}, but the implementation may
+        // refuse it.
+        let fs = Failures::new(&service);
+        let fi = Failures::new(&imp);
+        let t = trace_of(&["acc"]);
+        assert_eq!(
+            fs.acceptances_after(&t).unwrap(),
+            vec![Alphabet::from_names(["del"])]
+        );
+        assert_eq!(fi.may_refuse(&t, &Alphabet::from_names(["del"])), Some(true));
+    }
+}

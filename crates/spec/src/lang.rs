@@ -1,0 +1,285 @@
+//! Trace-language operations: determinization, language equality, and
+//! exhaustive safety diagnostics.
+//!
+//! The satisfaction checker ([`crate::satisfy`]) stops at the *first*
+//! violation; [`all_minimal_violations`] instead enumerates **every**
+//! distinct way an implementation can first step outside a service —
+//! one shortest witness per `(implementation state, service state,
+//! event)` triple — which is what you want when repairing a protocol
+//! rather than just rejecting it.
+
+use crate::event::EventId;
+use crate::normal::{normalize, NormalSpec};
+use crate::spec::{spec_from_parts, Spec, StateId};
+use crate::trace::Trace;
+use std::collections::{HashMap, VecDeque};
+
+/// Subset-construction determinization: returns a deterministic,
+/// internal-free specification with exactly the same trace set.
+///
+/// (Unlike [`normalize`], which preserves the progress semantics with
+/// hub/leaf structure, this flattens to pure trace semantics — use it
+/// for display, comparison and language algebra.)
+///
+/// ```
+/// use protoquot_spec::{determinize, language_equal, SpecBuilder};
+/// let mut b = SpecBuilder::new("nd");
+/// let s0 = b.state("s0");
+/// let p = b.state("p");
+/// let q = b.state("q");
+/// b.ext(s0, "e", p);
+/// b.ext(s0, "e", q); // nondeterministic on e
+/// b.ext(p, "x", s0);
+/// b.ext(q, "y", s0);
+/// let nd = b.build().unwrap();
+/// let d = determinize(&nd);
+/// assert!(d.is_deterministic());
+/// assert!(language_equal(&nd, &d));
+/// ```
+pub fn determinize(spec: &Spec) -> Spec {
+    let na = normalize(spec);
+    // The hubs of the normal form *are* the subset-construction states;
+    // connect them directly with the ψ-step function.
+    let names: Vec<String> = (0..na.num_hubs()).map(|h| format!("q{h}")).collect();
+    let mut ext = Vec::new();
+    for h in 0..na.num_hubs() {
+        for e in na.tau_star(h).iter() {
+            let t = na.step(h, e).expect("τ* events always step");
+            ext.push((StateId(h as u32), e, StateId(t as u32)));
+        }
+    }
+    spec_from_parts(
+        format!("{}/det", spec.name()),
+        spec.alphabet().clone(),
+        names,
+        StateId(na.initial_hub() as u32),
+        ext,
+        Vec::new(),
+    )
+    .expect("determinization preserves validity")
+}
+
+/// True iff the two specifications have the same trace set (mutual
+/// safety inclusion). Interfaces must match.
+pub fn language_equal(a: &Spec, b: &Spec) -> bool {
+    matches!(crate::satisfy::satisfies_safety(a, b), Ok(Ok(())))
+        && matches!(crate::satisfy::satisfies_safety(b, a), Ok(Ok(())))
+}
+
+/// One way `b` can first violate `a`: after `prefix` (a trace of both),
+/// `b` enables `event` but `a` does not.
+#[derive(Clone, Debug)]
+pub struct MinimalViolation {
+    /// The common prefix.
+    pub prefix: Trace,
+    /// The offending next event.
+    pub event: EventId,
+    /// The implementation state enabling it.
+    pub b_state: StateId,
+}
+
+impl MinimalViolation {
+    /// The full violating trace (prefix plus the offending event).
+    pub fn trace(&self) -> Trace {
+        let mut t = self.prefix.clone();
+        t.push(self.event);
+        t
+    }
+}
+
+/// Enumerates every distinct minimal violation of `a` by `b`: a BFS
+/// over the `(b state, ψ_A hub)` product, reporting — with a shortest
+/// prefix — each `(b state, hub, event)` at which `b` can step outside
+/// `a`. Empty iff `b` satisfies `a` w.r.t. safety.
+pub fn all_minimal_violations(b: &Spec, a: &Spec) -> Vec<MinimalViolation> {
+    let na: NormalSpec = normalize(a);
+    let mut index: HashMap<(StateId, usize), usize> = HashMap::new();
+    let mut parents: Vec<Option<(usize, Option<EventId>)>> = Vec::new();
+    let mut pairs: Vec<(StateId, usize)> = Vec::new();
+    let mut queue = VecDeque::new();
+
+    let start = (b.initial(), na.initial_hub());
+    index.insert(start, 0);
+    pairs.push(start);
+    parents.push(None);
+    queue.push_back(0usize);
+
+    let mut violations = Vec::new();
+    while let Some(i) = queue.pop_front() {
+        let (bs, hub) = pairs[i];
+        for &t in b.internal_from(bs) {
+            let key = (t, hub);
+            if let std::collections::hash_map::Entry::Vacant(v) = index.entry(key) {
+                let id = pairs.len();
+                v.insert(id);
+                pairs.push(key);
+                parents.push(Some((i, None)));
+                queue.push_back(id);
+            }
+        }
+        let mut reported: Vec<EventId> = Vec::new();
+        for &(e, t) in b.external_from(bs) {
+            match na.step(hub, e) {
+                Some(hub2) => {
+                    let key = (t, hub2);
+                    if let std::collections::hash_map::Entry::Vacant(v) = index.entry(key) {
+                        let id = pairs.len();
+                        v.insert(id);
+                        pairs.push(key);
+                        parents.push(Some((i, Some(e))));
+                        queue.push_back(id);
+                    }
+                }
+                None => {
+                    if !reported.contains(&e) {
+                        reported.push(e);
+                        violations.push(MinimalViolation {
+                            prefix: trace_to(&parents, i),
+                            event: e,
+                            b_state: bs,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+fn trace_to(parents: &[Option<(usize, Option<EventId>)>], mut i: usize) -> Trace {
+    let mut rev = Vec::new();
+    while let Some((p, e)) = parents[i] {
+        if let Some(e) = e {
+            rev.push(e);
+        }
+        i = p;
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+    use crate::trace::{has_trace, trace_of, traces_up_to};
+
+    fn nondet() -> Spec {
+        let mut b = SpecBuilder::new("nd");
+        let s0 = b.state("s0");
+        let p = b.state("p");
+        let q = b.state("q");
+        let r = b.state("r");
+        b.ext(s0, "e", p);
+        b.ext(s0, "e", q);
+        b.int(q, r);
+        b.ext(p, "x", s0);
+        b.ext(r, "y", s0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn determinize_flattens_and_preserves_traces() {
+        let nd = nondet();
+        let d = determinize(&nd);
+        assert!(d.is_deterministic());
+        let t1: std::collections::HashSet<_> = traces_up_to(&nd, 4).into_iter().collect();
+        let t2: std::collections::HashSet<_> = traces_up_to(&d, 4).into_iter().collect();
+        assert_eq!(t1, t2);
+        assert!(language_equal(&nd, &d));
+    }
+
+    #[test]
+    fn language_equal_discriminates() {
+        let nd = nondet();
+        let mut b = SpecBuilder::new("smaller");
+        let s0 = b.state("s0");
+        let p = b.state("p");
+        b.ext(s0, "e", p);
+        b.ext(p, "x", s0);
+        b.event("y");
+        let smaller = b.build().unwrap();
+        assert!(!language_equal(&nd, &smaller));
+        assert!(matches!(
+            crate::satisfy::satisfies_safety(&smaller, &nd),
+            Ok(Ok(()))
+        ));
+    }
+
+    #[test]
+    fn no_violations_when_satisfied() {
+        let nd = nondet();
+        assert!(all_minimal_violations(&nd, &nd).is_empty());
+    }
+
+    #[test]
+    fn all_first_escapes_enumerated() {
+        // Service: (a b)*; impl can do a, then b or the illegal c, and
+        // from the post-b state the illegal d.
+        let mut sb = SpecBuilder::new("srv");
+        let u0 = sb.state("u0");
+        let u1 = sb.state("u1");
+        sb.ext(u0, "a", u1);
+        sb.ext(u1, "b", u0);
+        sb.event("c");
+        sb.event("d");
+        let srv = sb.build().unwrap();
+
+        let mut ib = SpecBuilder::new("imp");
+        let s0 = ib.state("s0");
+        let s1 = ib.state("s1");
+        ib.ext(s0, "a", s1);
+        ib.ext(s1, "b", s0);
+        ib.ext(s1, "c", s0); // violation after "a"
+        ib.ext(s0, "d", s0); // violation at start and after "a b"
+        let imp = ib.build().unwrap();
+
+        let vs = all_minimal_violations(&imp, &srv);
+        let rendered: std::collections::HashSet<String> = vs
+            .iter()
+            .map(|v| crate::trace::trace_string(&v.trace()))
+            .collect();
+        assert!(rendered.contains("d"), "{rendered:?}");
+        assert!(rendered.contains("a.c"), "{rendered:?}");
+        // Each is genuinely minimal: the prefix is a trace of both.
+        for v in &vs {
+            assert!(has_trace(&imp, &v.prefix));
+            assert!(has_trace(&srv, &v.prefix));
+            assert!(!has_trace(&srv, &v.trace()));
+        }
+    }
+
+    #[test]
+    fn bfs_yields_shortest_prefixes() {
+        // The violation is reachable both directly and via a detour;
+        // BFS must report the short one.
+        let mut sb = SpecBuilder::new("srv");
+        let u0 = sb.state("u0");
+        sb.ext(u0, "a", u0);
+        sb.event("z");
+        let srv = sb.build().unwrap();
+        let mut ib = SpecBuilder::new("imp");
+        let s0 = ib.state("s0");
+        let s1 = ib.state("s1");
+        ib.ext(s0, "a", s1);
+        ib.ext(s1, "a", s1);
+        ib.ext(s1, "z", s0);
+        let imp = ib.build().unwrap();
+        let vs = all_minimal_violations(&imp, &srv);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(trace_of(&["a", "z"]), vs[0].trace());
+    }
+
+    #[test]
+    fn deterministic_input_is_fixed_point_of_determinize() {
+        let mut b = SpecBuilder::new("d");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.ext(s0, "x", s1);
+        b.ext(s1, "y", s0);
+        let d = b.build().unwrap();
+        let dd = determinize(&d);
+        assert_eq!(dd.num_states(), d.num_states());
+        assert!(crate::minimize::bisimilar(&d, &dd));
+    }
+}

@@ -1,0 +1,254 @@
+//! Strong bisimulation: minimization and equivalence checking.
+//!
+//! Used to compare algorithm outputs against expected machines modulo
+//! state naming — the paper's figures are concrete graphs, and two
+//! derivations of the "same" converter should be bisimilar even if the
+//! construction numbered states differently.
+//!
+//! Internal transitions are treated as a distinguished label (strong
+//! bisimulation). This is finer than trace or testing equivalence, which
+//! is what we want when checking structural claims.
+
+use crate::event::EventId;
+use crate::spec::{spec_from_parts, Spec, StateId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Computes the coarsest strong-bisimulation partition of the states.
+/// Returns the block id of every state.
+/// A state's refinement signature: its current block plus the set of
+/// `(label, target block)` pairs (`None` = internal transition).
+type Signature = (usize, BTreeSet<(Option<EventId>, usize)>);
+
+fn partition(spec: &Spec) -> Vec<usize> {
+    let n = spec.num_states();
+    let mut block = vec![0usize; n];
+    let mut num_blocks = 1usize;
+    loop {
+        let mut sig_index: HashMap<Signature, usize> = HashMap::new();
+        let mut next_block = vec![0usize; n];
+        let mut next_count = 0usize;
+        for s in 0..n {
+            let sid = StateId(s as u32);
+            let mut sig: BTreeSet<(Option<EventId>, usize)> = BTreeSet::new();
+            for &(e, t) in spec.external_from(sid) {
+                sig.insert((Some(e), block[t.index()]));
+            }
+            for &t in spec.internal_from(sid) {
+                sig.insert((None, block[t.index()]));
+            }
+            let key = (block[s], sig);
+            let id = *sig_index.entry(key).or_insert_with(|| {
+                let id = next_count;
+                next_count += 1;
+                id
+            });
+            next_block[s] = id;
+        }
+        if next_count == num_blocks {
+            return next_block;
+        }
+        block = next_block;
+        num_blocks = next_count;
+    }
+}
+
+/// Quotients the specification by strong bisimulation.
+///
+/// ```
+/// use protoquot_spec::{minimize, bisimilar, SpecBuilder};
+/// // A 4-state unrolling of a 2-state loop.
+/// let mut b = SpecBuilder::new("unrolled");
+/// let s: Vec<_> = (0..4).map(|i| b.state(&format!("s{i}"))).collect();
+/// for i in 0..4 {
+///     b.ext(s[i], if i % 2 == 0 { "e" } else { "f" }, s[(i + 1) % 4]);
+/// }
+/// let big = b.build().unwrap();
+/// let small = minimize(&big);
+/// assert_eq!(small.num_states(), 2);
+/// assert!(bisimilar(&big, &small));
+/// ```
+pub fn minimize(spec: &Spec) -> Spec {
+    let block = partition(spec);
+    let num_blocks = block.iter().max().map(|m| m + 1).unwrap_or(0);
+    // Representative (first) state per block for naming.
+    let mut names = vec![String::new(); num_blocks];
+    for s in spec.states() {
+        let b = block[s.index()];
+        if names[b].is_empty() {
+            names[b] = spec.state_name(s).to_owned();
+        }
+    }
+    let mut ext: Vec<(StateId, EventId, StateId)> = Vec::new();
+    let mut int: Vec<(StateId, StateId)> = Vec::new();
+    for s in spec.states() {
+        let from = StateId(block[s.index()] as u32);
+        for &(e, t) in spec.external_from(s) {
+            ext.push((from, e, StateId(block[t.index()] as u32)));
+        }
+        for &t in spec.internal_from(s) {
+            int.push((from, StateId(block[t.index()] as u32)));
+        }
+    }
+    let min = spec_from_parts(
+        format!("{}/min", spec.name()),
+        spec.alphabet().clone(),
+        names,
+        StateId(block[spec.initial().index()] as u32),
+        ext,
+        int,
+    )
+    .expect("minimization preserves validity");
+    crate::graph::prune_unreachable(&min)
+}
+
+/// True iff the two specifications have equal alphabets and bisimilar
+/// initial states.
+pub fn bisimilar(a: &Spec, b: &Spec) -> bool {
+    if a.alphabet() != b.alphabet() {
+        return false;
+    }
+    // Disjoint union, then one partition refinement.
+    let offset = a.num_states() as u32;
+    let mut names: Vec<String> = Vec::new();
+    for s in a.states() {
+        names.push(format!("L:{}", a.state_name(s)));
+    }
+    for s in b.states() {
+        names.push(format!("R:{}", b.state_name(s)));
+    }
+    let mut ext = Vec::new();
+    let mut int = Vec::new();
+    for (s, e, t) in a.external_transitions() {
+        ext.push((s, e, t));
+    }
+    for (s, t) in a.internal_transitions() {
+        int.push((s, t));
+    }
+    for (s, e, t) in b.external_transitions() {
+        ext.push((StateId(s.0 + offset), e, StateId(t.0 + offset)));
+    }
+    for (s, t) in b.internal_transitions() {
+        int.push((StateId(s.0 + offset), StateId(t.0 + offset)));
+    }
+    let union = spec_from_parts(
+        "union".to_owned(),
+        a.alphabet().union(b.alphabet()),
+        names,
+        StateId(0),
+        ext,
+        int,
+    )
+    .expect("union is valid");
+    let block = partition(&union);
+    block[a.initial().index()] == block[(b.initial().0 + offset) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    fn two_state_loop(name: &str) -> Spec {
+        let mut b = SpecBuilder::new(name);
+        let x = b.state("x");
+        let y = b.state("y");
+        b.ext(x, "e", y);
+        b.ext(y, "f", x);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_machines_are_bisimilar() {
+        let a = two_state_loop("a");
+        let b = two_state_loop("b");
+        assert!(bisimilar(&a, &b));
+    }
+
+    #[test]
+    fn unrolled_loop_minimizes_back() {
+        // x -e-> y -f-> x2 -e-> y2 -f-> x : a 4-state unrolling of the
+        // 2-state loop.
+        let mut b = SpecBuilder::new("unrolled");
+        let x = b.state("x");
+        let y = b.state("y");
+        let x2 = b.state("x2");
+        let y2 = b.state("y2");
+        b.ext(x, "e", y);
+        b.ext(y, "f", x2);
+        b.ext(x2, "e", y2);
+        b.ext(y2, "f", x);
+        let big = b.build().unwrap();
+        let small = minimize(&big);
+        assert_eq!(small.num_states(), 2);
+        assert!(bisimilar(&big, &small));
+        assert!(bisimilar(&big, &two_state_loop("ref")));
+    }
+
+    #[test]
+    fn different_behaviour_not_bisimilar() {
+        let a = two_state_loop("a");
+        let mut b = SpecBuilder::new("b");
+        let x = b.state("x");
+        let y = b.state("y");
+        b.ext(x, "e", y);
+        b.ext(y, "e", x); // f replaced by e
+        b.event("f");
+        let other = b.build().unwrap();
+        assert!(!bisimilar(&a, &other));
+    }
+
+    #[test]
+    fn alphabet_mismatch_not_bisimilar() {
+        let a = two_state_loop("a");
+        let mut bb = SpecBuilder::new("b");
+        let x = bb.state("x");
+        let y = bb.state("y");
+        bb.ext(x, "e", y);
+        bb.ext(y, "f", x);
+        bb.event("extra");
+        let b = bb.build().unwrap();
+        assert!(!bisimilar(&a, &b));
+    }
+
+    #[test]
+    fn internal_transitions_distinguish_strongly() {
+        // x -e-> y  vs  x ~> m -e-> y : trace-equivalent but not strongly
+        // bisimilar.
+        let mut b1 = SpecBuilder::new("direct");
+        let x = b1.state("x");
+        let y = b1.state("y");
+        b1.ext(x, "e", y);
+        let direct = b1.build().unwrap();
+        let mut b2 = SpecBuilder::new("stutter");
+        let x = b2.state("x");
+        let m = b2.state("m");
+        let y = b2.state("y");
+        b2.int(x, m);
+        b2.ext(m, "e", y);
+        let stutter = b2.build().unwrap();
+        assert!(!bisimilar(&direct, &stutter));
+    }
+
+    #[test]
+    fn minimize_merges_duplicate_deadends() {
+        let mut b = SpecBuilder::new("dup");
+        let s = b.state("s");
+        let d1 = b.state("d1");
+        let d2 = b.state("d2");
+        b.ext(s, "e", d1);
+        b.ext(s, "e", d2);
+        let spec = b.build().unwrap();
+        let m = minimize(&spec);
+        assert_eq!(m.num_states(), 2);
+        assert_eq!(m.num_external(), 1);
+    }
+
+    #[test]
+    fn minimize_is_idempotent() {
+        let a = two_state_loop("a");
+        let m1 = minimize(&a);
+        let m2 = minimize(&m1);
+        assert_eq!(m1.num_states(), m2.num_states());
+        assert!(bisimilar(&m1, &m2));
+    }
+}

@@ -1,0 +1,491 @@
+//! Normal form for service specifications (§3) and the ψ tracker.
+//!
+//! The satisfaction definition and the quotient algorithm require the
+//! service specification A to be in *normal form*:
+//!
+//! 1. no state has both internal and external outgoing transitions;
+//! 2. the internal graph is acyclic (`s λ* s' ∧ s' λ* s ⇒ s = s'`);
+//! 3. all same-event successors of states internally reachable from a
+//!    common state coincide.
+//!
+//! In a normal-form spec, every trace `t` determines a unique state
+//! `ψ_A.t` such that the states reachable by `t` are exactly the
+//! λ*-successors of `ψ_A.t`.
+//!
+//! [`normalize`] converts **any** specification into normal form while
+//! preserving the two semantic projections the theory uses:
+//!
+//! * the trace set (safety), and
+//! * the per-trace family of sink acceptance sets (progress): for each
+//!   trace, the collection `{τ*.a' : ψ_A.t λ* a', sink.a'}` is preserved
+//!   up to the addition of supersets of existing members, which leaves
+//!   the `prog` predicate unchanged (if `R ⊆ R_full ⊆ τ*.b` then already
+//!   `R ⊆ τ*.b`).
+//!
+//! The construction is a subset construction over λ*-closed state sets:
+//! each reachable closed set `Q` becomes a *hub* state `ψ(t)`; each
+//! distinct sink acceptance set of `Q` becomes a *leaf* reached from the
+//! hub by one internal transition, carrying exactly that set of external
+//! transitions; one additional leaf carries the full enabled set so that
+//! no trace is lost. Hubs with a single leaf equal to the full set are
+//! emitted as a single plain state.
+
+use crate::closure::{close_lambda, Closures};
+use crate::event::{Alphabet, EventId};
+use crate::sink::SinkInfo;
+use crate::spec::{spec_from_parts, Spec, StateId};
+use crate::stateset::StateSet;
+use std::collections::HashMap;
+
+/// Checks the three normal-form conditions literally.
+pub fn is_normal_form(spec: &Spec) -> bool {
+    // (i) no state with both internal and external outgoing transitions.
+    for s in spec.states() {
+        if !spec.internal_from(s).is_empty() && !spec.external_from(s).is_empty() {
+            return false;
+        }
+    }
+    // (ii) internal graph acyclic (and no internal self-loops).
+    let cl = Closures::compute(spec);
+    for s in spec.states() {
+        for t in cl.lambda_star(s).iter() {
+            if t != s && cl.reaches(t, s) {
+                return false;
+            }
+        }
+        if spec.internal_from(s).contains(&s) {
+            return false;
+        }
+    }
+    // (iii) unique e-successor across internally reachable states.
+    for s in spec.states() {
+        let mut target: HashMap<EventId, StateId> = HashMap::new();
+        for mid in cl.lambda_star(s).iter() {
+            for &(e, t) in spec.external_from(mid) {
+                match target.entry(e) {
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        if *o.get() != t {
+                            return false;
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        v.insert(t);
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// A specification in normal form, with the precomputed structure the
+/// satisfaction checker and the quotient algorithm need:
+/// per-hub acceptance sets and the deterministic ψ step function.
+#[derive(Clone, Debug)]
+pub struct NormalSpec {
+    spec: Spec,
+    /// State id of the hub (ψ-state) for each hub index.
+    hub_state: Vec<StateId>,
+    /// ψ-step: hub × event → hub.
+    step: Vec<HashMap<EventId, usize>>,
+    /// Sink acceptance sets per hub: the τ* sets of the sink states
+    /// internally reachable from the hub, deduplicated.
+    acceptance: Vec<Vec<Alphabet>>,
+    /// τ* of each hub (all events possible after the trace).
+    full: Vec<Alphabet>,
+    /// Initial hub (ψ_A.ε).
+    initial_hub: usize,
+}
+
+impl NormalSpec {
+    /// The normal-form specification itself.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Number of hubs (distinct ψ states).
+    pub fn num_hubs(&self) -> usize {
+        self.hub_state.len()
+    }
+
+    /// ψ_A.ε — the hub for the empty trace.
+    pub fn initial_hub(&self) -> usize {
+        self.initial_hub
+    }
+
+    /// The spec state realising a hub.
+    pub fn hub_state(&self, hub: usize) -> StateId {
+        self.hub_state[hub]
+    }
+
+    /// ψ-step: the unique hub after observing `e`, or `None` if `e`
+    /// cannot occur here (a safety boundary).
+    pub fn step(&self, hub: usize, e: EventId) -> Option<usize> {
+        self.step[hub].get(&e).copied()
+    }
+
+    /// Runs ψ over a whole trace.
+    pub fn psi(&self, t: &[EventId]) -> Option<usize> {
+        let mut h = self.initial_hub;
+        for &e in t {
+            h = self.step(h, e)?;
+        }
+        Some(h)
+    }
+
+    /// The sink acceptance sets of a hub: the environment is guaranteed
+    /// progress iff it can always offer a superset of *some* member.
+    pub fn acceptance(&self, hub: usize) -> &[Alphabet] {
+        &self.acceptance[hub]
+    }
+
+    /// τ* of the hub — every event that may happen next after this trace.
+    pub fn tau_star(&self, hub: usize) -> &Alphabet {
+        &self.full[hub]
+    }
+}
+
+/// Converts an arbitrary specification into an equivalent [`NormalSpec`]
+/// (see module docs for the preservation argument).
+///
+/// ```
+/// use protoquot_spec::{normalize, is_normal_form, trace_of, SpecBuilder};
+/// let mut b = SpecBuilder::new("messy");
+/// let s0 = b.state("s0");
+/// let s1 = b.state("s1");
+/// b.ext(s0, "e", s1);
+/// b.int(s0, s1); // external + internal from one state: not normal form
+/// let messy = b.build().unwrap();
+/// assert!(!is_normal_form(&messy));
+/// let n = normalize(&messy);
+/// assert!(is_normal_form(n.spec()));
+/// // ψ tracks traces through the normal form.
+/// assert!(n.psi(&trace_of(&["e"])).is_some());
+/// assert!(n.psi(&trace_of(&["e", "e"])).is_none());
+/// ```
+pub fn normalize(spec: &Spec) -> NormalSpec {
+    let sinks = SinkInfo::compute(spec);
+
+    // Acceptance sets of a λ*-closed set Q: τ* of each sink SCC present.
+    let scc_tau_cache: HashMap<usize, Alphabet> = {
+        let mut m = HashMap::new();
+        for s in spec.states() {
+            if sinks.is_sink(s) {
+                m.entry(sinks.scc_of(s))
+                    .or_insert_with(|| sinks.scc_tau(spec, s));
+            }
+        }
+        m
+    };
+
+    let closed_initial = {
+        let mut q = StateSet::new(spec.num_states());
+        q.insert(spec.initial());
+        close_lambda(spec, &mut q);
+        q
+    };
+
+    let mut hub_index: HashMap<Vec<StateId>, usize> = HashMap::new();
+    let mut hubs: Vec<StateSet> = Vec::new();
+    let mut work: Vec<usize> = Vec::new();
+
+    let key0 = closed_initial.to_vec();
+    hub_index.insert(key0, 0);
+    hubs.push(closed_initial);
+    work.push(0);
+
+    let mut step: Vec<HashMap<EventId, usize>> = vec![HashMap::new()];
+    let mut acceptance: Vec<Vec<Alphabet>> = Vec::new();
+    let mut full: Vec<Alphabet> = Vec::new();
+
+    while let Some(h) = work.pop() {
+        let q = hubs[h].clone();
+        // Enabled events anywhere in Q.
+        let mut enabled = Alphabet::new();
+        for s in q.iter() {
+            enabled = enabled.union(&spec.tau(s));
+        }
+        // Sink acceptance sets.
+        let mut accs: Vec<Alphabet> = Vec::new();
+        for s in q.iter() {
+            if sinks.is_sink(s) {
+                let a = scc_tau_cache[&sinks.scc_of(s)].clone();
+                if !accs.contains(&a) {
+                    accs.push(a);
+                }
+            }
+        }
+        debug_assert!(
+            !accs.is_empty(),
+            "every λ*-closed set contains a sink state"
+        );
+        while acceptance.len() <= h {
+            acceptance.push(Vec::new());
+            full.push(Alphabet::new());
+        }
+        acceptance[h] = accs;
+        full[h] = enabled.clone();
+
+        // Successor hubs per event.
+        for e in enabled.iter() {
+            let mut next = StateSet::new(spec.num_states());
+            for s in q.iter() {
+                for t in spec.ext_successors(s, e) {
+                    next.insert(t);
+                }
+            }
+            close_lambda(spec, &mut next);
+            let key = next.to_vec();
+            let idx = match hub_index.get(&key) {
+                Some(&i) => i,
+                None => {
+                    let i = hubs.len();
+                    hub_index.insert(key, i);
+                    hubs.push(next);
+                    step.push(HashMap::new());
+                    work.push(i);
+                    i
+                }
+            };
+            step[h].insert(e, idx);
+        }
+    }
+    debug_assert_eq!(acceptance.len(), hubs.len());
+
+    // Materialize as a Spec. For each hub:
+    //  - if acceptance == [full]: one plain state with full's edges;
+    //  - else: a hub state with internal edges to one leaf per acceptance
+    //    set, plus a full-leaf if `full` is not among them.
+    let mut names: Vec<String> = Vec::new();
+    let mut hub_state: Vec<StateId> = Vec::with_capacity(hubs.len());
+    let mut leaves: Vec<Vec<(StateId, Alphabet)>> = Vec::with_capacity(hubs.len());
+    for (h, _) in hubs.iter().enumerate() {
+        let merged = acceptance[h].len() == 1 && acceptance[h][0] == full[h];
+        let hs = StateId(names.len() as u32);
+        names.push(format!("ψ{h}"));
+        hub_state.push(hs);
+        let mut hleaves = Vec::new();
+        if merged {
+            hleaves.push((hs, full[h].clone()));
+        } else {
+            let mut sets = acceptance[h].clone();
+            if !sets.contains(&full[h]) {
+                sets.push(full[h].clone());
+            }
+            for (i, set) in sets.into_iter().enumerate() {
+                let ls = StateId(names.len() as u32);
+                names.push(format!("ψ{h}.{i}"));
+                hleaves.push((ls, set));
+            }
+        }
+        leaves.push(hleaves);
+    }
+
+    let mut ext: Vec<(StateId, EventId, StateId)> = Vec::new();
+    let mut int: Vec<(StateId, StateId)> = Vec::new();
+    for h in 0..hubs.len() {
+        for (ls, set) in &leaves[h] {
+            if *ls != hub_state[h] {
+                int.push((hub_state[h], *ls));
+            }
+            for e in set.iter() {
+                let target = step[h][&e];
+                ext.push((*ls, e, hub_state[target]));
+            }
+        }
+    }
+
+    let norm_spec = spec_from_parts(
+        format!("{}/nf", spec.name()),
+        spec.alphabet().clone(),
+        names,
+        hub_state[0],
+        ext,
+        int,
+    )
+    .expect("normalization preserves validity");
+    debug_assert!(is_normal_form(&norm_spec));
+
+    NormalSpec {
+        spec: norm_spec,
+        hub_state,
+        step,
+        acceptance,
+        full,
+        initial_hub: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+    use crate::trace::{has_trace, trace_of, traces_up_to};
+
+    fn alternating_service() -> Spec {
+        let mut b = SpecBuilder::new("S");
+        let u0 = b.state("u0");
+        let u1 = b.state("u1");
+        b.ext(u0, "acc", u1);
+        b.ext(u1, "del", u0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deterministic_spec_is_normal_and_fixed_by_normalize() {
+        let s = alternating_service();
+        assert!(is_normal_form(&s));
+        let n = normalize(&s);
+        assert_eq!(n.num_hubs(), 2);
+        assert_eq!(n.spec().num_states(), 2);
+        assert!(n.spec().is_internal_free());
+    }
+
+    #[test]
+    fn psi_tracks_traces() {
+        let n = normalize(&alternating_service());
+        let h0 = n.initial_hub();
+        assert_eq!(n.psi(&[]), Some(h0));
+        let h1 = n.psi(&trace_of(&["acc"])).unwrap();
+        assert_ne!(h0, h1);
+        assert_eq!(n.psi(&trace_of(&["acc", "del"])), Some(h0));
+        assert_eq!(n.psi(&trace_of(&["del"])), None);
+        assert_eq!(n.psi(&trace_of(&["acc", "acc"])), None);
+    }
+
+    #[test]
+    fn acceptance_of_deterministic_state_is_tau() {
+        let n = normalize(&alternating_service());
+        let h0 = n.initial_hub();
+        assert_eq!(n.acceptance(h0), &[Alphabet::from_names(["acc"])]);
+        assert_eq!(n.tau_star(h0), &Alphabet::from_names(["acc"]));
+    }
+
+    /// A service with a nondeterministic internal choice: after `req`,
+    /// the service may be willing to `ok` or willing to `err`.
+    fn choice_service() -> Spec {
+        let mut b = SpecBuilder::new("C");
+        let s0 = b.state("s0");
+        let mid = b.state("mid");
+        let l = b.state("l");
+        let r = b.state("r");
+        b.ext(s0, "req", mid);
+        b.int(mid, l);
+        b.int(mid, r);
+        b.ext(l, "ok", s0);
+        b.ext(r, "err", s0);
+        let spec = b.build().unwrap();
+        assert!(is_normal_form(&spec));
+        spec
+    }
+
+    #[test]
+    fn choice_service_acceptance_sets() {
+        let n = normalize(&choice_service());
+        let h = n.psi(&trace_of(&["req"])).unwrap();
+        let accs = n.acceptance(h);
+        // Two sink leaves: {ok} and {err}; full = {ok, err}.
+        assert!(accs.contains(&Alphabet::from_names(["ok"])));
+        assert!(accs.contains(&Alphabet::from_names(["err"])));
+        assert_eq!(n.tau_star(h), &Alphabet::from_names(["ok", "err"]));
+    }
+
+    #[test]
+    fn normalize_preserves_traces() {
+        for spec in [alternating_service(), choice_service(), messy()] {
+            let n = normalize(&spec);
+            let orig = traces_up_to(&spec, 4);
+            let norm = traces_up_to(n.spec(), 4);
+            let orig_set: std::collections::HashSet<_> = orig.into_iter().collect();
+            let norm_set: std::collections::HashSet<_> = norm.into_iter().collect();
+            assert_eq!(orig_set, norm_set, "trace sets differ for {}", spec.name());
+        }
+    }
+
+    /// Deliberately *not* in normal form: external+internal from one
+    /// state, an internal cycle, and nondeterministic events.
+    fn messy() -> Spec {
+        let mut b = SpecBuilder::new("messy");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        let s3 = b.state("s3");
+        b.ext(s0, "a", s1);
+        b.int(s0, s2); // external + internal from s0: violates (i)
+        b.int(s2, s3);
+        b.int(s3, s2); // internal cycle: violates (ii)
+        b.ext(s2, "b", s0);
+        b.ext(s3, "a", s3); // "a" from two internally-related states: (iii)
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn messy_is_not_normal_but_normalizes() {
+        let m = messy();
+        assert!(!is_normal_form(&m));
+        let n = normalize(&m);
+        assert!(is_normal_form(n.spec()));
+        // Traces checked in normalize_preserves_traces; here check ψ is
+        // total on actual traces.
+        for t in traces_up_to(&m, 4) {
+            assert!(n.psi(&t).is_some(), "ψ undefined on trace of original");
+            assert!(has_trace(n.spec(), &t));
+        }
+    }
+
+    #[test]
+    fn normal_form_violations_detected_individually() {
+        // (i) only.
+        let mut b = SpecBuilder::new("v1");
+        let x = b.state("x");
+        let y = b.state("y");
+        b.ext(x, "e", y);
+        b.int(x, y);
+        assert!(!is_normal_form(&b.build().unwrap()));
+
+        // (ii) only.
+        let mut b = SpecBuilder::new("v2");
+        let x = b.state("x");
+        let y = b.state("y");
+        b.int(x, y);
+        b.int(y, x);
+        assert!(!is_normal_form(&b.build().unwrap()));
+
+        // (iii) only: two λ-successors with diverging `e` targets.
+        let mut b = SpecBuilder::new("v3");
+        let x = b.state("x");
+        let p = b.state("p");
+        let q = b.state("q");
+        let t1 = b.state("t1");
+        let t2 = b.state("t2");
+        b.int(x, p);
+        b.int(x, q);
+        b.ext(p, "e", t1);
+        b.ext(q, "e", t2);
+        assert!(!is_normal_form(&b.build().unwrap()));
+    }
+
+    #[test]
+    fn sink_acceptance_excludes_transient_only_events() {
+        // s0 ~> sink. s0 enables "transient"; sink enables "stable".
+        let mut b = SpecBuilder::new("trans");
+        let s0 = b.state("s0");
+        let sink = b.state("sink");
+        let t1 = b.state("t1");
+        let t2 = b.state("t2");
+        b.int(s0, sink);
+        b.ext(s0, "transient", t1);
+        b.ext(sink, "stable", t2);
+        let spec = b.build().unwrap();
+        let n = normalize(&spec);
+        let h0 = n.initial_hub();
+        // Acceptance: only {stable} (the single sink). full = both.
+        assert_eq!(n.acceptance(h0), &[Alphabet::from_names(["stable"])]);
+        assert_eq!(
+            n.tau_star(h0),
+            &Alphabet::from_names(["transient", "stable"])
+        );
+        // But the trace "transient" must survive normalization (full leaf).
+        assert!(has_trace(n.spec(), &trace_of(&["transient"])));
+    }
+}

@@ -1,0 +1,185 @@
+//! Serde support: specifications serialize to a stable, name-based
+//! document (event *names*, not interner ids), so serialized specs are
+//! portable across processes.
+
+use crate::event::{Alphabet, EventId};
+use crate::spec::{spec_from_parts, Spec, StateId};
+use serde::{Deserialize, Serialize};
+
+/// The serialized form of a [`Spec`].
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+pub struct SpecDoc {
+    /// Spec name.
+    pub name: String,
+    /// Alphabet as event names.
+    pub alphabet: Vec<String>,
+    /// State labels, index = state id.
+    pub states: Vec<String>,
+    /// Initial state index.
+    pub initial: usize,
+    /// External transitions as (from, event, to).
+    pub external: Vec<(usize, String, usize)>,
+    /// Internal transitions as (from, to).
+    pub internal: Vec<(usize, usize)>,
+}
+
+impl From<&Spec> for SpecDoc {
+    fn from(spec: &Spec) -> SpecDoc {
+        SpecDoc {
+            name: spec.name().to_owned(),
+            alphabet: spec.alphabet().names(),
+            states: spec.states().map(|s| spec.state_name(s).to_owned()).collect(),
+            initial: spec.initial().index(),
+            external: spec
+                .external_transitions()
+                .map(|(s, e, t)| (s.index(), e.name(), t.index()))
+                .collect(),
+            internal: spec
+                .internal_transitions()
+                .map(|(s, t)| (s.index(), t.index()))
+                .collect(),
+        }
+    }
+}
+
+impl TryFrom<SpecDoc> for Spec {
+    type Error = crate::error::SpecError;
+
+    fn try_from(doc: SpecDoc) -> Result<Spec, Self::Error> {
+        let alphabet: Alphabet = doc.alphabet.iter().map(|n| EventId::new(n)).collect();
+        spec_from_parts(
+            doc.name,
+            alphabet,
+            doc.states,
+            StateId(doc.initial as u32),
+            doc.external
+                .into_iter()
+                .map(|(s, e, t)| (StateId(s as u32), EventId::new(&e), StateId(t as u32)))
+                .collect(),
+            doc.internal
+                .into_iter()
+                .map(|(s, t)| (StateId(s as u32), StateId(t as u32)))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Spec {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        SpecDoc::from(self).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Spec {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Spec, D::Error> {
+        let doc = SpecDoc::deserialize(deserializer)?;
+        Spec::try_from(doc).map_err(serde::de::Error::custom)
+    }
+}
+
+/// Renders a spec as a small JSON document (hand-rolled writer so the
+/// core crates stay free of a JSON dependency; escaping covers the
+/// characters event/state names can contain).
+pub fn to_json(spec: &Spec) -> String {
+    let doc = SpecDoc::from(spec);
+    let esc = |s: &str| {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    };
+    let strings = |v: &[String]| {
+        v.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
+    };
+    let ext = doc
+        .external
+        .iter()
+        .map(|(s, e, t)| format!("[{s},{},{t}]", esc(e)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let int = doc
+        .internal
+        .iter()
+        .map(|(s, t)| format!("[{s},{t}]"))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"name\":{},\"alphabet\":[{}],\"states\":[{}],\"initial\":{},\"external\":[{ext}],\"internal\":[{int}]}}\n",
+        esc(&doc.name),
+        strings(&doc.alphabet),
+        strings(&doc.states),
+        doc.initial
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    fn sample() -> Spec {
+        let mut b = SpecBuilder::new("sample");
+        let a = b.state("a");
+        let c = b.state("c");
+        b.ext(a, "go", c);
+        b.int(c, a);
+        b.event("declared");
+        b.initial(c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn doc_roundtrip() {
+        let s = sample();
+        let doc = SpecDoc::from(&s);
+        let back = Spec::try_from(doc).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn doc_fields() {
+        let doc = SpecDoc::from(&sample());
+        assert_eq!(doc.name, "sample");
+        assert!(doc.alphabet.contains(&"declared".to_owned()));
+        assert_eq!(doc.initial, 1);
+        assert_eq!(doc.external, vec![(0, "go".to_owned(), 1)]);
+        assert_eq!(doc.internal, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn hand_rolled_json_structure() {
+        let s = sample();
+        let j = to_json(&s);
+        assert!(j.starts_with("{\"name\":\"sample\""));
+        assert!(j.contains("\"initial\":1"));
+        assert!(j.contains("[0,\"go\",1]"));
+        assert!(j.contains("\"internal\":[[1,0]]"));
+        // Escaping: quotes and backslashes in names survive.
+        let mut b = SpecBuilder::new("we\"ird\\name");
+        b.state("st\"ate");
+        let weird = b.build().unwrap();
+        let j = to_json(&weird);
+        assert!(j.contains("we\\\"ird\\\\name"), "{j}");
+    }
+
+    #[test]
+    fn invalid_doc_rejected() {
+        let doc = SpecDoc {
+            name: "bad".into(),
+            alphabet: vec![],
+            states: vec!["a".into()],
+            initial: 7,
+            external: vec![],
+            internal: vec![],
+        };
+        assert!(Spec::try_from(doc).is_err());
+    }
+}

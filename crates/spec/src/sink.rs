@@ -1,0 +1,325 @@
+//! Sink sets (paper §3) and the Figure 4 collapse operation.
+//!
+//! A state `s` is *in a sink set* iff every state internally reachable
+//! from it can internally reach back: `∀s' : s λ* s' ⇒ s' λ* s`. In graph
+//! terms, `s` lies on a strongly connected component of the internal
+//! graph with no internal edge leaving the component. Under the paper's
+//! fairness assumption, such a cycle of internal transitions behaves like
+//! a single state whose enabled-event set is the union over the cycle —
+//! which is exactly what [`collapse_sinks`] constructs (Figure 4).
+
+use crate::event::Alphabet;
+use crate::spec::{spec_from_parts, Spec, StateId};
+
+/// Strongly connected components of the internal-transition graph, with
+/// sink-set classification.
+#[derive(Clone, Debug)]
+pub struct SinkInfo {
+    /// SCC id per state.
+    scc_of: Vec<usize>,
+    /// Number of SCCs.
+    num_sccs: usize,
+    /// Per SCC: does any internal edge leave it?
+    escapes: Vec<bool>,
+}
+
+impl SinkInfo {
+    /// Computes SCCs of the internal graph (iterative Tarjan) and marks
+    /// which are escape-free.
+    pub fn compute(spec: &Spec) -> SinkInfo {
+        let n = spec.num_states();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut scc_of = vec![usize::MAX; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut num_sccs = 0usize;
+
+        // Iterative Tarjan: frame = (node, next-child-position).
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&(v, ci)) = call.last() {
+                if ci == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                let children = spec.internal_from(StateId(v as u32));
+                if ci < children.len() {
+                    call.last_mut().unwrap().1 += 1;
+                    let w = children[ci].index();
+                    if index[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().unwrap();
+                            on_stack[w] = false;
+                            scc_of[w] = num_sccs;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        num_sccs += 1;
+                    }
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+
+        let mut escapes = vec![false; num_sccs];
+        for (s, t) in spec.internal_transitions() {
+            if scc_of[s.index()] != scc_of[t.index()] {
+                escapes[scc_of[s.index()]] = true;
+            }
+        }
+        SinkInfo {
+            scc_of,
+            num_sccs,
+            escapes,
+        }
+    }
+
+    /// The paper's `sink.s` predicate.
+    pub fn is_sink(&self, s: StateId) -> bool {
+        !self.escapes[self.scc_of[s.index()]]
+    }
+
+    /// SCC id of a state.
+    pub fn scc_of(&self, s: StateId) -> usize {
+        self.scc_of[s.index()]
+    }
+
+    /// Number of SCCs of the internal graph.
+    pub fn num_sccs(&self) -> usize {
+        self.num_sccs
+    }
+
+    /// The union of τ.s over the SCC containing `s` — the enabled-event
+    /// set of the collapsed sink set.
+    pub fn scc_tau(&self, spec: &Spec, s: StateId) -> Alphabet {
+        let target = self.scc_of[s.index()];
+        let mut acc = Alphabet::new();
+        for t in spec.states() {
+            if self.scc_of[t.index()] == target {
+                acc = acc.union(&spec.tau(t));
+            }
+        }
+        acc
+    }
+}
+
+/// The Figure 4 operation: merges every sink set (escape-free internal
+/// SCC with more than one state, or with an internal self-loop) into a
+/// single state carrying the union of the members' external transitions.
+///
+/// Trace set and progress semantics are preserved under the paper's
+/// fairness assumption for implementations.
+///
+/// ```
+/// use protoquot_spec::{collapse_sinks, Alphabet, SpecBuilder};
+/// // Figure 4's left-hand machine: a two-state internal cycle enabling
+/// // f on one state and g on the other.
+/// let mut b = SpecBuilder::new("fig4");
+/// let s0 = b.state("s0");
+/// let c1 = b.state("c1");
+/// let c2 = b.state("c2");
+/// b.ext(s0, "e", c1);
+/// b.int(c1, c2);
+/// b.int(c2, c1);
+/// b.ext(c1, "f", s0);
+/// b.ext(c2, "g", s0);
+/// let spec = b.build().unwrap();
+/// let collapsed = collapse_sinks(&spec);
+/// // The cycle becomes one state offering {f, g} (the right-hand side).
+/// assert_eq!(collapsed.num_states(), 2);
+/// let merged = collapsed.states().find(|&s| collapsed.tau(s).len() == 2).unwrap();
+/// assert_eq!(collapsed.tau(merged), Alphabet::from_names(["f", "g"]));
+/// ```
+pub fn collapse_sinks(spec: &Spec) -> Spec {
+    let info = SinkInfo::compute(spec);
+    let n = spec.num_states();
+    // Representative state per SCC for states in sink sets; other states
+    // map to themselves.
+    let mut repr: Vec<Option<StateId>> = vec![None; info.num_sccs];
+    let mut map = vec![StateId(0); n];
+    let mut new_names: Vec<String> = Vec::new();
+    let mut new_ids: Vec<StateId> = Vec::new();
+    for s in spec.states() {
+        let scc = info.scc_of(s);
+        if info.is_sink(s) {
+            if let Some(r) = repr[scc] {
+                map[s.index()] = r;
+                // Extend the merged label.
+                let idx = new_ids.iter().position(|&x| x == r).unwrap();
+                new_names[idx] = format!("{}+{}", new_names[idx], spec.state_name(s));
+                continue;
+            }
+            let id = StateId(new_names.len() as u32);
+            repr[scc] = Some(id);
+            map[s.index()] = id;
+            new_names.push(spec.state_name(s).to_owned());
+            new_ids.push(id);
+        } else {
+            let id = StateId(new_names.len() as u32);
+            map[s.index()] = id;
+            new_names.push(spec.state_name(s).to_owned());
+            new_ids.push(id);
+        }
+    }
+
+    let mut ext = Vec::new();
+    for (s, e, t) in spec.external_transitions() {
+        ext.push((map[s.index()], e, map[t.index()]));
+    }
+    let mut int = Vec::new();
+    for (s, t) in spec.internal_transitions() {
+        let (ms, mt) = (map[s.index()], map[t.index()]);
+        if ms != mt {
+            int.push((ms, mt));
+        }
+    }
+    spec_from_parts(
+        format!("{}/collapsed", spec.name()),
+        spec.alphabet().clone(),
+        new_names,
+        map[spec.initial().index()],
+        ext,
+        int,
+    )
+    .expect("collapse preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    /// The left-hand machine of Figure 4: a state with an external edge
+    /// into a two-state internal cycle; the cycle states enable f and g.
+    fn figure4_left() -> Spec {
+        let mut b = SpecBuilder::new("fig4");
+        let s0 = b.state("s0");
+        let c1 = b.state("c1");
+        let c2 = b.state("c2");
+        let t1 = b.state("t1");
+        let t2 = b.state("t2");
+        b.ext(s0, "e", c1);
+        b.int(c1, c2);
+        b.int(c2, c1);
+        b.ext(c1, "f", t1);
+        b.ext(c2, "g", t2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cycle_states_are_sink() {
+        let s = figure4_left();
+        let info = SinkInfo::compute(&s);
+        let c1 = s.state_by_name("c1").unwrap();
+        let c2 = s.state_by_name("c2").unwrap();
+        let s0 = s.state_by_name("s0").unwrap();
+        assert!(info.is_sink(c1));
+        assert!(info.is_sink(c2));
+        // s0 has no internal transitions at all: trivially a sink.
+        assert!(info.is_sink(s0));
+        assert_eq!(info.scc_of(c1), info.scc_of(c2));
+        assert_ne!(info.scc_of(s0), info.scc_of(c1));
+    }
+
+    #[test]
+    fn escaping_cycle_is_not_sink() {
+        let mut b = SpecBuilder::new("escape");
+        let a = b.state("a");
+        let c = b.state("c");
+        let out = b.state("out");
+        b.int(a, c);
+        b.int(c, a);
+        b.int(c, out);
+        let s = b.build().unwrap();
+        let info = SinkInfo::compute(&s);
+        assert!(!info.is_sink(a));
+        assert!(!info.is_sink(c));
+        assert!(info.is_sink(out));
+    }
+
+    #[test]
+    fn collapse_merges_cycle_and_unions_events() {
+        let s = figure4_left();
+        let collapsed = collapse_sinks(&s);
+        // 5 states -> 4: c1+c2 merged (right-hand side of Figure 4).
+        assert_eq!(collapsed.num_states(), 4);
+        assert_eq!(collapsed.num_internal(), 0);
+        let merged = collapsed
+            .states()
+            .find(|&st| collapsed.state_name(st).contains('+'))
+            .unwrap();
+        assert_eq!(collapsed.tau(merged), Alphabet::from_names(["f", "g"]));
+    }
+
+    #[test]
+    fn scc_tau_unions_over_component() {
+        let s = figure4_left();
+        let info = SinkInfo::compute(&s);
+        let c1 = s.state_by_name("c1").unwrap();
+        assert_eq!(info.scc_tau(&s, c1), Alphabet::from_names(["f", "g"]));
+    }
+
+    #[test]
+    fn self_loop_internal_is_its_own_sink() {
+        let mut b = SpecBuilder::new("selfloop");
+        let a = b.state("a");
+        b.int(a, a);
+        b.ext(a, "e", a);
+        let s = b.build().unwrap();
+        let info = SinkInfo::compute(&s);
+        assert!(info.is_sink(a));
+        // Collapsing drops the self-loop.
+        let c = collapse_sinks(&s);
+        assert_eq!(c.num_internal(), 0);
+        assert_eq!(c.num_states(), 1);
+    }
+
+    #[test]
+    fn collapse_preserves_initial_mapping() {
+        let mut b = SpecBuilder::new("init");
+        let a = b.state("a");
+        let c = b.state("c");
+        b.int(a, c);
+        b.int(c, a);
+        b.initial(c);
+        let s = b.build().unwrap();
+        let collapsed = collapse_sinks(&s);
+        assert_eq!(collapsed.num_states(), 1);
+        assert_eq!(collapsed.initial(), StateId(0));
+    }
+
+    #[test]
+    fn chain_of_sccs_orders_correctly() {
+        // a -> b -> c (internal chain): only c is a sink.
+        let mut b = SpecBuilder::new("chain");
+        let s1 = b.state("a");
+        let s2 = b.state("b");
+        let s3 = b.state("c");
+        b.int(s1, s2);
+        b.int(s2, s3);
+        let s = b.build().unwrap();
+        let info = SinkInfo::compute(&s);
+        assert!(!info.is_sink(s1));
+        assert!(!info.is_sink(s2));
+        assert!(info.is_sink(s3));
+        assert_eq!(info.num_sccs(), 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! A compact bitset over the states of one specification.
+//!
+//! The closure computations (λ*, τ*, reachability) are set-heavy; a
+//! word-packed bitset keeps them allocation-light and cache-friendly.
+
+use crate::spec::StateId;
+
+/// Fixed-capacity bitset over state indices `0..capacity`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct StateSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl StateSet {
+    /// An empty set able to hold states `0..capacity`.
+    pub fn new(capacity: usize) -> StateSet {
+        StateSet {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+        }
+    }
+
+    /// Capacity (number of representable states).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts a state; returns true if newly inserted.
+    pub fn insert(&mut self, s: StateId) -> bool {
+        let (w, b) = (s.index() / 64, s.index() % 64);
+        debug_assert!(s.index() < self.capacity);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes a state; returns true if it was present.
+    pub fn remove(&mut self, s: StateId) -> bool {
+        let (w, b) = (s.index() / 64, s.index() % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, s: StateId) -> bool {
+        let (w, b) = (s.index() / 64, s.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of states in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &StateSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// True iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &StateSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(StateId((wi * 64 + b) as u32))
+                }
+            })
+        })
+    }
+
+    /// A canonical sorted `Vec` of members (useful as a hash key).
+    pub fn to_vec(&self) -> Vec<StateId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<StateId> for StateSet {
+    /// Builds a set sized to fit the largest member.
+    fn from_iter<T: IntoIterator<Item = StateId>>(iter: T) -> Self {
+        let items: Vec<StateId> = iter.into_iter().collect();
+        let cap = items.iter().map(|s| s.index() + 1).max().unwrap_or(0);
+        let mut set = StateSet::new(cap);
+        for s in items {
+            set.insert(s);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = StateSet::new(130);
+        assert!(s.insert(StateId(0)));
+        assert!(s.insert(StateId(129)));
+        assert!(!s.insert(StateId(0)));
+        assert!(s.contains(StateId(0)));
+        assert!(s.contains(StateId(129)));
+        assert!(!s.contains(StateId(64)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(StateId(0)));
+        assert!(!s.remove(StateId(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = StateSet::new(100);
+        let mut b = StateSet::new(100);
+        a.insert(StateId(1));
+        b.insert(StateId(1));
+        b.insert(StateId(70));
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert!(b.is_subset(&a));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut s = StateSet::new(200);
+        for i in [5u32, 63, 64, 128, 199] {
+            s.insert(StateId(i));
+        }
+        let got: Vec<u32> = s.iter().map(|x| x.0).collect();
+        assert_eq!(got, vec![5, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: StateSet = [StateId(3), StateId(66)].into_iter().collect();
+        assert!(s.capacity() >= 67);
+        assert!(s.contains(StateId(66)));
+        let empty: StateSet = std::iter::empty().collect();
+        assert!(empty.is_empty());
+    }
+}

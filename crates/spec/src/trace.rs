@@ -1,0 +1,207 @@
+//! Traces and the projection functions `i`/`o` of §4.
+//!
+//! A trace is a finite sequence of interface events — one possible
+//! observed behaviour. Trace sets are prefix-closed and include the
+//! empty trace ε.
+
+use crate::closure::close_lambda;
+use crate::event::{Alphabet, EventId};
+use crate::spec::Spec;
+use crate::stateset::StateSet;
+
+/// A trace: a finite sequence of events.
+pub type Trace = Vec<EventId>;
+
+/// Builds a trace from event names.
+pub fn trace_of(names: &[&str]) -> Trace {
+    names.iter().map(|n| EventId::new(n)).collect()
+}
+
+/// Renders a trace as `e1.e2.e3` (ε for the empty trace).
+pub fn trace_string(t: &[EventId]) -> String {
+    if t.is_empty() {
+        return "ε".to_owned();
+    }
+    t.iter()
+        .map(|e| e.name())
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+/// Projects a trace onto a sub-alphabet: the paper's `i`/`o` functions
+/// are `project(t, Int)` and `project(t, Ext)` respectively.
+pub fn project(t: &[EventId], onto: &Alphabet) -> Trace {
+    t.iter().copied().filter(|e| onto.contains(*e)).collect()
+}
+
+/// The set of states `{s : s0 ⟼t s}` — all states reachable by trace
+/// `t`, accounting for internal transitions before, between and after
+/// the events. Empty iff `t` is not a trace of `spec`.
+pub fn states_after(spec: &Spec, t: &[EventId]) -> StateSet {
+    let mut current = StateSet::new(spec.num_states());
+    current.insert(spec.initial());
+    close_lambda(spec, &mut current);
+    for &e in t {
+        let mut next = StateSet::new(spec.num_states());
+        for s in current.iter() {
+            for target in spec.ext_successors(s, e) {
+                next.insert(target);
+            }
+        }
+        close_lambda(spec, &mut next);
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+/// The paper's `A.t` predicate: is `t` a trace of `spec`?
+pub fn has_trace(spec: &Spec, t: &[EventId]) -> bool {
+    !states_after(spec, t).is_empty()
+}
+
+/// Enumerates every trace of `spec` of length at most `max_len`.
+/// Exponential; intended for tests on small machines.
+pub fn traces_up_to(spec: &Spec, max_len: usize) -> Vec<Trace> {
+    let mut result: Vec<Trace> = vec![Vec::new()];
+    let mut frontier: Vec<(Trace, StateSet)> = {
+        let mut init = StateSet::new(spec.num_states());
+        init.insert(spec.initial());
+        close_lambda(spec, &mut init);
+        vec![(Vec::new(), init)]
+    };
+    for _ in 0..max_len {
+        let mut next_frontier = Vec::new();
+        for (t, states) in &frontier {
+            let mut enabled = Alphabet::new();
+            for s in states.iter() {
+                enabled = enabled.union(&spec.tau(s));
+            }
+            for e in enabled.iter() {
+                let mut next = StateSet::new(spec.num_states());
+                for s in states.iter() {
+                    for target in spec.ext_successors(s, e) {
+                        next.insert(target);
+                    }
+                }
+                if next.is_empty() {
+                    continue;
+                }
+                close_lambda(spec, &mut next);
+                let mut t2 = t.clone();
+                t2.push(e);
+                result.push(t2.clone());
+                next_frontier.push((t2, next));
+            }
+        }
+        if next_frontier.is_empty() {
+            break;
+        }
+        frontier = next_frontier;
+    }
+    result
+}
+
+/// Checks `∀t: |t| ≤ max_len ∧ B.t ⇒ A.t` by enumeration — a brute-force
+/// bounded trace-inclusion oracle used to cross-validate the efficient
+/// checker in [`crate::satisfy`].
+pub fn bounded_trace_inclusion(b: &Spec, a: &Spec, max_len: usize) -> Option<Trace> {
+    traces_up_to(b, max_len)
+        .into_iter()
+        .find(|t| !has_trace(a, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    fn ab_machine() -> Spec {
+        // a --x--> b --y--> a, plus internal a ~> c, c --z--> a.
+        let mut bld = SpecBuilder::new("m");
+        let a = bld.state("a");
+        let b = bld.state("b");
+        let c = bld.state("c");
+        bld.ext(a, "x", b);
+        bld.ext(b, "y", a);
+        bld.int(a, c);
+        bld.ext(c, "z", a);
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn empty_trace_always_possible() {
+        let m = ab_machine();
+        assert!(has_trace(&m, &[]));
+    }
+
+    #[test]
+    fn traces_follow_events_and_internal_moves() {
+        let m = ab_machine();
+        assert!(has_trace(&m, &trace_of(&["x", "y"])));
+        assert!(has_trace(&m, &trace_of(&["z", "x"])));
+        assert!(!has_trace(&m, &trace_of(&["y"])));
+        assert!(!has_trace(&m, &trace_of(&["x", "x"])));
+    }
+
+    #[test]
+    fn states_after_accounts_for_closure() {
+        let m = ab_machine();
+        let after_empty = states_after(&m, &[]);
+        // a plus internally-reachable c.
+        assert_eq!(after_empty.len(), 2);
+        let after_x = states_after(&m, &trace_of(&["x"]));
+        assert_eq!(after_x.len(), 1);
+    }
+
+    #[test]
+    fn projection_splits_alphabets() {
+        let int = Alphabet::from_names(["m1", "m2"]);
+        let t = trace_of(&["acc", "m1", "del", "m2", "m1"]);
+        let p = project(&t, &int);
+        assert_eq!(trace_string(&p), "m1.m2.m1");
+    }
+
+    #[test]
+    fn projection_of_disjoint_is_empty() {
+        let int = Alphabet::from_names(["nope"]);
+        let t = trace_of(&["acc", "del"]);
+        assert_eq!(project(&t, &int), Vec::new());
+        assert_eq!(trace_string(&project(&t, &int)), "ε");
+    }
+
+    #[test]
+    fn enumeration_matches_membership() {
+        let m = ab_machine();
+        let traces = traces_up_to(&m, 3);
+        for t in &traces {
+            assert!(has_trace(&m, t), "enumerated {:?} not a member", t);
+        }
+        // ε, x, z, xy, zx, xyx, xyz, zxy, ... spot-check counts per length.
+        let len1 = traces.iter().filter(|t| t.len() == 1).count();
+        assert_eq!(len1, 2); // x and z
+    }
+
+    #[test]
+    fn bounded_inclusion_finds_counterexample() {
+        let m = ab_machine();
+        let mut bld = SpecBuilder::new("only_x");
+        let a = bld.state("a");
+        let b = bld.state("b");
+        bld.ext(a, "x", b);
+        let small = bld.build().unwrap();
+        // small ⊆ m
+        assert!(bounded_trace_inclusion(&small, &m, 4).is_none());
+        // m ⊄ small: z (or xy) is a counterexample.
+        let cex = bounded_trace_inclusion(&m, &small, 4).unwrap();
+        assert!(!has_trace(&small, &cex));
+    }
+
+    #[test]
+    fn trace_string_formats() {
+        assert_eq!(trace_string(&trace_of(&["a", "b"])), "a.b");
+        assert_eq!(trace_string(&[]), "ε");
+    }
+}

@@ -1,0 +1,265 @@
+//! Tokenizer for the textual specification language.
+//!
+//! Tokens are punctuation (`{ } : ; | , ->`) and words. A word is a run
+//! of `[A-Za-z0-9_.]` optionally prefixed by `+` or `-` — the paper's
+//! channel-event convention (`-d0` puts a message in, `+d0` takes it
+//! out) is thus directly writable. `#` starts a comment to end of line.
+
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `|`
+    Pipe,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// A word: identifier or event name (possibly `+`/`-`-prefixed).
+    Word(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::LBrace => write!(f, "'{{'"),
+            TokenKind::RBrace => write!(f, "'}}'"),
+            TokenKind::Colon => write!(f, "':'"),
+            TokenKind::Semi => write!(f, "';'"),
+            TokenKind::Pipe => write!(f, "'|'"),
+            TokenKind::Comma => write!(f, "','"),
+            TokenKind::Arrow => write!(f, "'->'"),
+            TokenKind::Word(w) => write!(f, "`{w}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexical error with position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenizes `input`; the final token is always [`TokenKind::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (tl, tc) = (line, col);
+        let mut bump = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+            let c = chars.next().unwrap();
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            c
+        };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump(&mut chars);
+            }
+            '#' => {
+                while let Some(&c2) = chars.peek() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                    bump(&mut chars);
+                }
+            }
+            '{' => {
+                bump(&mut chars);
+                tokens.push(Token { kind: TokenKind::LBrace, line: tl, col: tc });
+            }
+            '}' => {
+                bump(&mut chars);
+                tokens.push(Token { kind: TokenKind::RBrace, line: tl, col: tc });
+            }
+            ':' => {
+                bump(&mut chars);
+                tokens.push(Token { kind: TokenKind::Colon, line: tl, col: tc });
+            }
+            ';' => {
+                bump(&mut chars);
+                tokens.push(Token { kind: TokenKind::Semi, line: tl, col: tc });
+            }
+            '|' => {
+                bump(&mut chars);
+                tokens.push(Token { kind: TokenKind::Pipe, line: tl, col: tc });
+            }
+            ',' => {
+                bump(&mut chars);
+                tokens.push(Token { kind: TokenKind::Comma, line: tl, col: tc });
+            }
+            '-' | '+' => {
+                let sign = bump(&mut chars);
+                // `->` is the arrow; `-x`/`+x` are event names.
+                if sign == '-' && chars.peek() == Some(&'>') {
+                    bump(&mut chars);
+                    tokens.push(Token { kind: TokenKind::Arrow, line: tl, col: tc });
+                } else {
+                    let mut w = String::new();
+                    w.push(sign);
+                    while let Some(&c2) = chars.peek() {
+                        if is_word_char(c2) {
+                            w.push(bump(&mut chars));
+                        } else {
+                            break;
+                        }
+                    }
+                    if w.len() == 1 {
+                        return Err(LexError {
+                            message: format!("dangling `{sign}`"),
+                            line: tl,
+                            col: tc,
+                        });
+                    }
+                    tokens.push(Token { kind: TokenKind::Word(w), line: tl, col: tc });
+                }
+            }
+            c if is_word_char(c) => {
+                let mut w = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if is_word_char(c2) {
+                        w.push(bump(&mut chars));
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Word(w), line: tl, col: tc });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line: tl,
+                    col: tc,
+                });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_words() {
+        assert_eq!(
+            kinds("spec A { s0: e -> s1; }"),
+            vec![
+                TokenKind::Word("spec".into()),
+                TokenKind::Word("A".into()),
+                TokenKind::LBrace,
+                TokenKind::Word("s0".into()),
+                TokenKind::Colon,
+                TokenKind::Word("e".into()),
+                TokenKind::Arrow,
+                TokenKind::Word("s1".into()),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn signed_events_vs_arrow() {
+        assert_eq!(
+            kinds("-d0 -> +a1"),
+            vec![
+                TokenKind::Word("-d0".into()),
+                TokenKind::Arrow,
+                TokenKind::Word("+a1".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("a # comment with | ; -> junk\nb"),
+            vec![
+                TokenKind::Word("a".into()),
+                TokenKind::Word("b".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = lex("a\n  bb").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn dangling_sign_is_error() {
+        let err = lex("x + y").unwrap_err();
+        assert!(err.message.contains("dangling"));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn dotted_names_allowed() {
+        assert_eq!(
+            kinds("ch.data_0"),
+            vec![TokenKind::Word("ch.data_0".into()), TokenKind::Eof]
+        );
+    }
+}

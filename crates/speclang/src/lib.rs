@@ -1,0 +1,32 @@
+//! # protoquot-speclang
+//!
+//! A small textual language for finite-state protocol specifications,
+//! so examples, docs and tests can define machines readably:
+//!
+//! ```text
+//! spec N0 {
+//!   initial n0;
+//!   n0: acc -> n1;
+//!   n1: -D -> n2;
+//!   n2: +A -> n0 | t_N -> n1;   # timeout: retransmit
+//! }
+//! ```
+//!
+//! * [`parse_spec`]/[`parse_file`] — text → [`protoquot_spec::Spec`];
+//! * [`print_spec`]/[`print_file`] — the exact inverse (round-trip
+//!   tested);
+//! * events keep the paper's channel convention: `-x` puts message `x`
+//!   into a channel, `+x` takes it out.
+//!
+//! No external parser dependencies: a hand-rolled lexer and recursive-
+//! descent parser with positioned errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use parser::{parse_file, parse_source, parse_spec, ProblemDecl, SourceFile};
+pub use printer::{print_file, print_problem, print_source, print_spec};

@@ -1,0 +1,501 @@
+//! Parser for the textual specification language.
+//!
+//! ```text
+//! # The paper's NS sender, textually:
+//! spec N0 {
+//!   initial n0;
+//!   alphabet acc, -D, +A, t_N;    # optional: events are also inferred
+//!   n0: acc -> n1;
+//!   n1: -D -> n2;
+//!   n2: +A -> n0 | t_N -> n1;
+//! }
+//! ```
+//!
+//! * `spec NAME { … }` — one specification; a file may contain several.
+//! * `STATE: t1 | t2 | …;` — transitions out of `STATE`. Each `t` is
+//!   `EVENT -> STATE` (external) or `-> STATE` (internal). A bare
+//!   `STATE: ;` declares a state with no transitions.
+//! * `initial STATE;` — optional; default is the first state mentioned.
+//! * `alphabet e1, e2, …;` — optional extra interface events.
+//! * `states s0, s1, …;` — optional explicit declaration order (pins
+//!   state numbering; used by the pretty-printer for exact
+//!   round-trips).
+//!
+//! States are implicitly declared on first mention. `initial`,
+//! `alphabet` and `states` are contextual keywords — usable as state
+//! names everywhere except at the start of a declaration.
+
+use crate::lexer::{lex, Token, TokenKind};
+use protoquot_spec::{Spec, SpecBuilder, SpecError};
+
+/// A declared quotient problem (see the grammar above): which specs
+/// form `B`, which is the service, and the converter interface.
+///
+/// ```text
+/// problem fig13 {
+///   components A0, Ach, N1;
+///   service S;
+///   internal +d0, +d1, -a0, -a1, +D, -A;
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProblemDecl {
+    /// Problem name.
+    pub name: String,
+    /// Names of the specs composing the fixed components `B`.
+    pub components: Vec<String>,
+    /// Name of the service spec.
+    pub service: String,
+    /// The converter interface `Int`, as event names.
+    pub internal: Vec<String>,
+}
+
+/// A parsed source file: specifications plus declared problems.
+#[derive(Clone, Debug, Default)]
+pub struct SourceFile {
+    /// The specifications, in declaration order.
+    pub specs: Vec<Spec>,
+    /// The declared quotient problems, in declaration order.
+    pub problems: Vec<ProblemDecl>,
+}
+
+impl SourceFile {
+    /// Looks a spec up by name.
+    pub fn spec(&self, name: &str) -> Option<&Spec> {
+        self.specs.iter().find(|s| s.name() == name)
+    }
+
+    /// Looks a problem up by name.
+    pub fn problem(&self, name: &str) -> Option<&ProblemDecl> {
+        self.problems.iter().find(|p| p.name == name)
+    }
+}
+
+/// Parses a whole source file: `spec` blocks plus optional `problem`
+/// blocks.
+pub fn parse_source(input: &str) -> Result<SourceFile, SpecError> {
+    let tokens = lex(input).map_err(|e| SpecError::Parse(e.to_string()))?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = SourceFile::default();
+    while p.peek() != &TokenKind::Eof {
+        match p.peek() {
+            TokenKind::Word(w) if w == "problem" => out.problems.push(p.problem()?),
+            _ => out.specs.push(p.spec()?),
+        }
+    }
+    if out.specs.is_empty() {
+        return Err(SpecError::Parse("no `spec` blocks found".to_owned()));
+    }
+    // Validate problem references.
+    for pr in &out.problems {
+        for c in pr.components.iter().chain(std::iter::once(&pr.service)) {
+            if out.spec(c).is_none() {
+                return Err(SpecError::Parse(format!(
+                    "problem `{}` references unknown spec `{c}`",
+                    pr.name
+                )));
+            }
+        }
+        if pr.components.is_empty() {
+            return Err(SpecError::Parse(format!(
+                "problem `{}` declares no components",
+                pr.name
+            )));
+        }
+        if pr.internal.is_empty() {
+            return Err(SpecError::Parse(format!(
+                "problem `{}` declares no internal events",
+                pr.name
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a whole source file and returns only the `spec` blocks
+/// (problem declarations are allowed and skipped).
+pub fn parse_file(input: &str) -> Result<Vec<Spec>, SpecError> {
+    Ok(parse_source(input)?.specs)
+}
+
+/// Parses exactly one `spec` block (trailing input is an error).
+///
+/// ```
+/// use protoquot_speclang::parse_spec;
+/// let n0 = parse_spec("
+///     spec N0 {
+///       initial n0;
+///       n0: acc -> n1;
+///       n1: -D -> n2;
+///       n2: +A -> n0 | t_N -> n1;
+///     }
+/// ").unwrap();
+/// assert_eq!(n0.name(), "N0");
+/// assert_eq!(n0.num_states(), 3);
+/// ```
+pub fn parse_spec(input: &str) -> Result<Spec, SpecError> {
+    let specs = parse_file(input)?;
+    if specs.len() != 1 {
+        return Err(SpecError::Parse(format!(
+            "expected exactly one spec, found {}",
+            specs.len()
+        )));
+    }
+    Ok(specs.into_iter().next().unwrap())
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn here(&self) -> (usize, usize) {
+        (self.tokens[self.pos].line, self.tokens[self.pos].col)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err(&self, msg: &str) -> SpecError {
+        let (l, c) = self.here();
+        SpecError::Parse(format!("{l}:{c}: {msg}, found {}", self.peek()))
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), SpecError> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {kind}")))
+        }
+    }
+
+    fn word(&mut self, what: &str) -> Result<String, SpecError> {
+        match self.peek() {
+            TokenKind::Word(w) => {
+                let w = w.clone();
+                self.bump();
+                Ok(w)
+            }
+            _ => Err(self.err(&format!("expected {what}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), SpecError> {
+        match self.peek() {
+            TokenKind::Word(w) if w == kw => {
+                self.bump();
+                Ok(())
+            }
+            _ => Err(self.err(&format!("expected `{kw}`"))),
+        }
+    }
+
+    fn problem(&mut self) -> Result<ProblemDecl, SpecError> {
+        self.keyword("problem")?;
+        let name = self.word("a problem name")?;
+        self.expect(TokenKind::LBrace)?;
+        let mut components: Vec<String> = Vec::new();
+        let mut service: Option<String> = None;
+        let mut internal: Vec<String> = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            match self.peek().clone() {
+                TokenKind::Word(w) if w == "components" => {
+                    self.bump();
+                    loop {
+                        components.push(self.word("a spec name")?);
+                        if self.peek() == &TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Word(w) if w == "service" => {
+                    self.bump();
+                    let s = self.word("a spec name")?;
+                    if service.replace(s).is_some() {
+                        return Err(SpecError::Parse(
+                            "`service` declared more than once".to_owned(),
+                        ));
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Word(w) if w == "internal" => {
+                    self.bump();
+                    loop {
+                        internal.push(self.word("an event name")?);
+                        if self.peek() == &TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                _ => return Err(self.err("expected `components`, `service` or `internal`")),
+            }
+        }
+        self.expect(TokenKind::RBrace)?;
+        let Some(service) = service else {
+            return Err(SpecError::Parse(format!(
+                "problem `{name}` has no `service` declaration"
+            )));
+        };
+        Ok(ProblemDecl {
+            name,
+            components,
+            service,
+            internal,
+        })
+    }
+
+    fn spec(&mut self) -> Result<Spec, SpecError> {
+        self.keyword("spec")?;
+        let name = self.word("a specification name")?;
+        self.expect(TokenKind::LBrace)?;
+        let mut b = SpecBuilder::new(&name);
+        let mut initial: Option<String> = None;
+        while self.peek() != &TokenKind::RBrace {
+            match self.peek().clone() {
+                TokenKind::Word(w) if w == "initial" => {
+                    self.bump();
+                    let s = self.word("a state name")?;
+                    if initial.replace(s).is_some() {
+                        return Err(SpecError::Parse(
+                            "`initial` declared more than once".to_owned(),
+                        ));
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Word(w) if w == "states" => {
+                    self.bump();
+                    loop {
+                        let st = self.word("a state name")?;
+                        b.state(&st);
+                        if self.peek() == &TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Word(w) if w == "alphabet" => {
+                    self.bump();
+                    loop {
+                        let e = self.word("an event name")?;
+                        b.event(&e);
+                        if self.peek() == &TokenKind::Comma {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::Word(_) => {
+                    let from = self.word("a state name")?;
+                    let from = b.state(&from);
+                    self.expect(TokenKind::Colon)?;
+                    if self.peek() == &TokenKind::Semi {
+                        self.bump(); // state with no transitions
+                        continue;
+                    }
+                    loop {
+                        if self.peek() == &TokenKind::Arrow {
+                            // internal transition
+                            self.bump();
+                            let to = self.word("a state name")?;
+                            let to = b.state(&to);
+                            b.int(from, to);
+                        } else {
+                            let event = self.word("an event name or `->`")?;
+                            self.expect(TokenKind::Arrow)?;
+                            let to = self.word("a state name")?;
+                            let to = b.state(&to);
+                            b.ext(from, &event, to);
+                        }
+                        if self.peek() == &TokenKind::Pipe {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Semi)?;
+                }
+                _ => return Err(self.err("expected a declaration or '}'")),
+            }
+        }
+        self.expect(TokenKind::RBrace)?;
+        if let Some(init) = initial {
+            let id = b.state(&init);
+            b.initial(id);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{has_trace, trace_of, Alphabet, EventId};
+
+    const NS_SENDER: &str = "
+        # The paper's NS sender.
+        spec N0 {
+          initial n0;
+          n0: acc -> n1;
+          n1: -D -> n2;
+          n2: +A -> n0 | t_N -> n1;
+        }
+    ";
+
+    #[test]
+    fn parses_ns_sender() {
+        let s = parse_spec(NS_SENDER).unwrap();
+        assert_eq!(s.name(), "N0");
+        assert_eq!(s.num_states(), 3);
+        assert_eq!(
+            s.alphabet(),
+            &Alphabet::from_names(["acc", "-D", "+A", "t_N"])
+        );
+        assert!(has_trace(&s, &trace_of(&["acc", "-D", "t_N", "-D", "+A"])));
+        // Matches the hand-built machine.
+        assert!(protoquot_spec::bisimilar(
+            &s,
+            &protoquot_protocols_free::ns_sender()
+        ));
+    }
+
+    // Local copy to avoid a cyclic dev-dependency on protoquot-protocols.
+    mod protoquot_protocols_free {
+        use protoquot_spec::{Spec, SpecBuilder};
+        pub fn ns_sender() -> Spec {
+            let mut b = SpecBuilder::new("N0");
+            let n0 = b.state("n0");
+            let n1 = b.state("n1");
+            let n2 = b.state("n2");
+            b.ext(n0, "acc", n1);
+            b.ext(n1, "-D", n2);
+            b.ext(n2, "+A", n0);
+            b.ext(n2, "t_N", n1);
+            b.build().unwrap()
+        }
+    }
+
+    #[test]
+    fn internal_transitions_and_bare_states() {
+        let s = parse_spec(
+            "spec X {
+               a: -> b | e -> c;
+               b: ;
+               c: -> a;
+             }",
+        )
+        .unwrap();
+        assert_eq!(s.num_states(), 3);
+        assert_eq!(s.num_internal(), 2);
+        assert_eq!(s.num_external(), 1);
+    }
+
+    #[test]
+    fn alphabet_declares_extra_events() {
+        let s = parse_spec("spec X { alphabet phantom, e2; a: ; }").unwrap();
+        assert!(s.alphabet().contains(EventId::new("phantom")));
+        assert!(s.alphabet().contains(EventId::new("e2")));
+    }
+
+    #[test]
+    fn initial_overrides_first_state() {
+        let s = parse_spec("spec X { initial b; a: e -> b; b: f -> a; }").unwrap();
+        assert_eq!(s.state_name(s.initial()), "b");
+    }
+
+    #[test]
+    fn multiple_specs_per_file() {
+        let specs = parse_file("spec A { a: ; } spec B { b: ; }").unwrap();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name(), "A");
+        assert_eq!(specs[1].name(), "B");
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_spec("spec X {\n  a: e -> ;\n}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("2:"), "message was: {msg}");
+    }
+
+    #[test]
+    fn duplicate_initial_rejected() {
+        let err = parse_spec("spec X { initial a; initial a; a: ; }").unwrap_err();
+        assert!(err.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn problem_blocks_parse_and_validate() {
+        let src = "
+            spec A { a: x -> a; }
+            spec S { s: y -> s; }
+            problem p1 {
+              components A;
+              service S;
+              internal x;
+            }
+        ";
+        let f = parse_source(src).unwrap();
+        assert_eq!(f.specs.len(), 2);
+        let p = f.problem("p1").unwrap();
+        assert_eq!(p.components, vec!["A".to_owned()]);
+        assert_eq!(p.service, "S");
+        assert_eq!(p.internal, vec!["x".to_owned()]);
+        assert!(f.problem("nope").is_none());
+        assert!(f.spec("A").is_some());
+        // parse_file skips problems.
+        assert_eq!(parse_file(src).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn problem_validation_errors() {
+        let unknown = "spec A { a: ; } problem p { components Z; service A; internal e; }";
+        assert!(parse_source(unknown).unwrap_err().to_string().contains("unknown spec"));
+        let no_service = "spec A { a: ; } problem p { components A; internal e; }";
+        assert!(parse_source(no_service)
+            .unwrap_err()
+            .to_string()
+            .contains("no `service`"));
+        let no_components = "spec A { a: ; } problem p { service A; internal e; }";
+        assert!(parse_source(no_components)
+            .unwrap_err()
+            .to_string()
+            .contains("no components"));
+        let no_internal = "spec A { a: ; } problem p { components A; service A; }";
+        assert!(parse_source(no_internal)
+            .unwrap_err()
+            .to_string()
+            .contains("no internal"));
+    }
+
+    #[test]
+    fn missing_spec_keyword_rejected() {
+        assert!(parse_file("notspec X { }").is_err());
+        assert!(parse_file("").is_err());
+    }
+
+    #[test]
+    fn trailing_content_after_single_spec_rejected() {
+        assert!(parse_spec("spec A { a: ; } spec B { b: ; }").is_err());
+    }
+}

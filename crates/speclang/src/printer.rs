@@ -1,0 +1,158 @@
+//! Pretty-printer: renders a [`Spec`] back into the textual language.
+//! `parse_spec(print_spec(&s))` reconstructs a machine equal to `s` up
+//! to state numbering (exactly equal when state names are unique, which
+//! the builder guarantees).
+
+use crate::parser::{ProblemDecl, SourceFile};
+use protoquot_spec::Spec;
+
+/// Renders one problem declaration.
+pub fn print_problem(p: &ProblemDecl) -> String {
+    format!(
+        "problem {} {{\n  components {};\n  service {};\n  internal {};\n}}\n",
+        p.name,
+        p.components.join(", "),
+        p.service,
+        p.internal.join(", ")
+    )
+}
+
+/// Renders a whole source file (specs then problems).
+pub fn print_source(f: &SourceFile) -> String {
+    let mut out = f
+        .specs
+        .iter()
+        .map(print_spec)
+        .collect::<Vec<_>>()
+        .join("\n");
+    for p in &f.problems {
+        out.push('\n');
+        out.push_str(&print_problem(p));
+    }
+    out
+}
+
+/// Renders one specification.
+pub fn print_spec(spec: &Spec) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("spec {} {{\n", spec.name()));
+    // Pin the state numbering so the round trip is exact even when a
+    // later state is first mentioned as a transition target.
+    out.push_str(&format!(
+        "  states {};\n",
+        spec.states()
+            .map(|s| spec.state_name(s).to_owned())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  initial {};\n",
+        spec.state_name(spec.initial())
+    ));
+    // Declare the full alphabet explicitly so interface-only events
+    // survive the round trip.
+    if !spec.alphabet().is_empty() {
+        out.push_str(&format!(
+            "  alphabet {};\n",
+            spec.alphabet().names().join(", ")
+        ));
+    }
+    for s in spec.states() {
+        let mut parts: Vec<String> = Vec::new();
+        for &(e, t) in spec.external_from(s) {
+            parts.push(format!("{} -> {}", e, spec.state_name(t)));
+        }
+        for &t in spec.internal_from(s) {
+            parts.push(format!("-> {}", spec.state_name(t)));
+        }
+        if parts.is_empty() {
+            out.push_str(&format!("  {}: ;\n", spec.state_name(s)));
+        } else {
+            out.push_str(&format!("  {}: {};\n", spec.state_name(s), parts.join(" | ")));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders several specifications into one file.
+pub fn print_file(specs: &[Spec]) -> String {
+    specs
+        .iter()
+        .map(print_spec)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_file, parse_spec};
+    use protoquot_spec::SpecBuilder;
+
+    fn sample() -> Spec {
+        let mut b = SpecBuilder::new("sample");
+        let a = b.state("a");
+        let c = b.state("c");
+        b.ext(a, "go", c);
+        b.ext(a, "-d0", c);
+        b.int(c, a);
+        b.event("phantom");
+        b.initial(c);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_equality() {
+        let s = sample();
+        let text = print_spec(&s);
+        let back = parse_spec(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn roundtrip_multiple() {
+        let s1 = sample();
+        let s2 = sample().with_name("other");
+        let text = print_file(&[s1.clone(), s2.clone()]);
+        let back = parse_file(&text).unwrap();
+        assert_eq!(back, vec![s1, s2]);
+    }
+
+    #[test]
+    fn roundtrip_with_forward_target_reference() {
+        // s0's first transition targets s2, which would permute implicit
+        // numbering without the `states` declaration.
+        let mut b = SpecBuilder::new("fwd");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.ext(s0, "e", s2);
+        b.ext(s1, "f", s0);
+        b.ext(s2, "g", s1);
+        let s = b.build().unwrap();
+        let back = parse_spec(&print_spec(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn source_file_roundtrip_with_problems() {
+        let src = "spec A { a: x -> a; } spec S { s: y -> s; }
+                   problem p { components A; service S; internal x; }";
+        let f = crate::parser::parse_source(src).unwrap();
+        let printed = print_source(&f);
+        let back = crate::parser::parse_source(&printed).unwrap();
+        assert_eq!(back.specs, f.specs);
+        assert_eq!(back.problems, f.problems);
+        assert!(printed.contains("problem p {"));
+    }
+
+    #[test]
+    fn stuck_state_printed_parsable() {
+        let mut b = SpecBuilder::new("stuck");
+        b.state("only");
+        let s = b.build().unwrap();
+        let back = parse_spec(&print_spec(&s)).unwrap();
+        assert_eq!(back.num_states(), 1);
+    }
+}

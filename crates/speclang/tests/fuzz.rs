@@ -1,0 +1,62 @@
+//! Robustness: the lexer and parser must never panic, whatever bytes
+//! arrive — errors only.
+
+use proptest::prelude::*;
+use protoquot_speclang::lexer::lex;
+use protoquot_speclang::{parse_file, parse_spec, print_spec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(input in ".*") {
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".*") {
+        let _ = parse_file(&input);
+        let _ = parse_spec(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_tokenish_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("spec".to_owned()),
+                Just("{".to_owned()),
+                Just("}".to_owned()),
+                Just(";".to_owned()),
+                Just("|".to_owned()),
+                Just("->".to_owned()),
+                Just(":".to_owned()),
+                Just(",".to_owned()),
+                Just("initial".to_owned()),
+                Just("alphabet".to_owned()),
+                Just("states".to_owned()),
+                Just("problem".to_owned()),
+                "[a-z]{1,4}",
+            ],
+            0..24,
+        )
+    ) {
+        let input = words.join(" ");
+        let _ = parse_file(&input);
+    }
+
+    /// Anything that parses round-trips through the printer.
+    #[test]
+    fn successful_parses_roundtrip(
+        words in proptest::collection::vec("[a-z]{1,3}", 1..8)
+    ) {
+        // Build a tiny syntactically valid spec from random words.
+        let mut body = String::new();
+        for (i, w) in words.iter().enumerate() {
+            body.push_str(&format!("s{i}: {w} -> s{};\n", (i + 1) % words.len()));
+        }
+        let input = format!("spec fuzzed {{\n{body}}}");
+        let s = parse_spec(&input).unwrap();
+        let back = parse_spec(&print_spec(&s)).unwrap();
+        prop_assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,103 @@
+//! Ablation study over the solver's knobs, on the paper's co-located
+//! problem and the bidirectional extension:
+//!
+//! * **vacuous states** (Theorem 1's literal maximality vs the useful
+//!   subset): how much dead weight does literal maximality carry?
+//! * **progress strategy** (paper-exact Figure 6 vs the
+//!   reachable-product refinement): does skipping unrealisable pairs
+//!   ever keep more behaviour here?
+//! * **pruning** (the paper's "best done by hand", automated): how much
+//!   superfluous behaviour does the maximal converter carry?
+//!
+//! Run with: `cargo run --release --example ablation_study`
+
+use protoquot_core::{
+    prune_useless, solve_with, verify_converter, ProgressStrategy, QuotientOptions,
+};
+use protoquot_protocols::{
+    colocated_configuration, duplex_configuration, duplex_service, exactly_once,
+};
+use protoquot_spec::Spec;
+use std::time::Instant;
+
+fn row(label: &str, b: &Spec, service: &Spec, int: &protoquot_spec::Alphabet, opts: &QuotientOptions, prune: bool) {
+    let t = Instant::now();
+    match solve_with(b, service, int, opts) {
+        Ok(q) => {
+            let converter = if prune {
+                prune_useless(b, service, &q.converter)
+            } else {
+                q.converter
+            };
+            verify_converter(b, service, &converter).expect("every variant must verify");
+            println!(
+                "{:<34} {:>8} {:>12} {:>12} {:>10.1}",
+                label,
+                converter.num_states(),
+                converter.num_external(),
+                q.stats.safety_states,
+                t.elapsed().as_secs_f64() * 1e3
+            );
+        }
+        Err(e) => println!("{label:<34} failed: {e}"),
+    }
+}
+
+fn main() {
+    println!(
+        "{:<34} {:>8} {:>12} {:>12} {:>10}",
+        "variant", "C states", "transitions", "C0 states", "ms"
+    );
+
+    let col = colocated_configuration();
+    let service = exactly_once();
+    let base = QuotientOptions::default();
+    println!("-- paper Fig. 13 problem ------------------------------------------------------");
+    row("default (Fig. 6, lean)", &col.b, &service, &col.int, &base, false);
+    row(
+        "with vacuous states (Thm 1 literal)",
+        &col.b,
+        &service,
+        &col.int,
+        &QuotientOptions {
+            include_vacuous: true,
+            ..base.clone()
+        },
+        false,
+    );
+    row(
+        "reachable-product progress",
+        &col.b,
+        &service,
+        &col.int,
+        &QuotientOptions {
+            strategy: ProgressStrategy::ReachableProduct,
+            ..base.clone()
+        },
+        false,
+    );
+    row("default + pruning", &col.b, &service, &col.int, &base, true);
+
+    let dup = duplex_configuration();
+    let dup_service = duplex_service();
+    println!("-- bidirectional extension ----------------------------------------------------");
+    row("default", &dup.b, &dup_service, &dup.int, &base, false);
+    row(
+        "reachable-product progress",
+        &dup.b,
+        &dup_service,
+        &dup.int,
+        &QuotientOptions {
+            strategy: ProgressStrategy::ReachableProduct,
+            ..base.clone()
+        },
+        false,
+    );
+
+    println!(
+        "\nEvery variant re-verified (B ‖ C ⊨ A). Takeaways: vacuous states add\n\
+         dead weight only; the reachable-product refinement may retain more\n\
+         behaviour than the paper's Figure 6 (both remain correct); pruning\n\
+         trims what maximality over-approximates."
+    );
+}

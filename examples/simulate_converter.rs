@@ -1,0 +1,88 @@
+//! Derive the paper's AB→NS converter, then *run* it: wire the actual
+//! machines (AB sender, lossy channel, converter, NS receiver) into the
+//! simulation engine, inject increasing loss rates, and watch the
+//! exactly-once service hold under fire.
+//!
+//! Run with: `cargo run --example simulate_converter`
+
+use protoquot_core::solve;
+use protoquot_protocols::{
+    ab_channel, ab_sender, colocated_configuration, exactly_once, ns_receiver,
+};
+use protoquot_sim::{render_msc, run_monitored, run_traced, MonitorVerdict, SimConfig};
+
+fn main() {
+    // Derive the converter for the co-located configuration (Fig. 13).
+    let cfg = colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&cfg.b, &service, &cfg.int).expect("converter exists");
+    println!(
+        "derived converter: {} states, {} transitions\n",
+        q.converter.num_states(),
+        q.converter.num_external()
+    );
+
+    // Show the first protocol round as a message-sequence chart.
+    let (_, log) = run_traced(
+        vec![
+            ab_sender(),
+            ab_channel(),
+            q.converter.clone(),
+            ns_receiver(),
+        ],
+        &service,
+        &SimConfig {
+            seed: 7,
+            max_steps: 12,
+            internal_weights: vec![(1, 0)], // lossless for the demo round
+        },
+        12,
+    );
+    println!("one clean protocol round through the converter:");
+    println!("{}", render_msc(&["A0", "Ach", "C", "N1"], &log));
+
+    // Components by index: 0 = AB sender, 1 = lossy channel,
+    // 2 = converter, 3 = NS receiver. The channel's internal
+    // transitions are its losses; weighting them scales the loss rate.
+    println!("{:>10} {:>8} {:>8} {:>8} {:>9} {:>8}", "loss wt", "steps", "accepts", "delivers", "losses", "verdict");
+    for loss_weight in [0u32, 1, 5, 20] {
+        let components = vec![
+            ab_sender(),
+            ab_channel(),
+            q.converter.clone(),
+            ns_receiver(),
+        ];
+        let config = SimConfig {
+            seed: 7,
+            max_steps: 50_000,
+            internal_weights: vec![(1, loss_weight)],
+        };
+        let report = run_monitored(components, &service, &config);
+        let verdict = match &report.verdict {
+            MonitorVerdict::Conforming if !report.deadlocked => "ok",
+            MonitorVerdict::Conforming => "DEADLOCK",
+            MonitorVerdict::SafetyViolation { .. } => "VIOLATION",
+        };
+        println!(
+            "{:>10} {:>8} {:>8} {:>8} {:>9} {:>8}",
+            loss_weight,
+            report.steps,
+            report.count("acc"),
+            report.count("del"),
+            report.internal_counts[1],
+            verdict
+        );
+        assert!(
+            report.verdict == MonitorVerdict::Conforming && !report.deadlocked,
+            "the verified converter must never misbehave in simulation"
+        );
+        // Exactly-once: accepts and delivers never differ by more than 1.
+        let (acc, del) = (report.count("acc"), report.count("del"));
+        assert!(acc >= del && acc - del <= 1, "acc={acc} del={del}");
+    }
+    println!(
+        "\nacross all loss rates the monitored acc/del stream stayed a strict\n\
+         alternation and the system never deadlocked — the static `satisfies`\n\
+         verdict, observed dynamically."
+    );
+}

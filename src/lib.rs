@@ -1,0 +1,15 @@
+//! # protoquot
+//!
+//! Umbrella crate for the Calvert & Lam SIGCOMM '89 reproduction:
+//! re-exports the specification formalism, the quotient algorithm, the
+//! protocol zoo, the prior-work baselines, the simulation engine and
+//! the textual spec language. See the individual crates for details.
+
+#![forbid(unsafe_code)]
+
+pub use protoquot_baselines as baselines;
+pub use protoquot_core as core;
+pub use protoquot_protocols as protocols;
+pub use protoquot_sim as sim;
+pub use protoquot_spec as spec;
+pub use protoquot_speclang as speclang;

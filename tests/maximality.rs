@@ -1,0 +1,146 @@
+//! Tests of the algorithm's maximality guarantees (paper Theorems 1–2,
+//! EXP-MAX in DESIGN.md): every alternative solution's trace set is
+//! contained in the derived converter's.
+
+use protoquot_core::{solve_with, verify_converter, QuotientOptions};
+use protoquot_protocols::{colocated_configuration, exactly_once};
+use protoquot_spec::trace::traces_up_to;
+use protoquot_spec::{has_trace, Alphabet, Spec, SpecBuilder};
+
+fn relay() -> (Spec, Spec, Alphabet) {
+    let mut sb = SpecBuilder::new("S");
+    let u0 = sb.state("u0");
+    let u1 = sb.state("u1");
+    sb.ext(u0, "acc", u1);
+    sb.ext(u1, "del", u0);
+    let service = sb.build().unwrap();
+    let mut bb = SpecBuilder::new("B");
+    let b0 = bb.state("b0");
+    let b1 = bb.state("b1");
+    let b1b = bb.state("b1b");
+    let b2 = bb.state("b2");
+    bb.ext(b0, "acc", b1);
+    bb.ext(b1, "ping", b1b);
+    bb.ext(b1b, "pong", b1);
+    bb.ext(b1, "fwd", b2);
+    bb.ext(b1b, "fwd", b2);
+    bb.ext(b2, "del", b0);
+    let b = bb.build().unwrap();
+    (b.clone(), service, Alphabet::from_names(["ping", "pong", "fwd"]))
+}
+
+/// Hand-built alternative converters; all correct, all smaller than
+/// the maximal one.
+fn alternatives() -> Vec<Spec> {
+    // 1: just forward.
+    let mut c1 = SpecBuilder::new("alt1");
+    let s0 = c1.state("s0");
+    c1.ext(s0, "fwd", s0);
+    c1.event("ping");
+    c1.event("pong");
+    // 2: bounce once, then forward.
+    let mut c2 = SpecBuilder::new("alt2");
+    let s0 = c2.state("s0");
+    let s1 = c2.state("s1");
+    let s2 = c2.state("s2");
+    c2.ext(s0, "ping", s1);
+    c2.ext(s1, "pong", s2);
+    c2.ext(s2, "fwd", s0);
+    c2.ext(s0, "fwd", s0);
+    // 3: alternate forwarding styles per cycle.
+    let mut c3 = SpecBuilder::new("alt3");
+    let s0 = c3.state("s0");
+    let s1 = c3.state("s1");
+    c3.ext(s0, "fwd", s1);
+    c3.ext(s1, "ping", s0); // ping after forwarding (harmless)
+    c3.ext(s1, "fwd", s1);
+    c3.event("pong");
+    vec![c1.build().unwrap(), c2.build().unwrap(), c3.build().unwrap()]
+}
+
+#[test]
+fn alternatives_are_correct_but_smaller() {
+    let (b, service, _) = relay();
+    for alt in alternatives() {
+        verify_converter(&b, &service, &alt)
+            .unwrap_or_else(|e| panic!("{} should verify: {e}", alt.name()));
+    }
+}
+
+#[test]
+fn every_alternative_trace_is_in_the_maximal_converter() {
+    let (b, service, int) = relay();
+    // Maximality in the literal sense needs vacuous states included.
+    let opts = QuotientOptions {
+        include_vacuous: true,
+        ..Default::default()
+    };
+    let q = solve_with(&b, &service, &int, &opts).unwrap();
+    for alt in alternatives() {
+        for t in traces_up_to(&alt, 6) {
+            assert!(
+                has_trace(&q.converter, &t),
+                "trace {:?} of {} missing from the maximal converter",
+                t.iter().map(|e| e.name()).collect::<Vec<_>>(),
+                alt.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_configuration_maximality_over_handbuilt_converter() {
+    let cfg = colocated_configuration();
+    let service = exactly_once();
+    let opts = QuotientOptions {
+        include_vacuous: true,
+        ..Default::default()
+    };
+    let q = solve_with(&cfg.b, &service, &cfg.int, &opts).unwrap();
+
+    // The hand-derived "useful core" converter from the paper's Fig. 14.
+    let mut cb = SpecBuilder::new("hand");
+    let s: Vec<_> = (0..9).map(|i| cb.state(&format!("h{i}"))).collect();
+    cb.ext(s[0], "+d0", s[1]);
+    cb.ext(s[1], "+D", s[2]);
+    cb.ext(s[2], "-A", s[3]);
+    cb.ext(s[3], "-a0", s[4]);
+    cb.ext(s[4], "+d0", s[3]); // duplicate: re-ack
+    cb.ext(s[4], "+d1", s[5]);
+    cb.ext(s[5], "+D", s[6]);
+    cb.ext(s[6], "-A", s[7]);
+    cb.ext(s[7], "-a1", s[8]);
+    cb.ext(s[8], "+d1", s[7]); // duplicate: re-ack
+    cb.ext(s[8], "+d0", s[1]);
+    let hand = cb.build().unwrap();
+    verify_converter(&cfg.b, &service, &hand).expect("hand-built converter works");
+    for t in traces_up_to(&hand, 8) {
+        assert!(
+            has_trace(&q.converter, &t),
+            "trace {:?} missing from maximal converter",
+            t.iter().map(|e| e.name()).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn vacuous_inclusion_only_grows_the_trace_set() {
+    let (b, service, int) = relay();
+    let lean = solve_with(&b, &service, &int, &QuotientOptions::default()).unwrap();
+    let full = solve_with(
+        &b,
+        &service,
+        &int,
+        &QuotientOptions {
+            include_vacuous: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for t in traces_up_to(&lean.converter, 6) {
+        assert!(has_trace(&full.converter, &t));
+    }
+    // Both verify.
+    verify_converter(&b, &service, &lean.converter).unwrap();
+    verify_converter(&b, &service, &full.converter).unwrap();
+}

@@ -1,0 +1,210 @@
+//! Dynamic/static agreement: simulated executions of systems never
+//! contradict the symbolic `satisfies` verdicts.
+//!
+//! * systems proven to satisfy a service must run clean (no violation,
+//!   no deadlock) for many steps at any loss rate;
+//! * systems proven to violate safety must eventually exhibit the
+//!   violation under a scheduler that explores losses;
+//! * the derived paper converter runs clean inside the real machines.
+
+use protoquot_core::solve;
+use protoquot_protocols::{
+    ab_channel, ab_receiver, ab_sender, at_least_once, colocated_configuration, exactly_once,
+    ns_channel, ns_receiver, ns_sender,
+};
+use protoquot_sim::{run_monitored, MonitorVerdict, SimConfig};
+
+#[test]
+fn ab_system_runs_clean_under_loss() {
+    for (seed, loss) in [(1u64, 1u32), (2, 5), (3, 20)] {
+        let report = run_monitored(
+            vec![ab_sender(), ab_channel(), ab_receiver()],
+            &exactly_once(),
+            &SimConfig {
+                seed,
+                max_steps: 20_000,
+                internal_weights: vec![(1, loss)],
+            },
+        );
+        assert!(
+            report.is_clean(),
+            "AB run dirty at loss {loss}: {:?}",
+            report.verdict
+        );
+        let (acc, del) = (report.count("acc"), report.count("del"));
+        assert!(acc >= del && acc - del <= 1, "acc={acc} del={del}");
+        assert!(del > 0, "no progress at loss {loss}");
+    }
+}
+
+#[test]
+fn ns_system_eventually_duplicates() {
+    // The NS system violates exactly-once; with losses likely enough,
+    // a duplicate delivery shows up dynamically too.
+    let report = run_monitored(
+        vec![ns_sender(), ns_channel(), ns_receiver()],
+        &exactly_once(),
+        &SimConfig {
+            seed: 11,
+            max_steps: 50_000,
+            internal_weights: vec![(1, 10)],
+        },
+    );
+    match report.verdict {
+        MonitorVerdict::SafetyViolation { .. } => {}
+        MonitorVerdict::Conforming => {
+            panic!("expected a duplicate delivery within the step budget")
+        }
+    }
+}
+
+#[test]
+fn ns_system_runs_clean_against_its_own_service() {
+    let report = run_monitored(
+        vec![ns_sender(), ns_channel(), ns_receiver()],
+        &at_least_once(),
+        &SimConfig {
+            seed: 5,
+            max_steps: 20_000,
+            internal_weights: vec![(1, 10)],
+        },
+    );
+    assert!(report.is_clean(), "{:?}", report.verdict);
+    assert!(report.count("del") >= report.count("acc"));
+}
+
+#[test]
+fn derived_converter_runs_clean_at_every_loss_rate() {
+    let cfg = colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&cfg.b, &service, &cfg.int).unwrap();
+    for loss in [0u32, 1, 10, 50] {
+        let report = run_monitored(
+            vec![ab_sender(), ab_channel(), q.converter.clone(), ns_receiver()],
+            &service,
+            &SimConfig {
+                seed: 99,
+                max_steps: 30_000,
+                internal_weights: vec![(1, loss)],
+            },
+        );
+        assert!(
+            report.is_clean(),
+            "converter run dirty at loss {loss}: {:?}",
+            report.verdict
+        );
+        let (acc, del) = (report.count("acc"), report.count("del"));
+        assert!(acc >= del && acc - del <= 1, "acc={acc} del={del}");
+        if loss < 50 {
+            assert!(del > 0, "no progress at loss {loss}");
+        }
+    }
+}
+
+#[test]
+fn naive_gateway_violates_dynamically_too() {
+    use protoquot_protocols::gateway::{
+        connection_service, naive_passthrough, transport_a_initiator, transport_b_responder,
+    };
+    // Statically the naive pass-through breaks orderly close; the
+    // random scheduler finds the same witness. (The user hurries: close
+    // fires as soon as permitted — AlwaysEnabled externals model the
+    // most eager environment.)
+    let mut violated = false;
+    for seed in 0..20 {
+        let report = run_monitored(
+            vec![
+                transport_a_initiator(),
+                naive_passthrough(),
+                transport_b_responder(),
+            ],
+            &connection_service(),
+            &SimConfig {
+                seed,
+                max_steps: 1_000,
+                internal_weights: vec![],
+            },
+        );
+        if matches!(report.verdict, MonitorVerdict::SafetyViolation { .. }) {
+            violated = true;
+            break;
+        }
+    }
+    assert!(violated, "orderly-close violation never observed dynamically");
+}
+
+/// The exhaustive explorer and the symbolic safety checker agree on the
+/// paper's systems (closed-system cross-validation of two independent
+/// implementations of the semantics).
+#[test]
+fn explorer_agrees_with_symbolic_checker() {
+    use protoquot_protocols::{ab_system, nak_system_fully_corrupting, ns_system};
+    use protoquot_sim::explore;
+    use protoquot_spec::satisfies_safety;
+
+    // AB vs exactly-once: both say safe; explorer also proves no
+    // deadlock exists anywhere in the reachable space.
+    let r = explore(
+        vec![
+            protoquot_protocols::ab_sender(),
+            protoquot_protocols::ab_channel(),
+            protoquot_protocols::ab_receiver(),
+        ],
+        &exactly_once(),
+        100_000,
+    );
+    assert!(r.is_clean(), "{r:?}");
+    assert!(satisfies_safety(&ab_system(), &exactly_once()).unwrap().is_ok());
+
+    // NS vs exactly-once: both find the duplicate delivery; the
+    // explorer's shortest witness matches the checker's.
+    let r = explore(
+        vec![
+            protoquot_protocols::ns_sender(),
+            protoquot_protocols::ns_channel(),
+            protoquot_protocols::ns_receiver(),
+        ],
+        &exactly_once(),
+        100_000,
+    );
+    let (prefix, event) = r.violation.expect("duplicate found exhaustively");
+    assert_eq!(event.name(), "del");
+    assert_eq!(prefix.last().unwrap().name(), "del");
+    assert!(satisfies_safety(&ns_system(), &exactly_once()).unwrap().is_err());
+
+    // NAK fully-corrupting: same story through a different protocol.
+    let r = explore(
+        vec![
+            protoquot_protocols::nak_sender(),
+            protoquot_protocols::nak::nak_data_channel(),
+            protoquot_protocols::nak::nak_return_channel_corrupting(),
+            protoquot_protocols::nak_receiver(),
+        ],
+        &exactly_once(),
+        100_000,
+    );
+    assert!(r.violation.is_some());
+    assert!(
+        satisfies_safety(&nak_system_fully_corrupting(), &exactly_once())
+            .unwrap()
+            .is_err()
+    );
+}
+
+/// The derived paper converter explored exhaustively: every reachable
+/// global state is safe and deadlock-free — stronger than any number of
+/// random runs.
+#[test]
+fn derived_converter_exhaustively_clean() {
+    use protoquot_sim::explore;
+    let cfg = colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&cfg.b, &service, &cfg.int).unwrap();
+    let r = explore(
+        vec![ab_sender(), ab_channel(), q.converter, ns_receiver()],
+        &service,
+        1_000_000,
+    );
+    assert!(r.is_clean(), "{r:?}");
+    assert!(r.states_visited > 20, "visited {}", r.states_visited);
+}

@@ -1,0 +1,85 @@
+//! The shipped `specs/paper.pq` file must stay in lockstep with the
+//! programmatic machines in `protoquot-protocols`, and the CLI must be
+//! able to re-derive the paper's results from it.
+
+use protoquot_spec::bisimilar;
+use protoquot_speclang::parse_file;
+
+fn load_paper_specs() -> Vec<protoquot_spec::Spec> {
+    let source = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/specs/paper.pq"
+    ))
+    .expect("specs/paper.pq ships with the repo");
+    parse_file(&source).expect("specs/paper.pq parses")
+}
+
+fn find<'a>(specs: &'a [protoquot_spec::Spec], name: &str) -> &'a protoquot_spec::Spec {
+    specs
+        .iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| panic!("spec `{name}` missing from specs/paper.pq"))
+}
+
+#[test]
+fn asset_machines_match_programmatic_ones() {
+    let specs = load_paper_specs();
+    assert!(bisimilar(find(&specs, "A0"), &protoquot_protocols::ab_sender()));
+    assert!(bisimilar(find(&specs, "A1"), &protoquot_protocols::ab_receiver()));
+    assert!(bisimilar(find(&specs, "N0"), &protoquot_protocols::ns_sender()));
+    assert!(bisimilar(find(&specs, "N1"), &protoquot_protocols::ns_receiver()));
+    assert!(bisimilar(find(&specs, "Ach"), &protoquot_protocols::ab_channel()));
+    assert!(bisimilar(find(&specs, "Nch"), &protoquot_protocols::ns_channel()));
+    assert!(bisimilar(find(&specs, "S"), &protoquot_protocols::exactly_once()));
+    assert!(bisimilar(find(&specs, "S_weak"), &protoquot_protocols::at_least_once()));
+}
+
+#[test]
+fn asset_file_reproduces_both_configurations() {
+    let specs = load_paper_specs();
+    let service = find(&specs, "S");
+    let int_col: protoquot_spec::Alphabet =
+        ["+d0", "+d1", "-a0", "-a1", "+D", "-A"].into_iter().collect();
+    let b_col = protoquot_spec::compose_all(&[
+        find(&specs, "A0"),
+        find(&specs, "Ach"),
+        find(&specs, "N1"),
+    ])
+    .unwrap();
+    let q = protoquot_core::solve(&b_col, service, &int_col).expect("Fig. 14 from the file");
+    protoquot_core::verify_converter(&b_col, service, &q.converter).unwrap();
+
+    let int_sym: protoquot_spec::Alphabet = ["+d0", "+d1", "-a0", "-a1", "-D", "+A", "t_N"]
+        .into_iter()
+        .collect();
+    let b_sym = protoquot_spec::compose_all(&[
+        find(&specs, "A0"),
+        find(&specs, "Ach"),
+        find(&specs, "Nch"),
+        find(&specs, "N1"),
+    ])
+    .unwrap();
+    assert!(
+        protoquot_core::solve(&b_sym, service, &int_sym).is_err(),
+        "Fig. 9 non-existence from the file"
+    );
+}
+
+#[test]
+fn asset_problem_declarations_resolve() {
+    let source = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/specs/paper.pq"
+    ))
+    .unwrap();
+    let f = protoquot_speclang::parse_source(&source).unwrap();
+    for (name, expect_converter) in [("fig13", true), ("fig9", false), ("fig9_weakened", true)] {
+        let d = f.problem(name).unwrap_or_else(|| panic!("problem {name} declared"));
+        let parts: Vec<&protoquot_spec::Spec> =
+            d.components.iter().map(|c| f.spec(c).unwrap()).collect();
+        let b = protoquot_spec::compose_all(&parts).unwrap();
+        let int: protoquot_spec::Alphabet = d.internal.iter().map(String::as_str).collect();
+        let got = protoquot_core::solve(&b, f.spec(&d.service).unwrap(), &int);
+        assert_eq!(got.is_ok(), expect_converter, "problem {name}");
+    }
+}
