@@ -40,11 +40,7 @@ impl std::error::Error for SubmoduleError {}
 /// Derives the maximal converter that is correct **with respect to
 /// safety only** — trace inclusion of `B ‖ C` in `A`. The result may
 /// deadlock; use the full quotient for progress.
-pub fn submodule_construction(
-    b: &Spec,
-    a: &Spec,
-    int: &Alphabet,
-) -> Result<Spec, SubmoduleError> {
+pub fn submodule_construction(b: &Spec, a: &Spec, int: &Alphabet) -> Result<Spec, SubmoduleError> {
     validate_problem(b, a, int).map_err(SubmoduleError::BadProblem)?;
     let na = normalize(a);
     match safety_phase(b, &na, int, false, SafetyLimits::default()) {

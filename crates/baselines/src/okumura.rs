@@ -16,9 +16,7 @@
 //! fail that check (see the crate tests, which reproduce exactly this
 //! on the AB→NS example).
 
-use protoquot_spec::{
-    prune_unreachable, spec_from_parts, sync_product, Alphabet, Spec, StateId,
-};
+use protoquot_spec::{prune_unreachable, spec_from_parts, sync_product, Alphabet, Spec, StateId};
 
 /// Outcome of the bottom-up construction.
 #[derive(Debug)]
@@ -73,10 +71,7 @@ pub fn prune_deadlocks(spec: &Spec) -> Option<Spec> {
             if !alive[s.index()] {
                 continue;
             }
-            let has_out = spec
-                .external_from(s)
-                .iter()
-                .any(|&(_, t)| alive[t.index()])
+            let has_out = spec.external_from(s).iter().any(|&(_, t)| alive[t.index()])
                 || spec.internal_from(s).iter().any(|&t| alive[t.index()]);
             if !has_out {
                 alive[s.index()] = false;

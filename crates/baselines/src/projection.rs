@@ -12,9 +12,7 @@
 //! change the image state — then the image is an ordinary specification
 //! whose transitions are exactly the mapped concrete ones.
 
-use protoquot_spec::{
-    bisimilar, spec_from_parts, EventId, Spec, SpecBuilder, SpecError, StateId,
-};
+use protoquot_spec::{bisimilar, spec_from_parts, EventId, Spec, SpecBuilder, SpecError, StateId};
 use std::collections::HashMap;
 
 /// A projection: state aggregation + event mapping, both by name.

@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use protoquot_core::solve;
+use protoquot_protocols::service::windowed;
 use protoquot_protocols::{
     ab_to_nak_configuration, duplex_configuration, duplex_service, exactly_once,
     flow_control_configuration, frontman_configuration, two_client_service,
 };
-use protoquot_protocols::service::windowed;
 
 fn bench_scenarios(c: &mut Criterion) {
     let mut g = c.benchmark_group("scenarios");

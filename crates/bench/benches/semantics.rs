@@ -39,9 +39,7 @@ fn bench_semantics(c: &mut Criterion) {
         b.iter(|| SinkInfo::compute(&ab))
     });
 
-    g.bench_function("closures/ab-system", |b| {
-        b.iter(|| Closures::compute(&ab))
-    });
+    g.bench_function("closures/ab-system", |b| b.iter(|| Closures::compute(&ab)));
 
     g.bench_function("normalize/ab-system", |b| b.iter(|| normalize(&ab)));
     g.bench_function("normalize/ns-system", |b| b.iter(|| normalize(&ns)));

@@ -24,12 +24,7 @@ fn bench_simulation(c: &mut Criterion) {
             |b, &loss| {
                 b.iter(|| {
                     let report = run_monitored(
-                        vec![
-                            ab_sender(),
-                            ab_channel(),
-                            converter.clone(),
-                            ns_receiver(),
-                        ],
+                        vec![ab_sender(), ab_channel(), converter.clone(), ns_receiver()],
                         &service,
                         &SimConfig {
                             seed: 1,

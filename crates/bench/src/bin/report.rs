@@ -134,8 +134,15 @@ fn main() {
 
     println!("\n== EXP-C2b: progress time vs quotient size (polynomial, §7) ==");
     println!(
-        "{:>14} {:>10} {:>12} {:>12} {:>14}",
-        "family", "param", "C0 states", "progress ms", "ms per state"
+        "{:>14} {:>10} {:>12} {:>12} {:>14} {:>12} {:>12} {:>10}",
+        "family",
+        "param",
+        "C0 states",
+        "progress ms",
+        "ms per state",
+        "prod nodes",
+        "touched",
+        "recomps"
     );
     for n in [5usize, 7, 9, 11] {
         let (b, int) = nfa_blowup(n);
@@ -148,12 +155,59 @@ fn main() {
         let ms = t.elapsed().as_secs_f64() * 1e3;
         assert!(p.converter.is_some());
         println!(
-            "{:>14} {:>10} {:>12} {:>12.3} {:>14.5}",
+            "{:>14} {:>10} {:>12} {:>12.3} {:>14.5} {:>12} {:>12} {:>10}",
             "nfa-blowup",
             n,
             s.c0.num_states(),
             ms,
-            ms / s.c0.num_states() as f64
+            ms / s.c0.num_states() as f64,
+            p.stats.product_nodes,
+            p.stats.nodes_touched,
+            p.stats.tau_star_recomputations
+        );
+    }
+
+    println!("\n== EXP-C3: incremental engine vs full-recompute reference ==");
+    println!(
+        "{:>14} {:>10} {:>12} {:>12} {:>12} {:>8} {:>16}",
+        "family", "param", "ref ms", "incr ms", "speedup", "iters", "slice sizes"
+    );
+    let colocated = protoquot_protocols::colocated_configuration();
+    for (label, b, int) in [
+        ("relay-chain", relay_chain(12).0, relay_chain(12).1),
+        ("nfa-blowup", nfa_blowup(11).0, nfa_blowup(11).1),
+        ("toggle-puzzle", toggle_puzzle(6).0, toggle_puzzle(6).1),
+        ("paper/Fig14", colocated.b, colocated.int),
+    ] {
+        let na = normalize(&exactly_once());
+        let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+            .unwrap()
+            .unwrap();
+        let time = |f: &dyn Fn() -> protoquot_core::ProgressPhase| {
+            let mut best = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..3 {
+                let t = Instant::now();
+                let p = f();
+                best = best.min(t.elapsed().as_secs_f64() * 1e3);
+                out = Some(p);
+            }
+            (best, out.unwrap())
+        };
+        let (ref_ms, pr) = time(&|| protoquot_core::progress_phase_reference(&b, &na, &s));
+        let (inc_ms, pi) = time(&|| progress_phase(&b, &na, &s));
+        assert_eq!(pr.converter, pi.converter, "engines must agree");
+        assert_eq!(pr.iterations, pi.iterations);
+        let slices: Vec<String> = pi.stats.slice_sizes.iter().map(|s| s.to_string()).collect();
+        println!(
+            "{:>14} {:>10} {:>12.3} {:>12.3} {:>11.2}x {:>8} {:>16}",
+            label,
+            "-",
+            ref_ms,
+            inc_ms,
+            ref_ms / inc_ms,
+            pi.iterations,
+            slices.join(",")
         );
     }
 
@@ -178,8 +232,7 @@ fn main() {
         }
         int_names.push("+D".into());
         int_names.push("-A".into());
-        let int: protoquot_spec::Alphabet =
-            int_names.iter().map(String::as_str).collect();
+        let int: protoquot_spec::Alphabet = int_names.iter().map(String::as_str).collect();
         let t = Instant::now();
         let r = solve(&b, &exactly_once(), &int);
         let ms = t.elapsed().as_secs_f64() * 1e3;
@@ -211,12 +264,16 @@ fn main() {
         println!(
             "half-corrupting NAK system ({} states): exactly-once = {}",
             half.num_states(),
-            protoquot_spec::satisfies(&half, &exactly_once()).unwrap().is_ok()
+            protoquot_spec::satisfies(&half, &exactly_once())
+                .unwrap()
+                .is_ok()
         );
         println!(
             "fully-corrupting NAK system ({} states): exactly-once = {}, at-least-once = {}",
             fullc.num_states(),
-            protoquot_spec::satisfies(&fullc, &exactly_once()).unwrap().is_ok(),
+            protoquot_spec::satisfies(&fullc, &exactly_once())
+                .unwrap()
+                .is_ok(),
             protoquot_spec::satisfies(&fullc, &protoquot_protocols::at_least_once())
                 .unwrap()
                 .is_ok()

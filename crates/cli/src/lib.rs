@@ -186,11 +186,7 @@ fn find<'a>(specs: &'a [Spec], name: &str) -> Result<&'a Spec, CliError> {
     specs.iter().find(|s| s.name() == name).ok_or_else(|| {
         CliError(format!(
             "no spec named `{name}` (available: {})",
-            specs
-                .iter()
-                .map(Spec::name)
-                .collect::<Vec<_>>()
-                .join(", ")
+            specs.iter().map(Spec::name).collect::<Vec<_>>().join(", ")
         ))
     })
 }
@@ -216,7 +212,11 @@ fn cmd_show(rest: &[String]) -> Result<String, CliError> {
     };
     let specs = load(file)?;
     let s = find(&specs, name)?;
-    Ok(if p.has("--dot") { to_dot(s) } else { to_text(s) })
+    Ok(if p.has("--dot") {
+        to_dot(s)
+    } else {
+        to_text(s)
+    })
 }
 
 fn cmd_compose(rest: &[String]) -> Result<String, CliError> {
@@ -248,10 +248,15 @@ fn cmd_check(rest: &[String]) -> Result<String, CliError> {
         return err("usage: protoquot check FILE --impl SPEC --service SPEC");
     };
     let specs = load(file)?;
-    let imp = find(&specs, p.value("--impl").ok_or(CliError("--impl required".into()))?)?;
+    let imp = find(
+        &specs,
+        p.value("--impl")
+            .ok_or(CliError("--impl required".into()))?,
+    )?;
     let srv = find(
         &specs,
-        p.value("--service").ok_or(CliError("--service required".into()))?,
+        p.value("--service")
+            .ok_or(CliError("--service required".into()))?,
     )?;
     match satisfies(imp, srv).map_err(|e| CliError(e.to_string()))? {
         Ok(()) => Ok(format!(
@@ -369,8 +374,7 @@ fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
         Err(e) => {
             out.push_str(&format!("no converter: {e}\n"));
             if let protoquot_core::QuotientError::NoProgressingConverter {
-                witness: Some(w),
-                ..
+                witness: Some(w), ..
             } = &e
             {
                 out.push_str(&format!(
@@ -397,7 +401,8 @@ fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
     let specs = load(file)?;
     let srv = find(
         &specs,
-        p.value("--service").ok_or(CliError("--service required".into()))?,
+        p.value("--service")
+            .ok_or(CliError("--service required".into()))?,
     )?;
     let comp_names: Vec<&str> = p
         .value("--components")
@@ -410,11 +415,15 @@ fn cmd_simulate(rest: &[String]) -> Result<String, CliError> {
         .map(|n| find(&specs, n).cloned())
         .collect::<Result<_, _>>()?;
     let steps: u64 = match p.value("--steps") {
-        Some(v) => v.parse().map_err(|_| CliError("--steps must be a number".into()))?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError("--steps must be a number".into()))?,
         None => 10_000,
     };
     let seed: u64 = match p.value("--seed") {
-        Some(v) => v.parse().map_err(|_| CliError("--seed must be a number".into()))?,
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError("--seed must be a number".into()))?,
         None => 0,
     };
     let mut internal_weights = Vec::new();
@@ -503,10 +512,15 @@ fn cmd_violations(rest: &[String]) -> Result<String, CliError> {
         return err("usage: protoquot violations FILE --impl SPEC --service SPEC");
     };
     let specs = load(file)?;
-    let imp = find(&specs, p.value("--impl").ok_or(CliError("--impl required".into()))?)?;
+    let imp = find(
+        &specs,
+        p.value("--impl")
+            .ok_or(CliError("--impl required".into()))?,
+    )?;
     let srv = find(
         &specs,
-        p.value("--service").ok_or(CliError("--service required".into()))?,
+        p.value("--service")
+            .ok_or(CliError("--service required".into()))?,
     )?;
     if imp.alphabet() != srv.alphabet() {
         return err(format!(
@@ -546,7 +560,8 @@ fn cmd_explore(rest: &[String]) -> Result<String, CliError> {
     let specs = load(file)?;
     let srv = find(
         &specs,
-        p.value("--service").ok_or(CliError("--service required".into()))?,
+        p.value("--service")
+            .ok_or(CliError("--service required".into()))?,
     )?;
     let components: Vec<Spec> = p
         .value("--components")
@@ -643,8 +658,10 @@ mod tests {
     #[test]
     fn show_unknown_spec_errors() {
         with_file(|path| {
-            let args: Vec<String> =
-                ["show", path, "Nope"].iter().map(|s| s.to_string()).collect();
+            let args: Vec<String> = ["show", path, "Nope"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             let e = run(&args).unwrap_err();
             assert!(e.to_string().contains("available: S, B, Broken"));
         })
@@ -665,9 +682,7 @@ mod tests {
     #[test]
     fn solve_derives_converter() {
         with_file(|path| {
-            let out = run_ok(&[
-                "solve", path, "--service", "S", "--int", "fwd", "--b", "B",
-            ]);
+            let out = run_ok(&["solve", path, "--service", "S", "--int", "fwd", "--b", "B"]);
             assert!(out.contains("converter derived"), "{out}");
             assert!(out.contains("fwd"), "{out}");
         })
@@ -694,11 +709,10 @@ mod tests {
             let e = run(&args).unwrap_err();
             assert!(e.to_string().contains("available: relay"), "{e}");
             // Mixing --problem with --service is rejected.
-            let args: Vec<String> =
-                ["solve", path, "--problem", "relay", "--service", "S"]
-                    .iter()
-                    .map(|s| s.to_string())
-                    .collect();
+            let args: Vec<String> = ["solve", path, "--problem", "relay", "--service", "S"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
             assert!(run(&args).is_err());
         })
     }
@@ -710,9 +724,21 @@ mod tests {
             // can exist — fwd isn't even in its alphabet, so the problem
             // is malformed; use B with an empty Int instead: B alone
             // cannot progress past b1.
-            let out = run_ok(&["solve", path, "--service", "S", "--int", "fwd,unused_evt", "--b", "B"]);
+            let out = run_ok(&[
+                "solve",
+                path,
+                "--service",
+                "S",
+                "--int",
+                "fwd,unused_evt",
+                "--b",
+                "B",
+            ]);
             // unused_evt not in B's alphabet -> BadProblem, reported.
-            assert!(out.contains("no converter") || out.contains("malformed"), "{out}");
+            assert!(
+                out.contains("no converter") || out.contains("malformed"),
+                "{out}"
+            );
         })
     }
 
@@ -722,7 +748,14 @@ mod tests {
             // Close the loop: B needs a converter for fwd; simulate the
             // service spec S as a self-system instead (trivially clean).
             let out = run_ok(&[
-                "simulate", path, "--service", "S", "--components", "S", "--steps", "100",
+                "simulate",
+                path,
+                "--service",
+                "S",
+                "--components",
+                "S",
+                "--steps",
+                "100",
             ]);
             assert!(out.contains("ran 100 steps"), "{out}");
             assert!(out.contains("conforming"), "{out}");
@@ -733,8 +766,16 @@ mod tests {
     fn simulate_detects_violation() {
         with_file(|path| {
             let out = run_ok(&[
-                "simulate", path, "--service", "S", "--components", "Broken", "--steps", "50",
-                "--seed", "3",
+                "simulate",
+                path,
+                "--service",
+                "S",
+                "--components",
+                "Broken",
+                "--steps",
+                "50",
+                "--seed",
+                "3",
             ]);
             assert!(out.contains("VIOLATION"), "{out}");
         })
@@ -774,14 +815,10 @@ mod tests {
     #[test]
     fn explore_command_exhaustive() {
         with_file(|path| {
-            let clean = run_ok(&[
-                "explore", path, "--service", "S", "--components", "S",
-            ]);
+            let clean = run_ok(&["explore", path, "--service", "S", "--components", "S"]);
             assert!(clean.contains("no safety violation reachable"), "{clean}");
             assert!(clean.contains("no deadlock reachable"), "{clean}");
-            let dirty = run_ok(&[
-                "explore", path, "--service", "S", "--components", "Broken",
-            ]);
+            let dirty = run_ok(&["explore", path, "--service", "S", "--components", "Broken"]);
             assert!(dirty.contains("VIOLATION"), "{dirty}");
         })
     }
@@ -811,7 +848,14 @@ mod tests {
     fn loss_flag_validation() {
         with_file(|path| {
             let args: Vec<String> = [
-                "simulate", path, "--service", "S", "--components", "S", "--loss", "Nope=3",
+                "simulate",
+                path,
+                "--service",
+                "S",
+                "--components",
+                "S",
+                "--loss",
+                "Nope=3",
             ]
             .iter()
             .map(|s| s.to_string())

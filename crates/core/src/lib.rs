@@ -73,7 +73,8 @@ pub mod verify;
 
 pub use pairset::{close, h_epsilon, phi, OkViolation, Pair, PairSet};
 pub use progress::{
-    progress_phase, progress_phase_with, ProgressPhase, ProgressStrategy, ProgressWitness,
+    progress_phase, progress_phase_reference, progress_phase_reference_with, progress_phase_with,
+    ProgressEngineStats, ProgressPhase, ProgressStrategy, ProgressWitness,
 };
 pub use prune::prune_useless;
 pub use safety::{safety_phase, SafetyFailure, SafetyLimits, SafetyPhase};

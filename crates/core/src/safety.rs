@@ -71,6 +71,12 @@ pub fn safety_phase(
     let ext = b.alphabet().difference(int);
     let h0 = h_epsilon(na, b, &ext).map_err(|violation| SafetyFailure { violation })?;
 
+    // The budget covers every state, including the initial one a
+    // `max_states` of zero must not admit.
+    if limits.max_states == 0 {
+        return Ok(None);
+    }
+
     let mut index: HashMap<PairSet, StateId> = HashMap::new();
     let mut f: Vec<PairSet> = Vec::new();
     let mut names: Vec<String> = Vec::new();
@@ -191,8 +197,14 @@ mod tests {
         bb.event("m");
         let b = bb.build().unwrap();
         let int = Alphabet::from_names(["m"]);
-        let err = safety_phase(&b, &normalize(&service), &int, false, SafetyLimits::default())
-            .unwrap_err();
+        let err = safety_phase(
+            &b,
+            &normalize(&service),
+            &int,
+            false,
+            SafetyLimits::default(),
+        )
+        .unwrap_err();
         assert_eq!(err.violation.event, EventId::new("del"));
     }
 
@@ -227,6 +239,17 @@ mod tests {
         let (service, b, int) = relay_problem();
         let na = normalize(&service);
         let out = safety_phase(&b, &na, &int, false, SafetyLimits { max_states: 1 }).unwrap();
+        assert!(out.is_none());
+    }
+
+    /// A zero budget admits no states at all — not even the initial
+    /// one (regression: the initial insertion used to bypass the
+    /// check).
+    #[test]
+    fn zero_state_budget_admits_nothing() {
+        let (service, b, int) = relay_problem();
+        let na = normalize(&service);
+        let out = safety_phase(&b, &na, &int, false, SafetyLimits { max_states: 0 }).unwrap();
         assert!(out.is_none());
     }
 }

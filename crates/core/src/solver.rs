@@ -6,7 +6,9 @@
 //! ruled it out and a witness.
 
 use crate::pairset::OkViolation;
-use crate::progress::{progress_phase_with, ProgressStrategy, ProgressWitness};
+use crate::progress::{
+    progress_phase_with, ProgressEngineStats, ProgressStrategy, ProgressWitness,
+};
 use crate::safety::{safety_phase, SafetyLimits, SafetyPhase};
 use protoquot_spec::{normalize, Alphabet, NormalSpec, Spec, SpecError};
 use std::time::{Duration, Instant};
@@ -61,6 +63,8 @@ pub struct QuotientStats {
     pub safety_time: Duration,
     /// Wall time of the progress phase.
     pub progress_time: Duration,
+    /// Work counters from the incremental progress engine.
+    pub progress_engine: ProgressEngineStats,
 }
 
 /// Why no converter was produced.
@@ -178,6 +182,7 @@ pub fn solve_normalized(
         removed_states: progress.removed,
         safety_time,
         progress_time,
+        progress_engine: progress.stats,
     };
     match progress.converter {
         Some(converter) => Ok(Quotient {

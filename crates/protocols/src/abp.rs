@@ -78,7 +78,7 @@ pub fn ab_receiver() -> Spec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use protoquot_spec::{trace_of, has_trace, Alphabet};
+    use protoquot_spec::{has_trace, trace_of, Alphabet};
 
     #[test]
     fn sender_shape() {
@@ -138,7 +138,10 @@ mod tests {
             &r,
             &trace_of(&["+d0", "del", "-a0", "+d0", "-a0", "+d1", "del"])
         ));
-        assert!(!has_trace(&r, &trace_of(&["+d0", "del", "-a0", "+d0", "del"])));
+        assert!(!has_trace(
+            &r,
+            &trace_of(&["+d0", "del", "-a0", "+d0", "del"])
+        ));
     }
 
     #[test]

@@ -72,9 +72,7 @@ mod tests {
         assert_eq!(c.num_internal(), 4);
         assert_eq!(
             c.alphabet(),
-            &Alphabet::from_names([
-                "-d0", "+d0", "-d1", "+d1", "-a0", "+a0", "-a1", "+a1", "t_A"
-            ])
+            &Alphabet::from_names(["-d0", "+d0", "-d1", "+d1", "-a0", "+a0", "-a1", "+a1", "t_A"])
         );
     }
 
@@ -175,17 +173,9 @@ mod premature_tests {
 
     #[test]
     fn ab_protocol_tolerates_premature_timeouts() {
-        let ch = duplex_premature_timeout_channel(
-            "Ach'",
-            &["d0", "d1", "a0", "a1"],
-            "t_A",
-        );
-        let sys = compose_all(&[
-            &crate::abp::ab_sender(),
-            &ch,
-            &crate::abp::ab_receiver(),
-        ])
-        .unwrap();
+        let ch = duplex_premature_timeout_channel("Ach'", &["d0", "d1", "a0", "a1"], "t_A");
+        let sys =
+            compose_all(&[&crate::abp::ab_sender(), &ch, &crate::abp::ab_receiver()]).unwrap();
         let verdict = satisfies(&sys, &exactly_once()).unwrap();
         assert!(
             verdict.is_ok(),
@@ -199,17 +189,9 @@ mod premature_tests {
         // The checker catches the modelling artefact: a spurious
         // retransmission contends with the in-flight ack for the single
         // duplex slot, and neither side can move.
-        let ch = duplex_spurious_timeout_channel(
-            "Ach''",
-            &["d0", "d1", "a0", "a1"],
-            "t_A",
-        );
-        let sys = compose_all(&[
-            &crate::abp::ab_sender(),
-            &ch,
-            &crate::abp::ab_receiver(),
-        ])
-        .unwrap();
+        let ch = duplex_spurious_timeout_channel("Ach''", &["d0", "d1", "a0", "a1"], "t_A");
+        let sys =
+            compose_all(&[&crate::abp::ab_sender(), &ch, &crate::abp::ab_receiver()]).unwrap();
         match satisfies(&sys, &exactly_once()).unwrap() {
             Err(protoquot_spec::Violation::Progress { offered, .. }) => {
                 assert!(offered.is_empty(), "expected a hard deadlock");

@@ -122,10 +122,13 @@ mod tests {
         let service = duplex_service();
         let q = protoquot_core::solve(&cfg.b, &service, &cfg.int)
             .expect("a bidirectional converter exists");
-        protoquot_core::verify_converter(&cfg.b, &service, &q.converter)
-            .expect("and verifies");
+        protoquot_core::verify_converter(&cfg.b, &service, &q.converter).expect("and verifies");
         // It genuinely serves both directions: events of each appear.
-        let used: Alphabet = q.converter.external_transitions().map(|(_, e, _)| e).collect();
+        let used: Alphabet = q
+            .converter
+            .external_transitions()
+            .map(|(_, e, _)| e)
+            .collect();
         assert!(used.contains(protoquot_spec::EventId::new("+d0_1")));
         assert!(used.contains(protoquot_spec::EventId::new("+d0_2")));
         assert!(used.contains(protoquot_spec::EventId::new("-D_2")));

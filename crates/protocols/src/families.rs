@@ -22,7 +22,12 @@ pub fn relay_chain(n: usize) -> (Spec, Alphabet) {
         prev = next;
     }
     b.ext(prev, "del", start);
-    let int: Alphabet = (0..n).map(|i| format!("m{i}")).collect::<Vec<_>>().iter().map(String::as_str).collect();
+    let int: Alphabet = (0..n)
+        .map(|i| format!("m{i}"))
+        .collect::<Vec<_>>()
+        .iter()
+        .map(String::as_str)
+        .collect();
     (b.build().expect("relay is well-formed"), int)
 }
 

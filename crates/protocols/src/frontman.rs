@@ -72,11 +72,7 @@ pub fn two_client_service() -> Spec {
         b.ext(w, resp, i);
         b.build().unwrap()
     };
-    compose(
-        &mk("Sn", "nreq", "nresp"),
-        &mk("Sf", "freq", "fresp"),
-    )
-    .with_name("S-two-clients")
+    compose(&mk("Sn", "nreq", "nresp"), &mk("Sf", "freq", "fresp")).with_name("S-two-clients")
 }
 
 /// The front-man quotient problem: the converter bridges the foreign
@@ -115,7 +111,10 @@ mod tests {
     #[test]
     fn service_interleaves_the_clients() {
         let s = two_client_service();
-        assert!(has_trace(&s, &trace_of(&["nreq", "freq", "fresp", "nresp"])));
+        assert!(has_trace(
+            &s,
+            &trace_of(&["nreq", "freq", "fresp", "nresp"])
+        ));
         assert!(!has_trace(&s, &trace_of(&["nreq", "nreq"])));
         assert!(!has_trace(&s, &trace_of(&["fresp"])));
     }
@@ -124,8 +123,7 @@ mod tests {
     fn frontman_converter_derived_and_verified() {
         let cfg = frontman_configuration();
         let service = two_client_service();
-        let q = protoquot_core::solve(&cfg.b, &service, &cfg.int)
-            .expect("the front man exists");
+        let q = protoquot_core::solve(&cfg.b, &service, &cfg.int).expect("the front man exists");
         protoquot_core::verify_converter(&cfg.b, &service, &q.converter).expect("verifies");
         // The front man never touches native traffic: its alphabet has
         // no native-port events (by problem construction)…
@@ -158,8 +156,6 @@ mod tests {
             &composite,
             &trace_of(&["nreq", "nresp", "nreq", "nresp"])
         ));
-        assert!(
-            protoquot_core::verify_converter(&cfg.b, &two_client_service(), &stuck).is_err()
-        );
+        assert!(protoquot_core::verify_converter(&cfg.b, &two_client_service(), &stuck).is_err());
     }
 }

@@ -99,8 +99,8 @@ pub fn gateway_configuration() -> crate::paper::Configuration {
         .expect("transport alphabets are disjoint")
         .with_name("TA0||TB1");
     let int = Alphabet::from_names([
-        "-CRa", "+CCa", "-DTa", "+AKa", "-FINa", "+FCa", "+CRb", "-CCb", "+DTb", "-AKb",
-        "+FINb", "-FCb",
+        "-CRa", "+CCa", "-DTa", "+AKa", "-FINa", "+FCa", "+CRb", "-CCb", "+DTb", "-AKb", "+FINb",
+        "-FCb",
     ]);
     let ext = Alphabet::from_names(["open", "send", "deliver", "close"]);
     debug_assert_eq!(b.alphabet(), &int.union(&ext));
@@ -130,8 +130,8 @@ pub fn symmetric_gateway() -> crate::paper::Configuration {
         .with_name("TA0||NSa||NSb||TB1");
     // The converter sees the channel-far ends plus both timeouts.
     let int = Alphabet::from_names([
-        "+CRa", "-CCa", "+DTa", "-AKa", "+FINa", "-FCa", "t_a", "-CRb", "+CCb", "-DTb",
-        "+AKb", "-FINb", "+FCb", "t_b",
+        "+CRa", "-CCa", "+DTa", "-AKa", "+FINa", "-FCa", "t_a", "-CRb", "+CCb", "-DTb", "+AKb",
+        "-FINb", "+FCb", "t_b",
     ]);
     let ext = Alphabet::from_names(["open", "send", "deliver", "close"]);
     debug_assert_eq!(b.alphabet(), &int.union(&ext));
@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn service_orders_delivery_before_close() {
         let s = connection_service();
-        assert!(has_trace(&s, &trace_of(&["open", "send", "deliver", "close"])));
+        assert!(has_trace(
+            &s,
+            &trace_of(&["open", "send", "deliver", "close"])
+        ));
         assert!(!has_trace(&s, &trace_of(&["open", "send", "close"])));
     }
 

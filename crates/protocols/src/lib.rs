@@ -37,8 +37,8 @@ pub mod sliding;
 
 pub use abp::{ab_receiver, ab_sender};
 pub use channel::{
-    ab_channel, duplex_lossy_channel, duplex_premature_timeout_channel,
-    duplex_reliable_channel, duplex_spurious_timeout_channel, ns_channel,
+    ab_channel, duplex_lossy_channel, duplex_premature_timeout_channel, duplex_reliable_channel,
+    duplex_spurious_timeout_channel, ns_channel,
 };
 pub use duplex::{direct_sender, duplex_configuration, duplex_service, rename_suffixed};
 pub use families::{nfa_blowup, random_component, relay_chain, toggle_puzzle, RandomParams};
@@ -54,9 +54,11 @@ pub use nak::{
     nak_system_fully_corrupting, nak_system_half_corrupting,
 };
 pub use nonseq::{ns_receiver, ns_sender};
+pub use paper::{
+    ab_system, colocated_configuration, ns_system, symmetric_configuration, Configuration,
+};
 pub use pipelined::{
     fifo_channel, flow_control_configuration, window_receiver, window_sender, windowed_system,
 };
-pub use paper::{ab_system, colocated_configuration, ns_system, symmetric_configuration, Configuration};
 pub use service::{at_least_once, exactly_once, windowed};
 pub use sliding::{modk_messages, modk_receiver, modk_sender, modk_system};

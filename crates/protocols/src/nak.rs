@@ -137,7 +137,7 @@ pub fn ab_to_nak_configuration() -> crate::paper::Configuration {
         .expect("each event shared pairwise")
         .with_name("A0||Ach||Kd||K1");
     let int: protoquot_spec::Alphabet = [
-        "+d0", "+d1", "-a0", "-a1", // AB channel far end
+        "+d0", "+d1", "-a0", "-a1",  // AB channel far end
         "-msg", // into the corrupting data channel
         "-ack", "-nak", // NAK responses, direct
     ]
@@ -166,7 +166,11 @@ mod tests {
     fn half_corrupting_system_is_exactly_once() {
         let sys = nak_system_half_corrupting();
         let verdict = satisfies(&sys, &exactly_once()).unwrap();
-        assert!(verdict.is_ok(), "half-corrupting NAK failed: {:?}", verdict.err());
+        assert!(
+            verdict.is_ok(),
+            "half-corrupting NAK failed: {:?}",
+            verdict.err()
+        );
     }
 
     #[test]
@@ -193,17 +197,14 @@ mod tests {
         // `-nak` it retransmits `-msg`, on `-ack` it acknowledges the
         // AB side.
         let cfg = ab_to_nak_configuration();
-        let q = protoquot_core::solve(&cfg.b, &exactly_once(), &cfg.int)
-            .expect("converter must exist");
+        let q =
+            protoquot_core::solve(&cfg.b, &exactly_once(), &cfg.int).expect("converter must exist");
         protoquot_core::verify_converter(&cfg.b, &exactly_once(), &q.converter)
             .expect("and verify");
         // Its core handles retransmission: some state reacts to -nak by
         // eventually re-sending -msg.
         let nak = protoquot_spec::EventId::new("-nak");
-        assert!(q
-            .converter
-            .external_transitions()
-            .any(|(_, e, _)| e == nak));
+        assert!(q.converter.external_transitions().any(|(_, e, _)| e == nak));
     }
 
     #[test]

@@ -60,7 +60,10 @@ mod tests {
     #[test]
     fn sender_retransmits_until_acked() {
         let s = ns_sender();
-        assert!(has_trace(&s, &trace_of(&["acc", "-D", "t_N", "-D", "+A", "acc"])));
+        assert!(has_trace(
+            &s,
+            &trace_of(&["acc", "-D", "t_N", "-D", "+A", "acc"])
+        ));
         assert!(!has_trace(&s, &trace_of(&["acc", "-D", "-D"])));
         assert!(!has_trace(&s, &trace_of(&["-D"])));
     }

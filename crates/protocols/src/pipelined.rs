@@ -193,7 +193,10 @@ mod tests {
             &trace_of(&["acc", "-d0", "acc", "-d1", "+a0", "acc", "-d2"])
         ));
         // Out-of-order ack is not accepted.
-        assert!(!has_trace(&s, &trace_of(&["acc", "-d0", "acc", "-d1", "+a1"])));
+        assert!(!has_trace(
+            &s,
+            &trace_of(&["acc", "-d0", "acc", "-d1", "+a1"])
+        ));
     }
 
     #[test]

@@ -80,7 +80,10 @@ mod tests {
     fn at_least_once_allows_duplicates() {
         let s = at_least_once();
         assert!(is_normal_form(&s));
-        assert!(has_trace(&s, &trace_of(&["acc", "del", "del", "del", "acc"])));
+        assert!(has_trace(
+            &s,
+            &trace_of(&["acc", "del", "del", "del", "acc"])
+        ));
         assert!(!has_trace(&s, &trace_of(&["acc", "acc"])));
         assert!(!has_trace(&s, &trace_of(&["del"])));
         assert!(!has_trace(&s, &trace_of(&["acc", "del", "acc", "acc"])));
@@ -91,13 +94,17 @@ mod tests {
         // Every exactly-once behaviour is an at-least-once behaviour,
         // and because duplicates are optional (internal choice), the
         // refinement holds for progress too.
-        assert!(protoquot_spec::satisfy::satisfies(&exactly_once(), &at_least_once())
-            .unwrap()
-            .is_ok());
+        assert!(
+            protoquot_spec::satisfy::satisfies(&exactly_once(), &at_least_once())
+                .unwrap()
+                .is_ok()
+        );
         // But not vice versa: a duplicate delivery violates safety.
-        assert!(protoquot_spec::satisfy::satisfies(&at_least_once(), &exactly_once())
-            .unwrap()
-            .is_err());
+        assert!(
+            protoquot_spec::satisfy::satisfies(&at_least_once(), &exactly_once())
+                .unwrap()
+                .is_err()
+        );
     }
 
     #[test]
@@ -105,7 +112,10 @@ mod tests {
         assert_eq!(windowed(1).num_states(), 2);
         assert_eq!(windowed(3).num_states(), 4);
         let w2 = windowed(2);
-        assert!(has_trace(&w2, &trace_of(&["acc", "acc", "del", "acc", "del", "del"])));
+        assert!(has_trace(
+            &w2,
+            &trace_of(&["acc", "acc", "del", "acc", "del", "del"])
+        ));
         assert!(!has_trace(&w2, &trace_of(&["acc", "acc", "acc"])));
         assert!(!has_trace(&w2, &trace_of(&["acc", "del", "del"])));
     }

@@ -91,7 +91,10 @@ impl System {
         let mut actions = Vec::new();
         for (i, c) in self.components.iter().enumerate() {
             for &t in c.internal_from(states[i]) {
-                actions.push(Action::Internal { component: i, to: t });
+                actions.push(Action::Internal {
+                    component: i,
+                    to: t,
+                });
             }
         }
         for (&event, owners) in &self.owners {
@@ -102,7 +105,11 @@ impl System {
             // per-owner choices multiply out — enumerate combinations.
             let per_owner: Vec<Vec<StateId>> = owners
                 .iter()
-                .map(|&i| self.components[i].ext_successors(states[i], event).collect())
+                .map(|&i| {
+                    self.components[i]
+                        .ext_successors(states[i], event)
+                        .collect()
+                })
                 .collect();
             if per_owner.iter().any(Vec::is_empty) {
                 continue;
@@ -304,9 +311,9 @@ mod tests {
         let sys = System::new(handshake_pair(), ExternalPolicy::Disabled);
         let mut r = Runner::new(sys, 1);
         r.step_random().unwrap(); // sync
-        // Now A enables solo_a (external) and B enables back (external)
-        // and B's internal; with externals disabled only the internal
-        // remains.
+                                  // Now A enables solo_a (external) and B enables back (external)
+                                  // and B's internal; with externals disabled only the internal
+                                  // remains.
         let actions = r.enabled_actions();
         assert_eq!(actions.len(), 1);
         assert!(matches!(actions[0], Action::Internal { component: 1, .. }));

@@ -140,10 +140,7 @@ pub fn explore(components: Vec<Spec>, service: &Spec, max_states: usize) -> Expl
     }
 }
 
-fn monitored_trace(
-    parents: &[Option<(usize, Option<EventId>)>],
-    mut i: usize,
-) -> Vec<EventId> {
+fn monitored_trace(parents: &[Option<(usize, Option<EventId>)>], mut i: usize) -> Vec<EventId> {
     let mut rev = Vec::new();
     while let Some((p, e)) = parents[i] {
         if let Some(e) = e {

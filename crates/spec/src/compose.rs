@@ -52,11 +52,11 @@ pub fn compose(a: &Spec, b: &Spec) -> Spec {
     let mut int: Vec<(StateId, StateId)> = Vec::new();
 
     let intern = |sa: StateId,
-                      sb: StateId,
-                      index: &mut HashMap<(StateId, StateId), StateId>,
-                      names: &mut Vec<String>,
-                      pairs: &mut Vec<(StateId, StateId)>,
-                      work: &mut Vec<(StateId, StateId)>|
+                  sb: StateId,
+                  index: &mut HashMap<(StateId, StateId), StateId>,
+                  names: &mut Vec<String>,
+                  pairs: &mut Vec<(StateId, StateId)>,
+                  work: &mut Vec<(StateId, StateId)>|
      -> StateId {
         *index.entry((sa, sb)).or_insert_with(|| {
             let id = StateId(names.len() as u32);
@@ -180,7 +180,10 @@ pub fn compose_full(a: &Spec, b: &Spec) -> Spec {
 /// shared event after its first pair, so a third component would
 /// silently fail to synchronise (see [`SpecError::EventSharedByMoreThanTwo`]).
 pub fn compose_all(parts: &[&Spec]) -> Result<Spec, SpecError> {
-    assert!(!parts.is_empty(), "compose_all needs at least one component");
+    assert!(
+        !parts.is_empty(),
+        "compose_all needs at least one component"
+    );
     let mut counts: HashMap<EventId, usize> = HashMap::new();
     for p in parts {
         for e in p.alphabet().iter() {
@@ -448,7 +451,9 @@ pub fn hide(spec: &Spec, hidden: &crate::event::Alphabet) -> Spec {
     spec_from_parts(
         format!("{}\\hidden", spec.name()),
         spec.alphabet().difference(hidden),
-        spec.states().map(|s| spec.state_name(s).to_owned()).collect(),
+        spec.states()
+            .map(|s| spec.state_name(s).to_owned())
+            .collect(),
         spec.initial(),
         ext,
         int,

@@ -63,7 +63,9 @@ mod tests {
     fn display_messages() {
         assert!(SpecError::NoStates("x".into()).to_string().contains("x"));
         assert!(SpecError::InvalidState(3).to_string().contains('3'));
-        assert!(SpecError::UnknownEvent("e".into()).to_string().contains("`e`"));
+        assert!(SpecError::UnknownEvent("e".into())
+            .to_string()
+            .contains("`e`"));
         assert!(SpecError::DuplicateEvent("e".into())
             .to_string()
             .contains("already"));

@@ -246,10 +246,7 @@ mod tests {
         assert_eq!(a.union(&b).len(), 4);
         assert_eq!(a.intersection(&b), Alphabet::from_names(["y", "z"]));
         assert_eq!(a.difference(&b), Alphabet::from_names(["x"]));
-        assert_eq!(
-            a.symmetric_difference(&b),
-            Alphabet::from_names(["x", "w"])
-        );
+        assert_eq!(a.symmetric_difference(&b), Alphabet::from_names(["x", "w"]));
     }
 
     #[test]

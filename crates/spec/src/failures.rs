@@ -121,7 +121,10 @@ mod tests {
         // Never deadlocks here.
         assert_eq!(f.may_deadlock(&t), Some(false));
         // Initially only `req` is on offer; refusing {req} is impossible.
-        assert_eq!(f.must_accept(&[], &Alphabet::from_names(["req"])), Some(true));
+        assert_eq!(
+            f.must_accept(&[], &Alphabet::from_names(["req"])),
+            Some(true)
+        );
     }
 
     #[test]
@@ -143,7 +146,9 @@ mod tests {
     fn non_traces_are_none() {
         let f = Failures::new(&choice());
         assert!(f.acceptances_after(&trace_of(&["ok"])).is_none());
-        assert!(f.may_refuse(&trace_of(&["nope"]), &Alphabet::new()).is_none());
+        assert!(f
+            .may_refuse(&trace_of(&["nope"]), &Alphabet::new())
+            .is_none());
         assert!(f.may_deadlock(&trace_of(&["req", "req"])).is_none());
     }
 
@@ -184,6 +189,9 @@ mod tests {
             fs.acceptances_after(&t).unwrap(),
             vec![Alphabet::from_names(["del"])]
         );
-        assert_eq!(fi.may_refuse(&t, &Alphabet::from_names(["del"])), Some(true));
+        assert_eq!(
+            fi.may_refuse(&t, &Alphabet::from_names(["del"])),
+            Some(true)
+        );
     }
 }

@@ -84,7 +84,7 @@ pub use graph::{prune_unreachable, reachable};
 pub use lang::{all_minimal_violations, determinize, language_equal, MinimalViolation};
 pub use minimize::{bisimilar, minimize};
 pub use normal::{is_normal_form, normalize, NormalSpec};
-pub use satisfy::{satisfies, satisfies_safety, safety_with, satisfies_with, Violation};
+pub use satisfy::{safety_with, satisfies, satisfies_safety, satisfies_with, Violation};
 pub use serde_impl::SpecDoc;
 pub use sink::{collapse_sinks, SinkInfo};
 pub use spec::{spec_from_parts, Spec, SpecBuilder, StateId};

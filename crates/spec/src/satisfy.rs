@@ -310,7 +310,9 @@ mod tests {
         b.int(u1, dead); // after acc, may silently die
         let imp = b.build().unwrap();
         match satisfies(&imp, &service()).unwrap() {
-            Err(Violation::Progress { needed, offered, .. }) => {
+            Err(Violation::Progress {
+                needed, offered, ..
+            }) => {
                 assert!(offered.is_empty() || !needed.iter().any(|n| n.is_subset(&offered)));
             }
             other => panic!("expected progress violation, got {:?}", other.err()),

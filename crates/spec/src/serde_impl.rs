@@ -4,10 +4,11 @@
 
 use crate::event::{Alphabet, EventId};
 use crate::spec::{spec_from_parts, Spec, StateId};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
 
 /// The serialized form of a [`Spec`].
-#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SpecDoc {
     /// Spec name.
     pub name: String,
@@ -28,7 +29,10 @@ impl From<&Spec> for SpecDoc {
         SpecDoc {
             name: spec.name().to_owned(),
             alphabet: spec.alphabet().names(),
-            states: spec.states().map(|s| spec.state_name(s).to_owned()).collect(),
+            states: spec
+                .states()
+                .map(|s| spec.state_name(s).to_owned())
+                .collect(),
             initial: spec.initial().index(),
             external: spec
                 .external_transitions()
@@ -64,15 +68,50 @@ impl TryFrom<SpecDoc> for Spec {
     }
 }
 
-impl Serialize for Spec {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        SpecDoc::from(self).serialize(serializer)
+// The vendored serde shim has no derive macros, so SpecDoc's
+// serialization is spelled out: an object with one entry per field.
+impl Serialize for SpecDoc {
+    fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("name".to_owned(), self.name.to_value());
+        obj.insert("alphabet".to_owned(), self.alphabet.to_value());
+        obj.insert("states".to_owned(), self.states.to_value());
+        obj.insert("initial".to_owned(), self.initial.to_value());
+        obj.insert("external".to_owned(), self.external.to_value());
+        obj.insert("internal".to_owned(), self.internal.to_value());
+        Value::Obj(obj)
     }
 }
 
-impl<'de> Deserialize<'de> for Spec {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Spec, D::Error> {
-        let doc = SpecDoc::deserialize(deserializer)?;
+impl Deserialize for SpecDoc {
+    fn from_value(v: &Value) -> Result<SpecDoc, serde::Error> {
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| serde::de::Error::custom("SpecDoc: expected object"))?;
+        let field = |name: &str| {
+            obj.get(name)
+                .ok_or_else(|| serde::de::Error::custom(format!("SpecDoc: missing field {name:?}")))
+        };
+        Ok(SpecDoc {
+            name: String::from_value(field("name")?)?,
+            alphabet: Vec::from_value(field("alphabet")?)?,
+            states: Vec::from_value(field("states")?)?,
+            initial: usize::from_value(field("initial")?)?,
+            external: Vec::from_value(field("external")?)?,
+            internal: Vec::from_value(field("internal")?)?,
+        })
+    }
+}
+
+impl Serialize for Spec {
+    fn to_value(&self) -> Value {
+        SpecDoc::from(self).to_value()
+    }
+}
+
+impl Deserialize for Spec {
+    fn from_value(v: &Value) -> Result<Spec, serde::Error> {
+        let doc = SpecDoc::from_value(v)?;
         Spec::try_from(doc).map_err(serde::de::Error::custom)
     }
 }
@@ -96,9 +135,7 @@ pub fn to_json(spec: &Spec) -> String {
         out.push('"');
         out
     };
-    let strings = |v: &[String]| {
-        v.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",")
-    };
+    let strings = |v: &[String]| v.iter().map(|s| esc(s)).collect::<Vec<_>>().join(",");
     let ext = doc
         .external
         .iter()

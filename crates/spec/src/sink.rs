@@ -156,27 +156,25 @@ pub fn collapse_sinks(spec: &Spec) -> Spec {
     let mut repr: Vec<Option<StateId>> = vec![None; info.num_sccs];
     let mut map = vec![StateId(0); n];
     let mut new_names: Vec<String> = Vec::new();
-    let mut new_ids: Vec<StateId> = Vec::new();
     for s in spec.states() {
         let scc = info.scc_of(s);
         if info.is_sink(s) {
             if let Some(r) = repr[scc] {
                 map[s.index()] = r;
-                // Extend the merged label.
-                let idx = new_ids.iter().position(|&x| x == r).unwrap();
-                new_names[idx] = format!("{}+{}", new_names[idx], spec.state_name(s));
+                // Extend the merged label: new ids are assigned
+                // densely in push order, so `r` indexes `new_names`
+                // directly.
+                new_names[r.index()] = format!("{}+{}", new_names[r.index()], spec.state_name(s));
                 continue;
             }
             let id = StateId(new_names.len() as u32);
             repr[scc] = Some(id);
             map[s.index()] = id;
             new_names.push(spec.state_name(s).to_owned());
-            new_ids.push(id);
         } else {
             let id = StateId(new_names.len() as u32);
             map[s.index()] = id;
             new_names.push(spec.state_name(s).to_owned());
-            new_ids.push(id);
         }
     }
 
@@ -304,6 +302,54 @@ mod tests {
         let collapsed = collapse_sinks(&s);
         assert_eq!(collapsed.num_states(), 1);
         assert_eq!(collapsed.initial(), StateId(0));
+    }
+
+    /// A sink ring with hundreds of members collapses to one state
+    /// whose label and τ union over every member (this shape used to
+    /// trigger a quadratic representative scan).
+    #[test]
+    fn collapse_scales_to_many_state_sink() {
+        let n = 300usize;
+        let mut b = SpecBuilder::new("bigring");
+        let entry = b.state("entry");
+        let ring: Vec<StateId> = (0..n).map(|i| b.state(&format!("r{i}"))).collect();
+        b.ext(entry, "e", ring[0]);
+        for i in 0..n {
+            b.int(ring[i], ring[(i + 1) % n]);
+            b.ext(ring[i], &format!("out{i}"), entry);
+        }
+        let s = b.build().unwrap();
+        let collapsed = collapse_sinks(&s);
+        assert_eq!(collapsed.num_states(), 2);
+        assert_eq!(collapsed.num_internal(), 0);
+        let merged = collapsed
+            .states()
+            .find(|&st| collapsed.state_name(st).contains('+'))
+            .unwrap();
+        // Every member's name and external offer is folded in.
+        assert_eq!(
+            collapsed.state_name(merged).split('+').count(),
+            n,
+            "merged label covers the whole ring"
+        );
+        assert_eq!(collapsed.tau(merged).len(), n);
+        // A second, disjoint sink pair must pick its own
+        // representative without disturbing the first.
+        let mut b2 = SpecBuilder::new("tworings");
+        let r1a = b2.state("r1a");
+        let r1b = b2.state("r1b");
+        let r2a = b2.state("r2a");
+        let r2b = b2.state("r2b");
+        b2.int(r1a, r1b);
+        b2.int(r1b, r1a);
+        b2.int(r2a, r2b);
+        b2.int(r2b, r2a);
+        b2.ext(r1a, "x", r2a);
+        let s2 = b2.build().unwrap();
+        let collapsed2 = collapse_sinks(&s2);
+        assert_eq!(collapsed2.num_states(), 2);
+        assert_eq!(collapsed2.state_name(StateId(0)), "r1a+r1b");
+        assert_eq!(collapsed2.state_name(StateId(1)), "r2a+r2b");
     }
 
     #[test]

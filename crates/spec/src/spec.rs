@@ -125,18 +125,18 @@ impl Spec {
 
     /// Iterator over every external transition `(source, event, target)`.
     pub fn external_transitions(&self) -> impl Iterator<Item = (StateId, EventId, StateId)> + '_ {
-        self.ext.iter().enumerate().flat_map(|(s, edges)| {
-            edges
-                .iter()
-                .map(move |&(e, t)| (StateId(s as u32), e, t))
-        })
+        self.ext
+            .iter()
+            .enumerate()
+            .flat_map(|(s, edges)| edges.iter().map(move |&(e, t)| (StateId(s as u32), e, t)))
     }
 
     /// Iterator over every internal transition `(source, target)`.
     pub fn internal_transitions(&self) -> impl Iterator<Item = (StateId, StateId)> + '_ {
-        self.int.iter().enumerate().flat_map(|(s, targets)| {
-            targets.iter().map(move |&t| (StateId(s as u32), t))
-        })
+        self.int
+            .iter()
+            .enumerate()
+            .flat_map(|(s, targets)| targets.iter().map(move |&t| (StateId(s as u32), t)))
     }
 
     /// True iff the spec has no internal transitions at all (e.g. the
@@ -208,10 +208,21 @@ impl Spec {
 
 impl fmt::Debug for Spec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "spec {} (initial {}) {{", self.name, self.state_name(self.initial))?;
+        writeln!(
+            f,
+            "spec {} (initial {}) {{",
+            self.name,
+            self.state_name(self.initial)
+        )?;
         for s in self.states() {
             for &(e, t) in self.external_from(s) {
-                writeln!(f, "  {} --{}--> {}", self.state_name(s), e, self.state_name(t))?;
+                writeln!(
+                    f,
+                    "  {} --{}--> {}",
+                    self.state_name(s),
+                    e,
+                    self.state_name(t)
+                )?;
             }
             for &t in self.internal_from(s) {
                 writeln!(f, "  {} ~~~> {}", self.state_name(s), self.state_name(t))?;

@@ -22,10 +22,7 @@ pub fn trace_string(t: &[EventId]) -> String {
     if t.is_empty() {
         return "ε".to_owned();
     }
-    t.iter()
-        .map(|e| e.name())
-        .collect::<Vec<_>>()
-        .join(".")
+    t.iter().map(|e| e.name()).collect::<Vec<_>>().join(".")
 }
 
 /// Projects a trace onto a sub-alphabet: the paper's `i`/`o` functions

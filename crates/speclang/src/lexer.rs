@@ -110,34 +110,62 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             }
             '{' => {
                 bump(&mut chars);
-                tokens.push(Token { kind: TokenKind::LBrace, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line: tl,
+                    col: tc,
+                });
             }
             '}' => {
                 bump(&mut chars);
-                tokens.push(Token { kind: TokenKind::RBrace, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line: tl,
+                    col: tc,
+                });
             }
             ':' => {
                 bump(&mut chars);
-                tokens.push(Token { kind: TokenKind::Colon, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    line: tl,
+                    col: tc,
+                });
             }
             ';' => {
                 bump(&mut chars);
-                tokens.push(Token { kind: TokenKind::Semi, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line: tl,
+                    col: tc,
+                });
             }
             '|' => {
                 bump(&mut chars);
-                tokens.push(Token { kind: TokenKind::Pipe, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    line: tl,
+                    col: tc,
+                });
             }
             ',' => {
                 bump(&mut chars);
-                tokens.push(Token { kind: TokenKind::Comma, line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line: tl,
+                    col: tc,
+                });
             }
             '-' | '+' => {
                 let sign = bump(&mut chars);
                 // `->` is the arrow; `-x`/`+x` are event names.
                 if sign == '-' && chars.peek() == Some(&'>') {
                     bump(&mut chars);
-                    tokens.push(Token { kind: TokenKind::Arrow, line: tl, col: tc });
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        line: tl,
+                        col: tc,
+                    });
                 } else {
                     let mut w = String::new();
                     w.push(sign);
@@ -155,7 +183,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                             col: tc,
                         });
                     }
-                    tokens.push(Token { kind: TokenKind::Word(w), line: tl, col: tc });
+                    tokens.push(Token {
+                        kind: TokenKind::Word(w),
+                        line: tl,
+                        col: tc,
+                    });
                 }
             }
             c if is_word_char(c) => {
@@ -167,7 +199,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Word(w), line: tl, col: tc });
+                tokens.push(Token {
+                    kind: TokenKind::Word(w),
+                    line: tl,
+                    col: tc,
+                });
             }
             other => {
                 return Err(LexError {
@@ -178,7 +214,11 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
     Ok(tokens)
 }
 

@@ -470,7 +470,10 @@ mod tests {
     #[test]
     fn problem_validation_errors() {
         let unknown = "spec A { a: ; } problem p { components Z; service A; internal e; }";
-        assert!(parse_source(unknown).unwrap_err().to_string().contains("unknown spec"));
+        assert!(parse_source(unknown)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown spec"));
         let no_service = "spec A { a: ; } problem p { components A; internal e; }";
         assert!(parse_source(no_service)
             .unwrap_err()

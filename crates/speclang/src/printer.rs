@@ -45,10 +45,7 @@ pub fn print_spec(spec: &Spec) -> String {
             .collect::<Vec<_>>()
             .join(", ")
     ));
-    out.push_str(&format!(
-        "  initial {};\n",
-        spec.state_name(spec.initial())
-    ));
+    out.push_str(&format!("  initial {};\n", spec.state_name(spec.initial())));
     // Declare the full alphabet explicitly so interface-only events
     // survive the round trip.
     if !spec.alphabet().is_empty() {
@@ -68,7 +65,11 @@ pub fn print_spec(spec: &Spec) -> String {
         if parts.is_empty() {
             out.push_str(&format!("  {}: ;\n", spec.state_name(s)));
         } else {
-            out.push_str(&format!("  {}: {};\n", spec.state_name(s), parts.join(" | ")));
+            out.push_str(&format!(
+                "  {}: {};\n",
+                spec.state_name(s),
+                parts.join(" | ")
+            ));
         }
     }
     out.push_str("}\n");
@@ -77,11 +78,7 @@ pub fn print_spec(spec: &Spec) -> String {
 
 /// Renders several specifications into one file.
 pub fn print_file(specs: &[Spec]) -> String {
-    specs
-        .iter()
-        .map(print_spec)
-        .collect::<Vec<_>>()
-        .join("\n")
+    specs.iter().map(print_spec).collect::<Vec<_>>().join("\n")
 }
 
 #[cfg(test)]

@@ -20,7 +20,14 @@ use protoquot_protocols::{
 use protoquot_spec::Spec;
 use std::time::Instant;
 
-fn row(label: &str, b: &Spec, service: &Spec, int: &protoquot_spec::Alphabet, opts: &QuotientOptions, prune: bool) {
+fn row(
+    label: &str,
+    b: &Spec,
+    service: &Spec,
+    int: &protoquot_spec::Alphabet,
+    opts: &QuotientOptions,
+    prune: bool,
+) {
     let t = Instant::now();
     match solve_with(b, service, int, opts) {
         Ok(q) => {
@@ -53,7 +60,14 @@ fn main() {
     let service = exactly_once();
     let base = QuotientOptions::default();
     println!("-- paper Fig. 13 problem ------------------------------------------------------");
-    row("default (Fig. 6, lean)", &col.b, &service, &col.int, &base, false);
+    row(
+        "default (Fig. 6, lean)",
+        &col.b,
+        &service,
+        &col.int,
+        &base,
+        false,
+    );
     row(
         "with vacuous states (Thm 1 literal)",
         &col.b,

@@ -25,8 +25,14 @@ fn main() {
     println!("== Step 1: the protocol machines =====================================");
     let ab = ab_system();
     let ns = ns_system();
-    println!("AB system (A0||Ach||A1): {} reachable states", ab.num_states());
-    println!("NS system (N0||Nch||N1): {} reachable states", ns.num_states());
+    println!(
+        "AB system (A0||Ach||A1): {} reachable states",
+        ab.num_states()
+    );
+    println!(
+        "NS system (N0||Nch||N1): {} reachable states",
+        ns.num_states()
+    );
 
     println!("\n== Step 2: validating the formalization ==============================");
     assert!(satisfies(&ab, &service).unwrap().is_ok());

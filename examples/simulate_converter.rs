@@ -44,7 +44,10 @@ fn main() {
     // Components by index: 0 = AB sender, 1 = lossy channel,
     // 2 = converter, 3 = NS receiver. The channel's internal
     // transitions are its losses; weighting them scales the loss rate.
-    println!("{:>10} {:>8} {:>8} {:>8} {:>9} {:>8}", "loss wt", "steps", "accepts", "delivers", "losses", "verdict");
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>9} {:>8}",
+        "loss wt", "steps", "accepts", "delivers", "losses", "verdict"
+    );
     for loss_weight in [0u32, 1, 5, 20] {
         let components = vec![
             ab_sender(),

@@ -53,7 +53,11 @@ fn main() {
     let [a0, ach, n1, service] = &specs[..] else {
         panic!("expected four specs");
     };
-    println!("parsed {} machines; round-trip of A0:\n{}", specs.len(), print_spec(a0));
+    println!(
+        "parsed {} machines; round-trip of A0:\n{}",
+        specs.len(),
+        print_spec(a0)
+    );
 
     let b = compose_all(&[a0, ach, n1])
         .expect("components share each event pairwise")
@@ -71,5 +75,8 @@ fn main() {
         q.converter.num_states(),
         q.converter.num_external()
     );
-    println!("Graphviz DOT (pipe into `dot -Tsvg`):\n{}", to_dot(&q.converter));
+    println!(
+        "Graphviz DOT (pipe into `dot -Tsvg`):\n{}",
+        to_dot(&q.converter)
+    );
 }

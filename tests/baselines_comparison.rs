@@ -19,8 +19,7 @@ use protoquot_baselines::{
 };
 use protoquot_core::{solve, verify_converter};
 use protoquot_protocols::{
-    ab_receiver, colocated_configuration, exactly_once, ns_sender,
-    symmetric_configuration,
+    ab_receiver, colocated_configuration, exactly_once, ns_sender, symmetric_configuration,
 };
 use protoquot_spec::{compose, satisfies, satisfies_safety, Alphabet, SpecBuilder};
 
@@ -165,9 +164,7 @@ fn projection_succeeds_on_renamed_protocol() {
     };
     let p = mk("msgP", "ackP", "P");
     let q = mk("msgQ", "ackQ", "Q");
-    let to_image = |m: &str, a: &str| {
-        Projection::new(&[], &[(m, Some("data")), (a, Some("ack"))])
-    };
+    let to_image = |m: &str, a: &str| Projection::new(&[], &[(m, Some("data")), (a, Some("ack"))]);
     let p_img = project(&p, &to_image("msgP", "ackP"), "img").unwrap();
     let q_img = project(&q, &to_image("msgQ", "ackQ"), "img").unwrap();
     assert!(protoquot_baselines::common_image(&p_img, &q_img));

@@ -26,7 +26,11 @@ fn relay() -> (Spec, Spec, Alphabet) {
     bb.ext(b1b, "fwd", b2);
     bb.ext(b2, "del", b0);
     let b = bb.build().unwrap();
-    (b.clone(), service, Alphabet::from_names(["ping", "pong", "fwd"]))
+    (
+        b.clone(),
+        service,
+        Alphabet::from_names(["ping", "pong", "fwd"]),
+    )
 }
 
 /// Hand-built alternative converters; all correct, all smaller than
@@ -55,7 +59,11 @@ fn alternatives() -> Vec<Spec> {
     c3.ext(s1, "ping", s0); // ping after forwarding (harmless)
     c3.ext(s1, "fwd", s1);
     c3.event("pong");
-    vec![c1.build().unwrap(), c2.build().unwrap(), c3.build().unwrap()]
+    vec![
+        c1.build().unwrap(),
+        c2.build().unwrap(),
+        c3.build().unwrap(),
+    ]
 }
 
 #[test]

@@ -11,19 +11,11 @@
 use proptest::prelude::*;
 use protoquot_core::{safety_phase, SafetyLimits};
 use protoquot_spec::trace::traces_up_to;
-use protoquot_spec::{
-    has_trace, normalize, project, Alphabet, EventId, Spec, SpecBuilder, Trace,
-};
+use protoquot_spec::{has_trace, normalize, project, Alphabet, EventId, Spec, SpecBuilder, Trace};
 
 /// Brute-force `safe.r`: every trace `t` of `b` (up to the horizon)
 /// with `i.t = r` must satisfy `A.(o.t)`.
-fn brute_safe(
-    b_traces: &[Trace],
-    a: &Spec,
-    int: &Alphabet,
-    ext: &Alphabet,
-    r: &[EventId],
-) -> bool {
+fn brute_safe(b_traces: &[Trace], a: &Spec, int: &Alphabet, ext: &Alphabet, r: &[EventId]) -> bool {
     b_traces
         .iter()
         .filter(|t| project(t, int) == r)
@@ -62,36 +54,32 @@ fn prefix_safe_words(
 fn arb_problem() -> impl Strategy<Value = (Spec, Spec, Alphabet, Alphabet)> {
     // Small B over {acc, del, m0, m1}; deterministic-ish A over {acc, del}.
     let b = (1usize..=4).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0usize..4, 0..n), 1..(2 * n + 2)).prop_map(
-            move |edges| {
-                let evs = ["acc", "del", "m0", "m1"];
-                let mut bb = SpecBuilder::new("B");
-                let ids: Vec<_> = (0..n).map(|i| bb.state(&format!("b{i}"))).collect();
-                for (s, e, t) in edges {
-                    bb.ext(ids[s], evs[e], ids[t]);
-                }
-                for e in evs {
-                    bb.event(e);
-                }
-                bb.build().unwrap()
-            },
-        )
+        proptest::collection::vec((0..n, 0usize..4, 0..n), 1..(2 * n + 2)).prop_map(move |edges| {
+            let evs = ["acc", "del", "m0", "m1"];
+            let mut bb = SpecBuilder::new("B");
+            let ids: Vec<_> = (0..n).map(|i| bb.state(&format!("b{i}"))).collect();
+            for (s, e, t) in edges {
+                bb.ext(ids[s], evs[e], ids[t]);
+            }
+            for e in evs {
+                bb.event(e);
+            }
+            bb.build().unwrap()
+        })
     });
     let a = (1usize..=3).prop_flat_map(|n| {
-        proptest::collection::vec((0..n, 0usize..2, 0..n), 0..(2 * n + 1)).prop_map(
-            move |edges| {
-                let evs = ["acc", "del"];
-                let mut ab = SpecBuilder::new("A");
-                let ids: Vec<_> = (0..n).map(|i| ab.state(&format!("a{i}"))).collect();
-                for (s, e, t) in edges {
-                    ab.ext(ids[s], evs[e], ids[t]);
-                }
-                for e in evs {
-                    ab.event(e);
-                }
-                ab.build().unwrap()
-            },
-        )
+        proptest::collection::vec((0..n, 0usize..2, 0..n), 0..(2 * n + 1)).prop_map(move |edges| {
+            let evs = ["acc", "del"];
+            let mut ab = SpecBuilder::new("A");
+            let ids: Vec<_> = (0..n).map(|i| ab.state(&format!("a{i}"))).collect();
+            for (s, e, t) in edges {
+                ab.ext(ids[s], evs[e], ids[t]);
+            }
+            for e in evs {
+                ab.event(e);
+            }
+            ab.build().unwrap()
+        })
     });
     (b, a).prop_map(|(b, a)| {
         (

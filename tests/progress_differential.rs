@@ -1,0 +1,146 @@
+//! Differential test for the incremental progress engine: on every
+//! benchmark-family instance and both paper §5 configurations, under
+//! both strategies, the incremental fixpoint must produce a
+//! state-for-state identical converter — and identical iteration,
+//! removal, and witness data — to the retained full-recompute
+//! reference implementation (`progress_phase_reference_with`).
+
+use protoquot_core::{
+    progress_phase_reference_with, progress_phase_with, safety_phase, ProgressStrategy,
+    SafetyLimits,
+};
+use protoquot_protocols::{
+    colocated_configuration, exactly_once, nfa_blowup, random_component, relay_chain,
+    symmetric_configuration, toggle_puzzle, windowed, RandomParams,
+};
+use protoquot_spec::{normalize, Alphabet, Spec};
+
+const STRATEGIES: [ProgressStrategy; 2] = [
+    ProgressStrategy::FullProduct,
+    ProgressStrategy::ReachableProduct,
+];
+
+/// Runs both engines on one quotient problem and asserts equality of
+/// everything observable. Returns false when the safety phase yields
+/// no `C0` to run progress on (callers count covered instances).
+fn engines_agree(label: &str, b: &Spec, service: &Spec, int: &Alphabet) -> bool {
+    let na = normalize(service);
+    let safety = match safety_phase(b, &na, int, false, SafetyLimits::default()) {
+        Ok(Some(s)) => s,
+        _ => return false, // unsafe or over budget: no progress phase
+    };
+    for strategy in STRATEGIES {
+        let new = progress_phase_with(b, &na, &safety, strategy);
+        let old = progress_phase_reference_with(b, &na, &safety, strategy);
+        assert_eq!(
+            old.converter, new.converter,
+            "{label} / {strategy:?}: converters differ"
+        );
+        assert_eq!(
+            old.iterations, new.iterations,
+            "{label} / {strategy:?}: iteration counts differ"
+        );
+        assert_eq!(
+            old.removed, new.removed,
+            "{label} / {strategy:?}: removal counts differ"
+        );
+        match (&old.first_witness, &new.first_witness) {
+            (None, None) => {}
+            (Some(a), Some(c)) => {
+                assert_eq!(a.state, c.state, "{label} / {strategy:?}: witness state");
+                assert_eq!(a.trace, c.trace, "{label} / {strategy:?}: witness trace");
+                assert_eq!(a.hub, c.hub, "{label} / {strategy:?}: witness hub");
+                assert_eq!(
+                    a.b_state, c.b_state,
+                    "{label} / {strategy:?}: witness B state"
+                );
+                assert_eq!(
+                    a.offered, c.offered,
+                    "{label} / {strategy:?}: witness offer"
+                );
+            }
+            (a, c) => panic!(
+                "{label} / {strategy:?}: witness presence differs \
+                 (reference {:?}, incremental {:?})",
+                a.is_some(),
+                c.is_some()
+            ),
+        }
+    }
+    true
+}
+
+#[test]
+fn engines_agree_on_scaling_families() {
+    let service = exactly_once();
+    for n in [1usize, 2, 3, 5, 8, 12] {
+        let (b, int) = relay_chain(n);
+        assert!(engines_agree(
+            &format!("relay-chain({n})"),
+            &b,
+            &service,
+            &int
+        ));
+    }
+    for n in [1usize, 2, 3, 4, 5] {
+        let (b, int) = toggle_puzzle(n);
+        assert!(engines_agree(
+            &format!("toggle-puzzle({n})"),
+            &b,
+            &service,
+            &int
+        ));
+    }
+    for n in [1usize, 3, 5, 7, 9] {
+        let (b, int) = nfa_blowup(n);
+        assert!(engines_agree(
+            &format!("nfa-blowup({n})"),
+            &b,
+            &service,
+            &int
+        ));
+    }
+    // Windowed services drive multi-iteration fixpoints on the relay.
+    for w in [1usize, 2, 3] {
+        let (b, int) = relay_chain(2 * w + 2);
+        assert!(engines_agree(
+            &format!("relay-chain/windowed({w})"),
+            &b,
+            &windowed(w),
+            &int
+        ));
+    }
+}
+
+#[test]
+fn engines_agree_on_random_components() {
+    let service = exactly_once();
+    let mut covered = 0usize;
+    for seed in 0..40u64 {
+        let (b, int) = random_component(seed, RandomParams::default());
+        if engines_agree(&format!("random({seed})"), &b, &service, &int) {
+            covered += 1;
+        }
+    }
+    assert!(
+        covered >= 5,
+        "too few random instances pass the safety phase ({covered}/40)"
+    );
+}
+
+#[test]
+fn engines_agree_on_paper_configurations() {
+    let service = exactly_once();
+    // Figure 14: converter exists. Figure 12 (symmetric): safety
+    // succeeds but progress empties the converter, exercising the
+    // witness and the removed-initial-state path.
+    let colocated = colocated_configuration();
+    assert!(engines_agree(
+        "paper/colocated",
+        &colocated.b,
+        &service,
+        &colocated.int
+    ));
+    let sym = symmetric_configuration();
+    assert!(engines_agree("paper/symmetric", &sym.b, &service, &sym.int));
+}

@@ -16,8 +16,7 @@ use protoquot_core::{
 };
 use protoquot_spec::trace::traces_up_to;
 use protoquot_spec::{
-    bisimilar, compose, is_normal_form, minimize, normalize, satisfies, Alphabet, Spec,
-    SpecBuilder,
+    bisimilar, compose, is_normal_form, minimize, normalize, satisfies, Alphabet, Spec, SpecBuilder,
 };
 
 /// A random specification over up to `max_states` states and the given

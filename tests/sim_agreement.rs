@@ -80,7 +80,12 @@ fn derived_converter_runs_clean_at_every_loss_rate() {
     let q = solve(&cfg.b, &service, &cfg.int).unwrap();
     for loss in [0u32, 1, 10, 50] {
         let report = run_monitored(
-            vec![ab_sender(), ab_channel(), q.converter.clone(), ns_receiver()],
+            vec![
+                ab_sender(),
+                ab_channel(),
+                q.converter.clone(),
+                ns_receiver(),
+            ],
             &service,
             &SimConfig {
                 seed: 99,
@@ -130,7 +135,10 @@ fn naive_gateway_violates_dynamically_too() {
             break;
         }
     }
-    assert!(violated, "orderly-close violation never observed dynamically");
+    assert!(
+        violated,
+        "orderly-close violation never observed dynamically"
+    );
 }
 
 /// The exhaustive explorer and the symbolic safety checker agree on the
@@ -154,7 +162,9 @@ fn explorer_agrees_with_symbolic_checker() {
         100_000,
     );
     assert!(r.is_clean(), "{r:?}");
-    assert!(satisfies_safety(&ab_system(), &exactly_once()).unwrap().is_ok());
+    assert!(satisfies_safety(&ab_system(), &exactly_once())
+        .unwrap()
+        .is_ok());
 
     // NS vs exactly-once: both find the duplicate delivery; the
     // explorer's shortest witness matches the checker's.
@@ -170,7 +180,9 @@ fn explorer_agrees_with_symbolic_checker() {
     let (prefix, event) = r.violation.expect("duplicate found exhaustively");
     assert_eq!(event.name(), "del");
     assert_eq!(prefix.last().unwrap().name(), "del");
-    assert!(satisfies_safety(&ns_system(), &exactly_once()).unwrap().is_err());
+    assert!(satisfies_safety(&ns_system(), &exactly_once())
+        .unwrap()
+        .is_err());
 
     // NAK fully-corrupting: same story through a different protocol.
     let r = explore(

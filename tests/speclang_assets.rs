@@ -6,11 +6,8 @@ use protoquot_spec::bisimilar;
 use protoquot_speclang::parse_file;
 
 fn load_paper_specs() -> Vec<protoquot_spec::Spec> {
-    let source = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/specs/paper.pq"
-    ))
-    .expect("specs/paper.pq ships with the repo");
+    let source = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/specs/paper.pq"))
+        .expect("specs/paper.pq ships with the repo");
     parse_file(&source).expect("specs/paper.pq parses")
 }
 
@@ -24,28 +21,50 @@ fn find<'a>(specs: &'a [protoquot_spec::Spec], name: &str) -> &'a protoquot_spec
 #[test]
 fn asset_machines_match_programmatic_ones() {
     let specs = load_paper_specs();
-    assert!(bisimilar(find(&specs, "A0"), &protoquot_protocols::ab_sender()));
-    assert!(bisimilar(find(&specs, "A1"), &protoquot_protocols::ab_receiver()));
-    assert!(bisimilar(find(&specs, "N0"), &protoquot_protocols::ns_sender()));
-    assert!(bisimilar(find(&specs, "N1"), &protoquot_protocols::ns_receiver()));
-    assert!(bisimilar(find(&specs, "Ach"), &protoquot_protocols::ab_channel()));
-    assert!(bisimilar(find(&specs, "Nch"), &protoquot_protocols::ns_channel()));
-    assert!(bisimilar(find(&specs, "S"), &protoquot_protocols::exactly_once()));
-    assert!(bisimilar(find(&specs, "S_weak"), &protoquot_protocols::at_least_once()));
+    assert!(bisimilar(
+        find(&specs, "A0"),
+        &protoquot_protocols::ab_sender()
+    ));
+    assert!(bisimilar(
+        find(&specs, "A1"),
+        &protoquot_protocols::ab_receiver()
+    ));
+    assert!(bisimilar(
+        find(&specs, "N0"),
+        &protoquot_protocols::ns_sender()
+    ));
+    assert!(bisimilar(
+        find(&specs, "N1"),
+        &protoquot_protocols::ns_receiver()
+    ));
+    assert!(bisimilar(
+        find(&specs, "Ach"),
+        &protoquot_protocols::ab_channel()
+    ));
+    assert!(bisimilar(
+        find(&specs, "Nch"),
+        &protoquot_protocols::ns_channel()
+    ));
+    assert!(bisimilar(
+        find(&specs, "S"),
+        &protoquot_protocols::exactly_once()
+    ));
+    assert!(bisimilar(
+        find(&specs, "S_weak"),
+        &protoquot_protocols::at_least_once()
+    ));
 }
 
 #[test]
 fn asset_file_reproduces_both_configurations() {
     let specs = load_paper_specs();
     let service = find(&specs, "S");
-    let int_col: protoquot_spec::Alphabet =
-        ["+d0", "+d1", "-a0", "-a1", "+D", "-A"].into_iter().collect();
-    let b_col = protoquot_spec::compose_all(&[
-        find(&specs, "A0"),
-        find(&specs, "Ach"),
-        find(&specs, "N1"),
-    ])
-    .unwrap();
+    let int_col: protoquot_spec::Alphabet = ["+d0", "+d1", "-a0", "-a1", "+D", "-A"]
+        .into_iter()
+        .collect();
+    let b_col =
+        protoquot_spec::compose_all(&[find(&specs, "A0"), find(&specs, "Ach"), find(&specs, "N1")])
+            .unwrap();
     let q = protoquot_core::solve(&b_col, service, &int_col).expect("Fig. 14 from the file");
     protoquot_core::verify_converter(&b_col, service, &q.converter).unwrap();
 
@@ -67,14 +86,13 @@ fn asset_file_reproduces_both_configurations() {
 
 #[test]
 fn asset_problem_declarations_resolve() {
-    let source = std::fs::read_to_string(concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/specs/paper.pq"
-    ))
-    .unwrap();
+    let source =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/specs/paper.pq")).unwrap();
     let f = protoquot_speclang::parse_source(&source).unwrap();
     for (name, expect_converter) in [("fig13", true), ("fig9", false), ("fig9_weakened", true)] {
-        let d = f.problem(name).unwrap_or_else(|| panic!("problem {name} declared"));
+        let d = f
+            .problem(name)
+            .unwrap_or_else(|| panic!("problem {name} declared"));
         let parts: Vec<&protoquot_spec::Spec> =
             d.components.iter().map(|c| f.spec(c).unwrap()).collect();
         let b = protoquot_spec::compose_all(&parts).unwrap();

@@ -1,0 +1,591 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses:
+//! [`strategy::Strategy`] with `prop_map`/`prop_flat_map`/`boxed`,
+//! integer range and tuple strategies, [`strategy::Just`],
+//! [`strategy::Union`] (behind [`prop_oneof!`]), [`collection::vec`],
+//! a tiny regex-subset string strategy (`".*"`, `"[a-z]{1,3}"`, …), and
+//! the [`proptest!`]/[`prop_assert!`]/[`prop_assert_eq!`] macros.
+//!
+//! Differences from upstream, by design: generation is plain seeded
+//! pseudo-randomness (deterministic per test function name), there is
+//! no shrinking, and failures surface as ordinary panics with the
+//! case's debug info. That keeps the harness dependency-free while
+//! preserving the tests' meaning: N randomized cases per property.
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config`, exported from the
+    /// prelude as `ProptestConfig`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from an arbitrary tag (the test function name), so
+        /// every property gets a distinct but reproducible stream.
+        pub fn deterministic(tag: &str) -> TestRng {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in tag.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[lo, hi)`.
+        pub fn below(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(lo < hi, "cannot sample empty range");
+            let span = (hi - lo) as u128;
+            lo + ((self.next_u64() as u128 * span) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Mirror of `proptest::strategy::Strategy`: a recipe for
+    /// generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value. (Upstream proptest builds a shrinkable
+        /// `ValueTree` here; this shim draws the value directly.)
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<V>(std::rc::Rc<dyn Strategy<Value = V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Uniform choice between alternatives (the engine behind
+    /// `prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let idx = rng.below(0, self.options.len() as u64) as usize;
+            self.options[idx].gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.below(self.start as u64, self.end as u64) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.below(*self.start() as u64, *self.end() as u64 + 1) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    /// A `&'static str` acts as a regex-subset string strategy, like
+    /// upstream proptest's regex string strategies. Supported syntax:
+    /// literal chars, `.`, `[a-z…]` classes, and the quantifiers `*`,
+    /// `+`, `{m}`, `{m,n}` (unbounded `*`/`+` cap at 8 repetitions).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::gen_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    enum Atom {
+        Literal(char),
+        /// Inclusive char ranges; a singleton char is `(c, c)`.
+        Class(Vec<(char, char)>),
+        /// `.` — "any" char, drawn from a pool that stresses lexers:
+        /// ASCII printables plus quotes, braces, newline, and a couple
+        /// of multi-byte scalars.
+        Dot,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Cap for unbounded quantifiers (`*`, `+`).
+    const UNBOUNDED_CAP: usize = 8;
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Dot
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated character class in pattern {pattern:?}"
+                    );
+                    i += 1; // consume ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    assert!(
+                        i + 1 < chars.len(),
+                        "dangling escape in pattern {pattern:?}"
+                    );
+                    i += 2;
+                    Atom::Literal(chars[i - 1])
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '*' => {
+                        i += 1;
+                        (0, UNBOUNDED_CAP)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, UNBOUNDED_CAP)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|p| p + i)
+                            .unwrap_or_else(|| {
+                                panic!("unterminated quantifier in pattern {pattern:?}")
+                            });
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((m, n)) => {
+                                let m: usize = m.trim().parse().expect("bad quantifier");
+                                let n: usize = if n.trim().is_empty() {
+                                    m + UNBOUNDED_CAP
+                                } else {
+                                    n.trim().parse().expect("bad quantifier")
+                                };
+                                (m, n)
+                            }
+                            None => {
+                                let m: usize = body.trim().parse().expect("bad quantifier");
+                                (m, m)
+                            }
+                        }
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    const DOT_POOL: &[char] = &[
+        'a',
+        'b',
+        'z',
+        'A',
+        'Z',
+        '0',
+        '9',
+        ' ',
+        '\t',
+        '\n',
+        '"',
+        '\'',
+        '{',
+        '}',
+        ';',
+        ',',
+        ':',
+        '|',
+        '-',
+        '>',
+        '_',
+        '#',
+        '\\',
+        '/',
+        '(',
+        ')',
+        '*',
+        '=',
+        'é',
+        '→',
+        '\u{1F600}',
+    ];
+
+    fn gen_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+        match atom {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Dot => {
+                let idx = rng.below(0, DOT_POOL.len() as u64) as usize;
+                out.push(DOT_POOL[idx]);
+            }
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+                    .sum();
+                let mut pick = rng.below(0, total.max(1));
+                for &(lo, hi) in ranges {
+                    let span = (hi as u64) - (lo as u64) + 1;
+                    if pick < span {
+                        out.push(char::from_u32(lo as u32 + pick as u32).unwrap_or(lo));
+                        return;
+                    }
+                    pick -= span;
+                }
+            }
+        }
+    }
+
+    pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.below(piece.min as u64, piece.max as u64 + 1) as usize
+            };
+            for _ in 0..count {
+                gen_atom(&piece.atom, rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Mirror of `proptest::collection::vec`: a vector whose length is
+    /// drawn from `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.below(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Mirror of `proptest::proptest!`: expands each property into a
+/// `#[test]` fn that draws `config.cases` random inputs and runs the
+/// body on each. On panic the offending case is reported via the
+/// ordinary assertion message (no shrinking in this shim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat_param in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::gen_value(&$strat, &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain `assert!` in this shim (failures panic the
+/// case instead of returning a `TestCaseError`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Mirror of `proptest::prop_oneof!`: uniform choice between arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::deterministic("ranges");
+        let s = (0usize..5, 1u32..=3);
+        for _ in 0..200 {
+            let (a, b) = s.gen_value(&mut rng);
+            assert!(a < 5);
+            assert!((1..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map() {
+        let mut rng = TestRng::deterministic("maps");
+        let s = (1usize..4).prop_flat_map(|n| (0..n, Just(n)).prop_map(|(i, n)| (i, n)));
+        for _ in 0..200 {
+            let (i, n) = s.gen_value(&mut rng);
+            assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn regex_subset() {
+        let mut rng = TestRng::deterministic("regex");
+        for _ in 0..200 {
+            let w = crate::strategy::Strategy::gen_value(&"[a-z]{1,3}", &mut rng);
+            assert!((1..=3).contains(&w.chars().count()));
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+            let any = crate::strategy::Strategy::gen_value(&".*", &mut rng);
+            assert!(any.chars().count() <= 8);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::deterministic("oneof");
+        let s = prop_oneof![Just(0u32), Just(1u32), Just(2u32)];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.gen_value(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn collection_vec_lengths() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = crate::collection::vec(0usize..10, 2..5);
+        for _ in 0..200 {
+            let v = s.gen_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0usize..10, (a, b) in (0u32..4, 0u32..4)) {
+            prop_assert!(x < 10);
+            prop_assert!(a < 4 && b < 4);
+            prop_assert_eq!(x, x);
+        }
+    }
+}
