@@ -4,7 +4,9 @@
 //! Run with: `cargo run -p protoquot-bench --bin report --release`
 
 use protoquot_bench::paper_report;
-use protoquot_core::{progress_phase, safety_phase, solve, SafetyLimits};
+use protoquot_core::{
+    progress_phase, safety_engine, safety_phase, safety_phase_reference, solve, SafetyLimits,
+};
 use protoquot_protocols::service::windowed;
 use protoquot_protocols::{exactly_once, nfa_blowup, relay_chain, toggle_puzzle};
 use protoquot_spec::normalize;
@@ -209,6 +211,69 @@ fn main() {
             pi.iterations,
             slices.join(",")
         );
+    }
+
+    println!("\n== EXP-C4: interned safety engine vs reference transcription ==");
+    println!(
+        "{:>14} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>11} {:>10}",
+        "family",
+        "threads",
+        "ref ms",
+        "engine ms",
+        "speedup",
+        "states",
+        "trans",
+        "dedup hits",
+        "arena KiB"
+    );
+    let colocated = protoquot_protocols::colocated_configuration();
+    let symmetric = protoquot_protocols::symmetric_configuration();
+    for (label, b, int) in [
+        ("nfa-blowup-11", nfa_blowup(11).0, nfa_blowup(11).1),
+        ("toggle-puzzle-6", toggle_puzzle(6).0, toggle_puzzle(6).1),
+        ("paper/Fig14", colocated.b, colocated.int),
+        ("paper/Fig12", symmetric.b, symmetric.int),
+    ] {
+        let na = normalize(&exactly_once());
+        // Best of 3, like EXP-C3.
+        let mut ref_ms = f64::INFINITY;
+        let mut reference = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let s = safety_phase_reference(&b, &na, &int, false, SafetyLimits::default())
+                .unwrap()
+                .unwrap();
+            ref_ms = ref_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            reference = Some(s);
+        }
+        let reference = reference.unwrap();
+        for threads in [1usize, 2, 8] {
+            let mut eng_ms = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..3 {
+                let t = Instant::now();
+                let o = safety_engine(&b, &na, &int, false, SafetyLimits::default(), threads)
+                    .unwrap()
+                    .unwrap();
+                eng_ms = eng_ms.min(t.elapsed().as_secs_f64() * 1e3);
+                out = Some(o);
+            }
+            let out = out.unwrap();
+            assert_eq!(out.phase.c0, reference.c0, "engines must agree");
+            assert_eq!(out.phase.f, reference.f);
+            println!(
+                "{:>14} {:>8} {:>10.3} {:>10.3} {:>9.2}x {:>10} {:>10} {:>11} {:>10.1}",
+                label,
+                threads,
+                ref_ms,
+                eng_ms,
+                ref_ms / eng_ms,
+                out.stats.states,
+                out.stats.transitions,
+                out.stats.dedup_hits,
+                out.stats.arena_bytes as f64 / 1024.0
+            );
+        }
     }
 
     println!("\n== EXP-K: mod-k sequence-number scaling (input growth) ==");

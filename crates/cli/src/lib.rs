@@ -10,7 +10,7 @@
 //! protoquot compose FILE SPEC... [--name N]     compose and print
 //! protoquot check FILE --impl S --service A     satisfaction check
 //! protoquot solve FILE --service A --int e1,e2 [--b SPEC...]
-//!          [--dot] [--prune] [--vacuous] [--reachable]
+//!          [--dot] [--prune] [--vacuous] [--reachable] [--threads N]
 //! protoquot simulate FILE --service A --components S1,S2,...
 //!          [--steps N] [--seed K] [--loss COMP=WEIGHT]...
 //! protoquot minimize FILE SPEC                  bisimulation quotient
@@ -58,8 +58,9 @@ usage:
   protoquot compose FILE SPEC... [--name NAME] [--dot]
   protoquot check FILE --impl SPEC --service SPEC
   protoquot solve FILE --service SPEC --int e1,e2,... [--b SPEC...]
-            [--dot] [--prune] [--vacuous] [--reachable]
+            [--dot] [--prune] [--vacuous] [--reachable] [--threads N] [--stats]
   protoquot solve FILE --problem NAME [--dot] [--prune] [--vacuous] [--reachable]
+            [--threads N] [--stats]
   protoquot simulate FILE --service SPEC --components S1,S2,...
             [--steps N] [--seed K] [--loss COMPONENT=WEIGHT]...
   protoquot minimize FILE SPEC
@@ -118,6 +119,7 @@ const VALUED: &[&str] = &[
     "--seed",
     "--loss",
     "--max-states",
+    "--threads",
 ];
 
 fn parse_args(rest: &[String]) -> Result<Parsed, CliError> {
@@ -329,6 +331,12 @@ fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
     } else {
         compose_all(&parts).map_err(|e| CliError(e.to_string()))?
     };
+    let safety_threads: usize = match p.value("--threads") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError("--threads must be a number".into()))?,
+        None => 1,
+    };
     let options = QuotientOptions {
         include_vacuous: p.has("--vacuous"),
         strategy: if p.has("--reachable") {
@@ -336,6 +344,7 @@ fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
         } else {
             ProgressStrategy::FullProduct
         },
+        safety_threads,
         ..Default::default()
     };
     let mut out = String::new();
@@ -355,13 +364,22 @@ fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
             };
             out.push_str(&format!(
                 "converter derived: {} states, {} transitions \
-                 (safety {} states, progress removed {} in {} iterations)\n\n",
+                 (safety {} states, progress removed {} in {} iterations)\n",
                 converter.num_states(),
                 converter.num_external(),
                 q.stats.safety_states,
                 q.stats.removed_states,
                 q.stats.progress_iterations
             ));
+            if p.has("--stats") {
+                let se = &q.stats.safety_engine;
+                out.push_str(&format!(
+                    "safety engine: {} states, {} transitions, {} dedup hits, \
+                     {} arena bytes, {} threads\n",
+                    se.states, se.transitions, se.dedup_hits, se.arena_bytes, se.threads
+                ));
+            }
+            out.push('\n');
             out.push_str(&if p.has("--json") {
                 protoquot_spec::serde_impl::to_json(&converter)
             } else if p.has("--dot") {
@@ -685,6 +703,38 @@ mod tests {
             let out = run_ok(&["solve", path, "--service", "S", "--int", "fwd", "--b", "B"]);
             assert!(out.contains("converter derived"), "{out}");
             assert!(out.contains("fwd"), "{out}");
+        })
+    }
+
+    #[test]
+    fn solve_threads_and_stats_flags() {
+        with_file(|path| {
+            let one = run_ok(&["solve", path, "--problem", "relay", "--stats"]);
+            assert!(one.contains("safety engine:"), "{one}");
+            assert!(one.contains("1 threads"), "{one}");
+            let four = run_ok(&[
+                "solve",
+                path,
+                "--problem",
+                "relay",
+                "--stats",
+                "--threads",
+                "4",
+            ]);
+            assert!(four.contains("4 threads"), "{four}");
+            // The derived converter is identical at any thread count.
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.starts_with("safety engine:"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(strip(&one), strip(&four));
+            let args: Vec<String> = ["solve", path, "--problem", "relay", "--threads", "x"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert!(run(&args).is_err());
         })
     }
 

@@ -68,6 +68,7 @@ pub mod pairset;
 pub mod progress;
 pub mod prune;
 pub mod safety;
+pub mod safety_engine;
 pub mod solver;
 pub mod verify;
 
@@ -77,7 +78,8 @@ pub use progress::{
     ProgressEngineStats, ProgressPhase, ProgressStrategy, ProgressWitness,
 };
 pub use prune::prune_useless;
-pub use safety::{safety_phase, SafetyFailure, SafetyLimits, SafetyPhase};
+pub use safety::{safety_phase, safety_phase_reference, SafetyFailure, SafetyLimits, SafetyPhase};
+pub use safety_engine::{safety_engine, SafetyEngineOutput, SafetyEngineStats};
 pub use solver::{
     solve, solve_constrained, solve_normalized, solve_with, validate_problem, Quotient,
     QuotientError, QuotientOptions, QuotientStats,

@@ -11,10 +11,21 @@
 //! are useless in practice: B ‖ C never reaches them. They are included
 //! only when requested, so that maximality (Theorem 1(ii)) can be
 //! tested literally.
+//!
+//! Two implementations exist:
+//!
+//! * [`safety_phase`] — the production entry point, backed by the
+//!   parallel interned engine in [`mod@crate::safety_engine`];
+//! * [`safety_phase_reference`] — the direct Figure 5 transcription
+//!   below, kept so the engine's equivalence is *tested*
+//!   (`tests/safety_differential.rs`), not assumed. Its worklist is
+//!   FIFO, so states are created (and named `c0, c1, …`) in
+//!   breadth-first discovery order — the canonical order the engine's
+//!   renumbering pass reproduces.
 
 use crate::pairset::{h_epsilon, phi, OkViolation, PairSet};
 use protoquot_spec::{spec_from_parts, Alphabet, EventId, NormalSpec, Spec, StateId};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Output of the safety phase.
 #[derive(Clone, Debug)]
@@ -51,7 +62,9 @@ impl Default for SafetyLimits {
     }
 }
 
-/// Runs the Figure 5 worklist algorithm.
+/// Runs the Figure 5 construction via the parallel interned engine
+/// (single-threaded here; see [`crate::safety_engine::safety_engine`]
+/// for the multi-threaded entry point).
 ///
 /// * `b` — the fixed components (e.g. `P0 ‖ channels ‖ Q1`), alphabet
 ///   `Int ∪ Ext`;
@@ -68,27 +81,41 @@ pub fn safety_phase(
     include_vacuous: bool,
     limits: SafetyLimits,
 ) -> Result<Option<SafetyPhase>, SafetyFailure> {
+    crate::safety_engine::safety_engine(b, na, int, include_vacuous, limits, 1)
+        .map(|out| out.map(|o| o.phase))
+}
+
+/// The direct Figure 5 worklist transcription (single-threaded, pair
+/// sets cloned as `HashMap` keys). Kept verbatim as the oracle for
+/// `tests/safety_differential.rs`; use [`safety_phase`] elsewhere.
+pub fn safety_phase_reference(
+    b: &Spec,
+    na: &NormalSpec,
+    int: &Alphabet,
+    include_vacuous: bool,
+    limits: SafetyLimits,
+) -> Result<Option<SafetyPhase>, SafetyFailure> {
     let ext = b.alphabet().difference(int);
     let h0 = h_epsilon(na, b, &ext).map_err(|violation| SafetyFailure { violation })?;
-
-    // The budget covers every state, including the initial one a
-    // `max_states` of zero must not admit.
-    if limits.max_states == 0 {
-        return Ok(None);
-    }
 
     let mut index: HashMap<PairSet, StateId> = HashMap::new();
     let mut f: Vec<PairSet> = Vec::new();
     let mut names: Vec<String> = Vec::new();
     let mut transitions: Vec<(StateId, EventId, StateId)> = Vec::new();
-    let mut work: Vec<StateId> = Vec::new();
+    let mut work: VecDeque<StateId> = VecDeque::new();
 
+    // The budget covers every state, including the initial one: check
+    // it *before* any insertion so an exceeded budget never leaves a
+    // phantom name/pair-set entry behind.
+    if limits.max_states == 0 {
+        return Ok(None);
+    }
     index.insert(h0.clone(), StateId(0));
     names.push("c0".to_owned());
     f.push(h0);
-    work.push(StateId(0));
+    work.push_back(StateId(0));
 
-    while let Some(c) = work.pop() {
+    while let Some(c) = work.pop_front() {
         for e in int.iter() {
             let j = match phi(na, b, &ext, &f[c.index()], e) {
                 Ok(j) => j,
@@ -101,13 +128,14 @@ pub fn safety_phase(
                 Some(&t) => t,
                 None => {
                     let t = StateId(names.len() as u32);
+                    // Budget first, insertions after (see above).
                     if t.index() >= limits.max_states {
                         return Ok(None);
                     }
                     names.push(format!("c{}", t.index()));
                     index.insert(j.clone(), t);
                     f.push(j);
-                    work.push(t);
+                    work.push_back(t);
                     t
                 }
             };
@@ -251,5 +279,47 @@ mod tests {
         let na = normalize(&service);
         let out = safety_phase(&b, &na, &int, false, SafetyLimits { max_states: 0 }).unwrap();
         assert!(out.is_none());
+        let out =
+            safety_phase_reference(&b, &na, &int, false, SafetyLimits { max_states: 0 }).unwrap();
+        assert!(out.is_none());
+    }
+
+    /// The budget boundary is exact, for both implementations: a budget
+    /// of exactly the reachable state count succeeds, one less fails —
+    /// and the failing run performs no insertion for the over-budget
+    /// state (regression: the budget must be checked before `names` or
+    /// any other per-state structure grows).
+    #[test]
+    fn state_budget_boundary_is_exact() {
+        let (service, b, int) = relay_problem();
+        let na = normalize(&service);
+        for include_vacuous in [false, true] {
+            let full = safety_phase(&b, &na, &int, include_vacuous, SafetyLimits::default())
+                .unwrap()
+                .unwrap();
+            let n = full.c0.num_states();
+            for run in [safety_phase, safety_phase_reference] {
+                let exact = run(
+                    &b,
+                    &na,
+                    &int,
+                    include_vacuous,
+                    SafetyLimits { max_states: n },
+                )
+                .unwrap()
+                .expect("budget == reachable states must succeed");
+                assert_eq!(exact.c0.num_states(), n);
+                assert_eq!(exact.f.len(), n, "no phantom pair-set entry");
+                let over = run(
+                    &b,
+                    &na,
+                    &int,
+                    include_vacuous,
+                    SafetyLimits { max_states: n - 1 },
+                )
+                .unwrap();
+                assert!(over.is_none(), "budget == n-1 must be exceeded");
+            }
+        }
     }
 }

@@ -9,7 +9,8 @@ use crate::pairset::OkViolation;
 use crate::progress::{
     progress_phase_with, ProgressEngineStats, ProgressStrategy, ProgressWitness,
 };
-use crate::safety::{safety_phase, SafetyLimits, SafetyPhase};
+use crate::safety::{SafetyLimits, SafetyPhase};
+use crate::safety_engine::{safety_engine, SafetyEngineStats};
 use protoquot_spec::{normalize, Alphabet, NormalSpec, Spec, SpecError};
 use std::time::{Duration, Instant};
 
@@ -24,6 +25,9 @@ pub struct QuotientOptions {
     /// Progress fixpoint strategy (paper-exact full product by
     /// default; see [`ProgressStrategy`]).
     pub strategy: ProgressStrategy,
+    /// Worker threads for the safety-phase engine (clamped to ≥ 1).
+    /// The result is bit-identical at every thread count.
+    pub safety_threads: usize,
 }
 
 impl Default for QuotientOptions {
@@ -32,6 +36,7 @@ impl Default for QuotientOptions {
             include_vacuous: false,
             max_states: 1_000_000,
             strategy: ProgressStrategy::FullProduct,
+            safety_threads: 1,
         }
     }
 }
@@ -65,6 +70,8 @@ pub struct QuotientStats {
     pub progress_time: Duration,
     /// Work counters from the incremental progress engine.
     pub progress_engine: ProgressEngineStats,
+    /// Work counters from the interned safety engine.
+    pub safety_engine: SafetyEngineStats,
 }
 
 /// Why no converter was produced.
@@ -148,7 +155,7 @@ pub fn solve_normalized(
     options: &QuotientOptions,
 ) -> Result<Quotient, QuotientError> {
     let t0 = Instant::now();
-    let safety: SafetyPhase = match safety_phase(
+    let (safety, engine_stats): (SafetyPhase, SafetyEngineStats) = match safety_engine(
         b,
         na,
         int,
@@ -156,8 +163,9 @@ pub fn solve_normalized(
         SafetyLimits {
             max_states: options.max_states,
         },
+        options.safety_threads,
     ) {
-        Ok(Some(s)) => s,
+        Ok(Some(out)) => (out.phase, out.stats),
         Ok(None) => {
             return Err(QuotientError::StateBudgetExceeded {
                 max_states: options.max_states,
@@ -183,6 +191,7 @@ pub fn solve_normalized(
         safety_time,
         progress_time,
         progress_engine: progress.stats,
+        safety_engine: engine_stats,
     };
     match progress.converter {
         Some(converter) => Ok(Quotient {

@@ -16,8 +16,8 @@
 //! On top of the tuple, this crate provides everything the quotient
 //! algorithm (in `protoquot-core`) needs:
 //!
-//! * [`compose`] — the paper's `‖` operator (shared events synchronise
-//!   and hide; interfaces combine by symmetric difference);
+//! * [`fn@compose`] — the paper's `‖` operator (shared events
+//!   synchronise and hide; interfaces combine by symmetric difference);
 //! * [`Closures`] — `λ*`, `τ`, `τ*`;
 //! * [`SinkInfo`]/[`collapse_sinks`] — sink sets and the Figure 4
 //!   collapse;
@@ -25,7 +25,7 @@
 //!   specifications, with the `ψ` trace tracker;
 //! * [`satisfies`] — the two-part satisfaction relation (safety = trace
 //!   inclusion, progress = sink-acceptance containment);
-//! * [`minimize`]/[`bisimilar`] — strong bisimulation tools;
+//! * [`fn@minimize`]/[`bisimilar`] — strong bisimulation tools;
 //! * trace utilities, DOT export, serde support.
 //!
 //! ## Quick example

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `threadpool` crate.
+//!
+//! The workspace only needs a fixed-size pool of long-lived workers
+//! with `ThreadPool::new`, `execute` and `join` (wait until every
+//! queued job has finished); the upstream crate's builder, panic
+//! counters and dynamic resizing are not used. Workers are spawned
+//! eagerly and shut down when the pool is dropped, so a pool can be
+//! reused across several `execute`/`join` rounds, like upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    /// Jobs currently running on a worker.
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signals workers that a job (or shutdown) is available.
+    job_ready: Condvar,
+    /// Signals `join` that the pool may have drained.
+    drained: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing queued jobs.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `num_threads` workers (at least one).
+    pub fn new(num_threads: usize) -> ThreadPool {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                active: 0,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            drained: Condvar::new(),
+        });
+        let workers = (0..num_threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Queues a job for execution on some worker.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let mut q = self.shared.queue.lock().unwrap();
+        q.jobs.push_back(Box::new(job));
+        drop(q);
+        self.shared.job_ready.notify_one();
+    }
+
+    /// Blocks until the queue is empty and no job is running.
+    pub fn join(&self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        while !q.jobs.is_empty() || q.active > 0 {
+            q = self.shared.drained.wait(q).unwrap();
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn max_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().shutdown = true;
+        self.shared.job_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    q.active += 1;
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.job_ready.wait(q).unwrap();
+            }
+        };
+        job();
+        let mut q = shared.queue.lock().unwrap();
+        q.active -= 1;
+        if q.jobs.is_empty() && q.active == 0 {
+            shared.drained.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs_before_join_returns() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn pool_is_reusable_after_join() {
+        let pool = ThreadPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for round in 1..=3 {
+            for _ in 0..10 {
+                let counter = Arc::clone(&counter);
+                pool.execute(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.join();
+            assert_eq!(counter.load(Ordering::SeqCst), 10 * round);
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.max_count(), 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.execute(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn join_on_idle_pool_returns_immediately() {
+        let pool = ThreadPool::new(3);
+        pool.join();
+    }
+}
