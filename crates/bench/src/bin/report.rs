@@ -2,6 +2,11 @@
 //! the §5 qualitative results plus the §7 complexity-shape tables.
 //!
 //! Run with: `cargo run -p protoquot-bench --bin report --release`
+//!
+//! `--quick` instead runs only the CI smoke gate: times the
+//! nfa-blowup-11 safety+progress derivation, writes `BENCH_smoke.json`,
+//! and exits nonzero if the wall time regressed more than 2× against
+//! the committed baseline (`crates/bench/BENCH_BASELINE.json`).
 
 use protoquot_bench::paper_report;
 use protoquot_core::{
@@ -9,10 +14,95 @@ use protoquot_core::{
 };
 use protoquot_protocols::service::windowed;
 use protoquot_protocols::{exactly_once, nfa_blowup, relay_chain, toggle_puzzle};
+use protoquot_sim::{redirect_transition, FaultPlan, FleetConfig, FleetRunner};
 use protoquot_spec::normalize;
 use std::time::Instant;
 
+/// Best-of-3 wall times (ms) of the nfa-blowup-11 safety and progress
+/// phases — the workload the CI smoke gate tracks.
+fn nfa_blowup_11_phase_times() -> (f64, f64) {
+    let (b, int) = nfa_blowup(11);
+    let na = normalize(&exactly_once());
+    let mut safety_ms = f64::INFINITY;
+    let mut progress_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let s = safety_phase(&b, &na, &int, false, SafetyLimits::default())
+            .unwrap()
+            .unwrap();
+        safety_ms = safety_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        let p = progress_phase(&b, &na, &s);
+        progress_ms = progress_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert!(p.converter.is_some());
+    }
+    (safety_ms, progress_ms)
+}
+
+/// The CI smoke gate (`--quick`): emit `BENCH_smoke.json` and fail on
+/// a more-than-2× regression of nfa-blowup-11 safety+progress vs the
+/// committed baseline. Returns the process exit code.
+fn quick_smoke() -> i32 {
+    let (safety_ms, progress_ms) = nfa_blowup_11_phase_times();
+    let total_ms = safety_ms + progress_ms;
+    let json = format!(
+        "{{\"bench\":\"nfa-blowup-11\",\"safety_ms\":{safety_ms:.3},\
+         \"progress_ms\":{progress_ms:.3},\"total_ms\":{total_ms:.3}}}\n"
+    );
+    println!(
+        "smoke: nfa-blowup-11 safety {safety_ms:.3} ms + progress {progress_ms:.3} ms \
+         = {total_ms:.3} ms"
+    );
+    if let Err(e) = std::fs::write("BENCH_smoke.json", &json) {
+        eprintln!("smoke: cannot write BENCH_smoke.json: {e}");
+        return 1;
+    }
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_BASELINE.json");
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("smoke: cannot read {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let value: serde::Value = match serde_json::from_str(&baseline) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("smoke: {baseline_path} is not valid JSON: {e}");
+            return 1;
+        }
+    };
+    let budget_ms = value
+        .as_obj()
+        .and_then(|o| o.get("total_ms"))
+        .and_then(|v| match v {
+            serde::Value::Float(f) => Some(*f),
+            serde::Value::Int(i) => Some(*i as f64),
+            _ => None,
+        });
+    let Some(budget_ms) = budget_ms else {
+        eprintln!("smoke: {baseline_path} lacks a numeric `total_ms`");
+        return 1;
+    };
+    println!(
+        "smoke: baseline total {budget_ms:.3} ms, gate at {:.3} ms (2x)",
+        budget_ms * 2.0
+    );
+    if total_ms > budget_ms * 2.0 {
+        eprintln!(
+            "smoke: REGRESSION — nfa-blowup-11 took {total_ms:.3} ms, more than 2x the \
+             committed baseline of {budget_ms:.3} ms"
+        );
+        return 1;
+    }
+    println!("smoke: OK");
+    0
+}
+
 fn main() {
+    if std::env::args().skip(1).any(|a| a == "--quick") {
+        std::process::exit(quick_smoke());
+    }
     println!("{}", paper_report());
 
     println!("== EXP-C1: safety-phase growth (paper §7: worst-case exponential) ==");
@@ -409,5 +499,65 @@ fn main() {
             ),
             Err(e) => println!("front man: UNEXPECTED {e}"),
         }
+    }
+
+    println!("\n== EXP-S1: soak fleet throughput and mutation detection ==");
+    {
+        // The Fig. 14 derivation under a hostile schedule: loss bias,
+        // duplication bias and periodic reordering, fully monitored.
+        let cfg = protoquot_protocols::colocated_configuration();
+        let q = solve(&cfg.b, &exactly_once(), &cfg.int).unwrap();
+        let faults = FaultPlan::parse("loss,dup,reorder").unwrap();
+        let fleet = FleetRunner::new(vec![cfg.b.clone(), q.converter.clone()], exactly_once());
+        println!(
+            "{:>8} {:>8} {:>12} {:>14} {:>12}",
+            "threads", "runs", "steps", "steps/sec", "verdict"
+        );
+        for threads in [1usize, 2, 8] {
+            let report = fleet.run(&FleetConfig {
+                runs: 2_000,
+                threads,
+                seed: 0x50AB,
+                max_steps: 1_000,
+                faults: faults.clone(),
+                ..FleetConfig::default()
+            });
+            println!(
+                "{:>8} {:>8} {:>12} {:>14.0} {:>12}",
+                threads,
+                report.runs,
+                report.total_steps,
+                report.steps_per_sec,
+                if report.is_conforming() {
+                    "Conforming"
+                } else {
+                    "FAIL"
+                }
+            );
+            assert!(report.is_conforming(), "derived converter must soak clean");
+        }
+        // One redirected transition must be caught, with a short
+        // minimized counterexample.
+        let broken = redirect_transition(&q.converter, 0).unwrap();
+        let report = FleetRunner::new(vec![cfg.b, broken], exactly_once()).run(&FleetConfig {
+            runs: 200,
+            threads: 8,
+            seed: 0x50AB,
+            max_steps: 1_000,
+            faults,
+            ..FleetConfig::default()
+        });
+        match report.counterexamples.first() {
+            Some(cx) => println!(
+                "mutated converter (transition 0 redirected): caught as {} in run {}, \
+                 minimized to {} actions / {} events",
+                cx.verdict,
+                cx.run,
+                cx.schedule.len(),
+                cx.events.len()
+            ),
+            None => println!("mutated converter: NOT CAUGHT (unexpected)"),
+        }
+        assert!(!report.is_conforming(), "mutated converter must be caught");
     }
 }

@@ -18,6 +18,9 @@
 //! protoquot violations FILE --impl S --service A all minimal escapes
 //! protoquot explore FILE --service A --components S1,S2,...
 //!          [--max-states N]                     exhaustive check
+//! protoquot soak (FILE --service A --components S1,... | --builtin NAME [--mutate K])
+//!          [--runs N] [--threads T] [--steps N] [--faults loss,dup,reorder,burst]
+//!          [--seed S] [--no-shrink] [--json]    fault-injecting soak fleet
 //! ```
 //!
 //! The command logic lives in [`run`], which returns the output as a
@@ -27,7 +30,10 @@
 #![warn(missing_docs)]
 
 use protoquot_core::{prune_useless, solve_with, ProgressStrategy, QuotientOptions};
-use protoquot_sim::{run_monitored, MonitorVerdict, SimConfig};
+use protoquot_sim::{
+    redirect_transition, run_monitored, FaultPlan, FleetConfig, FleetRunner, MonitorVerdict,
+    SimConfig,
+};
 use protoquot_spec::{compose_all, satisfies, to_dot, to_text, Alphabet, Spec};
 use protoquot_speclang::{parse_source, SourceFile};
 use std::fmt;
@@ -67,6 +73,10 @@ usage:
   protoquot normalize FILE SPEC
   protoquot violations FILE --impl SPEC --service SPEC
   protoquot explore FILE --service SPEC --components S1,S2,... [--max-states N]
+  protoquot soak FILE --service SPEC --components S1,S2,...
+            [--runs N] [--threads T] [--steps N] [--faults loss,dup,reorder,burst]
+            [--seed S] [--no-shrink] [--json]
+  protoquot soak --builtin colocated|symmetric|ab-nak [--mutate K] [options as above]
 
 FILE contains specifications in the textual language, e.g.:
 
@@ -95,6 +105,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "normalize" => cmd_normalize(rest),
         "violations" => cmd_violations(rest),
         "explore" => cmd_explore(rest),
+        "soak" => cmd_soak(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -120,6 +131,10 @@ const VALUED: &[&str] = &[
     "--loss",
     "--max-states",
     "--threads",
+    "--runs",
+    "--faults",
+    "--builtin",
+    "--mutate",
 ];
 
 fn parse_args(rest: &[String]) -> Result<Parsed, CliError> {
@@ -617,6 +632,103 @@ fn cmd_explore(rest: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Builds the components + service of a built-in §5 soak target:
+/// `colocated` (Fig. 13/14, exactly-once), `symmetric` (Fig. 9 with the
+/// §5 at-least-once weakening) or `ab-nak` (the ABP↔NAK variant,
+/// exactly-once). The converter is derived on the spot; `--mutate K`
+/// redirects its `K`-th external transition to seed a deliberate bug.
+fn builtin_soak_system(name: &str, mutate: Option<&str>) -> Result<(Vec<Spec>, Spec), CliError> {
+    use protoquot_protocols::paper::{colocated_configuration, symmetric_configuration};
+    use protoquot_protocols::service::{at_least_once, exactly_once};
+    let (cfg, service) = match name {
+        "colocated" => (colocated_configuration(), exactly_once()),
+        "symmetric" => (symmetric_configuration(), at_least_once()),
+        "ab-nak" => (
+            protoquot_protocols::nak::ab_to_nak_configuration(),
+            exactly_once(),
+        ),
+        other => {
+            return err(format!(
+                "unknown builtin `{other}` (known: colocated, symmetric, ab-nak)"
+            ))
+        }
+    };
+    let q = protoquot_core::solve(&cfg.b, &service, &cfg.int)
+        .map_err(|e| CliError(format!("cannot derive the {name} converter: {e}")))?;
+    let mut converter = q.converter;
+    if let Some(k) = mutate {
+        let k: usize = k
+            .parse()
+            .map_err(|_| CliError("--mutate must be a transition index".into()))?;
+        converter = redirect_transition(&converter, k).ok_or_else(|| {
+            CliError(format!(
+                "--mutate {k}: converter has only {} external transitions",
+                converter.num_external()
+            ))
+        })?;
+    }
+    Ok((vec![cfg.b, converter], service))
+}
+
+fn cmd_soak(rest: &[String]) -> Result<String, CliError> {
+    let p = parse_args(rest)?;
+    let (components, service) = if let Some(builtin) = p.value("--builtin") {
+        if !p.positional.is_empty() {
+            return err("--builtin does not take a FILE");
+        }
+        builtin_soak_system(builtin, p.value("--mutate"))?
+    } else {
+        let [file] = &p.positional[..] else {
+            return err(
+                "usage: protoquot soak (FILE --service SPEC --components S1,S2,... | \
+                 --builtin colocated|symmetric|ab-nak [--mutate K]) [--runs N] [--threads T] \
+                 [--steps N] [--faults loss,dup,reorder,burst] [--seed S] [--no-shrink] [--json]",
+            );
+        };
+        let specs = load(file)?;
+        let srv = find(
+            &specs,
+            p.value("--service")
+                .ok_or(CliError("--service required".into()))?,
+        )?;
+        let components: Vec<Spec> = p
+            .value("--components")
+            .ok_or(CliError("--components required".into()))?
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|n| find(&specs, n).cloned())
+            .collect::<Result<_, _>>()?;
+        (components, srv.clone())
+    };
+    let parse_num = |flag: &str, default: u64| -> Result<u64, CliError> {
+        match p.value(flag) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("{flag} must be a number"))),
+            None => Ok(default),
+        }
+    };
+    let faults = FaultPlan::parse(p.value("--faults").unwrap_or(""))
+        .map_err(|e| CliError(format!("--faults: {e}")))?;
+    let config = FleetConfig {
+        runs: parse_num("--runs", 1_000)?,
+        threads: parse_num("--threads", 1)? as usize,
+        seed: parse_num("--seed", 0xC0FFEE)?,
+        max_steps: parse_num("--steps", 2_000)?,
+        faults,
+        shrink: !p.has("--no-shrink"),
+        ..FleetConfig::default()
+    };
+    let report = FleetRunner::new(components, service).run(&config);
+    Ok(if p.has("--json") {
+        let mut json = report.to_json();
+        json.push('\n');
+        json
+    } else {
+        report.to_string()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -871,6 +983,133 @@ mod tests {
             let dirty = run_ok(&["explore", path, "--service", "S", "--components", "Broken"]);
             assert!(dirty.contains("VIOLATION"), "{dirty}");
         })
+    }
+
+    #[test]
+    fn soak_runs_clean_on_file_system() {
+        with_file(|path| {
+            let out = run_ok(&[
+                "soak",
+                path,
+                "--service",
+                "S",
+                "--components",
+                "S",
+                "--runs",
+                "20",
+                "--steps",
+                "100",
+            ]);
+            assert!(out.contains("20 conforming"), "{out}");
+            assert!(out.contains("overall: Conforming"), "{out}");
+        })
+    }
+
+    #[test]
+    fn soak_catches_broken_machine_with_counterexample() {
+        with_file(|path| {
+            let out = run_ok(&[
+                "soak",
+                path,
+                "--service",
+                "S",
+                "--components",
+                "Broken",
+                "--runs",
+                "10",
+                "--steps",
+                "100",
+            ]);
+            assert!(out.contains("NON-CONFORMING"), "{out}");
+            assert!(out.contains("counterexample"), "{out}");
+        })
+    }
+
+    #[test]
+    fn soak_json_output() {
+        with_file(|path| {
+            let out = run_ok(&[
+                "soak",
+                path,
+                "--service",
+                "S",
+                "--components",
+                "S",
+                "--runs",
+                "5",
+                "--steps",
+                "50",
+                "--json",
+            ]);
+            assert!(out.contains("\"verdict\":\"Conforming\""), "{out}");
+            assert!(out.contains("\"runs\":5"), "{out}");
+        })
+    }
+
+    #[test]
+    fn soak_builtin_colocated_with_faults() {
+        let out = run_ok(&[
+            "soak",
+            "--builtin",
+            "colocated",
+            "--runs",
+            "10",
+            "--steps",
+            "300",
+            "--faults",
+            "loss,dup,reorder",
+        ]);
+        assert!(out.contains("overall: Conforming"), "{out}");
+        assert!(out.contains("faults=loss,dup,reorder"), "{out}");
+    }
+
+    #[test]
+    fn soak_builtin_mutated_converter_is_caught() {
+        // Scan mutation indices until one yields a converter the soak
+        // flags (some redirects are behaviour-preserving).
+        for k in 0..12 {
+            let args: Vec<String> = [
+                "soak",
+                "--builtin",
+                "colocated",
+                "--mutate",
+                &k.to_string(),
+                "--runs",
+                "30",
+                "--steps",
+                "400",
+                "--faults",
+                "loss,dup,reorder",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+            let out = run(&args).unwrap();
+            if out.contains("NON-CONFORMING") {
+                return;
+            }
+        }
+        panic!("no mutation index was caught by the soak fleet");
+    }
+
+    #[test]
+    fn soak_rejects_bad_flags() {
+        let args: Vec<String> = ["soak", "--builtin", "nope"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown builtin"));
+        let args: Vec<String> = ["soak", "--builtin", "colocated", "--faults", "cosmic"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown fault"));
     }
 
     #[test]

@@ -53,12 +53,25 @@ impl std::error::Error for VerifyError {}
 /// verify_converter(&b, &service, &q.converter).unwrap();
 /// ```
 pub fn verify_converter(b: &Spec, a: &Spec, converter: &Spec) -> Result<(), VerifyError> {
-    let composite = compose(b, converter);
-    match satisfies(&composite, a) {
+    match converter_verdict(b, a, converter) {
         Ok(Ok(())) => Ok(()),
         Ok(Err(v)) => Err(VerifyError::Unsatisfied(v)),
         Err(e) => Err(VerifyError::Setup(e)),
     }
+}
+
+/// Like [`verify_converter`], but mirrors the shape of
+/// [`protoquot_spec::satisfies`]: the outer error is a malformed setup,
+/// the inner result is the verdict with its counterexample. Used by the
+/// soak machinery to compare the *static* verdict against dynamic runs
+/// without collapsing the violation details into a display-only error.
+pub fn converter_verdict(
+    b: &Spec,
+    a: &Spec,
+    converter: &Spec,
+) -> Result<Result<(), Violation>, SpecError> {
+    let composite = compose(b, converter);
+    satisfies(&composite, a)
 }
 
 #[cfg(test)]

@@ -18,6 +18,17 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
 
+/// Splits a fleet-level seed into a per-run seed (SplitMix64 finalizer).
+/// Exposed so the fleet and its tests derive identical run seeds.
+pub fn derive_seed(base: u64, run: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(run.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// How the engine treats events owned by exactly one component.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ExternalPolicy {
@@ -52,9 +63,11 @@ pub enum Action {
 pub struct System {
     components: Vec<Spec>,
     /// For each event: the components having it in their alphabet.
-    /// Ordered so that action enumeration (and hence seeded runs) is
-    /// deterministic.
-    owners: BTreeMap<EventId, Vec<usize>>,
+    /// Sorted by event *name* (not interned id): interner ids depend on
+    /// which code interned first in this process, so ordering by them
+    /// would make identical seeds produce different schedules across
+    /// platforms, toolchains, and test harnesses. Names are stable.
+    owners: Vec<(EventId, Vec<usize>)>,
     policy: ExternalPolicy,
 }
 
@@ -62,12 +75,14 @@ impl System {
     /// Builds a system from components. Like the composition operator,
     /// events are wired by name.
     pub fn new(components: Vec<Spec>, policy: ExternalPolicy) -> System {
-        let mut owners: BTreeMap<EventId, Vec<usize>> = BTreeMap::new();
+        let mut by_id: BTreeMap<EventId, Vec<usize>> = BTreeMap::new();
         for (i, c) in components.iter().enumerate() {
             for e in c.alphabet().iter() {
-                owners.entry(e).or_default().push(i);
+                by_id.entry(e).or_default().push(i);
             }
         }
+        let mut owners: Vec<(EventId, Vec<usize>)> = by_id.into_iter().collect();
+        owners.sort_by_key(|(e, _)| e.name());
         System {
             components,
             owners,
@@ -82,13 +97,26 @@ impl System {
 
     /// Number of components sharing `event`.
     pub fn owner_count(&self, event: EventId) -> usize {
-        self.owners.get(&event).map_or(0, Vec::len)
+        self.owners
+            .iter()
+            .find(|(e, _)| *e == event)
+            .map_or(0, |(_, o)| o.len())
     }
 
     /// Every action enabled in the given global state (including all
-    /// internal transitions; callers may filter). Deterministic order.
+    /// internal transitions; callers may filter). Deterministic order:
+    /// internal transitions by component index, then events sorted by
+    /// name — reproducible across platforms and process histories.
     pub fn actions_from(&self, states: &[StateId]) -> Vec<Action> {
         let mut actions = Vec::new();
+        self.actions_into(states, &mut actions);
+        actions
+    }
+
+    /// Like [`System::actions_from`] but reusing `actions`'s allocation
+    /// (cleared first) — the hot path of long soak runs.
+    pub fn actions_into(&self, states: &[StateId], actions: &mut Vec<Action>) {
+        actions.clear();
         for (i, c) in self.components.iter().enumerate() {
             for &t in c.internal_from(states[i]) {
                 actions.push(Action::Internal {
@@ -97,7 +125,8 @@ impl System {
                 });
             }
         }
-        for (&event, owners) in &self.owners {
+        for (event, owners) in &self.owners {
+            let event = *event;
             if owners.len() == 1 && self.policy == ExternalPolicy::Disabled {
                 continue;
             }
@@ -130,7 +159,6 @@ impl System {
                 actions.push(Action::Event { event, moves });
             }
         }
-        actions
     }
 }
 
@@ -146,6 +174,9 @@ pub struct Runner {
     steps: u64,
     event_counts: HashMap<EventId, u64>,
     internal_counts: Vec<u64>,
+    /// Scratch buffers reused across steps (soak hot path).
+    scratch_actions: Vec<Action>,
+    scratch_weights: Vec<u64>,
 }
 
 impl Runner {
@@ -161,6 +192,8 @@ impl Runner {
             steps: 0,
             event_counts: HashMap::new(),
             internal_counts: vec![0; n],
+            scratch_actions: Vec::new(),
+            scratch_weights: Vec::new(),
         }
     }
 
@@ -228,31 +261,74 @@ impl Runner {
     /// Takes one weighted-random enabled action; returns it, or `None`
     /// on deadlock.
     pub fn step_random(&mut self) -> Option<Action> {
-        let actions = self.enabled_actions();
+        self.step_weighted(|_, base| base)
+    }
+
+    /// Like [`Runner::step_random`], but the caller may reshape each
+    /// enabled action's selection weight: `weigh(action, base)` receives
+    /// the default weight (`internal_weight` for internal transitions,
+    /// 1 for events) and returns the weight to use. Returning 0 removes
+    /// the action from this step's choices; if every action weighs 0
+    /// the step falls back to the base weights rather than deadlocking
+    /// artificially. This is the fault-injection hook: fault plans bias
+    /// the schedule without ever stepping outside the composed
+    /// semantics.
+    pub fn step_weighted<F: FnMut(&Action, u64) -> u64>(&mut self, mut weigh: F) -> Option<Action> {
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        self.system.actions_into(&self.states, &mut actions);
+        actions.retain(|a| match a {
+            Action::Internal { component, .. } => self.internal_weight[*component] > 0,
+            Action::Event { .. } => true,
+        });
         if actions.is_empty() {
+            self.scratch_actions = actions;
             return None;
         }
-        let weights: Vec<u32> = actions
-            .iter()
-            .map(|a| match a {
-                Action::Internal { component, .. } => self.internal_weight[*component],
+        let mut weights = std::mem::take(&mut self.scratch_weights);
+        weights.clear();
+        for a in &actions {
+            let base = match a {
+                Action::Internal { component, .. } => self.internal_weight[*component] as u64,
                 Action::Event { .. } => 1,
-            })
-            .collect();
-        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+            };
+            weights.push(weigh(a, base));
+        }
+        let mut total: u64 = weights.iter().sum();
+        if total == 0 {
+            // Every action vetoed: fall back to the unbiased schedule.
+            for (w, a) in weights.iter_mut().zip(&actions) {
+                *w = match a {
+                    Action::Internal { component, .. } => self.internal_weight[*component] as u64,
+                    Action::Event { .. } => 1,
+                };
+            }
+            total = weights.iter().sum();
+        }
         debug_assert!(total > 0);
         let mut pick = self.rng.gen_range(0..total);
         let mut chosen = 0;
         for (i, &w) in weights.iter().enumerate() {
-            if pick < w as u64 {
+            if pick < w {
                 chosen = i;
                 break;
             }
-            pick -= w as u64;
+            pick -= w;
         }
         let action = actions[chosen].clone();
         self.apply(&action);
+        self.scratch_actions = actions;
+        self.scratch_weights = weights;
         Some(action)
+    }
+
+    /// Current global state, one entry per component (snapshot).
+    pub fn snapshot(&self) -> Vec<StateId> {
+        self.states.clone()
+    }
+
+    /// The underlying system.
+    pub fn system(&self) -> &System {
+        &self.system
     }
 }
 
@@ -356,6 +432,92 @@ mod tests {
         let sys = System::new(vec![a.build().unwrap()], ExternalPolicy::AlwaysEnabled);
         let r = Runner::new(sys, 1);
         assert_eq!(r.enabled_actions().len(), 2);
+    }
+
+    /// Action enumeration must be ordered by event *name*, not by the
+    /// interner's numeric ids: ids depend on which code interned first
+    /// in this process, so id-ordered schedules would differ across
+    /// platforms/toolchains for identical seeds. Interning the
+    /// lexicographically-later name first forces id order and name
+    /// order to disagree.
+    #[test]
+    fn action_order_is_name_order_not_interning_order() {
+        let z = EventId::new("zz_order_probe");
+        let a = EventId::new("aa_order_probe");
+        assert!(z.index() < a.index(), "test needs z interned before a");
+        let mut b = SpecBuilder::new("O");
+        let s = b.state("s");
+        let t = b.state("t");
+        b.ext(s, "zz_order_probe", t);
+        b.ext(s, "aa_order_probe", t);
+        let sys = System::new(vec![b.build().unwrap()], ExternalPolicy::AlwaysEnabled);
+        let actions = sys.actions_from(&[StateId(0)]);
+        let names: Vec<String> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Event { event, .. } => event.name(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, vec!["aa_order_probe", "zz_order_probe"]);
+    }
+
+    /// Same seed ⇒ bit-identical `TraceEntry` log, the repeatability
+    /// contract the soak fleet's counterexample seeds rely on.
+    #[test]
+    fn same_seed_same_trace_entry_log() {
+        let run = || {
+            let sys = System::new(handshake_pair(), ExternalPolicy::AlwaysEnabled);
+            let mut r = Runner::new(sys, 7);
+            let mut log = Vec::new();
+            for step in 0..200 {
+                match r.step_random() {
+                    Some(a) => log.push(format!(
+                        "{:?}",
+                        crate::log::TraceEntry::from_action(step, &a)
+                    )),
+                    None => break,
+                }
+            }
+            log
+        };
+        let first = run();
+        assert_eq!(first.len(), 200);
+        assert_eq!(first, run());
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spreads() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 2), derive_seed(1, 3));
+        assert_ne!(derive_seed(1, 2), derive_seed(2, 2));
+    }
+
+    #[test]
+    fn step_weighted_biases_and_falls_back() {
+        // Zero weight on every action must not deadlock the runner.
+        let sys = System::new(handshake_pair(), ExternalPolicy::AlwaysEnabled);
+        let mut r = Runner::new(sys, 3);
+        assert!(r.step_weighted(|_, _| 0).is_some());
+        // Biasing picks the boosted action deterministically when it is
+        // the only one with nonzero weight.
+        let mut b = SpecBuilder::new("W");
+        let s = b.state("s");
+        let t = b.state("t");
+        b.ext(s, "left", t);
+        b.ext(s, "right", t);
+        let sys = System::new(vec![b.build().unwrap()], ExternalPolicy::AlwaysEnabled);
+        let mut r = Runner::new(sys, 5);
+        let a = r
+            .step_weighted(|a, _| match a {
+                Action::Event { event, .. } if event.name() == "right" => 1,
+                _ => 0,
+            })
+            .unwrap();
+        match a {
+            Action::Event { event, .. } => assert_eq!(event.name(), "right"),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

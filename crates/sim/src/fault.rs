@@ -1,0 +1,423 @@
+//! Composable channel-fault models for soak runs.
+//!
+//! A [`FaultPlan`] is a set of [`Fault`]s applied to a running
+//! [`crate::engine::System`] through the scheduler's weighting hook
+//! ([`crate::engine::Runner::step_weighted`]). Faults *bias* the choice
+//! among enabled actions — they never apply an action the composed
+//! semantics does not enable — so every faulted trace is a genuine
+//! trace of `B ‖ C`, and a safety violation found under fault injection
+//! is a real violation of the static `satisfies` verdict. That is what
+//! makes the soak/static differential test sound by construction.
+//!
+//! The models:
+//!
+//! * [`Fault::Loss`] — boosts the internal (loss/corruption)
+//!   transitions of the channel components, so messages genuinely get
+//!   dropped far more often than under uniform scheduling;
+//! * [`Fault::Duplication`] — boosts any action re-firing a recently
+//!   fired event, driving the system down its retransmission and
+//!   duplicate-delivery paths (stale acks, re-sent data);
+//! * [`Fault::Reorder`] — re-rolls a per-event priority every `period`
+//!   steps, adversarially starving some events while favouring others,
+//!   which shuffles the interleaving of concurrent in-flight messages;
+//! * [`Fault::Burst`] — a two-phase modulator (good/bad windows) that
+//!   multiplies loss weights only during bad windows, modelling bursty
+//!   link outages rather than uniform loss.
+//!
+//! Faults compose multiplicatively: a plan with `loss` and `reorder`
+//! applies both biases to each action.
+
+use crate::engine::Action;
+use protoquot_spec::{spec_from_parts, EventId, Spec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One fault model. See the module docs for the semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Multiply the weight of internal (loss) transitions by `weight`.
+    Loss {
+        /// Weight multiplier for internal transitions.
+        weight: u32,
+    },
+    /// Multiply the weight of actions re-firing one of the last
+    /// `window` fired events by `boost`.
+    Duplication {
+        /// Weight multiplier for recently fired events.
+        boost: u32,
+        /// How many recent events count as "recent".
+        window: usize,
+    },
+    /// Every `period` steps, re-roll each event's priority uniformly
+    /// from `1..=max_boost`.
+    Reorder {
+        /// Steps between priority re-rolls.
+        period: u64,
+        /// Upper bound (inclusive) of the rolled priorities.
+        max_boost: u32,
+    },
+    /// Loss bursts: `weight` applies to internal transitions during
+    /// `bad` steps out of every `good + bad`.
+    Burst {
+        /// Length of the loss-free window.
+        good: u64,
+        /// Length of the bursty window.
+        bad: u64,
+        /// Weight multiplier during the bursty window.
+        weight: u32,
+    },
+}
+
+impl Fault {
+    fn tag(&self) -> &'static str {
+        match self {
+            Fault::Loss { .. } => "loss",
+            Fault::Duplication { .. } => "dup",
+            Fault::Reorder { .. } => "reorder",
+            Fault::Burst { .. } => "burst",
+        }
+    }
+}
+
+/// A composable set of fault models, applied together to every step.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: uniform scheduling, no bias.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault (builder style).
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The faults in application order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True if the plan biases nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parses a comma-separated fault list, e.g. `loss,dup,reorder`.
+    /// Recognised names: `loss`, `dup`, `reorder`, `burst` (each with
+    /// fixed default parameters). Unknown names are an error.
+    pub fn parse(s: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for name in s.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            let fault = match name {
+                "loss" => Fault::Loss { weight: 8 },
+                "dup" => Fault::Duplication {
+                    boost: 4,
+                    window: 4,
+                },
+                "reorder" => Fault::Reorder {
+                    period: 64,
+                    max_boost: 8,
+                },
+                "burst" => Fault::Burst {
+                    good: 512,
+                    bad: 128,
+                    weight: 32,
+                },
+                other => {
+                    return Err(format!(
+                        "unknown fault `{other}` (known: loss, dup, reorder, burst)"
+                    ))
+                }
+            };
+            plan.faults.push(fault);
+        }
+        Ok(plan)
+    }
+
+    /// Instantiates per-run mutable fault state with its own seeded RNG
+    /// (independent of the scheduler's, so adding a fault does not
+    /// perturb the scheduler's random stream structure).
+    pub fn start(&self, seed: u64) -> FaultState {
+        FaultState {
+            plan: self.clone(),
+            rng: StdRng::seed_from_u64(seed ^ 0xFA_17),
+            step: 0,
+            recent: Vec::new(),
+            priorities: HashMap::new(),
+            epoch: 0,
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "none");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", fault.tag())?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-run mutable state of a [`FaultPlan`]: the rolled priorities, the
+/// recent-event window and the burst phase.
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: StdRng,
+    step: u64,
+    recent: Vec<EventId>,
+    priorities: HashMap<EventId, u32>,
+    epoch: u64,
+}
+
+impl FaultState {
+    /// The weight for `action` given its unbiased `base` weight. Call
+    /// once per enabled action per step (enumeration order is
+    /// deterministic, so the rolled priorities are too).
+    pub fn weigh(&mut self, action: &Action, base: u64) -> u64 {
+        let mut w = base;
+        for i in 0..self.plan.faults.len() {
+            let fault = self.plan.faults[i];
+            w = w.saturating_mul(self.multiplier(fault, action) as u64);
+        }
+        w
+    }
+
+    fn multiplier(&mut self, fault: Fault, action: &Action) -> u32 {
+        match (fault, action) {
+            (Fault::Loss { weight }, Action::Internal { .. }) => weight,
+            (Fault::Duplication { boost, window }, Action::Event { event, .. }) => {
+                let recent = self.recent.iter().rev().take(window);
+                if recent.into_iter().any(|e| e == event) {
+                    boost
+                } else {
+                    1
+                }
+            }
+            (Fault::Reorder { period, max_boost }, Action::Event { event, .. }) => {
+                let epoch = self.step / period.max(1);
+                if epoch != self.epoch {
+                    self.epoch = epoch;
+                    self.priorities.clear();
+                }
+                let rng = &mut self.rng;
+                *self
+                    .priorities
+                    .entry(*event)
+                    .or_insert_with(|| rng.gen_range(1..max_boost.max(1) + 1))
+            }
+            (Fault::Burst { good, bad, weight }, Action::Internal { .. }) => {
+                let cycle = (good + bad).max(1);
+                if self.step % cycle >= good {
+                    weight
+                } else {
+                    1
+                }
+            }
+            _ => 1,
+        }
+    }
+
+    /// Records an applied action (feeds the duplication window and the
+    /// step counter). Call after every scheduler step.
+    pub fn note(&mut self, action: &Action) {
+        self.step += 1;
+        if let Action::Event { event, .. } = action {
+            self.recent.push(*event);
+            if self.recent.len() > 16 {
+                self.recent.remove(0);
+            }
+        }
+    }
+}
+
+/// Redirects the `k`-th external transition (in the spec's stored
+/// order) of `spec` to a different target state, returning the mutated
+/// spec, or `None` if `k` is out of range or the spec has fewer than
+/// two states (no alternative target exists). Used by the conformance
+/// soak tests: a correct pipeline must stay clean, and a converter with
+/// one transition redirected must be caught.
+pub fn redirect_transition(spec: &Spec, k: usize) -> Option<Spec> {
+    let ext: Vec<_> = spec.external_transitions().collect();
+    let &(s, e, t) = ext.get(k)?;
+    if spec.num_states() < 2 {
+        return None;
+    }
+    // Deterministic different target: the next state index, cyclically.
+    let new_t = protoquot_spec::StateId(((t.index() + 1) % spec.num_states()) as u32);
+    debug_assert_ne!(new_t, t);
+    let mut mutated = ext;
+    mutated[k] = (s, e, new_t);
+    let names: Vec<String> = spec
+        .states()
+        .map(|st| spec.state_name(st).to_owned())
+        .collect();
+    let int: Vec<_> = spec.internal_transitions().collect();
+    spec_from_parts(
+        format!("{}/mut{k}", spec.name()),
+        spec.alphabet().clone(),
+        names,
+        spec.initial(),
+        mutated,
+        int,
+    )
+    .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ExternalPolicy, Runner, System};
+    use protoquot_spec::SpecBuilder;
+
+    fn lossy_pipe() -> Vec<Spec> {
+        // A 1-slot "channel" with an internal loss and a timeout resend
+        // loop, plus matching sender/receiver behaviour folded into one
+        // component for brevity.
+        let mut b = SpecBuilder::new("pipe");
+        let idle = b.state("idle");
+        let sent = b.state("sent");
+        let lost = b.state("lost");
+        b.ext(idle, "acc", sent);
+        b.int(sent, lost);
+        b.ext(lost, "resend", sent);
+        b.ext(sent, "del", idle);
+        vec![b.build().unwrap()]
+    }
+
+    #[test]
+    fn parse_known_and_unknown() {
+        let plan = FaultPlan::parse("loss, dup,reorder,burst").unwrap();
+        assert_eq!(plan.faults().len(), 4);
+        assert_eq!(plan.to_string(), "loss,dup,reorder,burst");
+        assert!(FaultPlan::parse("loss,gamma-rays").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert_eq!(FaultPlan::none().to_string(), "none");
+    }
+
+    #[test]
+    fn loss_fault_increases_losses() {
+        let steps = 4_000;
+        let run = |plan: &FaultPlan| {
+            let sys = System::new(lossy_pipe(), ExternalPolicy::AlwaysEnabled);
+            let mut r = Runner::new(sys, 9);
+            let mut fs = plan.start(9);
+            for _ in 0..steps {
+                match r.step_weighted(|a, base| fs.weigh(a, base)) {
+                    Some(a) => fs.note(&a),
+                    None => break,
+                }
+            }
+            r.internal_count(0)
+        };
+        let baseline = run(&FaultPlan::none());
+        let faulted = run(&FaultPlan::none().with(Fault::Loss { weight: 16 }));
+        // Every loss forces a resend step, so the loss fraction is
+        // structurally capped near 1/2; 1.5× over the uniform baseline
+        // is the strong-bias regime for this machine.
+        assert!(
+            faulted * 2 > baseline * 3,
+            "loss bias too weak: {faulted} vs {baseline}"
+        );
+    }
+
+    #[test]
+    fn burst_fault_confines_losses_to_bad_windows() {
+        let plan = FaultPlan::none().with(Fault::Burst {
+            good: 100,
+            bad: 100,
+            weight: 1_000,
+        });
+        // Like lossy_pipe but with extra non-loss alternatives at
+        // `sent`, so the good-window loss rate is visibly low.
+        let mut b = SpecBuilder::new("pipe");
+        let idle = b.state("idle");
+        let sent = b.state("sent");
+        let lost = b.state("lost");
+        b.ext(idle, "acc", sent);
+        b.int(sent, lost);
+        b.ext(lost, "resend", sent);
+        b.ext(sent, "nop1", sent);
+        b.ext(sent, "nop2", sent);
+        b.ext(sent, "nop3", sent);
+        b.ext(sent, "del", idle);
+        let sys = System::new(vec![b.build().unwrap()], ExternalPolicy::AlwaysEnabled);
+        let mut r = Runner::new(sys, 1);
+        let mut fs = plan.start(1);
+        let mut losses_in_good = 0u64;
+        let mut losses_in_bad = 0u64;
+        for step in 0..10_000u64 {
+            match r.step_weighted(|a, base| fs.weigh(a, base)) {
+                Some(a) => {
+                    if matches!(a, Action::Internal { .. }) {
+                        if step % 200 < 100 {
+                            losses_in_good += 1;
+                        } else {
+                            losses_in_bad += 1;
+                        }
+                    }
+                    fs.note(&a);
+                }
+                None => break,
+            }
+        }
+        assert!(
+            losses_in_bad > losses_in_good * 3,
+            "bursts not bursty: {losses_in_bad} bad vs {losses_in_good} good"
+        );
+    }
+
+    #[test]
+    fn faulted_runs_are_seed_deterministic() {
+        let plan = FaultPlan::parse("loss,dup,reorder,burst").unwrap();
+        let run = || {
+            let sys = System::new(lossy_pipe(), ExternalPolicy::AlwaysEnabled);
+            let mut r = Runner::new(sys, 1234);
+            let mut fs = plan.start(1234);
+            let mut log = Vec::new();
+            for _ in 0..500 {
+                match r.step_weighted(|a, base| fs.weigh(a, base)) {
+                    Some(a) => {
+                        log.push(format!("{a:?}"));
+                        fs.note(&a);
+                    }
+                    None => break,
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn redirect_changes_exactly_one_transition() {
+        let mut b = SpecBuilder::new("M");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let s2 = b.state("s2");
+        b.ext(s0, "x", s1);
+        b.ext(s1, "y", s2);
+        b.ext(s2, "z", s0);
+        let spec = b.build().unwrap();
+        let mutated = redirect_transition(&spec, 1).unwrap();
+        assert_eq!(mutated.num_states(), spec.num_states());
+        assert_eq!(mutated.num_external(), spec.num_external());
+        let orig: Vec<_> = spec.external_transitions().collect();
+        let muta: Vec<_> = mutated.external_transitions().collect();
+        let diff = orig.iter().zip(&muta).filter(|(a, b)| a != b).count();
+        assert_eq!(diff, 1);
+        assert!(redirect_transition(&spec, 99).is_none());
+    }
+}

@@ -1,0 +1,565 @@
+//! The soak fleet: thousands of independent seeded, fault-injected,
+//! fully monitored runs executed across worker threads.
+//!
+//! Each run `i` of a fleet gets its own deterministic seed
+//! [`derive_seed`]`(base, i)`, its own [`Runner`], [`ServiceMonitor`],
+//! [`ProgressWatchdog`] and fault state — runs share nothing mutable,
+//! so the fleet parallelizes embarrassingly over the vendored
+//! `threadpool`. Results are aggregated into a [`SoakReport`] that is
+//! **invariant in the thread count**: verdict counts are sums, and
+//! counterexamples are kept for the lowest-numbered failing runs, so
+//! `--threads 1` and `--threads 8` produce the same report (modulo
+//! wall-clock throughput). The differential test relies on this.
+//!
+//! Failing schedules are minimized with [`shrink_schedule`] before
+//! reporting (ddmin; see [`crate::shrink`]).
+
+use crate::engine::{derive_seed, Action, ExternalPolicy, Runner, System};
+use crate::fault::FaultPlan;
+use crate::monitor::{MonitorVerdict, ProgressVerdict, ProgressWatchdog, ServiceMonitor};
+use crate::shrink::{shrink_schedule, FailureKind};
+use protoquot_spec::Spec;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+use threadpool::ThreadPool;
+
+/// Outcome of one soak run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RunVerdict {
+    /// The run completed its step budget without any violation.
+    Conforming,
+    /// The service monitor flagged a forbidden event.
+    Safety,
+    /// The run reached a global state with no enabled actions.
+    Deadlock,
+    /// The watchdog proved no acceptable service event is reachable.
+    Livelock,
+}
+
+impl fmt::Display for RunVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RunVerdict::Conforming => "Conforming",
+            RunVerdict::Safety => "Safety",
+            RunVerdict::Deadlock => "Deadlock",
+            RunVerdict::Livelock => "Livelock",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A minimized failing run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Fleet-level index of the failing run.
+    pub run: u64,
+    /// The run's derived seed (replayable).
+    pub seed: u64,
+    /// What went wrong.
+    pub verdict: RunVerdict,
+    /// The minimized schedule, rendered one action per entry
+    /// (`τ:component` for internal moves, the event name otherwise).
+    pub schedule: Vec<String>,
+    /// Just the event names within the minimized schedule, in order —
+    /// the externally visible shape of the failure.
+    pub events: Vec<String>,
+    /// `component:state` pinpoint of the stuck global state
+    /// (deadlock/livelock only; empty for safety violations).
+    pub pinpoint: Vec<String>,
+}
+
+impl Counterexample {
+    fn to_value(&self) -> Value {
+        let mut o = BTreeMap::new();
+        o.insert("run".into(), Value::Int(self.run as i128));
+        o.insert("seed".into(), Value::Int(self.seed as i128));
+        o.insert("verdict".into(), Value::Str(self.verdict.to_string()));
+        o.insert(
+            "schedule".into(),
+            Value::Arr(
+                self.schedule
+                    .iter()
+                    .map(|s| Value::Str(s.clone()))
+                    .collect(),
+            ),
+        );
+        o.insert(
+            "events".into(),
+            Value::Arr(self.events.iter().map(|s| Value::Str(s.clone())).collect()),
+        );
+        o.insert(
+            "pinpoint".into(),
+            Value::Arr(
+                self.pinpoint
+                    .iter()
+                    .map(|s| Value::Str(s.clone()))
+                    .collect(),
+            ),
+        );
+        Value::Obj(o)
+    }
+}
+
+/// Configuration of a soak fleet.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of independent runs.
+    pub runs: u64,
+    /// Worker threads (1 = run inline on the caller).
+    pub threads: usize,
+    /// Fleet-level seed; run `i` uses `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Step budget per run.
+    pub max_steps: u64,
+    /// Fault models biasing every run's schedule.
+    pub faults: FaultPlan,
+    /// Service-silent steps before the watchdog probes.
+    pub quiescence_threshold: u64,
+    /// Global states explored per watchdog probe.
+    pub probe_budget: usize,
+    /// Keep at most this many (lowest-run-index) counterexamples.
+    pub max_counterexamples: usize,
+    /// Minimize failing schedules with ddmin before reporting.
+    pub shrink: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            runs: 1_000,
+            threads: 1,
+            seed: 0xC0FFEE,
+            max_steps: 2_000,
+            faults: FaultPlan::none(),
+            quiescence_threshold: 64,
+            probe_budget: 20_000,
+            max_counterexamples: 3,
+            shrink: true,
+        }
+    }
+}
+
+/// Aggregated result of a soak fleet.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    /// Runs executed.
+    pub runs: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Fleet-level seed.
+    pub seed: u64,
+    /// Human-readable fault plan (`loss,dup` or `none`).
+    pub faults: String,
+    /// Runs that completed cleanly.
+    pub conforming: u64,
+    /// Runs flagged by the safety monitor.
+    pub safety: u64,
+    /// Runs that deadlocked.
+    pub deadlock: u64,
+    /// Runs the watchdog proved livelocked.
+    pub livelock: u64,
+    /// Scheduler steps summed over all runs.
+    pub total_steps: u64,
+    /// Wall-clock seconds for the whole fleet.
+    pub elapsed_secs: f64,
+    /// `total_steps / elapsed_secs`.
+    pub steps_per_sec: f64,
+    /// Minimized counterexamples (lowest failing run indices first, at
+    /// most `max_counterexamples`).
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl SoakReport {
+    /// True if every run conformed.
+    pub fn is_conforming(&self) -> bool {
+        self.safety == 0 && self.deadlock == 0 && self.livelock == 0
+    }
+
+    /// The report as a JSON string (vendored serde shim).
+    pub fn to_json(&self) -> String {
+        let mut o = BTreeMap::new();
+        o.insert("runs".into(), Value::Int(self.runs as i128));
+        o.insert("threads".into(), Value::Int(self.threads as i128));
+        o.insert("seed".into(), Value::Int(self.seed as i128));
+        o.insert("faults".into(), Value::Str(self.faults.clone()));
+        o.insert("conforming".into(), Value::Int(self.conforming as i128));
+        o.insert("safety".into(), Value::Int(self.safety as i128));
+        o.insert("deadlock".into(), Value::Int(self.deadlock as i128));
+        o.insert("livelock".into(), Value::Int(self.livelock as i128));
+        o.insert("total_steps".into(), Value::Int(self.total_steps as i128));
+        o.insert("elapsed_secs".into(), Value::Float(self.elapsed_secs));
+        o.insert("steps_per_sec".into(), Value::Float(self.steps_per_sec));
+        o.insert(
+            "verdict".into(),
+            Value::Str(if self.is_conforming() {
+                "Conforming".into()
+            } else {
+                "NonConforming".into()
+            }),
+        );
+        o.insert(
+            "counterexamples".into(),
+            Value::Arr(
+                self.counterexamples
+                    .iter()
+                    .map(Counterexample::to_value)
+                    .collect(),
+            ),
+        );
+        serde_json::to_string(&Value::Obj(o)).expect("report serialization cannot fail")
+    }
+}
+
+impl fmt::Display for SoakReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "soak: {} runs × ≤{} steps, {} threads, faults={}, seed={:#x}",
+            self.runs,
+            self.total_steps.checked_div(self.runs).unwrap_or(0),
+            self.threads,
+            self.faults,
+            self.seed
+        )?;
+        writeln!(
+            f,
+            "verdicts: {} conforming, {} safety, {} deadlock, {} livelock",
+            self.conforming, self.safety, self.deadlock, self.livelock
+        )?;
+        writeln!(
+            f,
+            "throughput: {} steps in {:.2}s = {:.0} steps/sec",
+            self.total_steps, self.elapsed_secs, self.steps_per_sec
+        )?;
+        writeln!(
+            f,
+            "overall: {}",
+            if self.is_conforming() {
+                "Conforming"
+            } else {
+                "NON-CONFORMING"
+            }
+        )?;
+        for cx in &self.counterexamples {
+            writeln!(
+                f,
+                "counterexample (run {}, seed {:#x}, {}; {} actions / {} events):",
+                cx.run,
+                cx.seed,
+                cx.verdict,
+                cx.schedule.len(),
+                cx.events.len()
+            )?;
+            writeln!(f, "  schedule: {}", cx.schedule.join(" "))?;
+            if !cx.pinpoint.is_empty() {
+                writeln!(f, "  stuck at: {}", cx.pinpoint.join(" ‖ "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Result of one run, sent back from the workers.
+struct RunResult {
+    run: u64,
+    steps: u64,
+    verdict: RunVerdict,
+    counterexample: Option<Counterexample>,
+}
+
+/// Executes soak fleets over a fixed set of components and a service.
+pub struct FleetRunner {
+    components: Arc<Vec<Spec>>,
+    service: Arc<Spec>,
+}
+
+impl FleetRunner {
+    /// A fleet over `components` (wired by event-name sharing, external
+    /// events always enabled) monitored against `service`.
+    pub fn new(components: Vec<Spec>, service: Spec) -> FleetRunner {
+        FleetRunner {
+            components: Arc::new(components),
+            service: Arc::new(service),
+        }
+    }
+
+    /// Runs the fleet and aggregates the report.
+    pub fn run(&self, config: &FleetConfig) -> SoakReport {
+        let start = Instant::now();
+        let threads = config.threads.max(1);
+        let mut results: Vec<RunResult> = Vec::with_capacity(config.runs as usize);
+        if threads == 1 {
+            for run in 0..config.runs {
+                results.push(soak_run(&self.components, &self.service, config, run));
+            }
+        } else {
+            let pool = ThreadPool::new(threads);
+            let (tx, rx) = mpsc::channel::<Vec<RunResult>>();
+            // Contiguous chunks: worker-local counterexample caps stay
+            // exact after the global merge (see below).
+            let chunk = (config.runs).div_ceil(threads as u64).max(1);
+            let mut sent = 0u64;
+            let mut jobs = 0usize;
+            while sent < config.runs {
+                let lo = sent;
+                let hi = (sent + chunk).min(config.runs);
+                sent = hi;
+                jobs += 1;
+                let components = Arc::clone(&self.components);
+                let service = Arc::clone(&self.service);
+                let config = config.clone();
+                let tx = tx.clone();
+                pool.execute(move || {
+                    let mut out = Vec::with_capacity((hi - lo) as usize);
+                    let mut kept = 0usize;
+                    for run in lo..hi {
+                        let mut r = soak_run(&components, &service, &config, run);
+                        // Cap shrink work per worker: the global merge
+                        // keeps the lowest `max_counterexamples` run
+                        // indices, and within a contiguous chunk those
+                        // are always the chunk's first failures.
+                        if r.counterexample.is_some() {
+                            if kept >= config.max_counterexamples {
+                                r.counterexample = None;
+                            } else {
+                                kept += 1;
+                            }
+                        }
+                        out.push(r);
+                    }
+                    tx.send(out).expect("fleet aggregator hung up");
+                });
+            }
+            drop(tx);
+            for _ in 0..jobs {
+                results.extend(rx.recv().expect("fleet worker died"));
+            }
+            pool.join();
+        }
+        // Thread-count invariance: aggregate in run order.
+        results.sort_by_key(|r| r.run);
+        let mut report = SoakReport {
+            runs: config.runs,
+            threads,
+            seed: config.seed,
+            faults: config.faults.to_string(),
+            conforming: 0,
+            safety: 0,
+            deadlock: 0,
+            livelock: 0,
+            total_steps: 0,
+            elapsed_secs: 0.0,
+            steps_per_sec: 0.0,
+            counterexamples: Vec::new(),
+        };
+        for r in results {
+            report.total_steps += r.steps;
+            match r.verdict {
+                RunVerdict::Conforming => report.conforming += 1,
+                RunVerdict::Safety => report.safety += 1,
+                RunVerdict::Deadlock => report.deadlock += 1,
+                RunVerdict::Livelock => report.livelock += 1,
+            }
+            if report.counterexamples.len() < config.max_counterexamples {
+                if let Some(cx) = r.counterexample {
+                    report.counterexamples.push(cx);
+                }
+            }
+        }
+        report.elapsed_secs = start.elapsed().as_secs_f64();
+        report.steps_per_sec = if report.elapsed_secs > 0.0 {
+            report.total_steps as f64 / report.elapsed_secs
+        } else {
+            0.0
+        };
+        report
+    }
+}
+
+fn render_action(system: &System, action: &Action) -> String {
+    match action {
+        Action::Internal { component, .. } => {
+            format!("τ:{}", system.components()[*component].name())
+        }
+        Action::Event { event, .. } => event.name(),
+    }
+}
+
+/// One fully monitored, fault-injected run.
+fn soak_run(components: &[Spec], service: &Spec, config: &FleetConfig, run: u64) -> RunResult {
+    let seed = derive_seed(config.seed, run);
+    let system = System::new(components.to_vec(), ExternalPolicy::AlwaysEnabled);
+    let mut runner = Runner::new(system, seed);
+    let mut monitor = ServiceMonitor::new(service);
+    let mut watchdog = ProgressWatchdog::new(config.quiescence_threshold, config.probe_budget);
+    let mut fault = config.faults.start(seed);
+    let mut schedule: Vec<Action> = Vec::new();
+    let mut verdict = RunVerdict::Conforming;
+    let mut pinpoint: Vec<String> = Vec::new();
+    while runner.steps() < config.max_steps {
+        match runner.step_weighted(|a, base| fault.weigh(a, base)) {
+            None => {
+                verdict = RunVerdict::Deadlock;
+                if let ProgressVerdict::Deadlock { states } =
+                    ProgressWatchdog::deadlock(runner.system(), runner.states())
+                {
+                    pinpoint = states;
+                }
+                break;
+            }
+            Some(action) => {
+                fault.note(&action);
+                if let Action::Event { event, .. } = &action {
+                    monitor.observe(*event);
+                }
+                watchdog.note(&action, &monitor);
+                schedule.push(action);
+                if matches!(monitor.verdict(), MonitorVerdict::SafetyViolation { .. }) {
+                    verdict = RunVerdict::Safety;
+                    break;
+                }
+                match watchdog.poll(runner.system(), runner.states(), &monitor) {
+                    ProgressVerdict::Livelock { states } => {
+                        verdict = RunVerdict::Livelock;
+                        pinpoint = states;
+                        break;
+                    }
+                    ProgressVerdict::Deadlock { states } => {
+                        verdict = RunVerdict::Deadlock;
+                        pinpoint = states;
+                        break;
+                    }
+                    ProgressVerdict::Progressing => {}
+                }
+            }
+        }
+    }
+    let steps = runner.steps();
+    let counterexample = if verdict == RunVerdict::Conforming {
+        None
+    } else {
+        let minimized = match (config.shrink, verdict) {
+            (true, RunVerdict::Safety) => {
+                shrink_schedule(runner.system(), service, &schedule, FailureKind::Safety)
+            }
+            (true, RunVerdict::Deadlock) => {
+                shrink_schedule(runner.system(), service, &schedule, FailureKind::Deadlock)
+            }
+            // Livelock is a property of the reachable closure, not of a
+            // finite prefix; report the raw schedule with the pinpoint.
+            _ => schedule,
+        };
+        let rendered: Vec<String> = minimized
+            .iter()
+            .map(|a| render_action(runner.system(), a))
+            .collect();
+        let events: Vec<String> = minimized
+            .iter()
+            .filter_map(|a| match a {
+                Action::Event { event, .. } => Some(event.name()),
+                Action::Internal { .. } => None,
+            })
+            .collect();
+        Some(Counterexample {
+            run,
+            seed,
+            verdict,
+            schedule: rendered,
+            events,
+            pinpoint,
+        })
+    };
+    RunResult {
+        run,
+        steps,
+        verdict,
+        counterexample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::redirect_transition;
+    use protoquot_spec::SpecBuilder;
+
+    fn ping_pong() -> (Vec<Spec>, Spec) {
+        let mut b = SpecBuilder::new("P");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.ext(s0, "acc", s1);
+        b.ext(s1, "del", s0);
+        let machine = b.build().unwrap();
+        let mut b = SpecBuilder::new("S");
+        let u0 = b.state("u0");
+        let u1 = b.state("u1");
+        b.ext(u0, "acc", u1);
+        b.ext(u1, "del", u0);
+        (vec![machine], b.build().unwrap())
+    }
+
+    #[test]
+    fn clean_system_conforms() {
+        let (components, service) = ping_pong();
+        let fleet = FleetRunner::new(components, service);
+        let report = fleet.run(&FleetConfig {
+            runs: 50,
+            max_steps: 200,
+            ..FleetConfig::default()
+        });
+        assert!(report.is_conforming(), "{report}");
+        assert_eq!(report.conforming, 50);
+        assert_eq!(report.total_steps, 50 * 200);
+        let json = report.to_json();
+        assert!(json.contains("\"conforming\":50"), "{json}");
+    }
+
+    #[test]
+    fn mutated_machine_is_caught_and_minimized() {
+        let (components, service) = ping_pong();
+        // Redirect `del`'s target so the machine can emit `del` twice.
+        let broken = redirect_transition(&components[0], 1).unwrap();
+        let fleet = FleetRunner::new(vec![broken], service);
+        let report = fleet.run(&FleetConfig {
+            runs: 20,
+            max_steps: 200,
+            ..FleetConfig::default()
+        });
+        assert!(!report.is_conforming());
+        assert!(!report.counterexamples.is_empty());
+        let cx = &report.counterexamples[0];
+        assert_eq!(cx.verdict, RunVerdict::Safety);
+        assert!(
+            cx.events.len() <= 20,
+            "counterexample not minimized: {:?}",
+            cx.events
+        );
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        let (components, service) = ping_pong();
+        let broken = redirect_transition(&components[0], 1).unwrap();
+        let fleet = FleetRunner::new(vec![broken], service);
+        let base = FleetConfig {
+            runs: 40,
+            max_steps: 100,
+            ..FleetConfig::default()
+        };
+        let one = fleet.run(&FleetConfig {
+            threads: 1,
+            ..base.clone()
+        });
+        let eight = fleet.run(&FleetConfig { threads: 8, ..base });
+        assert_eq!(one.conforming, eight.conforming);
+        assert_eq!(one.safety, eight.safety);
+        assert_eq!(one.deadlock, eight.deadlock);
+        assert_eq!(one.livelock, eight.livelock);
+        assert_eq!(one.total_steps, eight.total_steps);
+        assert_eq!(one.counterexamples, eight.counterexamples);
+    }
+}

@@ -11,7 +11,14 @@
 //!   external trace through a normalized service spec and pinpoints the
 //!   first safety violation;
 //! * [`harness`] — one-call bounded runs producing a [`RunReport`]
-//!   (deadlock flag, verdict, event and loss counters).
+//!   (deadlock flag, verdict, event and loss counters);
+//! * [`fault`] — composable scheduler-level fault models (loss,
+//!   duplication, reordering, burst loss) biasing the choice among
+//!   enabled actions;
+//! * [`fleet`] — a parallel, seeded soak fleet running thousands of
+//!   monitored, fault-injected runs and aggregating a [`SoakReport`];
+//! * [`shrink`] — delta-debugging minimization of a failing schedule
+//!   to its shortest violating action sequence.
 //!
 //! Used by the examples to demonstrate a derived converter shuttling
 //! messages between the alternating-bit and non-sequenced protocol
@@ -23,12 +30,18 @@
 
 pub mod engine;
 pub mod explore;
+pub mod fault;
+pub mod fleet;
 pub mod harness;
 pub mod log;
 pub mod monitor;
+pub mod shrink;
 
-pub use engine::{Action, ExternalPolicy, Runner, System};
+pub use engine::{derive_seed, Action, ExternalPolicy, Runner, System};
 pub use explore::{explore, ExploreResult};
+pub use fault::{redirect_transition, Fault, FaultPlan, FaultState};
+pub use fleet::{Counterexample, FleetConfig, FleetRunner, RunVerdict, SoakReport};
 pub use harness::{run_monitored, run_traced, RunReport, SimConfig};
 pub use log::{render_msc, TraceEntry, TraceEvent};
-pub use monitor::{MonitorVerdict, ServiceMonitor};
+pub use monitor::{MonitorVerdict, ProgressVerdict, ProgressWatchdog, ServiceMonitor};
+pub use shrink::{shrink_schedule, FailureKind};
