@@ -10,10 +10,13 @@
 
 use protoquot_bench::paper_report;
 use protoquot_core::{
-    progress_phase, safety_engine, safety_phase, safety_phase_reference, solve, SafetyLimits,
+    converter_verdict_reference, converter_verdict_with, progress_phase, safety_engine,
+    safety_phase, safety_phase_reference, solve, SafetyLimits,
 };
 use protoquot_protocols::service::windowed;
-use protoquot_protocols::{exactly_once, nfa_blowup, relay_chain, toggle_puzzle};
+use protoquot_protocols::{
+    at_least_once, exactly_once, nfa_blowup, relay_chain, symmetric_configuration, toggle_puzzle,
+};
 use protoquot_sim::{redirect_transition, FaultPlan, FleetConfig, FleetRunner};
 use protoquot_spec::normalize;
 use std::time::Instant;
@@ -39,20 +42,57 @@ fn nfa_blowup_11_phase_times() -> (f64, f64) {
     (safety_ms, progress_ms)
 }
 
+/// Best-of-3 wall time (ms) of the compiled verification engine on the
+/// EXP-W verified-converter check: the 173-state converter the §5
+/// symmetric configuration yields against the weakened at-least-once
+/// service, re-verified with [`converter_verdict_with`] at one worker
+/// thread (the interpreted reference `compose` + `satisfies` takes
+/// ~22 ms on this workload — the figure EXPERIMENTS.md EXP-W records).
+fn exp_w_verify_time() -> f64 {
+    let cfg = symmetric_configuration();
+    let service = at_least_once();
+    let q = solve(&cfg.b, &service, &cfg.int).expect("EXP-W converter exists");
+    let mut verify_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let (verdict, _) =
+            converter_verdict_with(&cfg.b, &service, &q.converter, 1).expect("interfaces line up");
+        verify_ms = verify_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        assert!(verdict.is_ok(), "EXP-W converter must verify");
+    }
+    verify_ms
+}
+
+/// Reads one numeric field out of the committed baseline JSON object.
+fn baseline_field(value: &serde::Value, field: &str) -> Option<f64> {
+    value
+        .as_obj()
+        .and_then(|o| o.get(field))
+        .and_then(|v| match v {
+            serde::Value::Float(f) => Some(*f),
+            serde::Value::Int(i) => Some(*i as f64),
+            _ => None,
+        })
+}
+
 /// The CI smoke gate (`--quick`): emit `BENCH_smoke.json` and fail on
-/// a more-than-2× regression of nfa-blowup-11 safety+progress vs the
-/// committed baseline. Returns the process exit code.
+/// a more-than-2× regression of nfa-blowup-11 safety+progress — or of
+/// the EXP-W verified-converter check — vs the committed baseline.
+/// Returns the process exit code.
 fn quick_smoke() -> i32 {
     let (safety_ms, progress_ms) = nfa_blowup_11_phase_times();
     let total_ms = safety_ms + progress_ms;
+    let verify_ms = exp_w_verify_time();
     let json = format!(
         "{{\"bench\":\"nfa-blowup-11\",\"safety_ms\":{safety_ms:.3},\
-         \"progress_ms\":{progress_ms:.3},\"total_ms\":{total_ms:.3}}}\n"
+         \"progress_ms\":{progress_ms:.3},\"total_ms\":{total_ms:.3},\
+         \"verify_ms\":{verify_ms:.3}}}\n"
     );
     println!(
         "smoke: nfa-blowup-11 safety {safety_ms:.3} ms + progress {progress_ms:.3} ms \
          = {total_ms:.3} ms"
     );
+    println!("smoke: EXP-W verified-converter check (engine, 1 thread) {verify_ms:.3} ms");
     if let Err(e) = std::fs::write("BENCH_smoke.json", &json) {
         eprintln!("smoke: cannot write BENCH_smoke.json: {e}");
         return 1;
@@ -72,15 +112,7 @@ fn quick_smoke() -> i32 {
             return 1;
         }
     };
-    let budget_ms = value
-        .as_obj()
-        .and_then(|o| o.get("total_ms"))
-        .and_then(|v| match v {
-            serde::Value::Float(f) => Some(*f),
-            serde::Value::Int(i) => Some(*i as f64),
-            _ => None,
-        });
-    let Some(budget_ms) = budget_ms else {
+    let Some(budget_ms) = baseline_field(&value, "total_ms") else {
         eprintln!("smoke: {baseline_path} lacks a numeric `total_ms`");
         return 1;
     };
@@ -92,6 +124,21 @@ fn quick_smoke() -> i32 {
         eprintln!(
             "smoke: REGRESSION — nfa-blowup-11 took {total_ms:.3} ms, more than 2x the \
              committed baseline of {budget_ms:.3} ms"
+        );
+        return 1;
+    }
+    let Some(verify_budget_ms) = baseline_field(&value, "verify_ms") else {
+        eprintln!("smoke: {baseline_path} lacks a numeric `verify_ms`");
+        return 1;
+    };
+    println!(
+        "smoke: baseline verify {verify_budget_ms:.3} ms, gate at {:.3} ms (2x)",
+        verify_budget_ms * 2.0
+    );
+    if verify_ms > verify_budget_ms * 2.0 {
+        eprintln!(
+            "smoke: REGRESSION — the EXP-W verified-converter check took {verify_ms:.3} ms, \
+             more than 2x the committed baseline of {verify_budget_ms:.3} ms"
         );
         return 1;
     }
@@ -363,6 +410,84 @@ fn main() {
                 out.stats.dedup_hits,
                 out.stats.arena_bytes as f64 / 1024.0
             );
+        }
+    }
+
+    println!("\n== EXP-C5: compiled verification engine vs reference oracle ==");
+    println!(
+        "{:>14} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>6} {:>8} {:>10}",
+        "instance",
+        "threads",
+        "ref ms",
+        "engine ms",
+        "speedup",
+        "states",
+        "trans",
+        "hubs",
+        "pairs",
+        "arena KiB"
+    );
+    {
+        let colocated = protoquot_protocols::colocated_configuration();
+        let symmetric = symmetric_configuration();
+        let instances: Vec<(
+            &str,
+            protoquot_spec::Spec,
+            protoquot_spec::Alphabet,
+            protoquot_spec::Spec,
+        )> = vec![
+            (
+                "relay-chain-12",
+                relay_chain(12).0,
+                relay_chain(12).1,
+                exactly_once(),
+            ),
+            (
+                "nfa-blowup-11",
+                nfa_blowup(11).0,
+                nfa_blowup(11).1,
+                exactly_once(),
+            ),
+            ("paper/Fig14", colocated.b, colocated.int, exactly_once()),
+            ("EXP-W/sym", symmetric.b, symmetric.int, at_least_once()),
+        ];
+        for (label, b, int, service) in instances {
+            let q = solve(&b, &service, &int).expect("instance has a converter");
+            let mut ref_ms = f64::INFINITY;
+            let mut reference = None;
+            for _ in 0..3 {
+                let t = Instant::now();
+                let r = converter_verdict_reference(&b, &service, &q.converter).unwrap();
+                ref_ms = ref_ms.min(t.elapsed().as_secs_f64() * 1e3);
+                reference = Some(r);
+            }
+            let reference = reference.unwrap();
+            assert!(reference.is_ok(), "{label}: derived converter must verify");
+            for threads in [1usize, 2, 8] {
+                let mut eng_ms = f64::INFINITY;
+                let mut out = None;
+                for _ in 0..3 {
+                    let t = Instant::now();
+                    let o = converter_verdict_with(&b, &service, &q.converter, threads).unwrap();
+                    eng_ms = eng_ms.min(t.elapsed().as_secs_f64() * 1e3);
+                    out = Some(o);
+                }
+                let (verdict, stats) = out.unwrap();
+                assert!(verdict.is_ok(), "{label}: engines must agree");
+                println!(
+                    "{:>14} {:>8} {:>10.3} {:>10.3} {:>9.2}x {:>8} {:>8} {:>6} {:>8} {:>10.1}",
+                    label,
+                    threads,
+                    ref_ms,
+                    eng_ms,
+                    ref_ms / eng_ms,
+                    stats.states,
+                    stats.transitions,
+                    stats.hubs,
+                    stats.pairs,
+                    stats.arena_bytes as f64 / 1024.0
+                );
+            }
         }
     }
 

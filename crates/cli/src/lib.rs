@@ -393,6 +393,31 @@ fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
                      {} arena bytes, {} threads\n",
                     se.states, se.transitions, se.dedup_hits, se.arena_bytes, se.threads
                 ));
+                // Re-verify the emitted converter on the compiled
+                // verification engine and report its counters.
+                match protoquot_core::converter_verdict_with(&b, srv, &converter, safety_threads) {
+                    Ok((verdict, ve)) => {
+                        let outcome = match verdict {
+                            Ok(()) => "verified".to_string(),
+                            Err(v) => format!("REJECTED: {v}"),
+                        };
+                        out.push_str(&format!(
+                            "verify engine: {} states, {} transitions, {} hubs, {} pairs, \
+                             {} dedup hits, {} arena bytes, {} threads; {}\n",
+                            ve.states,
+                            ve.transitions,
+                            ve.hubs,
+                            ve.pairs,
+                            ve.dedup_hits,
+                            ve.arena_bytes,
+                            ve.threads,
+                            outcome
+                        ));
+                    }
+                    Err(e) => {
+                        out.push_str(&format!("verify engine: setup error: {e}\n"));
+                    }
+                }
             }
             out.push('\n');
             out.push_str(&if p.has("--json") {
@@ -719,13 +744,21 @@ fn cmd_soak(rest: &[String]) -> Result<String, CliError> {
         shrink: !p.has("--no-shrink"),
         ..FleetConfig::default()
     };
-    let report = FleetRunner::new(components, service).run(&config);
+    let runner = FleetRunner::new(components, service);
+    // Static oracle on the compiled verification engine, so every soak
+    // prints what the formalism says *before* the dynamic evidence.
+    let static_line = match runner.static_verdict(config.threads) {
+        Ok((Ok(()), stats)) => format!("static verdict: Conforming ({stats})\n"),
+        Ok((Err(v), stats)) => format!("static verdict: NON-CONFORMING: {v} ({stats})\n"),
+        Err(e) => format!("static verdict: setup error: {e}\n"),
+    };
+    let report = runner.run(&config);
     Ok(if p.has("--json") {
         let mut json = report.to_json();
         json.push('\n');
         json
     } else {
-        report.to_string()
+        format!("{static_line}{report}")
     })
 }
 
@@ -823,6 +856,8 @@ mod tests {
         with_file(|path| {
             let one = run_ok(&["solve", path, "--problem", "relay", "--stats"]);
             assert!(one.contains("safety engine:"), "{one}");
+            assert!(one.contains("verify engine:"), "{one}");
+            assert!(one.contains("; verified"), "{one}");
             assert!(one.contains("1 threads"), "{one}");
             let four = run_ok(&[
                 "solve",
@@ -837,7 +872,9 @@ mod tests {
             // The derived converter is identical at any thread count.
             let strip = |s: &str| {
                 s.lines()
-                    .filter(|l| !l.starts_with("safety engine:"))
+                    .filter(|l| {
+                        !l.starts_with("safety engine:") && !l.starts_with("verify engine:")
+                    })
                     .collect::<Vec<_>>()
                     .join("\n")
             };
@@ -1059,6 +1096,7 @@ mod tests {
             "--faults",
             "loss,dup,reorder",
         ]);
+        assert!(out.contains("static verdict: Conforming"), "{out}");
         assert!(out.contains("overall: Conforming"), "{out}");
         assert!(out.contains("faults=loss,dup,reorder"), "{out}");
     }

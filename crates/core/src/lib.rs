@@ -84,4 +84,7 @@ pub use solver::{
     solve, solve_constrained, solve_normalized, solve_with, validate_problem, Quotient,
     QuotientError, QuotientOptions, QuotientStats,
 };
-pub use verify::{converter_verdict, verify_converter, VerifyError};
+pub use verify::{
+    converter_verdict, converter_verdict_reference, converter_verdict_with, verify_converter,
+    VerifyError,
+};

@@ -5,7 +5,9 @@
 //! re-checks every derivation in tests and benches — the implementation,
 //! not the theorem, is what could be wrong.
 
-use protoquot_spec::{compose, satisfies, Spec, SpecError, Violation};
+use protoquot_spec::{
+    compose, satisfies, verify_system, Spec, SpecError, VerifyEngineStats, Violation,
+};
 
 /// Result of a verification: `Ok(())`, a counterexample, or a malformed
 /// setup (alphabet mismatch between `B ‖ C` and `A`).
@@ -66,6 +68,32 @@ pub fn verify_converter(b: &Spec, a: &Spec, converter: &Spec) -> Result<(), Veri
 /// soak machinery to compare the *static* verdict against dynamic runs
 /// without collapsing the violation details into a display-only error.
 pub fn converter_verdict(
+    b: &Spec,
+    a: &Spec,
+    converter: &Spec,
+) -> Result<Result<(), Violation>, SpecError> {
+    converter_verdict_with(b, a, converter, 1).map(|(verdict, _)| verdict)
+}
+
+/// [`converter_verdict`] on the compiled verification engine with an
+/// explicit worker-thread count, also returning the engine counters.
+/// The verdict (and any witness inside it) is bit identical to the
+/// reference at every thread count.
+pub fn converter_verdict_with(
+    b: &Spec,
+    a: &Spec,
+    converter: &Spec,
+    threads: usize,
+) -> Result<(Result<(), Violation>, VerifyEngineStats), SpecError> {
+    let out = verify_system(&[b, converter], a, threads)?;
+    Ok((out.verdict, out.stats))
+}
+
+/// The retained reference oracle: materialize `B ‖ C` with the pairwise
+/// [`protoquot_spec::compose()`] and run the interpreted
+/// [`protoquot_spec::satisfies`]. `tests/verify_differential.rs` holds
+/// [`converter_verdict`] to this bit for bit.
+pub fn converter_verdict_reference(
     b: &Spec,
     a: &Spec,
     converter: &Spec,
@@ -136,6 +164,26 @@ mod tests {
         match verify_converter(&b, &a, &noop) {
             Err(VerifyError::Setup(_)) => {}
             other => panic!("expected setup error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_verdict_matches_reference_oracle() {
+        let b = relay();
+        let a = service();
+        let int = Alphabet::from_names(["fwd"]);
+        let q = solve(&b, &a, &int).unwrap();
+        let mut cb = SpecBuilder::new("stuck");
+        cb.state("c0");
+        cb.event("fwd");
+        let stuck = cb.build().unwrap();
+        for converter in [&q.converter, &stuck] {
+            let reference = converter_verdict_reference(&b, &a, converter);
+            for threads in [1, 2, 8] {
+                let engine =
+                    converter_verdict_with(&b, &a, converter, threads).map(|(verdict, _)| verdict);
+                assert_eq!(format!("{reference:?}"), format!("{engine:?}"));
+            }
         }
     }
 

@@ -18,7 +18,7 @@ use crate::engine::{derive_seed, Action, ExternalPolicy, Runner, System};
 use crate::fault::FaultPlan;
 use crate::monitor::{MonitorVerdict, ProgressVerdict, ProgressWatchdog, ServiceMonitor};
 use crate::shrink::{shrink_schedule, FailureKind};
-use protoquot_spec::Spec;
+use protoquot_spec::{verify_system, Spec, SpecError, VerifyEngineStats, Violation};
 use serde::Value;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -287,6 +287,21 @@ impl FleetRunner {
         }
     }
 
+    /// Static conformance oracle for the fleet: checks that the n-way
+    /// composition of the components satisfies the service, on the
+    /// compiled verification engine ([`protoquot_spec::verify_system`])
+    /// — no composite `Spec` is materialized. The dynamic soak runs are
+    /// sound with respect to this verdict: a conforming static system
+    /// never produces fault-free violations.
+    pub fn static_verdict(
+        &self,
+        threads: usize,
+    ) -> Result<(Result<(), Violation>, VerifyEngineStats), SpecError> {
+        let parts: Vec<&Spec> = self.components.iter().collect();
+        let out = verify_system(&parts, &self.service, threads)?;
+        Ok((out.verdict, out.stats))
+    }
+
     /// Runs the fleet and aggregates the report.
     pub fn run(&self, config: &FleetConfig) -> SoakReport {
         let start = Instant::now();
@@ -538,6 +553,26 @@ mod tests {
             "counterexample not minimized: {:?}",
             cx.events
         );
+    }
+
+    #[test]
+    fn static_verdict_agrees_with_soak_and_is_thread_invariant() {
+        let (components, service) = ping_pong();
+        let clean = FleetRunner::new(components.clone(), service.clone());
+        let (verdict, stats) = clean.static_verdict(1).unwrap();
+        assert!(verdict.is_ok());
+        assert!(stats.pairs >= 2);
+
+        let broken = redirect_transition(&components[0], 1).unwrap();
+        let bad = FleetRunner::new(vec![broken], service);
+        let (base, base_stats) = bad.static_verdict(1).unwrap();
+        assert!(base.is_err(), "redirected delivery must fail statically");
+        for threads in [2, 8] {
+            let (v, mut s) = bad.static_verdict(threads).unwrap();
+            assert_eq!(format!("{base:?}"), format!("{v:?}"));
+            s.threads = base_stats.threads;
+            assert_eq!(s, base_stats);
+        }
     }
 
     #[test]

@@ -45,11 +45,16 @@ pub fn compose(a: &Spec, b: &Spec) -> Spec {
     let shared = a.alphabet().intersection(b.alphabet());
     let alphabet = a.alphabet().symmetric_difference(b.alphabet());
 
-    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
-    let mut names: Vec<String> = Vec::new();
-    let mut pairs: Vec<(StateId, StateId)> = Vec::new();
-    let mut ext: Vec<(StateId, EventId, StateId)> = Vec::new();
-    let mut int: Vec<(StateId, StateId)> = Vec::new();
+    // Lower-bound capacity: the product has at least as many states as
+    // the larger operand reaches, and every component edge appears at
+    // least once unless blocked by synchronisation.
+    let state_guess = a.num_states().max(b.num_states());
+    let mut index: HashMap<(StateId, StateId), StateId> = HashMap::with_capacity(state_guess);
+    let mut names: Vec<String> = Vec::with_capacity(state_guess);
+    let mut pairs: Vec<(StateId, StateId)> = Vec::with_capacity(state_guess);
+    let mut ext: Vec<(StateId, EventId, StateId)> =
+        Vec::with_capacity(a.num_external() + b.num_external());
+    let mut int: Vec<(StateId, StateId)> = Vec::with_capacity(a.num_internal() + b.num_internal());
 
     let intern = |sa: StateId,
                   sb: StateId,
@@ -193,9 +198,21 @@ pub fn compose_all(parts: &[&Spec]) -> Result<Spec, SpecError> {
     if let Some((e, _)) = counts.iter().find(|&(_, &c)| c > 2) {
         return Err(SpecError::EventSharedByMoreThanTwo(e.name()));
     }
-    let mut acc = parts[0].clone();
+    if parts.len() == 1 {
+        return Ok(parts[0].clone());
+    }
+    // Prune the seed: the fold only ever explores from the initial
+    // state, so unreachable seed states would just bloat every
+    // intermediate product scan. Each subsequent `compose` result is
+    // reachable by construction, keeping the fold pruned throughout.
+    let mut acc = crate::graph::prune_unreachable(parts[0]);
     for p in &parts[1..] {
         acc = compose(&acc, p);
+        debug_assert_eq!(
+            crate::graph::reachable(&acc).to_vec().len(),
+            acc.num_states(),
+            "pairwise composition must only materialize reachable states"
+        );
     }
     Ok(acc)
 }
@@ -539,5 +556,48 @@ mod more_tests {
         let via_ops = hide(&sync_product(&a, &b), &shared);
         let direct = compose(&a, &b);
         assert!(crate::minimize::bisimilar(&via_ops, &direct));
+    }
+
+    #[test]
+    fn fold_with_unreachable_seed_matches_nway_composition() {
+        // The seed carries an unreachable state (and a solo event only
+        // it uses); the pruned fold and the single n-way exploration
+        // must agree on the reachable composite.
+        let mut b1 = SpecBuilder::new("L");
+        let l0 = b1.state("l0");
+        let l1 = b1.state("l1");
+        let orphan = b1.state("orphan");
+        b1.ext(l0, "in", l1);
+        b1.ext(l1, "x", l0);
+        b1.ext(orphan, "ghost", l0);
+        let l = b1.build().unwrap();
+
+        let mut b2 = SpecBuilder::new("M");
+        let m0 = b2.state("m0");
+        let m1 = b2.state("m1");
+        b2.ext(m0, "x", m1);
+        b2.ext(m1, "y", m0);
+        let m = b2.build().unwrap();
+
+        let mut b3 = SpecBuilder::new("R");
+        let r0 = b3.state("r0");
+        let r1 = b3.state("r1");
+        b3.ext(r0, "y", r1);
+        b3.ext(r1, "out", r0);
+        let r = b3.build().unwrap();
+
+        let folded = compose_all(&[&l, &m, &r]).unwrap();
+        let nway = crate::engine::compose_all_nway(&[&l, &m, &r]).unwrap();
+        assert_eq!(folded.num_states(), nway.num_states());
+        assert_eq!(folded.alphabet(), nway.alphabet());
+        for s in folded.states() {
+            assert_eq!(folded.external_from(s), nway.external_from(s));
+            assert_eq!(folded.internal_from(s), nway.internal_from(s));
+        }
+        assert!(crate::minimize::bisimilar(&folded, &nway));
+        // No composite state mentions the unreachable seed state.
+        assert!(folded
+            .states()
+            .all(|s| !folded.state_name(s).contains("orphan")));
     }
 }

@@ -1,0 +1,503 @@
+//! Compiled CSR automata: dense `u32` state ids, event-indexed edge
+//! tables, and bitset alphabets over an interned event table.
+//!
+//! The composite of `n` components is explored **once**, directly over
+//! state tuples, instead of folding pairwise [`crate::compose`] calls
+//! that materialize (and re-intern) every intermediate `Spec`. The
+//! expansion scan below is ordered so that both the state numbering and
+//! the per-state adjacency order are *identical* to what the reference
+//! left fold would produce — that is what lets the engine reproduce the
+//! reference verdicts, witness traces, and violation state ids bit for
+//! bit (see `tests/verify_differential.rs`).
+
+use crate::event::{Alphabet, EventId};
+use crate::spec::{Spec, StateId};
+use std::collections::HashMap;
+
+/// Interned table of the composite's external events, sorted ascending
+/// by [`EventId`] (the order [`Alphabet::iter`] yields).
+pub(crate) struct EventTable {
+    pub(crate) events: Vec<EventId>,
+    index: HashMap<EventId, u32>,
+}
+
+impl EventTable {
+    pub(crate) fn new(alphabet: &Alphabet) -> EventTable {
+        let events: Vec<EventId> = alphabet.iter().collect();
+        let index = events
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i as u32))
+            .collect();
+        EventTable { events, index }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Words per bitset row (at least one so slices stay non-empty).
+    pub(crate) fn words(&self) -> usize {
+        self.events.len().div_ceil(64) + usize::from(self.events.is_empty())
+    }
+
+    pub(crate) fn idx(&self, e: EventId) -> u32 {
+        self.index[&e]
+    }
+
+    pub(crate) fn to_alphabet(&self, bits: &[u64]) -> Alphabet {
+        let mut a = Alphabet::new();
+        for (i, &e) in self.events.iter().enumerate() {
+            if bits[i / 64] >> (i % 64) & 1 == 1 {
+                a.insert(e);
+            }
+        }
+        a
+    }
+
+    pub(crate) fn alphabet_bits(&self, a: &Alphabet) -> Vec<u64> {
+        let mut bits = vec![0u64; self.words()];
+        for e in a.iter() {
+            set_bit(&mut bits, self.idx(e));
+        }
+        bits
+    }
+}
+
+pub(crate) fn set_bit(bits: &mut [u64], i: u32) {
+    bits[(i / 64) as usize] |= 1u64 << (i % 64);
+}
+
+pub(crate) fn test_bit(bits: &[u64], i: u32) -> bool {
+    bits[(i / 64) as usize] >> (i % 64) & 1 == 1
+}
+
+pub(crate) fn bits_subset(sub: &[u64], sup: &[u64]) -> bool {
+    sub.iter().zip(sup).all(|(&a, &b)| a & !b == 0)
+}
+
+/// The compiled composite `P_0 ‖ … ‖ P_{n-1}` in CSR form.
+///
+/// External edges carry event-table indices; internal edges are plain
+/// successor lists. For a single component the compile is the identity
+/// on state ids; for `n ≥ 2` the numbering equals the reference fold's.
+pub(crate) struct CompiledComposite {
+    /// Number of composite states.
+    pub(crate) n: usize,
+    /// Initial composite state.
+    pub(crate) initial: u32,
+    /// CSR row offsets into `ext_ev`/`ext_tgt` (length `n + 1`).
+    pub(crate) ext_off: Vec<u32>,
+    /// Event-table index per external edge, in adjacency order.
+    pub(crate) ext_ev: Vec<u32>,
+    /// Target state per external edge.
+    pub(crate) ext_tgt: Vec<u32>,
+    /// CSR row offsets into `int_tgt` (length `n + 1`).
+    pub(crate) int_off: Vec<u32>,
+    /// Target state per internal edge, in adjacency order.
+    pub(crate) int_tgt: Vec<u32>,
+    /// Tuple-interning hits during the n-way exploration.
+    pub(crate) dedup_hits: usize,
+    /// Bytes held by the CSR arrays and interned tuple keys.
+    pub(crate) arena_bytes: usize,
+    /// The state tuple behind each composite id (empty for the
+    /// single-component identity compile).
+    pub(crate) tuples: Vec<Box<[u32]>>,
+}
+
+impl CompiledComposite {
+    pub(crate) fn num_transitions(&self) -> usize {
+        self.ext_ev.len() + self.int_tgt.len()
+    }
+
+    fn finish_arena(&mut self, key_bytes: usize) {
+        self.arena_bytes = key_bytes
+            + 4 * (self.ext_off.len()
+                + self.ext_ev.len()
+                + self.ext_tgt.len()
+                + self.int_off.len()
+                + self.int_tgt.len());
+    }
+}
+
+/// Identity compile of a single component: state `i` stays state `i`
+/// (including unreachable ones — the product exploration never visits
+/// them), so violation state ids match the reference exactly.
+pub(crate) fn build_single(b: &Spec, tbl: &EventTable) -> CompiledComposite {
+    let n = b.num_states();
+    let mut ext_off = Vec::with_capacity(n + 1);
+    let mut int_off = Vec::with_capacity(n + 1);
+    let mut ext_ev = Vec::with_capacity(b.num_external());
+    let mut ext_tgt = Vec::with_capacity(b.num_external());
+    let mut int_tgt = Vec::with_capacity(b.num_internal());
+    ext_off.push(0);
+    int_off.push(0);
+    for s in b.states() {
+        for &(e, t) in b.external_from(s) {
+            ext_ev.push(tbl.idx(e));
+            ext_tgt.push(t.0);
+        }
+        for &t in b.internal_from(s) {
+            int_tgt.push(t.0);
+        }
+        ext_off.push(ext_ev.len() as u32);
+        int_off.push(int_tgt.len() as u32);
+    }
+    let mut c = CompiledComposite {
+        n,
+        initial: b.initial().0,
+        ext_off,
+        ext_ev,
+        ext_tgt,
+        int_off,
+        int_tgt,
+        dedup_hits: 0,
+        arena_bytes: 0,
+        tuples: Vec::new(),
+    };
+    c.finish_arena(0);
+    c
+}
+
+/// How one component edge participates in the composite.
+#[derive(Clone, Copy)]
+enum EdgeKind {
+    /// Event owned by this component alone: external in the composite
+    /// (payload = event-table index).
+    Solo(u32),
+    /// Event shared with component `other`: synchronises and hides.
+    Shared(u32),
+}
+
+struct PartEdge {
+    e: EventId,
+    kind: EdgeKind,
+    tgt: u32,
+}
+
+/// N-way reachable product exploration.
+///
+/// The scan order below flattens the reference left fold
+/// `(…(P_0 ‖ P_1) ‖ …) ‖ P_{n-1}`: interning happens in exactly the
+/// order the outermost pairwise [`crate::compose`] would intern, and
+/// the per-state adjacency comes out as
+///
+/// * external: components ascending, solo edges in stored order;
+/// * internal: synchronisations with component `n-1` first (driven by
+///   the lower-indexed owner's edge order), then each inner fold
+///   level's synchronisations descending, then every component's
+///   internal moves ascending.
+///
+/// Events present in the table but shared (hence hidden) never reach
+/// `ext_ev`; an event shared by more than two components must have been
+/// rejected by the caller.
+pub(crate) fn build_nway(parts: &[&Spec], tbl: &EventTable) -> CompiledComposite {
+    let np = parts.len();
+    debug_assert!(np >= 1);
+    let last = np - 1;
+
+    // Owners per event (at most two by the caller's check).
+    let mut owners: HashMap<EventId, (usize, usize)> = HashMap::new();
+    for (i, p) in parts.iter().enumerate() {
+        for e in p.alphabet().iter() {
+            owners
+                .entry(e)
+                .and_modify(|o| o.1 = i)
+                .or_insert((i, usize::MAX));
+        }
+    }
+
+    // Pre-classified edge lists, aligned with each spec's stored order.
+    let part_edges: Vec<Vec<Vec<PartEdge>>> = parts
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            (0..p.num_states())
+                .map(|s| {
+                    p.external_from(StateId(s as u32))
+                        .iter()
+                        .map(|&(e, t)| {
+                            let (lo, hi) = owners[&e];
+                            let kind = if hi == usize::MAX {
+                                EdgeKind::Solo(tbl.idx(e))
+                            } else {
+                                EdgeKind::Shared(if lo == i { hi as u32 } else { lo as u32 })
+                            };
+                            PartEdge { e, kind, tgt: t.0 }
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut intern: HashMap<Box<[u32]>, u32> = HashMap::new();
+    let mut tuples: Vec<Box<[u32]>> = Vec::new();
+    let mut work: Vec<u32> = Vec::new();
+    let mut ext_edges: Vec<(u32, u32, u32)> = Vec::new();
+    let mut int_edges: Vec<(u32, u32)> = Vec::new();
+    let mut dedup_hits = 0usize;
+    let mut key_bytes = 0usize;
+
+    let root: Box<[u32]> = parts.iter().map(|p| p.initial().0).collect();
+    key_bytes += root.len() * 4;
+    intern.insert(root.clone(), 0);
+    tuples.push(root);
+    work.push(0);
+
+    // Interns `cur` with position `i` (and optionally `j`) replaced.
+    let mut reach = |cur: &[u32],
+                     i: usize,
+                     ti: u32,
+                     j: Option<(usize, u32)>,
+                     intern: &mut HashMap<Box<[u32]>, u32>,
+                     tuples: &mut Vec<Box<[u32]>>,
+                     work: &mut Vec<u32>|
+     -> u32 {
+        let mut t: Box<[u32]> = cur.into();
+        t[i] = ti;
+        if let Some((j, tj)) = j {
+            t[j] = tj;
+        }
+        if let Some(&id) = intern.get(&t) {
+            dedup_hits += 1;
+            return id;
+        }
+        let id = tuples.len() as u32;
+        key_bytes += t.len() * 4;
+        intern.insert(t.clone(), id);
+        tuples.push(t);
+        work.push(id);
+        id
+    };
+
+    let mut cur = vec![0u32; np];
+    // LIFO pop mirrors the reference `compose` work stack, so ids are
+    // assigned in the same first-reference order.
+    while let Some(id) = work.pop() {
+        cur.copy_from_slice(&tuples[id as usize]);
+        // Phase A: the outermost fold level — solo externals and
+        // synchronisations with the last component, interleaved in each
+        // component's stored edge order.
+        for i in 0..np {
+            for pe in &part_edges[i][cur[i] as usize] {
+                match pe.kind {
+                    EdgeKind::Solo(ev) => {
+                        let to = reach(&cur, i, pe.tgt, None, &mut intern, &mut tuples, &mut work);
+                        ext_edges.push((id, ev, to));
+                    }
+                    EdgeKind::Shared(other) if other as usize == last && i != last => {
+                        for qe in &part_edges[last][cur[last] as usize] {
+                            if qe.e == pe.e {
+                                let to = reach(
+                                    &cur,
+                                    i,
+                                    pe.tgt,
+                                    Some((last, qe.tgt)),
+                                    &mut intern,
+                                    &mut tuples,
+                                    &mut work,
+                                );
+                                int_edges.push((id, to));
+                            }
+                        }
+                    }
+                    EdgeKind::Shared(_) => {}
+                }
+            }
+        }
+        // Phase B: inner fold levels' synchronisations, level descending.
+        for k in (1..last).rev() {
+            for i in 0..k {
+                for pe in &part_edges[i][cur[i] as usize] {
+                    if let EdgeKind::Shared(other) = pe.kind {
+                        if other as usize == k {
+                            for qe in &part_edges[k][cur[k] as usize] {
+                                if qe.e == pe.e {
+                                    let to = reach(
+                                        &cur,
+                                        i,
+                                        pe.tgt,
+                                        Some((k, qe.tgt)),
+                                        &mut intern,
+                                        &mut tuples,
+                                        &mut work,
+                                    );
+                                    int_edges.push((id, to));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Phase C: internal moves of every component, ascending.
+        for (i, p) in parts.iter().enumerate() {
+            for &t in p.internal_from(StateId(cur[i])) {
+                let to = reach(&cur, i, t.0, None, &mut intern, &mut tuples, &mut work);
+                int_edges.push((id, to));
+            }
+        }
+    }
+
+    let n = tuples.len();
+    let (ext_off, ext_ev, ext_tgt) = csr_ext(n, &ext_edges);
+    let (int_off, int_tgt) = csr_int(n, &int_edges);
+    let mut c = CompiledComposite {
+        n,
+        initial: 0,
+        ext_off,
+        ext_ev,
+        ext_tgt,
+        int_off,
+        int_tgt,
+        dedup_hits,
+        arena_bytes: 0,
+        tuples,
+    };
+    c.finish_arena(key_bytes);
+    c
+}
+
+/// Stable counting sort of `(from, ev, tgt)` edges into CSR rows.
+fn csr_ext(n: usize, edges: &[(u32, u32, u32)]) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    let mut off = vec![0u32; n + 1];
+    for &(f, _, _) in edges {
+        off[f as usize + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut ev = vec![0u32; edges.len()];
+    let mut tgt = vec![0u32; edges.len()];
+    let mut cursor: Vec<u32> = off.clone();
+    for &(f, e, t) in edges {
+        let p = cursor[f as usize] as usize;
+        ev[p] = e;
+        tgt[p] = t;
+        cursor[f as usize] += 1;
+    }
+    (off, ev, tgt)
+}
+
+fn csr_int(n: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
+    let mut off = vec![0u32; n + 1];
+    for &(f, _) in edges {
+        off[f as usize + 1] += 1;
+    }
+    for i in 0..n {
+        off[i + 1] += off[i];
+    }
+    let mut tgt = vec![0u32; edges.len()];
+    let mut cursor: Vec<u32> = off.clone();
+    for &(f, t) in edges {
+        let p = cursor[f as usize] as usize;
+        tgt[p] = t;
+        cursor[f as usize] += 1;
+    }
+    (off, tgt)
+}
+
+/// `τ*` rows for every composite state: the externally offered events
+/// after any number of internal moves, as bitsets over the event table.
+///
+/// One iterative Tarjan pass over the internal graph, then a reverse
+/// topological DP over the SCC DAG — linear in the composite instead of
+/// the reference's per-state DFS.
+pub(crate) fn tau_star_rows(comp: &CompiledComposite, words: usize) -> Vec<u64> {
+    let n = comp.n;
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut scc_of = vec![UNVISITED; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut frames: Vec<(u32, u32)> = Vec::new();
+    let mut scc_members: Vec<Vec<u32>> = Vec::new();
+    let mut next_index = 0u32;
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        frames.push((root, 0));
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.0;
+            let s = v as usize;
+            let begin = comp.int_off[s] as usize;
+            let end = comp.int_off[s + 1] as usize;
+            if (frame.1 as usize) < end - begin {
+                let w = comp.int_tgt[begin + frame.1 as usize];
+                frame.1 += 1;
+                let ws = w as usize;
+                if index[ws] == UNVISITED {
+                    index[ws] = next_index;
+                    low[ws] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[ws] = true;
+                    frames.push((w, 0));
+                } else if on_stack[ws] {
+                    low[s] = low[s].min(index[ws]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.0 as usize;
+                    low[p] = low[p].min(low[s]);
+                }
+                if low[s] == index[s] {
+                    let scc = scc_members.len() as u32;
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        scc_of[w as usize] = scc;
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_members.push(members);
+                }
+            }
+        }
+    }
+
+    // SCCs complete successors-first, so a single ascending pass is the
+    // reverse topological DP.
+    let nscc = scc_members.len();
+    let mut scc_bits = vec![0u64; nscc * words];
+    let mut acc = vec![0u64; words];
+    for ci in 0..nscc {
+        acc.iter_mut().for_each(|w| *w = 0);
+        for &s in &scc_members[ci] {
+            let su = s as usize;
+            for k in comp.ext_off[su] as usize..comp.ext_off[su + 1] as usize {
+                set_bit(&mut acc, comp.ext_ev[k]);
+            }
+            for k in comp.int_off[su] as usize..comp.int_off[su + 1] as usize {
+                let cj = scc_of[comp.int_tgt[k] as usize] as usize;
+                if cj != ci {
+                    debug_assert!(cj < ci, "successor SCC must complete first");
+                    for w in 0..words {
+                        acc[w] |= scc_bits[cj * words + w];
+                    }
+                }
+            }
+        }
+        scc_bits[ci * words..(ci + 1) * words].copy_from_slice(&acc);
+    }
+
+    let mut rows = vec![0u64; n * words];
+    for s in 0..n {
+        let ci = scc_of[s] as usize;
+        rows[s * words..(s + 1) * words].copy_from_slice(&scc_bits[ci * words..(ci + 1) * words]);
+    }
+    rows
+}

@@ -1,0 +1,195 @@
+//! Compiled determinization of the service specification.
+//!
+//! The same subset construction as [`crate::normal::normalize`], but
+//! hubs are hash-consed, canonically sorted `Arc<[u32]>` state sets and
+//! the ψ step function is a dense `hubs × events` table instead of
+//! per-hub `HashMap`s. Hub numbering is internal to the engine — the
+//! verdict-relevant content per hub (acceptance sets in first-occurrence
+//! order over ascending members, and the step function on state sets)
+//! is identical to the reference.
+
+use super::compiled::{set_bit, test_bit, EventTable};
+use crate::sink::SinkInfo;
+use crate::spec::{Spec, StateId};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Sentinel for "event not accepted by this hub" in the step table.
+pub(crate) const NO_HUB: u32 = u32::MAX;
+
+/// The compiled normal form of a service specification.
+pub(crate) struct CompiledNormal {
+    /// Number of hubs (λ*-closed state sets).
+    pub(crate) nh: usize,
+    /// Number of events in the interned table.
+    pub(crate) ne: usize,
+    /// Bitset words per row.
+    pub(crate) words: usize,
+    /// Initial hub (λ*-closure of the initial state).
+    pub(crate) initial: u32,
+    /// Dense ψ step table, `nh × ne`, [`NO_HUB`] where undefined.
+    pub(crate) step: Vec<u32>,
+    /// Concatenated acceptance bitsets, `words` u64s each.
+    pub(crate) acc_data: Vec<u64>,
+    /// Per-hub offsets into `acc_data` in units of sets (length `nh+1`).
+    pub(crate) acc_off: Vec<u32>,
+    /// Hub-set interning hits during the subset construction.
+    pub(crate) dedup_hits: usize,
+    /// Bytes held by the step table, acceptance storage, and hub keys.
+    pub(crate) arena_bytes: usize,
+}
+
+impl CompiledNormal {
+    /// Acceptance bitsets of `hub`, first-occurrence order.
+    pub(crate) fn acceptance(&self, hub: usize) -> impl Iterator<Item = &[u64]> {
+        let lo = self.acc_off[hub] as usize;
+        let hi = self.acc_off[hub + 1] as usize;
+        (lo..hi).map(move |i| &self.acc_data[i * self.words..(i + 1) * self.words])
+    }
+}
+
+/// Runs the subset construction over `a` against the interned event
+/// table. Every event of `a`'s alphabet must be in the table.
+pub(crate) fn compile_normal(a: &Spec, tbl: &EventTable) -> CompiledNormal {
+    let ne = tbl.len();
+    let words = tbl.words();
+    let n = a.num_states();
+    let sinks = SinkInfo::compute(a);
+
+    // τ* of each sink SCC, as bits (the acceptance-set alphabet).
+    let mut scc_bits: HashMap<usize, Vec<u64>> = HashMap::new();
+    for s in a.states() {
+        if sinks.is_sink(s) {
+            scc_bits
+                .entry(sinks.scc_of(s))
+                .or_insert_with(|| tbl.alphabet_bits(&sinks.scc_tau(a, s)));
+        }
+    }
+
+    let mut mark = vec![false; n];
+    // λ*-closure of `seed`, returned sorted — the canonical hub key.
+    let mut close = move |seed: &[u32], a: &Spec| -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        let mut stack: Vec<u32> = Vec::new();
+        for &s in seed {
+            if !mark[s as usize] {
+                mark[s as usize] = true;
+                out.push(s);
+                stack.push(s);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            for &t in a.internal_from(StateId(s)) {
+                if !mark[t.0 as usize] {
+                    mark[t.0 as usize] = true;
+                    out.push(t.0);
+                    stack.push(t.0);
+                }
+            }
+        }
+        for &s in &out {
+            mark[s as usize] = false;
+        }
+        out.sort_unstable();
+        out
+    };
+
+    let mut intern: HashMap<Arc<[u32]>, u32> = HashMap::new();
+    let mut hubs: Vec<Arc<[u32]>> = Vec::new();
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    let mut dedup_hits = 0usize;
+    let mut key_bytes = 0usize;
+
+    let root: Arc<[u32]> = close(&[a.initial().0], a).into();
+    key_bytes += root.len() * 4;
+    intern.insert(root.clone(), 0);
+    hubs.push(root);
+    queue.push_back(0);
+
+    let mut step: Vec<u32> = Vec::new();
+    let mut acc_data: Vec<u64> = Vec::new();
+    let mut acc_off: Vec<u32> = vec![0];
+    let mut enabled = vec![0u64; words];
+    let mut seed: Vec<u32> = Vec::new();
+
+    // FIFO pops process hubs exactly in id order, so `step` and the
+    // acceptance storage grow row by row.
+    while let Some(h) = queue.pop_front() {
+        let q = hubs[h as usize].clone();
+
+        enabled.iter_mut().for_each(|w| *w = 0);
+        for &s in q.iter() {
+            for &(e, _) in a.external_from(StateId(s)) {
+                set_bit(&mut enabled, tbl.idx(e));
+            }
+        }
+
+        // Acceptance: sink SCC τ* sets over ascending members,
+        // deduplicated keeping first occurrence — the reference order.
+        let first_set = acc_data.len() / words;
+        for &s in q.iter() {
+            if sinks.is_sink(StateId(s)) {
+                let bits = &scc_bits[&sinks.scc_of(StateId(s))];
+                let sets_so_far = acc_data.len() / words;
+                let dup = (first_set..sets_so_far)
+                    .any(|i| &acc_data[i * words..(i + 1) * words] == bits.as_slice());
+                if !dup {
+                    acc_data.extend_from_slice(bits);
+                }
+            }
+        }
+        debug_assert!(
+            acc_data.len() / words > first_set,
+            "every λ*-closed set contains a sink state"
+        );
+        acc_off.push((acc_data.len() / words) as u32);
+
+        for ev in 0..ne as u32 {
+            if !test_bit(&enabled, ev) {
+                step.push(NO_HUB);
+                continue;
+            }
+            let e = tbl.events[ev as usize];
+            seed.clear();
+            for &s in q.iter() {
+                for &(e2, t) in a.external_from(StateId(s)) {
+                    if e2 == e {
+                        seed.push(t.0);
+                    }
+                }
+            }
+            let next = close(&seed, a);
+            let id = match intern.get(next.as_slice()) {
+                Some(&i) => {
+                    dedup_hits += 1;
+                    i
+                }
+                None => {
+                    let i = hubs.len() as u32;
+                    key_bytes += next.len() * 4;
+                    let key: Arc<[u32]> = next.into();
+                    intern.insert(key.clone(), i);
+                    hubs.push(key);
+                    queue.push_back(i);
+                    i
+                }
+            };
+            step.push(id);
+        }
+    }
+
+    let nh = hubs.len();
+    debug_assert_eq!(step.len(), nh * ne);
+    let arena_bytes = key_bytes + 4 * (step.len() + acc_off.len()) + 8 * acc_data.len();
+    CompiledNormal {
+        nh,
+        ne,
+        words,
+        initial: 0,
+        step,
+        acc_data,
+        acc_off,
+        dedup_hits,
+        arena_bytes,
+    }
+}

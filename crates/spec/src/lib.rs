@@ -60,6 +60,7 @@
 pub mod closure;
 pub mod compose;
 pub mod dot;
+pub mod engine;
 pub mod error;
 pub mod event;
 pub mod failures;
@@ -77,6 +78,9 @@ pub mod trace;
 pub use closure::Closures;
 pub use compose::{compose, compose_all, compose_full, hide, sync_product};
 pub use dot::{to_dot, to_text};
+pub use engine::{
+    compose_all_nway, satisfies_engine, verify_system, EngineVerdict, VerifyEngineStats,
+};
 pub use error::SpecError;
 pub use event::{Alphabet, EventId};
 pub use failures::Failures;

@@ -145,6 +145,19 @@ impl NormalSpec {
     }
 }
 
+/// Canonical interning key for a hub: ascending, duplicate-free state
+/// list. [`StateSet::to_vec`] already yields ascending order from the
+/// bitset, but the explicit sort + dedup guarantees two λ*-closures
+/// that enumerate the same states in *different discovery orders* can
+/// never intern as distinct hubs, even if the set representation
+/// changes.
+fn canonical_hub_key(q: &StateSet) -> Vec<StateId> {
+    let mut key = q.to_vec();
+    key.sort_unstable_by_key(|s| s.index());
+    key.dedup();
+    key
+}
+
 /// Converts an arbitrary specification into an equivalent [`NormalSpec`]
 /// (see module docs for the preservation argument).
 ///
@@ -189,7 +202,7 @@ pub fn normalize(spec: &Spec) -> NormalSpec {
     let mut hubs: Vec<StateSet> = Vec::new();
     let mut work: Vec<usize> = Vec::new();
 
-    let key0 = closed_initial.to_vec();
+    let key0 = canonical_hub_key(&closed_initial);
     hub_index.insert(key0, 0);
     hubs.push(closed_initial);
     work.push(0);
@@ -235,7 +248,7 @@ pub fn normalize(spec: &Spec) -> NormalSpec {
                 }
             }
             close_lambda(spec, &mut next);
-            let key = next.to_vec();
+            let key = canonical_hub_key(&next);
             let idx = match hub_index.get(&key) {
                 Some(&i) => i,
                 None => {
@@ -487,5 +500,26 @@ mod tests {
         );
         // But the trace "transient" must survive normalization (full leaf).
         assert!(has_trace(n.spec(), &trace_of(&["transient"])));
+    }
+
+    #[test]
+    fn hub_keys_are_canonical_under_discovery_order() {
+        // Two λ*-closures over the same states, discovered in opposite
+        // orders: after `a`, the closure seeds at v1 and walks v1→v2;
+        // after `b`, it seeds at v2 and walks v2→v1. Both must intern
+        // as ONE hub — the key is the canonical sorted set, never the
+        // discovery order.
+        let mut b = SpecBuilder::new("orders");
+        let u0 = b.state("u0");
+        let v1 = b.state("v1");
+        let v2 = b.state("v2");
+        b.ext(u0, "a", v1);
+        b.ext(u0, "b", v2);
+        b.int(v1, v2);
+        b.int(v2, v1);
+        let spec = b.build().unwrap();
+        let n = normalize(&spec);
+        assert_eq!(n.num_hubs(), 2, "initial hub plus one shared {{v1,v2}} hub");
+        assert_eq!(n.psi(&trace_of(&["a"])), n.psi(&trace_of(&["b"])));
     }
 }

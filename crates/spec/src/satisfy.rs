@@ -17,7 +17,7 @@ use crate::event::{Alphabet, EventId};
 use crate::normal::{normalize, NormalSpec};
 use crate::spec::{Spec, StateId};
 use crate::trace::Trace;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Why a satisfaction check failed.
 #[derive(Clone, Debug)]
@@ -83,19 +83,24 @@ struct Exploration {
     violation: Option<(usize, EventId)>,
 }
 
+/// Breadth-first product exploration. FIFO order matters: discovery
+/// order is the canonical order the parallel engine
+/// ([`crate::engine`]) renumbers to, parent pointers form a BFS tree
+/// (so extracted witnesses are shortest), and the progress check scans
+/// pairs in exactly this order.
 fn explore(b: &Spec, na: &NormalSpec, stop_at_violation: bool) -> Exploration {
     let mut index: HashMap<(StateId, usize), usize> = HashMap::new();
     let mut pairs = Vec::new();
     let mut parents = Vec::new();
-    let mut work = Vec::new();
+    let mut work = VecDeque::new();
     let start = (b.initial(), na.initial_hub());
     index.insert(start, 0);
     pairs.push(start);
     parents.push(None);
-    work.push(0usize);
+    work.push_back(0usize);
     let mut violation = None;
 
-    while let Some(i) = work.pop() {
+    while let Some(i) = work.pop_front() {
         let (bs, hub) = pairs[i];
         for &t in b.internal_from(bs) {
             let key = (t, hub);
@@ -104,7 +109,7 @@ fn explore(b: &Spec, na: &NormalSpec, stop_at_violation: bool) -> Exploration {
                 v.insert(id);
                 pairs.push(key);
                 parents.push(Some((i, None)));
-                work.push(id);
+                work.push_back(id);
             }
         }
         for &(e, t) in b.external_from(bs) {
@@ -116,7 +121,7 @@ fn explore(b: &Spec, na: &NormalSpec, stop_at_violation: bool) -> Exploration {
                         v.insert(id);
                         pairs.push(key);
                         parents.push(Some((i, Some(e))));
-                        work.push(id);
+                        work.push_back(id);
                     }
                 }
                 None => {
