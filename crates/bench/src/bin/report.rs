@@ -17,6 +17,7 @@ use protoquot_protocols::service::windowed;
 use protoquot_protocols::{
     at_least_once, exactly_once, nfa_blowup, relay_chain, symmetric_configuration, toggle_puzzle,
 };
+use protoquot_runtime::{drive, Conn, DriveConfig, Gateway, GatewayConfig, LoopbackConn};
 use protoquot_sim::{redirect_transition, FaultPlan, FleetConfig, FleetRunner};
 use protoquot_spec::normalize;
 use std::time::Instant;
@@ -63,6 +64,42 @@ fn exp_w_verify_time() -> f64 {
     verify_ms
 }
 
+/// Relays `runs` gateway sessions of the Fig. 14 colocated system over
+/// the in-process loopback transport with `threads` client threads and
+/// as many gateway workers, returning `(accepted_events_per_sec,
+/// frames_relayed)`. The gateway's online guard is live for every
+/// frame, so this measures the full codec → shard → guard path.
+fn loopback_throughput(threads: usize, runs: u64) -> (f64, u64) {
+    let cfg = protoquot_protocols::colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&cfg.b, &service, &cfg.int).expect("Fig. 14 converter exists");
+    let gw = Gateway::new(
+        &[&cfg.b, &q.converter],
+        &service,
+        GatewayConfig {
+            workers: threads,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway must compile the system");
+    let dcfg = DriveConfig {
+        runs,
+        threads,
+        seed: 0x50AB,
+        max_steps: 600,
+        faults: FaultPlan::parse("loss,dup,reorder").unwrap(),
+        ..DriveConfig::default()
+    };
+    let t = Instant::now();
+    let report = drive(&[cfg.b, q.converter], &service, &dcfg, || {
+        Ok(Box::new(LoopbackConn::new(gw.clone())) as Box<dyn Conn>)
+    });
+    let secs = t.elapsed().as_secs_f64();
+    gw.drain();
+    assert!(report.is_clean(), "derived converter must relay clean");
+    (report.accepted as f64 / secs, report.frames_sent)
+}
+
 /// Reads one numeric field out of the committed baseline JSON object.
 fn baseline_field(value: &serde::Value, field: &str) -> Option<f64> {
     value
@@ -83,16 +120,23 @@ fn quick_smoke() -> i32 {
     let (safety_ms, progress_ms) = nfa_blowup_11_phase_times();
     let total_ms = safety_ms + progress_ms;
     let verify_ms = exp_w_verify_time();
+    // Best-of-2 gateway loopback relay throughput (EXP-R1 workload,
+    // scaled down for CI).
+    let serve_events_per_sec = (0..2)
+        .map(|_| loopback_throughput(4, 64).0)
+        .fold(0.0f64, f64::max);
     let json = format!(
         "{{\"bench\":\"nfa-blowup-11\",\"safety_ms\":{safety_ms:.3},\
          \"progress_ms\":{progress_ms:.3},\"total_ms\":{total_ms:.3},\
-         \"verify_ms\":{verify_ms:.3}}}\n"
+         \"verify_ms\":{verify_ms:.3},\
+         \"serve_events_per_sec\":{serve_events_per_sec:.0}}}\n"
     );
     println!(
         "smoke: nfa-blowup-11 safety {safety_ms:.3} ms + progress {progress_ms:.3} ms \
          = {total_ms:.3} ms"
     );
     println!("smoke: EXP-W verified-converter check (engine, 1 thread) {verify_ms:.3} ms");
+    println!("smoke: gateway loopback relay {serve_events_per_sec:.0} accepted events/s");
     if let Err(e) = std::fs::write("BENCH_smoke.json", &json) {
         eprintln!("smoke: cannot write BENCH_smoke.json: {e}");
         return 1;
@@ -139,6 +183,21 @@ fn quick_smoke() -> i32 {
         eprintln!(
             "smoke: REGRESSION — the EXP-W verified-converter check took {verify_ms:.3} ms, \
              more than 2x the committed baseline of {verify_budget_ms:.3} ms"
+        );
+        return 1;
+    }
+    let Some(serve_budget) = baseline_field(&value, "serve_events_per_sec") else {
+        eprintln!("smoke: {baseline_path} lacks a numeric `serve_events_per_sec`");
+        return 1;
+    };
+    println!(
+        "smoke: baseline relay {serve_budget:.0} events/s, gate at {:.0} events/s (2x)",
+        serve_budget / 2.0
+    );
+    if serve_events_per_sec < serve_budget / 2.0 {
+        eprintln!(
+            "smoke: REGRESSION — the gateway relayed {serve_events_per_sec:.0} events/s, \
+             less than half the committed baseline of {serve_budget:.0} events/s"
         );
         return 1;
     }
@@ -623,6 +682,26 @@ fn main() {
                 q.converter.num_external()
             ),
             Err(e) => println!("front man: UNEXPECTED {e}"),
+        }
+    }
+
+    println!("\n== EXP-R1: gateway loopback relay throughput ==");
+    {
+        // The Fig. 14 derived converter executed live: fleet-style
+        // faulted schedules relayed frame by frame through the
+        // session-multiplexed gateway, with the online conformance
+        // guard checking every frame against the compiled B ‖ C
+        // product. Accepted events per second, loopback transport.
+        println!(
+            "{:>8} {:>8} {:>12} {:>14}",
+            "threads", "runs", "frames", "events/sec"
+        );
+        for threads in [1usize, 2, 8] {
+            let (events_per_sec, frames) = loopback_throughput(threads, 400);
+            println!(
+                "{threads:>8} {:>8} {frames:>12} {events_per_sec:>14.0}",
+                400
+            );
         }
     }
 

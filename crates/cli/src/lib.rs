@@ -30,13 +30,22 @@
 #![warn(missing_docs)]
 
 use protoquot_core::{prune_useless, solve_with, ProgressStrategy, QuotientOptions};
+use protoquot_runtime::{
+    drive, Conn, DriveConfig, Gateway, GatewayConfig, LoopbackConn, TcpConn, TcpServer,
+};
 use protoquot_sim::{
     redirect_transition, run_monitored, FaultPlan, FleetConfig, FleetRunner, MonitorVerdict,
     SimConfig,
 };
-use protoquot_spec::{compose_all, satisfies, to_dot, to_text, Alphabet, Spec};
+use protoquot_spec::{
+    compile_composite, compose_all, satisfies, tau_star_rows, to_dot, to_text, Alphabet,
+    EventTable, Spec,
+};
 use protoquot_speclang::{parse_source, SourceFile};
+use serde::Value;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Duration;
 
 /// A CLI failure: usage problems, file problems, or tool errors, all
 /// with a user-facing message.
@@ -65,8 +74,9 @@ usage:
   protoquot check FILE --impl SPEC --service SPEC
   protoquot solve FILE --service SPEC --int e1,e2,... [--b SPEC...]
             [--dot] [--prune] [--vacuous] [--reachable] [--threads N] [--stats]
+            [--emit compiled]
   protoquot solve FILE --problem NAME [--dot] [--prune] [--vacuous] [--reachable]
-            [--threads N] [--stats]
+            [--threads N] [--stats] [--emit compiled]
   protoquot simulate FILE --service SPEC --components S1,S2,...
             [--steps N] [--seed K] [--loss COMPONENT=WEIGHT]...
   protoquot minimize FILE SPEC
@@ -77,6 +87,12 @@ usage:
             [--runs N] [--threads T] [--steps N] [--faults loss,dup,reorder,burst]
             [--seed S] [--no-shrink] [--json]
   protoquot soak --builtin colocated|symmetric|ab-nak [--mutate K] [options as above]
+  protoquot serve (FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K])
+            [--addr HOST:PORT] [--threads N] [--duration SECS] [--stats]
+  protoquot drive (FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K])
+            (--connect HOST:PORT | --loopback) [--runs N] [--threads T] [--steps N]
+            [--faults loss,dup,reorder,burst] [--seed S] [--duration SECS]
+            [--expect-clean] [--json]
 
 FILE contains specifications in the textual language, e.g.:
 
@@ -106,6 +122,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "violations" => cmd_violations(rest),
         "explore" => cmd_explore(rest),
         "soak" => cmd_soak(rest),
+        "serve" => cmd_serve(rest),
+        "drive" => cmd_drive(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -135,6 +153,10 @@ const VALUED: &[&str] = &[
     "--faults",
     "--builtin",
     "--mutate",
+    "--emit",
+    "--addr",
+    "--connect",
+    "--duration",
 ];
 
 fn parse_args(rest: &[String]) -> Result<Parsed, CliError> {
@@ -420,13 +442,24 @@ fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
                 }
             }
             out.push('\n');
-            out.push_str(&if p.has("--json") {
-                protoquot_spec::serde_impl::to_json(&converter)
-            } else if p.has("--dot") {
-                to_dot(&converter)
-            } else {
-                to_text(&converter)
-            });
+            match p.value("--emit") {
+                Some("compiled") => {
+                    out.push_str(&emit_compiled(&b, srv, &converter)?);
+                    out.push('\n');
+                }
+                Some(other) => {
+                    return err(format!(
+                        "--emit: unknown format `{other}` (known: compiled)"
+                    ))
+                }
+                None => out.push_str(&if p.has("--json") {
+                    protoquot_spec::serde_impl::to_json(&converter)
+                } else if p.has("--dot") {
+                    to_dot(&converter)
+                } else {
+                    to_text(&converter)
+                }),
+            }
             Ok(out)
         }
         Err(e) => {
@@ -695,20 +728,18 @@ fn builtin_soak_system(name: &str, mutate: Option<&str>) -> Result<(Vec<Spec>, S
     Ok((vec![cfg.b, converter], service))
 }
 
-fn cmd_soak(rest: &[String]) -> Result<String, CliError> {
-    let p = parse_args(rest)?;
-    let (components, service) = if let Some(builtin) = p.value("--builtin") {
+/// Resolves the soak/serve/drive target system: either `--builtin NAME
+/// [--mutate K]` or FILE with `--service`/`--components` (the listed
+/// components must include the converter).
+fn load_target(p: &Parsed, usage: &str) -> Result<(Vec<Spec>, Spec), CliError> {
+    if let Some(builtin) = p.value("--builtin") {
         if !p.positional.is_empty() {
             return err("--builtin does not take a FILE");
         }
-        builtin_soak_system(builtin, p.value("--mutate"))?
+        builtin_soak_system(builtin, p.value("--mutate"))
     } else {
         let [file] = &p.positional[..] else {
-            return err(
-                "usage: protoquot soak (FILE --service SPEC --components S1,S2,... | \
-                 --builtin colocated|symmetric|ab-nak [--mutate K]) [--runs N] [--threads T] \
-                 [--steps N] [--faults loss,dup,reorder,burst] [--seed S] [--no-shrink] [--json]",
-            );
+            return err(usage);
         };
         let specs = load(file)?;
         let srv = find(
@@ -723,8 +754,18 @@ fn cmd_soak(rest: &[String]) -> Result<String, CliError> {
             .filter(|s| !s.is_empty())
             .map(|n| find(&specs, n).cloned())
             .collect::<Result<_, _>>()?;
-        (components, srv.clone())
-    };
+        Ok((components, srv.clone()))
+    }
+}
+
+fn cmd_soak(rest: &[String]) -> Result<String, CliError> {
+    let p = parse_args(rest)?;
+    let (components, service) = load_target(
+        &p,
+        "usage: protoquot soak (FILE --service SPEC --components S1,S2,... | \
+         --builtin colocated|symmetric|ab-nak [--mutate K]) [--runs N] [--threads T] \
+         [--steps N] [--faults loss,dup,reorder,burst] [--seed S] [--no-shrink] [--json]",
+    )?;
     let parse_num = |flag: &str, default: u64| -> Result<u64, CliError> {
         match p.value(flag) {
             Some(v) => v
@@ -760,6 +801,200 @@ fn cmd_soak(rest: &[String]) -> Result<String, CliError> {
     } else {
         format!("{static_line}{report}")
     })
+}
+
+/// JSON dump of the compiled CSR automaton of `B ‖ C` over the shared
+/// name-sorted event table: states, event-indexed external adjacency,
+/// internal adjacency, and `τ*` rows — everything the runtime guard
+/// loads, emitted so external tools can consume a derived converter
+/// without re-deriving it.
+fn emit_compiled(b: &Spec, srv: &Spec, converter: &Spec) -> Result<String, CliError> {
+    let parts = [b, converter];
+    let tbl = EventTable::new(srv.alphabet());
+    let comp = compile_composite(&parts, &tbl).map_err(|e| CliError(e.to_string()))?;
+    let words = tbl.words();
+    let tau = tau_star_rows(&comp, words);
+    let mut o = BTreeMap::new();
+    o.insert(
+        "event_table".into(),
+        Value::Arr(tbl.events.iter().map(|e| Value::Str(e.name())).collect()),
+    );
+    o.insert("states".into(), Value::Int(comp.n as i128));
+    o.insert("initial".into(), Value::Int(comp.initial as i128));
+    o.insert(
+        "transitions".into(),
+        Value::Int(comp.num_transitions() as i128),
+    );
+    let mut ext = Vec::with_capacity(comp.n);
+    let mut int = Vec::with_capacity(comp.n);
+    let mut tau_rows = Vec::with_capacity(comp.n);
+    for s in 0..comp.n {
+        ext.push(Value::Arr(
+            (comp.ext_off[s] as usize..comp.ext_off[s + 1] as usize)
+                .map(|k| {
+                    Value::Arr(vec![
+                        Value::Int(comp.ext_ev[k] as i128),
+                        Value::Int(comp.ext_tgt[k] as i128),
+                    ])
+                })
+                .collect(),
+        ));
+        int.push(Value::Arr(
+            (comp.int_off[s] as usize..comp.int_off[s + 1] as usize)
+                .map(|k| Value::Int(comp.int_tgt[k] as i128))
+                .collect(),
+        ));
+        let row = &tau[s * words..(s + 1) * words];
+        tau_rows.push(Value::Arr(
+            (0..tbl.len() as u32)
+                .filter(|&i| row[(i / 64) as usize] >> (i % 64) & 1 == 1)
+                .map(|i| Value::Int(i as i128))
+                .collect(),
+        ));
+    }
+    o.insert("external".into(), Value::Arr(ext));
+    o.insert("internal".into(), Value::Arr(int));
+    o.insert("tau_star".into(), Value::Arr(tau_rows));
+    serde_json::to_string(&Value::Obj(o)).map_err(|e| CliError(e.to_string()))
+}
+
+fn parse_duration(p: &Parsed) -> Result<Option<Duration>, CliError> {
+    match p.value("--duration") {
+        Some(v) => {
+            let secs: f64 = v
+                .parse()
+                .map_err(|_| CliError("--duration must be seconds".into()))?;
+            Ok(Some(Duration::from_secs_f64(secs)))
+        }
+        None => Ok(None),
+    }
+}
+
+fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
+    let p = parse_args(rest)?;
+    let (components, service) = load_target(
+        &p,
+        "usage: protoquot serve (FILE --service SPEC --components S1,S2,... | \
+         --builtin colocated|symmetric|ab-nak [--mutate K]) [--addr HOST:PORT] \
+         [--threads N] [--duration SECS] [--stats]",
+    )?;
+    let workers: usize = match p.value("--threads") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError("--threads must be a number".into()))?,
+        None => 4,
+    };
+    let duration = parse_duration(&p)?;
+    let parts: Vec<&Spec> = components.iter().collect();
+    let cfg = GatewayConfig {
+        workers,
+        ..GatewayConfig::default()
+    };
+    let gw = Gateway::new(&parts, &service, cfg).map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    let mut server = None;
+    if let Some(addr) = p.value("--addr") {
+        let s = TcpServer::bind(gw.clone(), addr)
+            .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+        // Printed immediately (not just returned) so scripts can scrape
+        // the bound port before the serve loop ends.
+        println!("serving on {}", s.local_addr());
+        out.push_str(&format!("served on {}\n", s.local_addr()));
+        server = Some(s);
+    }
+    let deadline = duration.map(|d| std::time::Instant::now() + d);
+    let mut last_snapshot = std::time::Instant::now();
+    loop {
+        match deadline {
+            Some(d) if std::time::Instant::now() >= d => break,
+            // Without --addr there is no traffic source to wait for.
+            None if server.is_none() => break,
+            _ => {}
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        gw.evict_idle();
+        if p.has("--stats") && last_snapshot.elapsed() >= Duration::from_secs(5) {
+            println!("{}", gw.stats().to_json());
+            last_snapshot = std::time::Instant::now();
+        }
+    }
+    if let Some(mut s) = server {
+        s.stop();
+    }
+    gw.drain();
+    let snap = gw.stats();
+    out.push_str(&format!("{snap}\n"));
+    if p.has("--stats") {
+        out.push_str(&snap.to_json());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
+    let p = parse_args(rest)?;
+    let (components, service) = load_target(
+        &p,
+        "usage: protoquot drive (FILE --service SPEC --components S1,S2,... | \
+         --builtin colocated|symmetric|ab-nak [--mutate K]) (--connect HOST:PORT | \
+         --loopback) [--runs N] [--threads T] [--steps N] \
+         [--faults loss,dup,reorder,burst] [--seed S] [--duration SECS] \
+         [--expect-clean] [--json]",
+    )?;
+    let parse_num = |flag: &str, default: u64| -> Result<u64, CliError> {
+        match p.value(flag) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("{flag} must be a number"))),
+            None => Ok(default),
+        }
+    };
+    let faults = FaultPlan::parse(p.value("--faults").unwrap_or(""))
+        .map_err(|e| CliError(format!("--faults: {e}")))?;
+    let cfg = DriveConfig {
+        runs: parse_num("--runs", 100)?,
+        threads: parse_num("--threads", 1)? as usize,
+        seed: parse_num("--seed", 0xD41E)?,
+        max_steps: parse_num("--steps", 600)?,
+        faults,
+        duration: parse_duration(&p)?,
+        ..DriveConfig::default()
+    };
+    let report = match (p.value("--connect"), p.has("--loopback")) {
+        (Some(addr), false) => {
+            let addr = addr.to_string();
+            drive(&components, &service, &cfg, move || {
+                TcpConn::connect(&addr).map(|c| Box::new(c) as Box<dyn Conn>)
+            })
+        }
+        (None, true) => {
+            let parts: Vec<&Spec> = components.iter().collect();
+            let gw_cfg = GatewayConfig {
+                workers: cfg.threads.max(1),
+                ..GatewayConfig::default()
+            };
+            let gw = Gateway::new(&parts, &service, gw_cfg).map_err(|e| CliError(e.to_string()))?;
+            let report = drive(&components, &service, &cfg, || {
+                Ok(Box::new(LoopbackConn::new(gw.clone())) as Box<dyn Conn>)
+            });
+            gw.drain();
+            report
+        }
+        _ => return err("give exactly one of --connect HOST:PORT or --loopback"),
+    };
+    let out = if p.has("--json") {
+        let mut json = report.to_json();
+        json.push('\n');
+        json
+    } else {
+        format!("{report}\n")
+    };
+    if p.has("--expect-clean") && !report.is_clean() {
+        return err(format!(
+            "drive expected a clean campaign but found convictions or transport errors: {report}"
+        ));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -1148,6 +1383,130 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("unknown fault"));
+    }
+
+    #[test]
+    fn solve_emits_compiled_csr_json() {
+        with_file(|path| {
+            let out = run_ok(&["solve", path, "--problem", "relay", "--emit", "compiled"]);
+            let json = out.lines().last().unwrap();
+            assert!(json.contains("\"event_table\":[\"acc\",\"del\"]"), "{json}");
+            assert!(json.contains("\"tau_star\""), "{json}");
+            assert!(json.contains("\"external\""), "{json}");
+            assert!(json.contains("\"initial\":0"), "{json}");
+            let args: Vec<String> = ["solve", path, "--problem", "relay", "--emit", "nope"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert!(run(&args)
+                .unwrap_err()
+                .to_string()
+                .contains("unknown format"));
+        })
+    }
+
+    #[test]
+    fn drive_loopback_clean_on_correct_converter() {
+        let out = run_ok(&[
+            "drive",
+            "--builtin",
+            "colocated",
+            "--loopback",
+            "--runs",
+            "10",
+            "--steps",
+            "200",
+            "--expect-clean",
+        ]);
+        assert!(out.contains("runs 10"), "{out}");
+        assert!(out.contains("convicted 0"), "{out}");
+    }
+
+    #[test]
+    fn drive_loopback_convicts_a_mutated_converter() {
+        // Mirrors the soak sweep: at least one single-transition mutant
+        // must be convicted by the online guard over the wire.
+        for k in 0..4 {
+            let mutate = k.to_string();
+            let out = run_ok(&[
+                "drive",
+                "--builtin",
+                "colocated",
+                "--mutate",
+                &mutate,
+                "--loopback",
+                "--runs",
+                "20",
+                "--steps",
+                "300",
+                "--faults",
+                "loss,reorder",
+                "--json",
+            ]);
+            if !out.contains("\"convicted_runs\":0") {
+                assert!(out.contains("\"convicted_runs\":"), "{out}");
+                return;
+            }
+        }
+        panic!("no mutation index was convicted by the driven gateway");
+    }
+
+    #[test]
+    fn drive_requires_a_transport() {
+        let args: Vec<String> = ["drive", "--builtin", "colocated"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("--connect HOST:PORT or --loopback"));
+    }
+
+    #[test]
+    fn serve_smoke_reports_stats() {
+        // Zero duration: start, drain, report. No transport needed.
+        let out = run_ok(&[
+            "serve",
+            "--builtin",
+            "colocated",
+            "--duration",
+            "0",
+            "--stats",
+        ]);
+        assert!(out.contains("sessions active=0"), "{out}");
+        assert!(out.contains("\"events_per_sec\""), "{out}");
+    }
+
+    #[test]
+    fn serve_and_drive_over_tcp() {
+        // End-to-end: a served gateway on an OS-assigned port, driven
+        // over real sockets by the fleet replayer.
+        let (components, service) = builtin_soak_system("colocated", None).unwrap();
+        let parts: Vec<&Spec> = components.iter().collect();
+        let gw = Gateway::new(&parts, &service, GatewayConfig::default()).unwrap();
+        let mut server = TcpServer::bind(gw.clone(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().to_string();
+        let out = run_ok(&[
+            "drive",
+            "--builtin",
+            "colocated",
+            "--connect",
+            &addr,
+            "--runs",
+            "5",
+            "--steps",
+            "200",
+            "--threads",
+            "2",
+            "--expect-clean",
+        ]);
+        assert!(out.contains("runs 5"), "{out}");
+        server.stop();
+        gw.drain();
+        let snap = gw.stats();
+        assert!(snap.accepted > 0, "no frames reached the served gateway");
+        assert_eq!(snap.convictions, 0);
     }
 
     #[test]

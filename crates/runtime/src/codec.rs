@@ -1,0 +1,457 @@
+//! The length-prefixed wire codec: frames ↔ spec events.
+//!
+//! Every message on the wire is a 4-byte big-endian payload length
+//! followed by the payload. Payloads start with a 1-byte tag and an
+//! 8-byte big-endian session id; event frames add a 2-byte big-endian
+//! event index into the shared [`EventTable`].
+//!
+//! The table index — not the process-local numeric [`EventId`] — is
+//! what crosses the wire: [`EventTable`] sorts events by *name*, so a
+//! gateway and a remote load generator built from the same service
+//! alphabet agree on every index even though their interners handed
+//! out different ids.
+
+use protoquot_spec::{Alphabet, EventId, EventTable};
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// Hard cap on payload length: the protocol's largest payload is 11
+/// bytes, so anything bigger is a corrupt or foreign stream.
+pub const MAX_PAYLOAD: usize = 64;
+
+const TAG_EVENT: u8 = 0x01;
+const TAG_STALL: u8 = 0x02;
+const TAG_CLOSE: u8 = 0x03;
+const TAG_ACCEPTED: u8 = 0x81;
+const TAG_REJECTED: u8 = 0x82;
+
+/// A client → gateway message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// One external event of the conversion system, by table index.
+    Event {
+        /// Session the event belongs to.
+        session: u64,
+        /// Index into the shared [`EventTable`].
+        event: u16,
+    },
+    /// The client attests that its end of the session has stalled
+    /// (no service progress); the guard checks whether the current
+    /// trace can in fact reach a progress-violating state.
+    Stall {
+        /// Session said to be stalled.
+        session: u64,
+    },
+    /// Ends the session and releases its state.
+    Close {
+        /// Session to close.
+        session: u64,
+    },
+}
+
+impl Frame {
+    /// The session id the frame addresses.
+    pub fn session(&self) -> u64 {
+        match *self {
+            Frame::Event { session, .. } | Frame::Stall { session } | Frame::Close { session } => {
+                session
+            }
+        }
+    }
+}
+
+/// Why the gateway refused a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The event extends no trace of the composed system B‖C: the
+    /// online guard's state set went empty.
+    NotATrace,
+    /// The event is a trace of B‖C but not of the service: ψ has no
+    /// step for it — the dynamic twin of a safety violation.
+    ServiceViolation,
+    /// A progress-violating state of the B‖C × service product is
+    /// reachable under the observed trace (confirmed stall).
+    Stalled,
+    /// The session already carries a conviction; no further events are
+    /// tracked.
+    Convicted,
+    /// The session's bounded queue is full.
+    Backpressure,
+    /// The gateway is draining for shutdown and accepts no new work.
+    Draining,
+    /// The session was closed or evicted.
+    Closed,
+    /// The event index is outside the shared table.
+    UnknownEvent,
+}
+
+impl RejectReason {
+    /// Stable snake_case name for reports and stats keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            RejectReason::NotATrace => "not_a_trace",
+            RejectReason::ServiceViolation => "service_violation",
+            RejectReason::Stalled => "stalled",
+            RejectReason::Convicted => "convicted",
+            RejectReason::Backpressure => "backpressure",
+            RejectReason::Draining => "draining",
+            RejectReason::Closed => "closed",
+            RejectReason::UnknownEvent => "unknown_event",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            RejectReason::NotATrace => 1,
+            RejectReason::ServiceViolation => 2,
+            RejectReason::Stalled => 3,
+            RejectReason::Convicted => 4,
+            RejectReason::Backpressure => 5,
+            RejectReason::Draining => 6,
+            RejectReason::Closed => 7,
+            RejectReason::UnknownEvent => 8,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<RejectReason> {
+        Some(match c {
+            1 => RejectReason::NotATrace,
+            2 => RejectReason::ServiceViolation,
+            3 => RejectReason::Stalled,
+            4 => RejectReason::Convicted,
+            5 => RejectReason::Backpressure,
+            6 => RejectReason::Draining,
+            7 => RejectReason::Closed,
+            8 => RejectReason::UnknownEvent,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RejectReason::NotATrace => "not-a-trace",
+            RejectReason::ServiceViolation => "service-violation",
+            RejectReason::Stalled => "stalled",
+            RejectReason::Convicted => "convicted",
+            RejectReason::Backpressure => "backpressure",
+            RejectReason::Draining => "draining",
+            RejectReason::Closed => "closed",
+            RejectReason::UnknownEvent => "unknown-event",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A gateway → client message: exactly one per submitted frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// The frame was processed and the session trace extended.
+    Accepted {
+        /// Session the reply belongs to.
+        session: u64,
+    },
+    /// The frame was refused.
+    Rejected {
+        /// Session the reply belongs to.
+        session: u64,
+        /// Why.
+        reason: RejectReason,
+    },
+}
+
+impl Reply {
+    /// The session id the reply addresses.
+    pub fn session(&self) -> u64 {
+        match *self {
+            Reply::Accepted { session } | Reply::Rejected { session, .. } => session,
+        }
+    }
+}
+
+/// A malformed payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Encodes a frame as length prefix + payload.
+pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0, 0, 0, 0]);
+    match *frame {
+        Frame::Event { session, event } => {
+            out.push(TAG_EVENT);
+            out.extend_from_slice(&session.to_be_bytes());
+            out.extend_from_slice(&event.to_be_bytes());
+        }
+        Frame::Stall { session } => {
+            out.push(TAG_STALL);
+            out.extend_from_slice(&session.to_be_bytes());
+        }
+        Frame::Close { session } => {
+            out.push(TAG_CLOSE);
+            out.extend_from_slice(&session.to_be_bytes());
+        }
+    }
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_be_bytes());
+}
+
+/// Encodes a reply as length prefix + payload.
+pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0, 0, 0, 0]);
+    match *reply {
+        Reply::Accepted { session } => {
+            out.push(TAG_ACCEPTED);
+            out.extend_from_slice(&session.to_be_bytes());
+        }
+        Reply::Rejected { session, reason } => {
+            out.push(TAG_REJECTED);
+            out.extend_from_slice(&session.to_be_bytes());
+            out.push(reason.code());
+        }
+    }
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_be_bytes());
+}
+
+fn session_of(payload: &[u8]) -> Result<u64, WireError> {
+    let bytes: [u8; 8] = payload
+        .get(1..9)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| WireError("payload too short for a session id".into()))?;
+    Ok(u64::from_be_bytes(bytes))
+}
+
+/// Decodes one frame payload (without the length prefix).
+pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
+    let tag = *payload
+        .first()
+        .ok_or_else(|| WireError("empty payload".into()))?;
+    let session = session_of(payload)?;
+    match (tag, payload.len()) {
+        (TAG_EVENT, 11) => {
+            let event = u16::from_be_bytes([payload[9], payload[10]]);
+            Ok(Frame::Event { session, event })
+        }
+        (TAG_STALL, 9) => Ok(Frame::Stall { session }),
+        (TAG_CLOSE, 9) => Ok(Frame::Close { session }),
+        (tag, len) => Err(WireError(format!("bad frame tag {tag:#x} / length {len}"))),
+    }
+}
+
+/// Decodes one reply payload (without the length prefix).
+pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
+    let tag = *payload
+        .first()
+        .ok_or_else(|| WireError("empty payload".into()))?;
+    let session = session_of(payload)?;
+    match (tag, payload.len()) {
+        (TAG_ACCEPTED, 9) => Ok(Reply::Accepted { session }),
+        (TAG_REJECTED, 10) => {
+            let reason = RejectReason::from_code(payload[9])
+                .ok_or_else(|| WireError(format!("bad reject reason {}", payload[9])))?;
+            Ok(Reply::Rejected { session, reason })
+        }
+        (tag, len) => Err(WireError(format!("bad reply tag {tag:#x} / length {len}"))),
+    }
+}
+
+/// Reads one length-prefixed payload. `Ok(None)` on clean end of
+/// stream (EOF before the first length byte).
+pub fn read_payload<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended inside a length prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len == 0 || len > MAX_PAYLOAD {
+        return Err(WireError(format!("payload length {len} out of range")).into());
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Reads one frame; `Ok(None)` on clean end of stream.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    match read_payload(r)? {
+        None => Ok(None),
+        Some(p) => Ok(Some(decode_frame(&p)?)),
+    }
+}
+
+/// Reads one reply; `Ok(None)` on clean end of stream.
+pub fn read_reply<R: Read>(r: &mut R) -> io::Result<Option<Reply>> {
+    match read_payload(r)? {
+        None => Ok(None),
+        Some(p) => Ok(Some(decode_reply(&p)?)),
+    }
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(16);
+    encode_frame(frame, &mut buf);
+    w.write_all(&buf)
+}
+
+/// Writes one reply (length prefix + payload).
+pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(16);
+    encode_reply(reply, &mut buf);
+    w.write_all(&buf)
+}
+
+/// Maps spec events to wire indices and back, over the shared
+/// name-sorted [`EventTable`].
+#[derive(Clone)]
+pub struct WireCodec {
+    table: Arc<EventTable>,
+}
+
+impl WireCodec {
+    /// A codec over `alphabet` (the observable interface of the
+    /// conversion system, i.e. the service alphabet).
+    pub fn new(alphabet: &Alphabet) -> WireCodec {
+        WireCodec {
+            table: Arc::new(EventTable::new(alphabet)),
+        }
+    }
+
+    /// A codec sharing an existing table.
+    pub fn from_table(table: Arc<EventTable>) -> WireCodec {
+        WireCodec { table }
+    }
+
+    /// The shared table.
+    pub fn table(&self) -> &Arc<EventTable> {
+        &self.table
+    }
+
+    /// The event frame for `e` in `session`, or `None` if `e` is not
+    /// an observable event.
+    pub fn event_frame(&self, session: u64, e: EventId) -> Option<Frame> {
+        let idx = self.table.lookup(e)?;
+        Some(Frame::Event {
+            session,
+            event: idx as u16,
+        })
+    }
+
+    /// The event behind wire index `idx`, or `None` if out of range.
+    pub fn event_of(&self, idx: u16) -> Option<EventId> {
+        self.table.event(idx as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::Alphabet;
+
+    #[test]
+    fn frames_round_trip() {
+        for f in [
+            Frame::Event {
+                session: 0xDEAD_BEEF_1234_5678,
+                event: 513,
+            },
+            Frame::Stall { session: 7 },
+            Frame::Close { session: u64::MAX },
+        ] {
+            let mut buf = Vec::new();
+            encode_frame(&f, &mut buf);
+            let mut r = io::Cursor::new(buf);
+            assert_eq!(read_frame(&mut r).unwrap(), Some(f));
+            assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF after frame");
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let mut replies = vec![Reply::Accepted { session: 1 }];
+        for reason in [
+            RejectReason::NotATrace,
+            RejectReason::ServiceViolation,
+            RejectReason::Stalled,
+            RejectReason::Convicted,
+            RejectReason::Backpressure,
+            RejectReason::Draining,
+            RejectReason::Closed,
+            RejectReason::UnknownEvent,
+        ] {
+            replies.push(Reply::Rejected { session: 9, reason });
+        }
+        for reply in replies {
+            let mut buf = Vec::new();
+            encode_reply(&reply, &mut buf);
+            let mut r = io::Cursor::new(buf);
+            assert_eq!(read_reply(&mut r).unwrap(), Some(reply));
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        assert!(decode_frame(&[]).is_err());
+        assert!(decode_frame(&[TAG_EVENT, 0, 0]).is_err());
+        assert!(decode_reply(&[0x77, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // Oversized length prefix.
+        let mut r = io::Cursor::new(vec![0xFF, 0xFF, 0xFF, 0xFF, 0]);
+        assert!(read_payload(&mut r).is_err());
+        // Truncated length prefix.
+        let mut r = io::Cursor::new(vec![0, 0]);
+        assert!(read_payload(&mut r).is_err());
+    }
+
+    #[test]
+    fn codec_indices_depend_on_names_not_interner_history() {
+        // Intern the later name first: numeric ids disagree with name
+        // order, wire indices must not.
+        let _ = protoquot_spec::EventId::new("zz_codec_probe");
+        let a: Alphabet = ["zz_codec_probe", "aa_codec_probe"].into_iter().collect();
+        let codec = WireCodec::new(&a);
+        assert_eq!(codec.event_of(0).unwrap().name(), "aa_codec_probe");
+        assert_eq!(codec.event_of(1).unwrap().name(), "zz_codec_probe");
+        let f = codec
+            .event_frame(3, protoquot_spec::EventId::new("zz_codec_probe"))
+            .unwrap();
+        assert_eq!(
+            f,
+            Frame::Event {
+                session: 3,
+                event: 1
+            }
+        );
+        assert!(codec
+            .event_frame(3, protoquot_spec::EventId::new("unrelated"))
+            .is_none());
+    }
+}

@@ -1,0 +1,353 @@
+//! Seeded load generator: replays fleet-style schedules over the wire.
+//!
+//! [`drive`] runs the same weighted random executions as the
+//! `protoquot-sim` soak fleet — same [`derive_seed`] per run, same
+//! fault biasing, same [`ServiceMonitor`]/[`ProgressWatchdog`]
+//! machinery — but relays every *solo* (externally visible) event to a
+//! serving gateway as a wire frame and records the verdicts coming
+//! back. Each run is one session, driven in lockstep (one outstanding
+//! frame), so the resulting [`DriveReport`] is identical at any client
+//! or server thread count: worker threads claim run indices from an
+//! atomic counter and the outcomes are re-sorted by run.
+//!
+//! When the local watchdog sees a deadlock or livelock, the client
+//! *attests* a stall ([`crate::codec::Frame::Stall`]); the gateway
+//! confirms or dismisses it against the compiled product. A faulty
+//! converter therefore gets convicted either on a relayed frame
+//! (safety) or on the attested stall (progress).
+
+use crate::codec::{Frame, Reply, WireCodec};
+use crate::transport::Conn;
+use protoquot_sim::{
+    derive_seed, Action, ExternalPolicy, FaultPlan, MonitorVerdict, ProgressVerdict,
+    ProgressWatchdog, Runner, ServiceMonitor, System,
+};
+use protoquot_spec::Spec;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration of one drive campaign.
+#[derive(Clone, Debug)]
+pub struct DriveConfig {
+    /// Sessions (independent runs) to drive.
+    pub runs: u64,
+    /// Client worker threads, each with its own connection.
+    pub threads: usize,
+    /// Campaign seed; run `i` uses `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Step budget per run.
+    pub max_steps: u64,
+    /// Fault models biasing every run's schedule.
+    pub faults: FaultPlan,
+    /// Service-silent steps before the watchdog probes.
+    pub quiescence_threshold: u64,
+    /// Global states explored per watchdog probe.
+    pub probe_budget: usize,
+    /// Stop claiming new runs after this wall-clock budget (soak mode).
+    pub duration: Option<Duration>,
+}
+
+impl Default for DriveConfig {
+    fn default() -> DriveConfig {
+        DriveConfig {
+            runs: 100,
+            threads: 1,
+            seed: 0xD41E,
+            max_steps: 600,
+            faults: FaultPlan::none(),
+            quiescence_threshold: 64,
+            probe_budget: 20_000,
+            duration: None,
+        }
+    }
+}
+
+/// What happened to one driven session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Run index (= wire session id).
+    pub run: u64,
+    /// Simulator steps executed (internal moves included).
+    pub steps: u64,
+    /// Event frames relayed to the gateway.
+    pub frames_sent: u64,
+    /// Frames the gateway accepted.
+    pub accepted: u64,
+    /// Whether the client attested a stall.
+    pub stall_attested: bool,
+    /// Server-side conviction (reject reason name), if any.
+    pub conviction: Option<String>,
+    /// What the local monitor/watchdog concluded.
+    pub local_verdict: &'static str,
+    /// Transport failure, if the run died on I/O.
+    pub io_error: Option<String>,
+}
+
+/// Aggregated result of a drive campaign.
+#[derive(Clone, Debug)]
+pub struct DriveReport {
+    /// Runs driven.
+    pub runs: u64,
+    /// Total event frames relayed.
+    pub frames_sent: u64,
+    /// Total frames accepted by the gateway.
+    pub accepted: u64,
+    /// Runs that ended with a server-side conviction.
+    pub convicted_runs: u64,
+    /// Stall attestations sent.
+    pub stalls_attested: u64,
+    /// Runs that died on transport errors.
+    pub io_errors: u64,
+    /// Per-run outcomes, sorted by run index.
+    pub outcomes: Vec<RunOutcome>,
+}
+
+impl DriveReport {
+    /// No convictions and no transport failures.
+    pub fn is_clean(&self) -> bool {
+        self.convicted_runs == 0 && self.io_errors == 0
+    }
+
+    /// The report as a JSON value tree (thread-count invariant).
+    pub fn to_value(&self) -> Value {
+        let mut o = BTreeMap::new();
+        o.insert("runs".into(), Value::Int(self.runs as i128));
+        o.insert("frames_sent".into(), Value::Int(self.frames_sent as i128));
+        o.insert("accepted".into(), Value::Int(self.accepted as i128));
+        o.insert(
+            "convicted_runs".into(),
+            Value::Int(self.convicted_runs as i128),
+        );
+        o.insert(
+            "stalls_attested".into(),
+            Value::Int(self.stalls_attested as i128),
+        );
+        o.insert("io_errors".into(), Value::Int(self.io_errors as i128));
+        o.insert(
+            "outcomes".into(),
+            Value::Arr(self.outcomes.iter().map(RunOutcome::to_value).collect()),
+        );
+        Value::Obj(o)
+    }
+
+    /// The report as a compact JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("report serialization cannot fail")
+    }
+}
+
+impl RunOutcome {
+    /// One outcome as a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        let mut o = BTreeMap::new();
+        o.insert("run".into(), Value::Int(self.run as i128));
+        o.insert("steps".into(), Value::Int(self.steps as i128));
+        o.insert("frames_sent".into(), Value::Int(self.frames_sent as i128));
+        o.insert("accepted".into(), Value::Int(self.accepted as i128));
+        o.insert("stall_attested".into(), Value::Bool(self.stall_attested));
+        o.insert(
+            "conviction".into(),
+            match &self.conviction {
+                Some(c) => Value::Str(c.clone()),
+                None => Value::Null,
+            },
+        );
+        o.insert(
+            "local_verdict".into(),
+            Value::Str(self.local_verdict.to_string()),
+        );
+        o.insert(
+            "io_error".into(),
+            match &self.io_error {
+                Some(e) => Value::Str(e.clone()),
+                None => Value::Null,
+            },
+        );
+        Value::Obj(o)
+    }
+}
+
+impl std::fmt::Display for DriveReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "runs {} | frames {} accepted {} | convicted {} | stalls attested {} | io errors {}",
+            self.runs,
+            self.frames_sent,
+            self.accepted,
+            self.convicted_runs,
+            self.stalls_attested,
+            self.io_errors
+        )
+    }
+}
+
+/// Drives `cfg.runs` sessions of `components` (including the converter)
+/// against a gateway reached through `mk_conn`, monitoring each run
+/// locally against `service`.
+pub fn drive<F>(components: &[Spec], service: &Spec, cfg: &DriveConfig, mk_conn: F) -> DriveReport
+where
+    F: Fn() -> io::Result<Box<dyn Conn>> + Sync,
+{
+    let codec = WireCodec::new(service.alphabet());
+    let next = AtomicU64::new(0);
+    let deadline = cfg.duration.map(|d| Instant::now() + d);
+    let outcomes: Mutex<Vec<RunOutcome>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.threads.max(1) {
+            scope.spawn(|| {
+                let mut conn: Option<Box<dyn Conn>> = None;
+                loop {
+                    let run = next.fetch_add(1, Ordering::Relaxed);
+                    if run >= cfg.runs {
+                        break;
+                    }
+                    if let Some(deadline) = deadline {
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                    }
+                    if conn.is_none() {
+                        conn = match mk_conn() {
+                            Ok(c) => Some(c),
+                            Err(e) => {
+                                let mut o = empty_outcome(run);
+                                o.io_error = Some(e.to_string());
+                                outcomes.lock().unwrap().push(o);
+                                continue;
+                            }
+                        };
+                    }
+                    let out = run_one(
+                        components,
+                        service,
+                        &codec,
+                        conn.as_deref_mut().unwrap(),
+                        cfg,
+                        run,
+                    );
+                    if out.io_error.is_some() {
+                        conn = None; // reconnect for the next run
+                    }
+                    outcomes.lock().unwrap().push(out);
+                }
+            });
+        }
+    });
+    let mut outcomes = outcomes.into_inner().unwrap();
+    outcomes.sort_by_key(|o| o.run);
+    DriveReport {
+        runs: outcomes.len() as u64,
+        frames_sent: outcomes.iter().map(|o| o.frames_sent).sum(),
+        accepted: outcomes.iter().map(|o| o.accepted).sum(),
+        convicted_runs: outcomes.iter().filter(|o| o.conviction.is_some()).count() as u64,
+        stalls_attested: outcomes.iter().filter(|o| o.stall_attested).count() as u64,
+        io_errors: outcomes.iter().filter(|o| o.io_error.is_some()).count() as u64,
+        outcomes,
+    }
+}
+
+fn empty_outcome(run: u64) -> RunOutcome {
+    RunOutcome {
+        run,
+        steps: 0,
+        frames_sent: 0,
+        accepted: 0,
+        stall_attested: false,
+        conviction: None,
+        local_verdict: "conforming",
+        io_error: None,
+    }
+}
+
+/// One session: a fleet-style weighted random execution, relayed.
+fn run_one(
+    components: &[Spec],
+    service: &Spec,
+    codec: &WireCodec,
+    conn: &mut dyn Conn,
+    cfg: &DriveConfig,
+    run: u64,
+) -> RunOutcome {
+    let seed = derive_seed(cfg.seed, run);
+    let system = System::new(components.to_vec(), ExternalPolicy::AlwaysEnabled);
+    let mut runner = Runner::new(system, seed);
+    let mut monitor = ServiceMonitor::new(service);
+    let mut watchdog = ProgressWatchdog::new(cfg.quiescence_threshold, cfg.probe_budget);
+    let mut fault = cfg.faults.start(seed);
+    let session = run;
+    let mut out = empty_outcome(run);
+    while runner.steps() < cfg.max_steps {
+        let Some(action) = runner.step_weighted(|a, base| fault.weigh(a, base)) else {
+            out.local_verdict = "deadlock";
+            attest(conn, session, &mut out);
+            break;
+        };
+        fault.note(&action);
+        let mut stop = false;
+        if let Action::Event { event, .. } = &action {
+            monitor.observe(*event);
+            // Solo events are the composite interface: relay them.
+            if let Some(frame) = codec.event_frame(session, *event) {
+                out.frames_sent += 1;
+                match conn.call(&frame) {
+                    Ok(Reply::Accepted { .. }) => out.accepted += 1,
+                    Ok(Reply::Rejected { reason, .. }) => {
+                        out.conviction = Some(reason.name().to_string());
+                        stop = true;
+                    }
+                    Err(e) => {
+                        out.io_error = Some(e.to_string());
+                        stop = true;
+                    }
+                }
+            }
+        }
+        watchdog.note(&action, &monitor);
+        if matches!(monitor.verdict(), MonitorVerdict::SafetyViolation { .. }) {
+            out.local_verdict = "safety";
+            stop = true;
+        } else if !stop {
+            match watchdog.poll(runner.system(), runner.states(), &monitor) {
+                ProgressVerdict::Livelock { .. } => {
+                    out.local_verdict = "livelock";
+                    attest(conn, session, &mut out);
+                    stop = true;
+                }
+                ProgressVerdict::Deadlock { .. } => {
+                    out.local_verdict = "deadlock";
+                    attest(conn, session, &mut out);
+                    stop = true;
+                }
+                ProgressVerdict::Progressing => {}
+            }
+        }
+        if stop {
+            break;
+        }
+    }
+    out.steps = runner.steps();
+    if out.io_error.is_none() {
+        let _ = conn.call(&Frame::Close { session });
+    }
+    out
+}
+
+/// Sends a stall attestation; a `Stalled` rejection is a conviction.
+fn attest(conn: &mut dyn Conn, session: u64, out: &mut RunOutcome) {
+    if out.conviction.is_some() || out.io_error.is_some() {
+        return;
+    }
+    out.stall_attested = true;
+    match conn.call(&Frame::Stall { session }) {
+        Ok(Reply::Accepted { .. }) => {}
+        Ok(Reply::Rejected { reason, .. }) => {
+            out.conviction = Some(reason.name().to_string());
+        }
+        Err(e) => out.io_error = Some(e.to_string()),
+    }
+}

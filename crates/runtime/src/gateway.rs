@@ -1,0 +1,464 @@
+//! The session-multiplexed relay gateway.
+//!
+//! A [`Gateway`] owns one compiled [`GuardProgram`] and a sharded
+//! session table: `session id → SessionCore` (guard state plus a
+//! bounded frame queue), spread over `shards` stripe-locked maps.
+//! Frames are submitted with a responder callback; a worker from the
+//! shared [`threadpool::ThreadPool`] drains each session's queue in
+//! order, so per-session processing is serialized while distinct
+//! sessions proceed in parallel.
+//!
+//! Flow control and lifecycle:
+//!
+//! * a full per-session queue rejects new frames with
+//!   [`RejectReason::Backpressure`] instead of buffering unboundedly;
+//! * [`Gateway::evict_idle`] sweeps sessions idle past the configured
+//!   timeout (only when unscheduled with an empty queue);
+//! * [`Gateway::drain`] stops admitting frames
+//!   ([`RejectReason::Draining`]) and blocks until every queued frame
+//!   has been answered — graceful shutdown.
+//!
+//! Lock order is always shard map → session core, and each is dropped
+//! before the next is taken on the submit path, so the gateway cannot
+//! deadlock against its own workers.
+
+use crate::codec::{Frame, RejectReason, Reply, WireCodec};
+use crate::guard::{GuardProgram, SessionGuard};
+use crate::stats::{RuntimeStats, StatsSnapshot};
+use protoquot_spec::{Spec, SpecError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use threadpool::ThreadPool;
+
+/// Tuning knobs of a [`Gateway`].
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Worker threads draining session queues.
+    pub workers: usize,
+    /// Stripe-locked shards of the session table.
+    pub shards: usize,
+    /// Per-session queue bound; beyond it frames bounce with
+    /// [`RejectReason::Backpressure`].
+    pub queue_cap: usize,
+    /// Idle time after which [`Gateway::evict_idle`] removes a session.
+    pub idle_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            workers: 4,
+            shards: 8,
+            queue_cap: 64,
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Callback answering one submitted frame.
+pub type Responder = Box<dyn FnOnce(Reply) + Send>;
+
+struct SessionCore {
+    guard: SessionGuard,
+    queue: VecDeque<(Frame, Responder)>,
+    scheduled: bool,
+    closed: bool,
+    last_active: Instant,
+}
+
+type Shard = Mutex<HashMap<u64, Arc<Mutex<SessionCore>>>>;
+
+struct GatewayInner {
+    prog: Arc<GuardProgram>,
+    codec: WireCodec,
+    stats: RuntimeStats,
+    shards: Vec<Shard>,
+    pool: ThreadPool,
+    /// Frames accepted into some queue but not yet answered.
+    pending: AtomicU64,
+    draining: AtomicBool,
+    cfg: GatewayConfig,
+}
+
+/// A cloneable handle to one running gateway.
+#[derive(Clone)]
+pub struct Gateway {
+    inner: Arc<GatewayInner>,
+}
+
+impl Gateway {
+    /// Compiles `parts` (components plus the derived converter) against
+    /// `service` and starts a gateway with `cfg.workers` threads.
+    pub fn new(parts: &[&Spec], service: &Spec, cfg: GatewayConfig) -> Result<Gateway, SpecError> {
+        let prog = Arc::new(GuardProgram::new(parts, service)?);
+        let codec = WireCodec::from_table(Arc::clone(prog.table()));
+        let stats = RuntimeStats::new(codec.table().len());
+        let shards = (0..cfg.shards.max(1)).map(|_| Shard::default()).collect();
+        let pool = ThreadPool::new(cfg.workers.max(1));
+        Ok(Gateway {
+            inner: Arc::new(GatewayInner {
+                prog,
+                codec,
+                stats,
+                shards,
+                pool,
+                pending: AtomicU64::new(0),
+                draining: AtomicBool::new(false),
+                cfg,
+            }),
+        })
+    }
+
+    /// The wire codec (shared event table) of this gateway.
+    pub fn codec(&self) -> &WireCodec {
+        &self.inner.codec
+    }
+
+    /// Submits one frame; `respond` fires exactly once with the reply,
+    /// possibly on a worker thread.
+    pub fn submit(&self, frame: Frame, respond: Responder) {
+        let inner = &self.inner;
+        inner.stats.note_frame();
+        let session = frame.session();
+        if inner.draining.load(Ordering::Acquire) {
+            inner.stats.note_reject(RejectReason::Draining);
+            respond(Reply::Rejected {
+                session,
+                reason: RejectReason::Draining,
+            });
+            return;
+        }
+        let shard = &inner.shards[(session % inner.shards.len() as u64) as usize];
+        let core = {
+            let mut map = shard.lock().unwrap();
+            Arc::clone(map.entry(session).or_insert_with(|| {
+                inner.stats.note_open();
+                Arc::new(Mutex::new(SessionCore {
+                    guard: SessionGuard::new(Arc::clone(&inner.prog)),
+                    queue: VecDeque::new(),
+                    scheduled: false,
+                    closed: false,
+                    last_active: Instant::now(),
+                }))
+            }))
+        };
+        let schedule = {
+            let mut core = core.lock().unwrap();
+            if core.queue.len() >= inner.cfg.queue_cap {
+                drop(core);
+                inner.stats.note_reject(RejectReason::Backpressure);
+                respond(Reply::Rejected {
+                    session,
+                    reason: RejectReason::Backpressure,
+                });
+                return;
+            }
+            core.queue.push_back((frame, respond));
+            inner.stats.note_queue_depth(core.queue.len());
+            inner.pending.fetch_add(1, Ordering::AcqRel);
+            if core.scheduled {
+                false
+            } else {
+                core.scheduled = true;
+                true
+            }
+        };
+        if schedule {
+            let inner = Arc::clone(&self.inner);
+            let core = Arc::clone(&core);
+            self.inner
+                .pool
+                .execute(move || drain_session(&inner, &core, session));
+        }
+    }
+
+    /// Submits `frame` and blocks for the reply (loopback-style use).
+    pub fn call(&self, frame: Frame) -> Reply {
+        let (tx, rx) = mpsc::channel();
+        self.submit(
+            frame,
+            Box::new(move |reply| {
+                let _ = tx.send(reply);
+            }),
+        );
+        rx.recv().expect("gateway dropped a responder")
+    }
+
+    /// Removes sessions idle longer than the configured timeout.
+    /// Returns how many were evicted.
+    pub fn evict_idle(&self) -> usize {
+        let inner = &self.inner;
+        let mut evicted = 0;
+        for shard in &inner.shards {
+            let mut map = shard.lock().unwrap();
+            map.retain(|_, core| {
+                let core = core.lock().unwrap();
+                let stale = !core.scheduled
+                    && core.queue.is_empty()
+                    && core.last_active.elapsed() >= inner.cfg.idle_timeout;
+                if stale {
+                    if core.closed {
+                        inner.stats.note_close();
+                    } else {
+                        inner.stats.note_evict();
+                    }
+                    evicted += 1;
+                }
+                !stale
+            });
+        }
+        evicted
+    }
+
+    /// Stops admitting frames and waits until every queued frame has
+    /// been answered and all workers are idle.
+    pub fn drain(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+        while self.inner.pending.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.inner.pool.join();
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner.stats.snapshot(self.inner.codec.table())
+    }
+
+    /// Sessions currently resident in the table.
+    pub fn resident_sessions(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .sum()
+    }
+}
+
+/// Worker job: drains one session's queue to empty, answering each
+/// frame in order, then unschedules itself.
+fn drain_session(inner: &Arc<GatewayInner>, core: &Arc<Mutex<SessionCore>>, _session: u64) {
+    loop {
+        let mut guard = core.lock().unwrap();
+        match guard.queue.pop_front() {
+            Some((frame, respond)) => {
+                let reply = process(inner, &mut guard, frame);
+                guard.last_active = Instant::now();
+                drop(guard);
+                respond(reply);
+                inner.pending.fetch_sub(1, Ordering::AcqRel);
+            }
+            None => {
+                guard.scheduled = false;
+                return;
+            }
+        }
+    }
+}
+
+/// Applies one frame to a session under its lock.
+fn process(inner: &GatewayInner, core: &mut SessionCore, frame: Frame) -> Reply {
+    let session = frame.session();
+    let reject = |reason: RejectReason| {
+        inner.stats.note_reject(reason);
+        Reply::Rejected { session, reason }
+    };
+    if core.closed {
+        return reject(RejectReason::Closed);
+    }
+    match frame {
+        Frame::Event { event, .. } => {
+            if inner.codec.event_of(event).is_none() {
+                return reject(RejectReason::UnknownEvent);
+            }
+            let already = core.guard.convicted().is_some();
+            match core.guard.observe(event) {
+                Ok(()) => {
+                    inner.stats.note_accept(event);
+                    Reply::Accepted { session }
+                }
+                Err(conviction) => {
+                    if already {
+                        reject(RejectReason::Convicted)
+                    } else {
+                        inner.stats.note_conviction(&conviction);
+                        reject(conviction.reject_reason())
+                    }
+                }
+            }
+        }
+        Frame::Stall { .. } => {
+            let already = core.guard.convicted().is_some();
+            match core.guard.attest_stall() {
+                Ok(()) => Reply::Accepted { session },
+                Err(conviction) => {
+                    if already {
+                        reject(RejectReason::Convicted)
+                    } else {
+                        inner.stats.note_conviction(&conviction);
+                        reject(conviction.reject_reason())
+                    }
+                }
+            }
+        }
+        Frame::Close { .. } => {
+            core.closed = true;
+            Reply::Accepted { session }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::SpecBuilder;
+
+    fn relay_system() -> (Spec, Spec) {
+        let mut b = SpecBuilder::new("impl");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.ext(s0, "acc", s1);
+        b.ext(s1, "del", s0);
+        let implementation = b.build().unwrap();
+        let mut b = SpecBuilder::new("service");
+        let u0 = b.state("u0");
+        let u1 = b.state("u1");
+        b.ext(u0, "acc", u1);
+        b.ext(u1, "del", u0);
+        (implementation, b.build().unwrap())
+    }
+
+    fn gateway(cfg: GatewayConfig) -> Gateway {
+        let (implementation, service) = relay_system();
+        Gateway::new(&[&implementation], &service, cfg).unwrap()
+    }
+
+    #[test]
+    fn sessions_are_isolated_and_ordered() {
+        let gw = gateway(GatewayConfig::default());
+        let acc = gw
+            .codec()
+            .event_frame(1, protoquot_spec::EventId::new("acc"));
+        let acc = acc.unwrap();
+        assert_eq!(gw.call(acc), Reply::Accepted { session: 1 });
+        // Session 2 starts fresh: `del` first is a service violation
+        // there, while session 1 can take it.
+        let del2 = gw
+            .codec()
+            .event_frame(2, protoquot_spec::EventId::new("del"))
+            .unwrap();
+        assert_eq!(
+            gw.call(del2),
+            Reply::Rejected {
+                session: 2,
+                reason: RejectReason::NotATrace,
+            }
+        );
+        let del1 = gw
+            .codec()
+            .event_frame(1, protoquot_spec::EventId::new("del"))
+            .unwrap();
+        assert_eq!(gw.call(del1), Reply::Accepted { session: 1 });
+        assert_eq!(gw.resident_sessions(), 2);
+        let snap = gw.stats();
+        assert_eq!(snap.sessions_opened, 2);
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.convictions, 1);
+        gw.drain();
+    }
+
+    #[test]
+    fn close_then_evict_removes_the_session() {
+        let cfg = GatewayConfig {
+            idle_timeout: Duration::from_millis(0),
+            ..GatewayConfig::default()
+        };
+        let gw = gateway(cfg);
+        assert_eq!(
+            gw.call(Frame::Close { session: 9 }),
+            Reply::Accepted { session: 9 }
+        );
+        let acc = gw
+            .codec()
+            .event_frame(9, protoquot_spec::EventId::new("acc"))
+            .unwrap();
+        assert_eq!(
+            gw.call(acc),
+            Reply::Rejected {
+                session: 9,
+                reason: RejectReason::Closed,
+            }
+        );
+        // Drain first: the worker unschedules the session only after
+        // answering its last frame.
+        gw.drain();
+        assert_eq!(gw.evict_idle(), 1);
+        assert_eq!(gw.resident_sessions(), 0);
+        let snap = gw.stats();
+        assert_eq!(snap.sessions_closed, 1);
+    }
+
+    #[test]
+    fn draining_rejects_new_frames() {
+        let gw = gateway(GatewayConfig::default());
+        gw.drain();
+        let acc = gw
+            .codec()
+            .event_frame(3, protoquot_spec::EventId::new("acc"))
+            .unwrap();
+        assert_eq!(
+            gw.call(acc),
+            Reply::Rejected {
+                session: 3,
+                reason: RejectReason::Draining,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_event_indices_bounce() {
+        let gw = gateway(GatewayConfig::default());
+        assert_eq!(
+            gw.call(Frame::Event {
+                session: 4,
+                event: 999
+            }),
+            Reply::Rejected {
+                session: 4,
+                reason: RejectReason::UnknownEvent,
+            }
+        );
+        gw.drain();
+    }
+
+    #[test]
+    fn many_sessions_in_parallel_stay_consistent() {
+        let cfg = GatewayConfig {
+            workers: 8,
+            ..GatewayConfig::default()
+        };
+        let gw = gateway(cfg);
+        let codec = gw.codec().clone();
+        std::thread::scope(|scope| {
+            for session in 0..32u64 {
+                let gw = gw.clone();
+                let codec = codec.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let acc = codec.event_frame(session, protoquot_spec::EventId::new("acc"));
+                        assert_eq!(gw.call(acc.unwrap()), Reply::Accepted { session });
+                        let del = codec.event_frame(session, protoquot_spec::EventId::new("del"));
+                        assert_eq!(gw.call(del.unwrap()), Reply::Accepted { session });
+                    }
+                });
+            }
+        });
+        let snap = gw.stats();
+        assert_eq!(snap.accepted, 32 * 100);
+        assert_eq!(snap.convictions, 0);
+        gw.drain();
+    }
+}

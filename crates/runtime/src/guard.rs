@@ -1,0 +1,461 @@
+//! Online conformance guard: per-session trace validation.
+//!
+//! A [`GuardProgram`] compiles the loaded system — the fixed components
+//! plus the derived converter — into the exact CSR objects the static
+//! verifier uses ([`protoquot_spec::compile_composite`] and
+//! [`protoquot_spec::tau_star_rows`] over the shared
+//! [`protoquot_spec::EventTable`]) and hands out per-session
+//! [`SessionGuard`]s that re-check the paper's two-part satisfaction
+//! relation *online*, frame by frame:
+//!
+//! * **trace membership** — the guard tracks the subset of composite
+//!   states reachable under the observed external trace (τ-closure,
+//!   then an external step per frame). An empty set convicts the frame
+//!   as [`Conviction::NotATrace`]: no execution of `B ‖ C` produces it.
+//! * **safety** — the ψ-hub of the normalized service steps alongside.
+//!   A frame the service cannot take is a
+//!   [`Conviction::ServiceViolation`] (trace inclusion fails).
+//! * **progress** — after every accepted frame, each possible composite
+//!   state is tested for the paper's sink-acceptance containment
+//!   (`∃` acceptance set `A` of the current hub with `A ⊆ τ*(s)`).
+//!   When *every* possible state fails, the true system state fails
+//!   too, so the session is convicted of [`Conviction::Stalled`]. When
+//!   a client *attests* a stall ([`SessionGuard::attest_stall`]), the
+//!   existence of *one* failing possible state confirms a reachable
+//!   progress fault and convicts.
+//!
+//! Both progress rules are sound with respect to the static check: for
+//! a converter that passes [`protoquot_spec::verify_system`], every
+//! reachable `(state, hub)` pair satisfies containment, so no genuine
+//! trace can ever convict.
+
+use crate::codec::RejectReason;
+use protoquot_spec::{
+    compile_composite, normalize, tau_star_rows, Alphabet, CompiledComposite, EventId, EventTable,
+    NormalSpec, Spec, SpecError,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Why a session was convicted by the online guard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Conviction {
+    /// The frame is not an event any execution of `B ‖ C` can produce
+    /// after the accepted prefix.
+    NotATrace {
+        /// Event-table index of the offending frame.
+        event: u16,
+    },
+    /// `B ‖ C` can produce the event, but the service specification
+    /// cannot — trace inclusion (the paper's safety half) fails.
+    ServiceViolation {
+        /// Event-table index of the offending frame.
+        event: u16,
+    },
+    /// Sink-acceptance containment fails for the reachable states —
+    /// the progress half of satisfaction is violated.
+    Stalled,
+}
+
+impl Conviction {
+    /// The wire reject code reported for this conviction.
+    pub fn reject_reason(&self) -> RejectReason {
+        match self {
+            Conviction::NotATrace { .. } => RejectReason::NotATrace,
+            Conviction::ServiceViolation { .. } => RejectReason::ServiceViolation,
+            Conviction::Stalled => RejectReason::Stalled,
+        }
+    }
+}
+
+impl std::fmt::Display for Conviction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Conviction::NotATrace { event } => write!(f, "not a trace (event #{event})"),
+            Conviction::ServiceViolation { event } => {
+                write!(f, "service violation (event #{event})")
+            }
+            Conviction::Stalled => write!(f, "progress stall"),
+        }
+    }
+}
+
+/// Compiled guard shared by every session of one gateway.
+pub struct GuardProgram {
+    table: Arc<EventTable>,
+    comp: CompiledComposite,
+    /// `τ*` bitset rows, `words` u64 words per composite state.
+    tau: Vec<u64>,
+    words: usize,
+    norm: NormalSpec,
+    /// Per-hub acceptance sets as bitsets over the event table.
+    acc: Vec<Vec<Vec<u64>>>,
+}
+
+impl GuardProgram {
+    /// Compiles `parts` (components plus converter) against `service`.
+    ///
+    /// Mirrors the validation of [`protoquot_spec::verify_system`]: the
+    /// solo (externally visible) alphabet of the composition must equal
+    /// the service alphabet, and no event may be shared by more than
+    /// two components.
+    pub fn new(parts: &[&Spec], service: &Spec) -> Result<GuardProgram, SpecError> {
+        assert!(
+            !parts.is_empty(),
+            "GuardProgram needs at least one component"
+        );
+        let mut counts: HashMap<EventId, usize> = HashMap::new();
+        for p in parts {
+            for e in p.alphabet().iter() {
+                *counts.entry(e).or_insert(0) += 1;
+            }
+        }
+        let mut iface = Alphabet::new();
+        for (&e, &c) in &counts {
+            if c == 1 {
+                iface.insert(e);
+            }
+        }
+        if &iface != service.alphabet() {
+            return Err(SpecError::InterfaceMismatch {
+                left: format!("{iface}"),
+                right: format!("{}", service.alphabet()),
+            });
+        }
+        let table = EventTable::new(service.alphabet());
+        let comp = compile_composite(parts, &table)?;
+        let words = table.words();
+        let tau = tau_star_rows(&comp, words);
+        let norm = normalize(service);
+        let acc = (0..norm.num_hubs())
+            .map(|h| {
+                norm.acceptance(h)
+                    .iter()
+                    .map(|a| table.alphabet_bits(a))
+                    .collect()
+            })
+            .collect();
+        Ok(GuardProgram {
+            table: Arc::new(table),
+            comp,
+            tau,
+            words,
+            norm,
+            acc,
+        })
+    }
+
+    /// The shared event table (index ↔ event mapping on the wire).
+    pub fn table(&self) -> &Arc<EventTable> {
+        &self.table
+    }
+
+    /// Composite states of the compiled `B ‖ C`.
+    pub fn num_states(&self) -> usize {
+        self.comp.n
+    }
+
+    /// ψ-hubs of the normalized service.
+    pub fn num_hubs(&self) -> usize {
+        self.norm.num_hubs()
+    }
+
+    /// Does composite state `s` satisfy sink-acceptance containment
+    /// against hub `hub`?
+    fn progress_ok(&self, s: u32, hub: usize) -> bool {
+        let row = &self.tau[s as usize * self.words..(s as usize + 1) * self.words];
+        self.acc[hub]
+            .iter()
+            .any(|a| a.iter().zip(row).all(|(&aw, &rw)| aw & !rw == 0))
+    }
+}
+
+/// Per-session online guard state.
+pub struct SessionGuard {
+    prog: Arc<GuardProgram>,
+    /// τ-closed, sorted, deduplicated set of possible composite states.
+    possible: Vec<u32>,
+    /// Scratch mark bits for the τ-closure (cleared after each use).
+    seen: Vec<bool>,
+    hub: usize,
+    convicted: Option<Conviction>,
+    observed: u64,
+}
+
+impl SessionGuard {
+    /// A fresh guard at the initial state of the compiled product.
+    ///
+    /// If the initial configuration already fails progress containment
+    /// for every reachable state, the session starts convicted — the
+    /// static verdict is necessarily a progress failure too.
+    pub fn new(prog: Arc<GuardProgram>) -> SessionGuard {
+        let n = prog.num_states();
+        let possible = vec![prog.comp.initial];
+        let hub = prog.norm.initial_hub();
+        let mut guard = SessionGuard {
+            prog,
+            possible,
+            seen: vec![false; n],
+            hub,
+            convicted: None,
+            observed: 0,
+        };
+        guard.tau_close();
+        if guard.all_fail() {
+            guard.convicted = Some(Conviction::Stalled);
+        }
+        guard
+    }
+
+    /// Extends `possible` with everything reachable over internal
+    /// edges, leaving it sorted and deduplicated.
+    fn tau_close(&mut self) {
+        let comp = &self.prog.comp;
+        for &s in &self.possible {
+            self.seen[s as usize] = true;
+        }
+        let mut i = 0;
+        while i < self.possible.len() {
+            let s = self.possible[i] as usize;
+            for k in comp.int_off[s] as usize..comp.int_off[s + 1] as usize {
+                let t = comp.int_tgt[k];
+                if !self.seen[t as usize] {
+                    self.seen[t as usize] = true;
+                    self.possible.push(t);
+                }
+            }
+            i += 1;
+        }
+        self.possible.sort_unstable();
+        for &s in &self.possible {
+            self.seen[s as usize] = false;
+        }
+    }
+
+    fn all_fail(&self) -> bool {
+        self.possible
+            .iter()
+            .all(|&s| !self.prog.progress_ok(s, self.hub))
+    }
+
+    /// Validates one external event frame (an event-table index).
+    ///
+    /// On `Err` the session is convicted and stays convicted; every
+    /// later call returns the same conviction.
+    pub fn observe(&mut self, event: u16) -> Result<(), Conviction> {
+        if let Some(c) = &self.convicted {
+            return Err(c.clone());
+        }
+        let Some(eid) = self.prog.table.event(u32::from(event)) else {
+            // The gateway rejects unknown indices before reaching the
+            // guard; treat a stray one as a non-trace.
+            let c = Conviction::NotATrace { event };
+            self.convicted = Some(c.clone());
+            return Err(c);
+        };
+        let comp = &self.prog.comp;
+        let mut next: Vec<u32> = Vec::with_capacity(self.possible.len());
+        for &s in &self.possible {
+            let s = s as usize;
+            for k in comp.ext_off[s] as usize..comp.ext_off[s + 1] as usize {
+                if comp.ext_ev[k] == u32::from(event) {
+                    let t = comp.ext_tgt[k];
+                    if !self.seen[t as usize] {
+                        self.seen[t as usize] = true;
+                        next.push(t);
+                    }
+                }
+            }
+        }
+        for &t in &next {
+            self.seen[t as usize] = false;
+        }
+        if next.is_empty() {
+            let c = Conviction::NotATrace { event };
+            self.convicted = Some(c.clone());
+            return Err(c);
+        }
+        let Some(hub) = self.prog.norm.step(self.hub, eid) else {
+            let c = Conviction::ServiceViolation { event };
+            self.convicted = Some(c.clone());
+            return Err(c);
+        };
+        self.possible = next;
+        self.hub = hub;
+        self.observed += 1;
+        self.tau_close();
+        if self.all_fail() {
+            let c = Conviction::Stalled;
+            self.convicted = Some(c.clone());
+            return Err(c);
+        }
+        Ok(())
+    }
+
+    /// Confirms or dismisses a client-attested stall.
+    ///
+    /// Convicts when some possible state fails containment — the
+    /// attested stall then witnesses a reachable progress-failing pair.
+    /// An attestation no possible state supports is dismissed (`Ok`).
+    pub fn attest_stall(&mut self) -> Result<(), Conviction> {
+        if let Some(c) = &self.convicted {
+            return Err(c.clone());
+        }
+        if self
+            .possible
+            .iter()
+            .any(|&s| !self.prog.progress_ok(s, self.hub))
+        {
+            let c = Conviction::Stalled;
+            self.convicted = Some(c.clone());
+            return Err(c);
+        }
+        Ok(())
+    }
+
+    /// The conviction, if the session has one.
+    pub fn convicted(&self) -> Option<&Conviction> {
+        self.convicted.as_ref()
+    }
+
+    /// Frames accepted so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of composite states currently possible.
+    pub fn possible_states(&self) -> usize {
+        self.possible.len()
+    }
+
+    /// The interned event behind a wire index, if any.
+    pub fn event_of(&self, event: u16) -> Option<EventId> {
+        self.prog.table.event(u32::from(event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::SpecBuilder;
+
+    fn service() -> Spec {
+        let mut b = SpecBuilder::new("service");
+        let u0 = b.state("u0");
+        let u1 = b.state("u1");
+        b.ext(u0, "acc", u1);
+        b.ext(u1, "del", u0);
+        b.build().unwrap()
+    }
+
+    fn idx(prog: &GuardProgram, name: &str) -> u16 {
+        prog.table
+            .events
+            .iter()
+            .position(|e| e.name() == name)
+            .unwrap() as u16
+    }
+
+    #[test]
+    fn genuine_traces_are_accepted() {
+        let mut b = SpecBuilder::new("impl");
+        let s0 = b.state("s0");
+        let mid = b.state("mid");
+        let s1 = b.state("s1");
+        b.ext(s0, "acc", mid);
+        b.int(mid, s1);
+        b.ext(s1, "del", s0);
+        let implementation = b.build().unwrap();
+        let svc = service();
+        let prog = Arc::new(GuardProgram::new(&[&implementation], &svc).unwrap());
+        let (acc, del) = (idx(&prog, "acc"), idx(&prog, "del"));
+        let mut g = SessionGuard::new(Arc::clone(&prog));
+        for _ in 0..3 {
+            assert_eq!(g.observe(acc), Ok(()));
+            assert_eq!(g.observe(del), Ok(()));
+        }
+        assert_eq!(g.observed(), 6);
+        assert!(g.convicted().is_none());
+        assert_eq!(g.attest_stall(), Ok(()));
+    }
+
+    #[test]
+    fn non_traces_and_service_violations_convict() {
+        // `del` is enabled initially in the implementation but not in
+        // the service: membership passes, trace inclusion fails.
+        let mut b = SpecBuilder::new("impl");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.ext(s0, "acc", s1);
+        b.ext(s1, "del", s0);
+        b.ext(s0, "del", s0);
+        let implementation = b.build().unwrap();
+        let svc = service();
+        let prog = Arc::new(GuardProgram::new(&[&implementation], &svc).unwrap());
+        let (acc, del) = (idx(&prog, "acc"), idx(&prog, "del"));
+
+        let mut g = SessionGuard::new(Arc::clone(&prog));
+        assert_eq!(
+            g.observe(del),
+            Err(Conviction::ServiceViolation { event: del })
+        );
+        // Convictions are sticky.
+        assert_eq!(
+            g.observe(acc),
+            Err(Conviction::ServiceViolation { event: del })
+        );
+
+        // Double `acc` is impossible in the composite itself.
+        let mut g = SessionGuard::new(Arc::clone(&prog));
+        assert_eq!(g.observe(acc), Ok(()));
+        assert_eq!(g.observe(acc), Err(Conviction::NotATrace { event: acc }));
+    }
+
+    #[test]
+    fn dead_ends_convict_eagerly() {
+        let mut b = SpecBuilder::new("impl");
+        let s0 = b.state("s0");
+        let dead = b.state("dead");
+        b.ext(s0, "acc", dead);
+        let implementation = b
+            .build()
+            .unwrap()
+            .with_alphabet_extended(service().alphabet());
+        let svc = service();
+        let prog = Arc::new(GuardProgram::new(&[&implementation], &svc).unwrap());
+        let acc = idx(&prog, "acc");
+        let mut g = SessionGuard::new(Arc::clone(&prog));
+        assert_eq!(g.observe(acc), Err(Conviction::Stalled));
+    }
+
+    #[test]
+    fn attested_stalls_need_a_failing_witness() {
+        // Nondeterministic `acc`: one branch progresses, one is stuck.
+        // The eager all-fail rule cannot fire, but an attested stall is
+        // confirmed by the stuck branch.
+        let mut b = SpecBuilder::new("impl");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        let dead = b.state("dead");
+        b.ext(s0, "acc", s1);
+        b.ext(s0, "acc", dead);
+        b.ext(s1, "del", s0);
+        let implementation = b.build().unwrap();
+        let svc = service();
+        let prog = Arc::new(GuardProgram::new(&[&implementation], &svc).unwrap());
+        let acc = idx(&prog, "acc");
+        let mut g = SessionGuard::new(Arc::clone(&prog));
+        assert_eq!(g.observe(acc), Ok(()));
+        assert_eq!(g.possible_states(), 2);
+        assert_eq!(g.attest_stall(), Err(Conviction::Stalled));
+    }
+
+    #[test]
+    fn interface_mismatch_is_rejected() {
+        let mut b = SpecBuilder::new("impl");
+        let s0 = b.state("s0");
+        b.ext(s0, "other", s0);
+        let implementation = b.build().unwrap();
+        assert!(GuardProgram::new(&[&implementation], &service()).is_err());
+    }
+}

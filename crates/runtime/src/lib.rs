@@ -1,0 +1,46 @@
+//! # protoquot-runtime
+//!
+//! A live gateway runtime for derived protocol converters.
+//!
+//! The rest of the workspace *derives* and *verifies* converters in
+//! the sense of Calvert & Lam's top-down method; this crate *executes*
+//! them as a production-shaped relay:
+//!
+//! * [`codec`] — a length-prefixed wire format whose event frames are
+//!   indices into the shared [`protoquot_spec::EventTable`] (stable
+//!   across processes because the table is sorted by event name);
+//! * [`guard`] — the online conformance guard: each session re-checks
+//!   trace membership in `B ‖ C`, service trace inclusion (ψ-hub), and
+//!   sink-acceptance progress containment, frame by frame, on the same
+//!   compiled CSR objects the static verifier uses;
+//! * [`gateway`] — a sharded, session-multiplexed relay: striped
+//!   session table, per-session bounded queues drained by a worker
+//!   pool, backpressure, idle eviction, graceful drain;
+//! * [`transport`] — in-memory loopback and blocking TCP carriers of
+//!   the same bytes;
+//! * [`mod@drive`] — a seeded load generator replaying fleet-style fault
+//!   schedules over the wire, attesting stalls to the server;
+//! * [`stats`] — lock-free counters with JSON snapshots.
+//!
+//! The headline property, enforced by `tests/runtime_agreement.rs` at
+//! the workspace root: **every event sequence the runtime accepts is a
+//! trace the static checker accepts, and every faulty converter the
+//! static checker rejects is convicted online** when driven with the
+//! same fleet schedules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod drive;
+pub mod gateway;
+pub mod guard;
+pub mod stats;
+pub mod transport;
+
+pub use codec::{Frame, RejectReason, Reply, WireCodec};
+pub use drive::{drive, DriveConfig, DriveReport, RunOutcome};
+pub use gateway::{Gateway, GatewayConfig, Responder};
+pub use guard::{Conviction, GuardProgram, SessionGuard};
+pub use stats::{RuntimeStats, StatsSnapshot};
+pub use transport::{Conn, LoopbackConn, TcpConn, TcpServer};

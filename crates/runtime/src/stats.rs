@@ -1,0 +1,295 @@
+//! Gateway observability: lock-free counters and JSON snapshots.
+//!
+//! [`RuntimeStats`] is a bag of atomics bumped from the hot paths
+//! (submit, drain, evict); [`StatsSnapshot`] is an immutable view with
+//! derived rates, rendered as text (`protoquot serve --stats`) or JSON
+//! (the periodic snapshot stream).
+
+use crate::codec::RejectReason;
+use crate::guard::Conviction;
+use protoquot_spec::EventTable;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const REASONS: [RejectReason; 8] = [
+    RejectReason::NotATrace,
+    RejectReason::ServiceViolation,
+    RejectReason::Stalled,
+    RejectReason::Convicted,
+    RejectReason::Backpressure,
+    RejectReason::Draining,
+    RejectReason::Closed,
+    RejectReason::UnknownEvent,
+];
+
+fn reason_slot(reason: RejectReason) -> usize {
+    REASONS.iter().position(|&r| r == reason).unwrap()
+}
+
+/// Shared counters of one gateway.
+pub struct RuntimeStats {
+    started: Instant,
+    sessions_opened: AtomicU64,
+    sessions_evicted: AtomicU64,
+    sessions_closed: AtomicU64,
+    sessions_active: AtomicU64,
+    frames: AtomicU64,
+    accepted: AtomicU64,
+    rejects: [AtomicU64; 8],
+    convictions: AtomicU64,
+    queue_high_water: AtomicU64,
+    /// Accepted frames per event-table index.
+    per_event: Vec<AtomicU64>,
+}
+
+impl RuntimeStats {
+    /// Fresh counters for a table of `num_events` wire events.
+    pub fn new(num_events: usize) -> RuntimeStats {
+        RuntimeStats {
+            started: Instant::now(),
+            sessions_opened: AtomicU64::new(0),
+            sessions_evicted: AtomicU64::new(0),
+            sessions_closed: AtomicU64::new(0),
+            sessions_active: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            rejects: Default::default(),
+            convictions: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            per_event: (0..num_events).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A session was created.
+    pub fn note_open(&self) {
+        self.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        self.sessions_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session was evicted by the idle sweeper.
+    pub fn note_evict(&self) {
+        self.sessions_evicted.fetch_add(1, Ordering::Relaxed);
+        self.sessions_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A session was closed and removed.
+    pub fn note_close(&self) {
+        self.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        self.sessions_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A frame arrived (before any verdict).
+    pub fn note_frame(&self) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An event frame passed the guard.
+    pub fn note_accept(&self, event: u16) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = self.per_event.get(usize::from(event)) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A frame was rejected with `reason`.
+    pub fn note_reject(&self, reason: RejectReason) {
+        self.rejects[reason_slot(reason)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The guard convicted a session (counted once per session).
+    pub fn note_conviction(&self, _conviction: &Conviction) {
+        self.convictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A per-session queue reached depth `depth`.
+    pub fn note_queue_depth(&self, depth: usize) {
+        self.queue_high_water
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// An immutable snapshot with derived rates.
+    pub fn snapshot(&self, table: &EventTable) -> StatsSnapshot {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let accepted = self.accepted.load(Ordering::Relaxed);
+        StatsSnapshot {
+            uptime_secs: elapsed,
+            sessions_opened: self.sessions_opened.load(Ordering::Relaxed),
+            sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
+            sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            accepted,
+            events_per_sec: accepted as f64 / elapsed,
+            rejects: REASONS
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (r.name(), self.rejects[i].load(Ordering::Relaxed)))
+                .filter(|&(_, n)| n > 0)
+                .collect(),
+            convictions: self.convictions.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            per_event: table
+                .events
+                .iter()
+                .zip(&self.per_event)
+                .map(|(e, c)| (e.name(), c.load(Ordering::Relaxed)))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of [`RuntimeStats`].
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    /// Seconds since the gateway started.
+    pub uptime_secs: f64,
+    /// Sessions ever created.
+    pub sessions_opened: u64,
+    /// Sessions removed by the idle sweeper.
+    pub sessions_evicted: u64,
+    /// Sessions removed after a `Close` frame.
+    pub sessions_closed: u64,
+    /// Sessions currently resident.
+    pub sessions_active: u64,
+    /// Frames received.
+    pub frames: u64,
+    /// Event frames accepted by the guard.
+    pub accepted: u64,
+    /// Accepted events per second of uptime.
+    pub events_per_sec: f64,
+    /// Reject counts per reason (zero counts omitted).
+    pub rejects: Vec<(&'static str, u64)>,
+    /// Sessions convicted by the online guard.
+    pub convictions: u64,
+    /// Deepest per-session queue observed.
+    pub queue_high_water: u64,
+    /// Accepted frames per event name, in event-table order.
+    pub per_event: Vec<(String, u64)>,
+}
+
+impl StatsSnapshot {
+    /// The snapshot as a JSON value tree.
+    pub fn to_value(&self) -> Value {
+        let mut o = BTreeMap::new();
+        o.insert("uptime_secs".into(), Value::Float(self.uptime_secs));
+        let mut s = BTreeMap::new();
+        s.insert("opened".into(), Value::Int(self.sessions_opened as i128));
+        s.insert("evicted".into(), Value::Int(self.sessions_evicted as i128));
+        s.insert("closed".into(), Value::Int(self.sessions_closed as i128));
+        s.insert("active".into(), Value::Int(self.sessions_active as i128));
+        o.insert("sessions".into(), Value::Obj(s));
+        o.insert("frames".into(), Value::Int(self.frames as i128));
+        o.insert("accepted".into(), Value::Int(self.accepted as i128));
+        o.insert("events_per_sec".into(), Value::Float(self.events_per_sec));
+        o.insert(
+            "rejects".into(),
+            Value::Obj(
+                self.rejects
+                    .iter()
+                    .map(|&(name, n)| (name.to_string(), Value::Int(n as i128)))
+                    .collect(),
+            ),
+        );
+        o.insert("convictions".into(), Value::Int(self.convictions as i128));
+        o.insert(
+            "queue_high_water".into(),
+            Value::Int(self.queue_high_water as i128),
+        );
+        o.insert(
+            "per_event".into(),
+            Value::Obj(
+                self.per_event
+                    .iter()
+                    .map(|(name, n)| (name.clone(), Value::Int(*n as i128)))
+                    .collect(),
+            ),
+        );
+        Value::Obj(o)
+    }
+
+    /// The snapshot as a compact JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("snapshot serialization cannot fail")
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "uptime {:.1}s | sessions active={} opened={} closed={} evicted={}",
+            self.uptime_secs,
+            self.sessions_active,
+            self.sessions_opened,
+            self.sessions_closed,
+            self.sessions_evicted
+        )?;
+        writeln!(
+            f,
+            "frames {} | accepted {} ({:.0} ev/s) | convictions {} | queue high-water {}",
+            self.frames,
+            self.accepted,
+            self.events_per_sec,
+            self.convictions,
+            self.queue_high_water
+        )?;
+        if !self.rejects.is_empty() {
+            let parts: Vec<String> = self
+                .rejects
+                .iter()
+                .map(|&(name, n)| format!("{name}={n}"))
+                .collect();
+            writeln!(f, "rejects {}", parts.join(" "))?;
+        }
+        let parts: Vec<String> = self
+            .per_event
+            .iter()
+            .map(|(name, n)| format!("{name}={n}"))
+            .collect();
+        write!(f, "events {}", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_spec::{Alphabet, EventId};
+
+    #[test]
+    fn counters_round_trip_into_snapshots() {
+        let table = EventTable::new(&Alphabet::from_names(["acc", "del"]));
+        let stats = RuntimeStats::new(table.len());
+        stats.note_open();
+        stats.note_frame();
+        stats.note_accept(0);
+        stats.note_frame();
+        stats.note_reject(RejectReason::Backpressure);
+        stats.note_conviction(&Conviction::Stalled);
+        stats.note_queue_depth(5);
+        stats.note_queue_depth(3);
+        stats.note_close();
+
+        let snap = stats.snapshot(&table);
+        assert_eq!(snap.sessions_opened, 1);
+        assert_eq!(snap.sessions_active, 0);
+        assert_eq!(snap.frames, 2);
+        assert_eq!(snap.accepted, 1);
+        assert_eq!(snap.rejects, vec![("backpressure", 1)]);
+        assert_eq!(snap.convictions, 1);
+        assert_eq!(snap.queue_high_water, 5);
+        let first = EventId::new("acc");
+        assert_eq!(snap.per_event[table.idx(first) as usize].1, 1);
+
+        let value = snap.to_value();
+        let obj = value.as_obj().unwrap();
+        assert_eq!(obj["accepted"], Value::Int(1));
+        assert_eq!(
+            obj["rejects"].as_obj().unwrap()["backpressure"],
+            Value::Int(1)
+        );
+        assert!(snap.to_json().contains("\"accepted\":1"));
+        assert!(format!("{snap}").contains("queue high-water 5"));
+    }
+}

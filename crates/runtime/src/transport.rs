@@ -1,0 +1,251 @@
+//! Wire transports: in-memory loopback and blocking TCP.
+//!
+//! Both sides speak the length-prefixed codec from [`crate::codec`].
+//! [`LoopbackConn`] round-trips every frame and reply through the
+//! encoder/decoder so in-process benchmarks exercise the real wire
+//! format; [`TcpServer`]/[`TcpConn`] carry the same bytes over
+//! `std::net` sockets. Clients are lockstep per connection (one
+//! outstanding frame), which keeps reply matching trivial.
+
+use crate::codec::{
+    decode_frame, decode_reply, encode_frame, encode_reply, read_frame, read_payload, write_frame,
+    write_reply, Frame, Reply,
+};
+use crate::gateway::Gateway;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One side of a frame/reply conversation with a gateway.
+pub trait Conn {
+    /// Sends `frame` and blocks for its reply.
+    fn call(&mut self, frame: &Frame) -> io::Result<Reply>;
+}
+
+/// In-process transport: encodes, decodes, and calls the gateway
+/// directly — the wire format without the socket.
+pub struct LoopbackConn {
+    gateway: Gateway,
+    buf: Vec<u8>,
+}
+
+impl LoopbackConn {
+    /// A loopback connection onto `gateway`.
+    pub fn new(gateway: Gateway) -> LoopbackConn {
+        LoopbackConn {
+            gateway,
+            buf: Vec::with_capacity(32),
+        }
+    }
+}
+
+impl Conn for LoopbackConn {
+    fn call(&mut self, frame: &Frame) -> io::Result<Reply> {
+        self.buf.clear();
+        encode_frame(frame, &mut self.buf);
+        let decoded = decode_frame(&self.buf[4..])?;
+        let reply = self.gateway.call(decoded);
+        self.buf.clear();
+        encode_reply(&reply, &mut self.buf);
+        Ok(decode_reply(&self.buf[4..])?)
+    }
+}
+
+/// Client side of the TCP transport.
+pub struct TcpConn {
+    stream: TcpStream,
+}
+
+impl TcpConn {
+    /// Connects to a serving gateway at `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpConn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpConn { stream })
+    }
+}
+
+impl Conn for TcpConn {
+    fn call(&mut self, frame: &Frame) -> io::Result<Reply> {
+        write_frame(&mut self.stream, frame)?;
+        match read_payload(&mut self.stream)? {
+            Some(payload) => Ok(decode_reply(&payload)?),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection mid-call",
+            )),
+        }
+    }
+}
+
+/// A running TCP acceptor in front of a gateway.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` and serves `gateway` until [`TcpServer::stop`].
+    ///
+    /// Each accepted connection gets a reader thread; replies are
+    /// written back by gateway workers through a shared write half, so
+    /// a slow client never blocks the acceptor.
+    pub fn bind<A: ToSocketAddrs>(gateway: Gateway, addr: A) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let acceptor = std::thread::spawn(move || {
+            let mut conns: Vec<JoinHandle<()>> = Vec::new();
+            while !accept_stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let gateway = gateway.clone();
+                        let stop = Arc::clone(&accept_stop);
+                        conns.push(std::thread::spawn(move || {
+                            let _ = serve_connection(&gateway, stream, &stop);
+                        }));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for c in conns {
+                let _ = c.join();
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and joins every connection thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads frames off one connection, submitting each to the gateway;
+/// replies are written (in completion order — lockstep clients see
+/// call order) through a mutex-shared clone of the stream.
+fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = stream;
+    while !stop.load(Ordering::Acquire) {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break, // clean EOF
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        };
+        let writer = Arc::clone(&writer);
+        gateway.submit(
+            frame,
+            Box::new(move |reply| {
+                let mut w = writer.lock().unwrap();
+                let _ = write_reply(&mut *w, &reply);
+            }),
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::RejectReason;
+    use crate::gateway::GatewayConfig;
+    use protoquot_spec::{EventId, Spec, SpecBuilder};
+
+    fn relay_gateway() -> Gateway {
+        let mut b = SpecBuilder::new("impl");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.ext(s0, "acc", s1);
+        b.ext(s1, "del", s0);
+        let implementation: Spec = b.build().unwrap();
+        let mut b = SpecBuilder::new("service");
+        let u0 = b.state("u0");
+        let u1 = b.state("u1");
+        b.ext(u0, "acc", u1);
+        b.ext(u1, "del", u0);
+        let service = b.build().unwrap();
+        Gateway::new(&[&implementation], &service, GatewayConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn loopback_round_trips_through_the_codec() {
+        let gw = relay_gateway();
+        let mut conn = LoopbackConn::new(gw.clone());
+        let acc = gw.codec().event_frame(7, EventId::new("acc")).unwrap();
+        assert_eq!(conn.call(&acc).unwrap(), Reply::Accepted { session: 7 });
+        let bad = gw.codec().event_frame(7, EventId::new("acc")).unwrap();
+        assert_eq!(
+            conn.call(&bad).unwrap(),
+            Reply::Rejected {
+                session: 7,
+                reason: RejectReason::NotATrace,
+            }
+        );
+        gw.drain();
+    }
+
+    #[test]
+    fn tcp_serves_concurrent_lockstep_clients() {
+        let gw = relay_gateway();
+        let mut server = TcpServer::bind(gw.clone(), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let acc = EventId::new("acc");
+        let del = EventId::new("del");
+        std::thread::scope(|scope| {
+            for session in 0..4u64 {
+                let codec = gw.codec().clone();
+                scope.spawn(move || {
+                    let mut conn = TcpConn::connect(addr).unwrap();
+                    for _ in 0..20 {
+                        let f = codec.event_frame(session, acc).unwrap();
+                        assert_eq!(conn.call(&f).unwrap(), Reply::Accepted { session });
+                        let f = codec.event_frame(session, del).unwrap();
+                        assert_eq!(conn.call(&f).unwrap(), Reply::Accepted { session });
+                    }
+                    let close = Frame::Close { session };
+                    assert_eq!(conn.call(&close).unwrap(), Reply::Accepted { session });
+                });
+            }
+        });
+        let snap = gw.stats();
+        assert_eq!(snap.accepted, 4 * 40);
+        assert_eq!(snap.convictions, 0);
+        server.stop();
+        gw.drain();
+    }
+}

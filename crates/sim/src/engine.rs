@@ -13,10 +13,10 @@
 //! by default the simulated environment is always willing
 //! ([`ExternalPolicy::AlwaysEnabled`]).
 
-use protoquot_spec::{EventId, Spec, StateId};
+use protoquot_spec::{Alphabet, EventId, EventTable, Spec, StateId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Splits a fleet-level seed into a per-run seed (SplitMix64 finalizer).
 /// Exposed so the fleet and its tests derive identical run seeds.
@@ -63,10 +63,13 @@ pub enum Action {
 pub struct System {
     components: Vec<Spec>,
     /// For each event: the components having it in their alphabet.
-    /// Sorted by event *name* (not interned id): interner ids depend on
-    /// which code interned first in this process, so ordering by them
-    /// would make identical seeds produce different schedules across
-    /// platforms, toolchains, and test harnesses. Names are stable.
+    /// Ordered by the shared [`EventTable`] (ascending event *name*,
+    /// never interned id): interner ids depend on which code interned
+    /// first in this process, so ordering by them would make identical
+    /// seeds produce different schedules across platforms, toolchains,
+    /// and test harnesses. The same table orders the verify engine's
+    /// bitsets and the runtime's wire codec, so all three agree on
+    /// event indices.
     owners: Vec<(EventId, Vec<usize>)>,
     policy: ExternalPolicy,
 }
@@ -75,14 +78,19 @@ impl System {
     /// Builds a system from components. Like the composition operator,
     /// events are wired by name.
     pub fn new(components: Vec<Spec>, policy: ExternalPolicy) -> System {
-        let mut by_id: BTreeMap<EventId, Vec<usize>> = BTreeMap::new();
+        let mut by_id: HashMap<EventId, Vec<usize>> = HashMap::new();
+        let mut all = Alphabet::new();
         for (i, c) in components.iter().enumerate() {
             for e in c.alphabet().iter() {
                 by_id.entry(e).or_default().push(i);
+                all.insert(e);
             }
         }
-        let mut owners: Vec<(EventId, Vec<usize>)> = by_id.into_iter().collect();
-        owners.sort_by_key(|(e, _)| e.name());
+        let owners = EventTable::new(&all)
+            .events
+            .iter()
+            .map(|&e| (e, by_id.remove(&e).unwrap_or_default()))
+            .collect();
         System {
             components,
             owners,

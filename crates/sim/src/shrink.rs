@@ -210,6 +210,71 @@ mod tests {
     }
 
     #[test]
+    fn empty_schedule_terminates_for_both_kinds() {
+        // Safety: an empty schedule cannot reproduce, so it comes back
+        // unchanged (and empty). Deadlock: a system that is dead from
+        // the start reproduces on the empty schedule, which is already
+        // minimal. Either way ddmin must terminate immediately.
+        let live = System::new(vec![sometimes_bad()], ExternalPolicy::AlwaysEnabled);
+        let min = shrink_schedule(&live, &good_service(), &[], FailureKind::Safety);
+        assert!(min.is_empty());
+
+        let mut b = SpecBuilder::new("Stuck");
+        b.state("s0"); // no transitions at all
+        let stuck = System::new(vec![b.build().unwrap()], ExternalPolicy::AlwaysEnabled);
+        let min = shrink_schedule(&stuck, &good_service(), &[], FailureKind::Deadlock);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn already_minimal_counterexample_is_returned_verbatim() {
+        let system = System::new(vec![sometimes_bad()], ExternalPolicy::AlwaysEnabled);
+        let s0 = protoquot_spec::StateId(0);
+        let schedule = vec![ev("bad", vec![(0, s0)])];
+        let min = shrink_schedule(&system, &good_service(), &schedule, FailureKind::Safety);
+        assert_eq!(min, schedule, "a 1-event counterexample cannot shrink");
+    }
+
+    #[test]
+    fn reorder_fragile_failure_shrinks_to_a_valid_trace() {
+        // `bad` is enabled only after `x` (s0 -x-> s1), and `y` undoes
+        // the arming (s1 -y-> s0). Deleting a chunk that contains an
+        // `x` but not its `bad` leaves later actions dis-enabled, so
+        // most ddmin candidates are fragile under this reordering;
+        // apply-if-enabled replay must skip them rather than wedge, and
+        // the search must still terminate on a genuine failing trace.
+        let mut b = SpecBuilder::new("Armed");
+        let s0 = b.state("s0");
+        let s1 = b.state("armed");
+        b.ext(s0, "x", s1);
+        b.ext(s1, "y", s0);
+        b.ext(s1, "bad", s1);
+        let system = System::new(vec![b.build().unwrap()], ExternalPolicy::AlwaysEnabled);
+
+        let mut service = SpecBuilder::new("S");
+        let u0 = service.state("u0");
+        service.ext(u0, "x", u0);
+        service.ext(u0, "y", u0);
+        service.event("bad");
+        let service = service.build().unwrap();
+
+        let mut schedule = Vec::new();
+        for _ in 0..12 {
+            schedule.push(ev("x", vec![(0, s1)]));
+            schedule.push(ev("y", vec![(0, s0)]));
+        }
+        schedule.push(ev("x", vec![(0, s1)]));
+        schedule.push(ev("bad", vec![(0, s1)]));
+
+        let min = shrink_schedule(&system, &service, &schedule, FailureKind::Safety);
+        assert_eq!(min.len(), 2, "minimal arming trace is x then bad: {min:?}");
+        // Whatever came back must itself replay to the same failure.
+        let replayed = replay(&system, &service, &min, FailureKind::Safety)
+            .expect("shrunk schedule must still fail");
+        assert_eq!(replayed, min);
+    }
+
+    #[test]
     fn inapplicable_actions_are_skipped_not_fatal() {
         let system = System::new(vec![sometimes_bad()], ExternalPolicy::AlwaysEnabled);
         let s0 = protoquot_spec::StateId(0);

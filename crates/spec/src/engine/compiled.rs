@@ -14,16 +14,29 @@ use crate::event::{Alphabet, EventId};
 use crate::spec::{Spec, StateId};
 use std::collections::HashMap;
 
-/// Interned table of the composite's external events, sorted ascending
-/// by [`EventId`] (the order [`Alphabet::iter`] yields).
-pub(crate) struct EventTable {
-    pub(crate) events: Vec<EventId>,
+/// Interned table of an alphabet's events, sorted ascending by event
+/// *name* — the single event-id assignment point shared by the verify
+/// engine, the simulation engine, and the runtime wire codec.
+///
+/// Numeric [`EventId`]s are process-local (the interner hands them out
+/// in first-use order), so two processes built from the same
+/// specification would disagree on them. Table indices depend only on
+/// the event names: identical alphabets yield identical index
+/// assignments in every process, which is what lets a gateway and a
+/// remote load generator agree on the wire encoding of each event.
+pub struct EventTable {
+    /// The events, ascending by name; the table index of an event is
+    /// its position here.
+    pub events: Vec<EventId>,
     index: HashMap<EventId, u32>,
 }
 
 impl EventTable {
-    pub(crate) fn new(alphabet: &Alphabet) -> EventTable {
-        let events: Vec<EventId> = alphabet.iter().collect();
+    /// Builds the table for `alphabet`. Index assignment depends only
+    /// on the event names, never on interner history.
+    pub fn new(alphabet: &Alphabet) -> EventTable {
+        let mut events: Vec<EventId> = alphabet.iter().collect();
+        events.sort_by_key(|e| e.name());
         let index = events
             .iter()
             .enumerate()
@@ -32,20 +45,38 @@ impl EventTable {
         EventTable { events, index }
     }
 
-    pub(crate) fn len(&self) -> usize {
+    /// Number of events in the table.
+    pub fn len(&self) -> usize {
         self.events.len()
     }
 
+    /// True if the table holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
     /// Words per bitset row (at least one so slices stay non-empty).
-    pub(crate) fn words(&self) -> usize {
+    pub fn words(&self) -> usize {
         self.events.len().div_ceil(64) + usize::from(self.events.is_empty())
     }
 
-    pub(crate) fn idx(&self, e: EventId) -> u32 {
+    /// The table index of `e`. Panics if `e` is not in the table.
+    pub fn idx(&self, e: EventId) -> u32 {
         self.index[&e]
     }
 
-    pub(crate) fn to_alphabet(&self, bits: &[u64]) -> Alphabet {
+    /// The table index of `e`, or `None` if `e` is not in the table.
+    pub fn lookup(&self, e: EventId) -> Option<u32> {
+        self.index.get(&e).copied()
+    }
+
+    /// The event behind table index `i`, or `None` if out of range.
+    pub fn event(&self, i: u32) -> Option<EventId> {
+        self.events.get(i as usize).copied()
+    }
+
+    /// Decodes a bitset row back into an [`Alphabet`].
+    pub fn to_alphabet(&self, bits: &[u64]) -> Alphabet {
         let mut a = Alphabet::new();
         for (i, &e) in self.events.iter().enumerate() {
             if bits[i / 64] >> (i % 64) & 1 == 1 {
@@ -55,7 +86,8 @@ impl EventTable {
         a
     }
 
-    pub(crate) fn alphabet_bits(&self, a: &Alphabet) -> Vec<u64> {
+    /// Encodes an [`Alphabet`] as a bitset row over this table.
+    pub fn alphabet_bits(&self, a: &Alphabet) -> Vec<u64> {
         let mut bits = vec![0u64; self.words()];
         for e in a.iter() {
             set_bit(&mut bits, self.idx(e));
@@ -81,32 +113,33 @@ pub(crate) fn bits_subset(sub: &[u64], sup: &[u64]) -> bool {
 /// External edges carry event-table indices; internal edges are plain
 /// successor lists. For a single component the compile is the identity
 /// on state ids; for `n ≥ 2` the numbering equals the reference fold's.
-pub(crate) struct CompiledComposite {
+pub struct CompiledComposite {
     /// Number of composite states.
-    pub(crate) n: usize,
+    pub n: usize,
     /// Initial composite state.
-    pub(crate) initial: u32,
+    pub initial: u32,
     /// CSR row offsets into `ext_ev`/`ext_tgt` (length `n + 1`).
-    pub(crate) ext_off: Vec<u32>,
+    pub ext_off: Vec<u32>,
     /// Event-table index per external edge, in adjacency order.
-    pub(crate) ext_ev: Vec<u32>,
+    pub ext_ev: Vec<u32>,
     /// Target state per external edge.
-    pub(crate) ext_tgt: Vec<u32>,
+    pub ext_tgt: Vec<u32>,
     /// CSR row offsets into `int_tgt` (length `n + 1`).
-    pub(crate) int_off: Vec<u32>,
+    pub int_off: Vec<u32>,
     /// Target state per internal edge, in adjacency order.
-    pub(crate) int_tgt: Vec<u32>,
+    pub int_tgt: Vec<u32>,
     /// Tuple-interning hits during the n-way exploration.
-    pub(crate) dedup_hits: usize,
+    pub dedup_hits: usize,
     /// Bytes held by the CSR arrays and interned tuple keys.
-    pub(crate) arena_bytes: usize,
+    pub arena_bytes: usize,
     /// The state tuple behind each composite id (empty for the
     /// single-component identity compile).
-    pub(crate) tuples: Vec<Box<[u32]>>,
+    pub tuples: Vec<Box<[u32]>>,
 }
 
 impl CompiledComposite {
-    pub(crate) fn num_transitions(&self) -> usize {
+    /// Total edges (external + internal CSR entries).
+    pub fn num_transitions(&self) -> usize {
         self.ext_ev.len() + self.int_tgt.len()
     }
 
@@ -404,7 +437,7 @@ fn csr_int(n: usize, edges: &[(u32, u32)]) -> (Vec<u32>, Vec<u32>) {
 /// One iterative Tarjan pass over the internal graph, then a reverse
 /// topological DP over the SCC DAG — linear in the composite instead of
 /// the reference's per-state DFS.
-pub(crate) fn tau_star_rows(comp: &CompiledComposite, words: usize) -> Vec<u64> {
+pub fn tau_star_rows(comp: &CompiledComposite, words: usize) -> Vec<u64> {
     let n = comp.n;
     const UNVISITED: u32 = u32::MAX;
     let mut index = vec![UNVISITED; n];

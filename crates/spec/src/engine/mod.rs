@@ -29,11 +29,36 @@ use crate::error::SpecError;
 use crate::event::{Alphabet, EventId};
 use crate::satisfy::SatisfactionResult;
 use crate::spec::{spec_from_parts, Spec, StateId};
-use compiled::{build_nway, build_single, EventTable};
+use compiled::{build_nway, build_single};
 use norm::compile_normal;
 use product::run_product;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+pub use compiled::{tau_star_rows, CompiledComposite, EventTable};
+
+/// Compiles `P_0 ‖ … ‖ P_{n-1}` into CSR form over `tbl`.
+///
+/// `tbl` must cover every event owned by exactly one component (the
+/// composite's interface); shared events synchronise and hide, exactly
+/// as [`crate::compose_all`] would. Events shared by more than two
+/// components are rejected with the same error as the reference fold.
+/// A single component compiles as the identity on its state ids.
+pub fn compile_composite(
+    parts: &[&Spec],
+    tbl: &EventTable,
+) -> Result<CompiledComposite, SpecError> {
+    assert!(
+        !parts.is_empty(),
+        "compile_composite needs at least one component"
+    );
+    event_counts(parts)?;
+    Ok(if parts.len() == 1 {
+        build_single(parts[0], tbl)
+    } else {
+        build_nway(parts, tbl)
+    })
+}
 
 /// Size and work counters of one engine verification run.
 ///
