@@ -17,7 +17,9 @@ use protoquot_protocols::service::windowed;
 use protoquot_protocols::{
     at_least_once, exactly_once, nfa_blowup, relay_chain, symmetric_configuration, toggle_puzzle,
 };
-use protoquot_runtime::{drive, Conn, DriveConfig, Gateway, GatewayConfig, LoopbackConn};
+use protoquot_runtime::{
+    drive, Conn, DriveConfig, Frame, Gateway, GatewayConfig, GuardProgram, LoopbackConn, Reply,
+};
 use protoquot_sim::{redirect_transition, FaultPlan, FleetConfig, FleetRunner};
 use protoquot_spec::normalize;
 use std::time::Instant;
@@ -100,6 +102,107 @@ fn loopback_throughput(threads: usize, runs: u64) -> (f64, u64) {
     (report.accepted as f64 / secs, report.frames_sent)
 }
 
+/// EXP-R2: the gateway capacity pump. Synthesizes a genuine accepted
+/// trace straight off the guard DFA ([`GuardProgram::sample_accepted`])
+/// and pushes it through the full loopback wire path — encode → decode
+/// → shard → guard → reply — as fast as the gateway takes frames,
+/// `threads` client threads each owning a private block of sessions.
+///
+/// Unlike EXP-R1 this is not simulator-paced: the drive loop spends
+/// most of its time scheduling faulted component steps, which caps the
+/// measured rate well below what the runtime itself sustains. The pump
+/// isolates the per-frame runtime cost, so it is the workload that
+/// shows the determinized guard's O(1) convictions (set
+/// `reference_guard` to compare against the subset-replaying oracle).
+/// Returns `(accepted events/sec, frames pumped)`.
+fn pump_throughput(
+    threads: usize,
+    reference_guard: bool,
+    sessions_per_thread: u64,
+    trace_len: usize,
+) -> (f64, u64) {
+    let cfg = protoquot_protocols::colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&cfg.b, &service, &cfg.int).expect("Fig. 14 converter exists");
+    pump_throughput_on(
+        &cfg.b,
+        &q.converter,
+        &service,
+        threads,
+        reference_guard,
+        sessions_per_thread,
+        trace_len,
+    )
+}
+
+/// [`pump_throughput`] over an arbitrary `B`/converter/service triple.
+#[allow(clippy::too_many_arguments)]
+fn pump_throughput_on(
+    b: &protoquot_spec::Spec,
+    converter: &protoquot_spec::Spec,
+    service: &protoquot_spec::Spec,
+    threads: usize,
+    reference_guard: bool,
+    sessions_per_thread: u64,
+    trace_len: usize,
+) -> (f64, u64) {
+    let gw = Gateway::new(
+        &[b, converter],
+        service,
+        GatewayConfig {
+            workers: threads,
+            reference_guard,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway must compile the system");
+    let trace = gw.program().sample_accepted(trace_len);
+    assert!(!trace.is_empty(), "colocated system must relay events");
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..threads as u64 {
+            let gw = gw.clone();
+            let trace = &trace;
+            scope.spawn(move || {
+                let mut conn = LoopbackConn::new(gw);
+                for s in 0..sessions_per_thread {
+                    let session = tid * sessions_per_thread + s;
+                    for &event in trace {
+                        match conn.call(&Frame::Event { session, event }) {
+                            Ok(Reply::Accepted { .. }) => {}
+                            other => panic!("pump frame rejected: {other:?}"),
+                        }
+                    }
+                    let _ = conn.call(&Frame::Close { session });
+                }
+            });
+        }
+    });
+    let secs = t.elapsed().as_secs_f64();
+    gw.drain();
+    let snap = gw.stats();
+    assert_eq!(snap.convictions, 0, "pumped trace must stay accepted");
+    let total = threads as u64 * sessions_per_thread * trace.len() as u64;
+    (total as f64 / secs, total)
+}
+
+/// Best-of-3 wall time (ms) of subset-constructing the guard DFA for
+/// the heaviest builtin system (the EXP-W symmetric converter, ~700
+/// external product transitions) — the figure the smoke gate tracks so
+/// determinization cost never silently regresses into serve startup.
+fn guard_build_time() -> f64 {
+    let cfg = symmetric_configuration();
+    let service = at_least_once();
+    let q = solve(&cfg.b, &service, &cfg.int).expect("EXP-W converter exists");
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let prog = GuardProgram::new(&[&cfg.b, &q.converter], &service)
+            .expect("EXP-W system must compile");
+        best = best.min(prog.build_stats().build_ms);
+    }
+    best
+}
+
 /// Reads one numeric field out of the committed baseline JSON object.
 fn baseline_field(value: &serde::Value, field: &str) -> Option<f64> {
     value
@@ -120,23 +223,26 @@ fn quick_smoke() -> i32 {
     let (safety_ms, progress_ms) = nfa_blowup_11_phase_times();
     let total_ms = safety_ms + progress_ms;
     let verify_ms = exp_w_verify_time();
-    // Best-of-2 gateway loopback relay throughput (EXP-R1 workload,
-    // scaled down for CI).
+    // Best-of-2 gateway capacity pump at one thread (EXP-R2 workload,
+    // scaled down for CI): the determinized guard's per-frame rate.
     let serve_events_per_sec = (0..2)
-        .map(|_| loopback_throughput(4, 64).0)
+        .map(|_| pump_throughput(1, false, 8, 2_048).0)
         .fold(0.0f64, f64::max);
+    let guard_build_ms = guard_build_time();
     let json = format!(
         "{{\"bench\":\"nfa-blowup-11\",\"safety_ms\":{safety_ms:.3},\
          \"progress_ms\":{progress_ms:.3},\"total_ms\":{total_ms:.3},\
          \"verify_ms\":{verify_ms:.3},\
-         \"serve_events_per_sec\":{serve_events_per_sec:.0}}}\n"
+         \"serve_events_per_sec\":{serve_events_per_sec:.0},\
+         \"guard_build_ms\":{guard_build_ms:.3}}}\n"
     );
     println!(
         "smoke: nfa-blowup-11 safety {safety_ms:.3} ms + progress {progress_ms:.3} ms \
          = {total_ms:.3} ms"
     );
     println!("smoke: EXP-W verified-converter check (engine, 1 thread) {verify_ms:.3} ms");
-    println!("smoke: gateway loopback relay {serve_events_per_sec:.0} accepted events/s");
+    println!("smoke: gateway capacity pump {serve_events_per_sec:.0} accepted events/s");
+    println!("smoke: EXP-W guard DFA build {guard_build_ms:.3} ms");
     if let Err(e) = std::fs::write("BENCH_smoke.json", &json) {
         eprintln!("smoke: cannot write BENCH_smoke.json: {e}");
         return 1;
@@ -198,6 +304,21 @@ fn quick_smoke() -> i32 {
         eprintln!(
             "smoke: REGRESSION — the gateway relayed {serve_events_per_sec:.0} events/s, \
              less than half the committed baseline of {serve_budget:.0} events/s"
+        );
+        return 1;
+    }
+    let Some(build_budget_ms) = baseline_field(&value, "guard_build_ms") else {
+        eprintln!("smoke: {baseline_path} lacks a numeric `guard_build_ms`");
+        return 1;
+    };
+    println!(
+        "smoke: baseline guard build {build_budget_ms:.3} ms, gate at {:.3} ms (2x)",
+        build_budget_ms * 2.0
+    );
+    if guard_build_ms > build_budget_ms * 2.0 {
+        eprintln!(
+            "smoke: REGRESSION — the EXP-W guard DFA took {guard_build_ms:.3} ms to \
+             subset-construct, more than 2x the committed baseline of {build_budget_ms:.3} ms"
         );
         return 1;
     }
@@ -701,6 +822,62 @@ fn main() {
             println!(
                 "{threads:>8} {:>8} {frames:>12} {events_per_sec:>14.0}",
                 400
+            );
+        }
+    }
+
+    println!("\n== EXP-R2: guard determinization — gateway capacity pump ==");
+    {
+        // How fast the runtime itself takes frames once the simulator
+        // is out of the loop: a sampled accepted trace pumped through
+        // the full loopback wire path, determinized DFA guard vs the
+        // subset-replaying reference oracle. The reference cells pump
+        // fewer frames — they are two to three orders slower per frame.
+        let cfg = protoquot_protocols::colocated_configuration();
+        let q = solve(&cfg.b, &exactly_once(), &cfg.int).unwrap();
+        let prog = GuardProgram::new(&[&cfg.b, &q.converter], &exactly_once()).unwrap();
+        println!("colocated guard: {}", prog.build_stats());
+        let sym = symmetric_configuration();
+        let qs = solve(&sym.b, &at_least_once(), &sym.int).unwrap();
+        let ps = GuardProgram::new(&[&sym.b, &qs.converter], &at_least_once()).unwrap();
+        println!("EXP-W/sym guard: {}", ps.build_stats());
+        println!(
+            "{:>12} {:>10} {:>8} {:>12} {:>14}",
+            "system", "guard", "threads", "frames", "events/sec"
+        );
+        for (label, reference, sessions, trace_len) in [
+            ("dfa", false, 16u64, 4_096usize),
+            ("reference", true, 4, 512),
+        ] {
+            for threads in [1usize, 2, 8] {
+                let (events_per_sec, frames) =
+                    pump_throughput(threads, reference, sessions, trace_len);
+                println!(
+                    "{:>12} {label:>10} {threads:>8} {frames:>12} {events_per_sec:>14.0}",
+                    "colocated"
+                );
+            }
+        }
+        // The symmetric system is where determinization earns its keep:
+        // its composite subsets reach four digits, so the reference
+        // oracle pays a τ-closure over a thousand-state frontier per
+        // frame while the DFA still pays one table load.
+        for (label, reference, sessions, trace_len) in [
+            ("dfa", false, 16u64, 4_096usize),
+            ("reference", true, 1, 128),
+        ] {
+            let (events_per_sec, frames) = pump_throughput_on(
+                &sym.b,
+                &qs.converter,
+                &at_least_once(),
+                1,
+                reference,
+                sessions,
+                trace_len,
+            );
+            println!(
+                "{:>12} {label:>10} {:>8} {frames:>12} {events_per_sec:>14.0}",
+                "EXP-W/sym", 1
             );
         }
     }

@@ -1476,6 +1476,10 @@ mod tests {
         ]);
         assert!(out.contains("sessions active=0"), "{out}");
         assert!(out.contains("\"events_per_sec\""), "{out}");
+        // The determinized guard's build figures ride along in both
+        // the human and JSON stats renderings.
+        assert!(out.contains("guard dfa"), "{out}");
+        assert!(out.contains("\"guard_build\""), "{out}");
     }
 
     #[test]

@@ -273,21 +273,31 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
     }
 }
 
+/// A torn-stream error: EOF struck mid-message. Carries a [`WireError`]
+/// payload (so callers can tell protocol damage from transport
+/// failures) under [`io::ErrorKind::UnexpectedEof`].
+fn torn(context: &str, got: usize, want: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::UnexpectedEof,
+        WireError(format!(
+            "torn stream: EOF {context} ({got} of {want} bytes)"
+        )),
+    )
+}
+
 /// Reads one length-prefixed payload. `Ok(None)` on clean end of
-/// stream (EOF before the first length byte).
+/// stream (EOF before the first length byte); EOF anywhere *inside* a
+/// message — mid-length-prefix or mid-payload — is a torn stream and
+/// surfaces as an [`io::Error`] wrapping a [`WireError`].
 pub fn read_payload<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
     let mut len = [0u8; 4];
     let mut got = 0;
     while got < 4 {
         match r.read(&mut len[got..]) {
             Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "stream ended inside a length prefix",
-                ))
-            }
+            Ok(0) => return Err(torn("inside a length prefix", got, 4)),
             Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) => return Err(e),
         }
     }
@@ -296,7 +306,15 @@ pub fn read_payload<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
         return Err(WireError(format!("payload length {len} out of range")).into());
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    let mut got = 0;
+    while got < len {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => return Err(torn("inside a payload", got, len)),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     Ok(Some(payload))
 }
 
@@ -330,6 +348,71 @@ pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> io::Result<()> {
     w.write_all(&buf)
 }
 
+/// An incremental frame decoder: bytes go in as they arrive off a
+/// stream, complete frames come out in order — so a transport can
+/// decode *every* frame already buffered per wakeup instead of paying
+/// one syscall round per frame (the gateway then drains them in one
+/// batch).
+///
+/// EOF bookkeeping matches [`read_frame`]: ending the stream between
+/// messages is clean, ending it mid-message is a torn stream.
+#[derive(Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted once it grows past half).
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.start > 0 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, or `Ok(None)` when more bytes are
+    /// needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if len == 0 || len > MAX_PAYLOAD {
+            return Err(WireError(format!("payload length {len} out of range")));
+        }
+        if pending.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = decode_frame(&pending[4..4 + len])?;
+        self.start += 4 + len;
+        Ok(Some(frame))
+    }
+
+    /// Whether the buffer holds a partial message: EOF now would be a
+    /// torn stream, not a clean close.
+    pub fn is_mid_message(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    /// The torn-stream error for an EOF at this point; call only when
+    /// [`FrameBuffer::is_mid_message`] is true.
+    pub fn torn_error(&self) -> WireError {
+        WireError(format!(
+            "torn stream: EOF with {} buffered bytes of a partial frame",
+            self.buf.len() - self.start
+        ))
+    }
+}
+
 /// Maps spec events to wire indices and back, over the shared
 /// name-sorted [`EventTable`].
 #[derive(Clone)]
@@ -337,18 +420,32 @@ pub struct WireCodec {
     table: Arc<EventTable>,
 }
 
+/// Most events one [`EventTable`] can carry on the wire: frame event
+/// indices are 2 bytes, so indices run 0..=65535.
+pub const MAX_WIRE_EVENTS: usize = u16::MAX as usize + 1;
+
 impl WireCodec {
     /// A codec over `alphabet` (the observable interface of the
     /// conversion system, i.e. the service alphabet).
-    pub fn new(alphabet: &Alphabet) -> WireCodec {
-        WireCodec {
-            table: Arc::new(EventTable::new(alphabet)),
-        }
+    ///
+    /// Fails with a [`WireError`] when the alphabet holds more events
+    /// than a 2-byte wire index can address ([`MAX_WIRE_EVENTS`]) —
+    /// silently truncating indices would alias distinct events.
+    pub fn new(alphabet: &Alphabet) -> Result<WireCodec, WireError> {
+        WireCodec::from_table(Arc::new(EventTable::new(alphabet)))
     }
 
-    /// A codec sharing an existing table.
-    pub fn from_table(table: Arc<EventTable>) -> WireCodec {
-        WireCodec { table }
+    /// A codec sharing an existing table; same size limit as
+    /// [`WireCodec::new`].
+    pub fn from_table(table: Arc<EventTable>) -> Result<WireCodec, WireError> {
+        if table.len() > MAX_WIRE_EVENTS {
+            return Err(WireError(format!(
+                "event table holds {} events but wire indices are 16-bit \
+                 (max {MAX_WIRE_EVENTS})",
+                table.len()
+            )));
+        }
+        Ok(WireCodec { table })
     }
 
     /// The shared table.
@@ -360,15 +457,17 @@ impl WireCodec {
     /// an observable event.
     pub fn event_frame(&self, session: u64, e: EventId) -> Option<Frame> {
         let idx = self.table.lookup(e)?;
+        // Construction guarantees the table fits; stay checked anyway
+        // so a table swapped in behind the codec cannot alias events.
         Some(Frame::Event {
             session,
-            event: idx as u16,
+            event: u16::try_from(idx).ok()?,
         })
     }
 
     /// The event behind wire index `idx`, or `None` if out of range.
     pub fn event_of(&self, idx: u16) -> Option<EventId> {
-        self.table.event(idx as u32)
+        self.table.event(u32::from(idx))
     }
 }
 
@@ -437,7 +536,7 @@ mod tests {
         // order, wire indices must not.
         let _ = protoquot_spec::EventId::new("zz_codec_probe");
         let a: Alphabet = ["zz_codec_probe", "aa_codec_probe"].into_iter().collect();
-        let codec = WireCodec::new(&a);
+        let codec = WireCodec::new(&a).unwrap();
         assert_eq!(codec.event_of(0).unwrap().name(), "aa_codec_probe");
         assert_eq!(codec.event_of(1).unwrap().name(), "zz_codec_probe");
         let f = codec
@@ -453,5 +552,133 @@ mod tests {
         assert!(codec
             .event_frame(3, protoquot_spec::EventId::new("unrelated"))
             .is_none());
+    }
+
+    #[test]
+    fn oversized_event_tables_are_rejected_at_construction() {
+        // One event past the 16-bit index space: constructing the codec
+        // must fail instead of silently truncating indices on the wire.
+        let a: Alphabet = (0..=MAX_WIRE_EVENTS)
+            .map(|i| protoquot_spec::EventId::new(&format!("ev{i:06}")))
+            .collect();
+        assert_eq!(a.len(), MAX_WIRE_EVENTS + 1);
+        let err = match WireCodec::new(&a) {
+            Ok(_) => panic!("oversized table must not build a codec"),
+            Err(e) => e,
+        };
+        assert!(
+            err.0.contains("16-bit"),
+            "error should name the wire limit: {err}"
+        );
+
+        // Exactly at the limit is fine, and the extreme index survives
+        // the round trip un-truncated.
+        let full: Alphabet = (0..MAX_WIRE_EVENTS)
+            .map(|i| protoquot_spec::EventId::new(&format!("ev{i:06}")))
+            .collect();
+        let codec = WireCodec::new(&full).unwrap();
+        let last = protoquot_spec::EventId::new(&format!("ev{:06}", MAX_WIRE_EVENTS - 1));
+        let f = codec.event_frame(1, last).unwrap();
+        assert_eq!(
+            f,
+            Frame::Event {
+                session: 1,
+                event: u16::MAX
+            }
+        );
+        assert_eq!(codec.event_of(u16::MAX), Some(last));
+    }
+
+    /// EOF at every possible byte offset of an encoded frame: offset 0
+    /// is a clean end of stream, any other offset is a torn stream that
+    /// must surface as a `WireError`, never as a silent `Ok(None)`.
+    #[test]
+    fn truncation_at_every_offset_is_a_torn_stream() {
+        let frame = Frame::Event {
+            session: 0x0102_0304_0506_0708,
+            event: 513,
+        };
+        let mut bytes = Vec::new();
+        encode_frame(&frame, &mut bytes);
+        assert_eq!(bytes.len(), 15, "4-byte prefix + 11-byte payload");
+        for cut in 0..bytes.len() {
+            let mut r = io::Cursor::new(bytes[..cut].to_vec());
+            match read_frame(&mut r) {
+                Ok(None) => assert_eq!(cut, 0, "clean EOF only before the first byte"),
+                Ok(Some(f)) => panic!("cut at {cut} produced a frame {f:?}"),
+                Err(e) => {
+                    assert!(cut > 0, "cut at 0 must be a clean EOF");
+                    let wire = e
+                        .get_ref()
+                        .map(|inner| inner.is::<WireError>())
+                        .unwrap_or(false);
+                    assert!(wire, "cut at {cut}: expected a WireError, got {e:?}");
+                }
+            }
+        }
+        // The full message still parses, and the stream then ends clean.
+        let mut r = io::Cursor::new(bytes.clone());
+        assert_eq!(read_frame(&mut r).unwrap(), Some(frame));
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+
+        // Replies behave identically (shared read_payload path).
+        let reply = Reply::Rejected {
+            session: 5,
+            reason: RejectReason::Stalled,
+        };
+        let mut bytes = Vec::new();
+        encode_reply(&reply, &mut bytes);
+        for cut in 1..bytes.len() {
+            let mut r = io::Cursor::new(bytes[..cut].to_vec());
+            assert!(
+                read_reply(&mut r).is_err(),
+                "reply cut at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_buffer_decodes_batches_and_detects_torn_streams() {
+        let frames = [
+            Frame::Event { session: 1, event: 2 },
+            Frame::Stall { session: 3 },
+            Frame::Close { session: 4 },
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            encode_frame(f, &mut bytes);
+        }
+        // Feed byte by byte: frames pop out exactly at their boundaries.
+        let mut fb = FrameBuffer::new();
+        let mut decoded = Vec::new();
+        for b in &bytes {
+            fb.extend(std::slice::from_ref(b));
+            while let Some(f) = fb.next_frame().unwrap() {
+                decoded.push(f);
+            }
+        }
+        assert_eq!(decoded, frames);
+        assert!(!fb.is_mid_message(), "all bytes consumed");
+
+        // Feed everything at once plus half of another frame: three
+        // frames decode in one batch, the remainder marks a torn EOF.
+        let mut fb = FrameBuffer::new();
+        let mut torn = bytes.clone();
+        let mut extra = Vec::new();
+        encode_frame(&Frame::Stall { session: 9 }, &mut extra);
+        torn.extend_from_slice(&extra[..extra.len() / 2]);
+        fb.extend(&torn);
+        let mut decoded = Vec::new();
+        while let Some(f) = fb.next_frame().unwrap() {
+            decoded.push(f);
+        }
+        assert_eq!(decoded, frames);
+        assert!(fb.is_mid_message());
+        assert!(fb.torn_error().0.contains("torn stream"));
+
+        // Corrupt lengths surface as errors, not hangs.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&[0xFF, 0xFF, 0xFF, 0xFF, 0]);
+        assert!(fb.next_frame().is_err());
     }
 }

@@ -193,7 +193,24 @@ pub fn drive<F>(components: &[Spec], service: &Spec, cfg: &DriveConfig, mk_conn:
 where
     F: Fn() -> io::Result<Box<dyn Conn>> + Sync,
 {
-    let codec = WireCodec::new(service.alphabet());
+    let codec = match WireCodec::new(service.alphabet()) {
+        Ok(c) => c,
+        Err(e) => {
+            // The service alphabet cannot be carried on the wire at
+            // all; report it as a failed run instead of panicking.
+            let mut o = empty_outcome(0);
+            o.io_error = Some(e.to_string());
+            return DriveReport {
+                runs: 1,
+                frames_sent: 0,
+                accepted: 0,
+                convicted_runs: 0,
+                stalls_attested: 0,
+                io_errors: 1,
+                outcomes: vec![o],
+            };
+        }
+    };
     let next = AtomicU64::new(0);
     let deadline = cfg.duration.map(|d| Instant::now() + d);
     let outcomes: Mutex<Vec<RunOutcome>> = Mutex::new(Vec::new());
@@ -217,7 +234,14 @@ where
                             Err(e) => {
                                 let mut o = empty_outcome(run);
                                 o.io_error = Some(e.to_string());
-                                outcomes.lock().unwrap().push(o);
+                                // Recover the list even if a sibling
+                                // driver thread panicked: losing the
+                                // partial outcomes would only mask the
+                                // original failure.
+                                outcomes
+                                    .lock()
+                                    .unwrap_or_else(|p| p.into_inner())
+                                    .push(o);
                                 continue;
                             }
                         };
@@ -233,12 +257,15 @@ where
                     if out.io_error.is_some() {
                         conn = None; // reconnect for the next run
                     }
-                    outcomes.lock().unwrap().push(out);
+                    outcomes
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push(out);
                 }
             });
         }
     });
-    let mut outcomes = outcomes.into_inner().unwrap();
+    let mut outcomes = outcomes.into_inner().unwrap_or_else(|p| p.into_inner());
     outcomes.sort_by_key(|o| o.run);
     DriveReport {
         runs: outcomes.len() as u64,

@@ -5,8 +5,17 @@
 //! bounded frame queue), spread over `shards` stripe-locked maps.
 //! Frames are submitted with a responder callback; a worker from the
 //! shared [`threadpool::ThreadPool`] drains each session's queue in
-//! order, so per-session processing is serialized while distinct
-//! sessions proceed in parallel.
+//! order — popping up to a batch of frames per lock acquisition and
+//! answering them after the lock drops — so per-session processing is
+//! serialized while distinct sessions proceed in parallel.
+//!
+//! The blocking [`Gateway::call`] path additionally takes an **inline
+//! fast path**: when the target session is idle (empty queue, no worker
+//! scheduled), the frame is processed on the caller's thread under the
+//! session lock — the same serialization a worker drain provides,
+//! without the channel hand-off and pool dispatch. With the guard
+//! determinized to one table row per frame, that dispatch cost was the
+//! relay's dominant term.
 //!
 //! Flow control and lifecycle:
 //!
@@ -16,14 +25,16 @@
 //!   timeout (only when unscheduled with an empty queue);
 //! * [`Gateway::drain`] stops admitting frames
 //!   ([`RejectReason::Draining`]) and blocks until every queued frame
-//!   has been answered — graceful shutdown.
+//!   has been answered — graceful shutdown. A `call` whose responder is
+//!   dropped unfired (worker death, pool teardown) reports
+//!   [`RejectReason::Draining`] instead of panicking the caller.
 //!
 //! Lock order is always shard map → session core, and each is dropped
 //! before the next is taken on the submit path, so the gateway cannot
 //! deadlock against its own workers.
 
-use crate::codec::{Frame, RejectReason, Reply, WireCodec};
-use crate::guard::{GuardProgram, SessionGuard};
+use crate::codec::{Frame, RejectReason, Reply, WireCodec, WireError};
+use crate::guard::{Conviction, GuardProgram, SessionGuard, SessionGuardReference};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use protoquot_spec::{Spec, SpecError};
 use std::collections::{HashMap, VecDeque};
@@ -32,6 +43,42 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use threadpool::ThreadPool;
+
+/// Frames a worker pops and answers per session-lock acquisition.
+const DRAIN_BATCH: usize = 32;
+
+/// Why a [`Gateway`] failed to start.
+#[derive(Debug)]
+pub enum GatewayError {
+    /// The conversion system failed to compile or validate.
+    Spec(SpecError),
+    /// The compiled event table cannot be carried by the wire format
+    /// (more events than a 16-bit frame index addresses).
+    Wire(WireError),
+}
+
+impl std::fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GatewayError::Spec(e) => write!(f, "{e}"),
+            GatewayError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GatewayError {}
+
+impl From<SpecError> for GatewayError {
+    fn from(e: SpecError) -> GatewayError {
+        GatewayError::Spec(e)
+    }
+}
+
+impl From<WireError> for GatewayError {
+    fn from(e: WireError) -> GatewayError {
+        GatewayError::Wire(e)
+    }
+}
 
 /// Tuning knobs of a [`Gateway`].
 #[derive(Clone, Debug)]
@@ -45,6 +92,11 @@ pub struct GatewayConfig {
     pub queue_cap: usize,
     /// Idle time after which [`Gateway::evict_idle`] removes a session.
     pub idle_timeout: Duration,
+    /// Run sessions on the pre-determinization subset-replaying guard
+    /// ([`SessionGuardReference`]) instead of the compiled DFA. The
+    /// differential suites and the EXP-R2 before/after comparison flip
+    /// this; production traffic keeps the default `false`.
+    pub reference_guard: bool,
 }
 
 impl Default for GatewayConfig {
@@ -54,6 +106,7 @@ impl Default for GatewayConfig {
             shards: 8,
             queue_cap: 64,
             idle_timeout: Duration::from_secs(30),
+            reference_guard: false,
         }
     }
 }
@@ -61,8 +114,47 @@ impl Default for GatewayConfig {
 /// Callback answering one submitted frame.
 pub type Responder = Box<dyn FnOnce(Reply) + Send>;
 
+/// The per-session guard, in whichever implementation the gateway was
+/// configured with. Both expose identical conviction semantics; the
+/// runtime-agreement suite holds them bit-identical.
+enum Guard {
+    Dfa(SessionGuard),
+    Reference(SessionGuardReference),
+}
+
+impl Guard {
+    fn new(prog: &Arc<GuardProgram>, reference: bool) -> Guard {
+        if reference {
+            Guard::Reference(SessionGuardReference::new(Arc::clone(prog)))
+        } else {
+            Guard::Dfa(SessionGuard::new(Arc::clone(prog)))
+        }
+    }
+
+    fn observe(&mut self, event: u16) -> Result<(), Conviction> {
+        match self {
+            Guard::Dfa(g) => g.observe(event),
+            Guard::Reference(g) => g.observe(event),
+        }
+    }
+
+    fn attest_stall(&mut self) -> Result<(), Conviction> {
+        match self {
+            Guard::Dfa(g) => g.attest_stall(),
+            Guard::Reference(g) => g.attest_stall(),
+        }
+    }
+
+    fn convicted(&self) -> Option<&Conviction> {
+        match self {
+            Guard::Dfa(g) => g.convicted(),
+            Guard::Reference(g) => g.convicted(),
+        }
+    }
+}
+
 struct SessionCore {
-    guard: SessionGuard,
+    guard: Guard,
     queue: VecDeque<(Frame, Responder)>,
     scheduled: bool,
     closed: bool,
@@ -91,11 +183,17 @@ pub struct Gateway {
 
 impl Gateway {
     /// Compiles `parts` (components plus the derived converter) against
-    /// `service` and starts a gateway with `cfg.workers` threads.
-    pub fn new(parts: &[&Spec], service: &Spec, cfg: GatewayConfig) -> Result<Gateway, SpecError> {
+    /// `service` — including the guard-DFA subset construction — and
+    /// starts a gateway with `cfg.workers` threads.
+    pub fn new(
+        parts: &[&Spec],
+        service: &Spec,
+        cfg: GatewayConfig,
+    ) -> Result<Gateway, GatewayError> {
         let prog = Arc::new(GuardProgram::new(parts, service)?);
-        let codec = WireCodec::from_table(Arc::clone(prog.table()));
-        let stats = RuntimeStats::new(codec.table().len());
+        let codec = WireCodec::from_table(Arc::clone(prog.table()))?;
+        let stats =
+            RuntimeStats::with_guard_build(codec.table().len(), prog.build_stats().clone());
         let shards = (0..cfg.shards.max(1)).map(|_| Shard::default()).collect();
         let pool = ThreadPool::new(cfg.workers.max(1));
         Ok(Gateway {
@@ -117,34 +215,38 @@ impl Gateway {
         &self.inner.codec
     }
 
-    /// Submits one frame; `respond` fires exactly once with the reply,
-    /// possibly on a worker thread.
-    pub fn submit(&self, frame: Frame, respond: Responder) {
+    /// The compiled guard program (shared by every session).
+    pub fn program(&self) -> &Arc<GuardProgram> {
+        &self.inner.prog
+    }
+
+    /// The session core for `session`, created on first contact.
+    fn core_for(&self, session: u64) -> Arc<Mutex<SessionCore>> {
         let inner = &self.inner;
-        inner.stats.note_frame();
-        let session = frame.session();
-        if inner.draining.load(Ordering::Acquire) {
-            inner.stats.note_reject(RejectReason::Draining);
-            respond(Reply::Rejected {
-                session,
-                reason: RejectReason::Draining,
-            });
-            return;
-        }
         let shard = &inner.shards[(session % inner.shards.len() as u64) as usize];
-        let core = {
-            let mut map = shard.lock().unwrap();
-            Arc::clone(map.entry(session).or_insert_with(|| {
-                inner.stats.note_open();
-                Arc::new(Mutex::new(SessionCore {
-                    guard: SessionGuard::new(Arc::clone(&inner.prog)),
-                    queue: VecDeque::new(),
-                    scheduled: false,
-                    closed: false,
-                    last_active: Instant::now(),
-                }))
+        let mut map = shard.lock().unwrap();
+        Arc::clone(map.entry(session).or_insert_with(|| {
+            inner.stats.note_open();
+            Arc::new(Mutex::new(SessionCore {
+                guard: Guard::new(&inner.prog, inner.cfg.reference_guard),
+                queue: VecDeque::new(),
+                scheduled: false,
+                closed: false,
+                last_active: Instant::now(),
             }))
-        };
+        }))
+    }
+
+    /// Queues `frame` on `core`, scheduling a drain worker if none is.
+    /// Fires `respond` immediately on backpressure.
+    fn enqueue(
+        &self,
+        core: &Arc<Mutex<SessionCore>>,
+        session: u64,
+        frame: Frame,
+        respond: Responder,
+    ) {
+        let inner = &self.inner;
         let schedule = {
             let mut core = core.lock().unwrap();
             if core.queue.len() >= inner.cfg.queue_cap {
@@ -168,23 +270,78 @@ impl Gateway {
         };
         if schedule {
             let inner = Arc::clone(&self.inner);
-            let core = Arc::clone(&core);
+            let core = Arc::clone(core);
             self.inner
                 .pool
                 .execute(move || drain_session(&inner, &core, session));
         }
     }
 
+    /// Submits one frame; `respond` fires exactly once with the reply,
+    /// possibly on a worker thread.
+    pub fn submit(&self, frame: Frame, respond: Responder) {
+        let inner = &self.inner;
+        inner.stats.note_frame();
+        let session = frame.session();
+        if inner.draining.load(Ordering::Acquire) {
+            inner.stats.note_reject(RejectReason::Draining);
+            respond(Reply::Rejected {
+                session,
+                reason: RejectReason::Draining,
+            });
+            return;
+        }
+        let core = self.core_for(session);
+        self.enqueue(&core, session, frame, respond);
+    }
+
     /// Submits `frame` and blocks for the reply (loopback-style use).
+    ///
+    /// An idle session is processed inline on the caller's thread — one
+    /// lock, one guard-DFA row — falling back to the queued worker path
+    /// whenever frames are already in flight for the session.
     pub fn call(&self, frame: Frame) -> Reply {
+        let inner = &self.inner;
+        inner.stats.note_frame();
+        let session = frame.session();
+        if inner.draining.load(Ordering::Acquire) {
+            inner.stats.note_reject(RejectReason::Draining);
+            return Reply::Rejected {
+                session,
+                reason: RejectReason::Draining,
+            };
+        }
+        let core = self.core_for(session);
+        {
+            let mut locked = core.lock().unwrap();
+            if !locked.scheduled && locked.queue.is_empty() {
+                let reply = process(inner, &mut locked, frame);
+                locked.last_active = Instant::now();
+                return reply;
+            }
+        }
         let (tx, rx) = mpsc::channel();
-        self.submit(
+        self.enqueue(
+            &core,
+            session,
             frame,
             Box::new(move |reply| {
                 let _ = tx.send(reply);
             }),
         );
-        rx.recv().expect("gateway dropped a responder")
+        match rx.recv() {
+            Ok(reply) => reply,
+            // The responder was dropped unfired: a worker died or the
+            // pool was torn down mid-drain. Report the session as
+            // unserved rather than panicking the caller.
+            Err(_) => {
+                inner.stats.note_reject(RejectReason::Draining);
+                Reply::Rejected {
+                    session,
+                    reason: RejectReason::Draining,
+                }
+            }
+        }
     }
 
     /// Removes sessions idle longer than the configured timeout.
@@ -238,24 +395,33 @@ impl Gateway {
     }
 }
 
-/// Worker job: drains one session's queue to empty, answering each
-/// frame in order, then unschedules itself.
+/// Worker job: drains one session's queue to empty — up to
+/// [`DRAIN_BATCH`] frames per lock acquisition, answered after the lock
+/// drops — then unschedules itself.
 fn drain_session(inner: &Arc<GatewayInner>, core: &Arc<Mutex<SessionCore>>, _session: u64) {
+    let mut replies: Vec<(Responder, Reply)> = Vec::with_capacity(DRAIN_BATCH);
     loop {
         let mut guard = core.lock().unwrap();
-        match guard.queue.pop_front() {
-            Some((frame, respond)) => {
-                let reply = process(inner, &mut guard, frame);
-                guard.last_active = Instant::now();
-                drop(guard);
-                respond(reply);
-                inner.pending.fetch_sub(1, Ordering::AcqRel);
-            }
-            None => {
-                guard.scheduled = false;
-                return;
-            }
+        if guard.queue.is_empty() {
+            guard.scheduled = false;
+            return;
         }
+        while replies.len() < DRAIN_BATCH {
+            let Some((frame, respond)) = guard.queue.pop_front() else {
+                break;
+            };
+            let reply = process(inner, &mut guard, frame);
+            replies.push((respond, reply));
+        }
+        guard.last_active = Instant::now();
+        drop(guard);
+        let answered = replies.len() as u64;
+        for (respond, reply) in replies.drain(..) {
+            respond(reply);
+        }
+        // Decrement only after the responders fired so `drain` cannot
+        // conclude while answers are still in flight.
+        inner.pending.fetch_sub(answered, Ordering::AcqRel);
     }
 }
 
@@ -367,6 +533,7 @@ mod tests {
         assert_eq!(snap.sessions_opened, 2);
         assert_eq!(snap.accepted, 2);
         assert_eq!(snap.convictions, 1);
+        assert!(snap.guard_build.dfa_states > 0, "build stats must flow");
         gw.drain();
     }
 
@@ -460,5 +627,47 @@ mod tests {
         assert_eq!(snap.accepted, 32 * 100);
         assert_eq!(snap.convictions, 0);
         gw.drain();
+    }
+
+    /// The reference-guard configuration must answer every frame the
+    /// way the DFA gateway does — including over the queued worker
+    /// path, exercised here by submitting bursts with responders
+    /// instead of lockstep calls.
+    #[test]
+    fn reference_guard_gateway_matches_dfa_replies() {
+        let dfa = gateway(GatewayConfig::default());
+        let reference = gateway(GatewayConfig {
+            reference_guard: true,
+            ..GatewayConfig::default()
+        });
+        let script: &[(&str, u64)] = &[
+            ("acc", 1),
+            ("del", 1),
+            ("del", 1), // not-a-trace: convicts session 1
+            ("acc", 1), // already convicted
+            ("del", 2), // service violation path on a fresh session
+            ("acc", 3),
+        ];
+        for gw in [&dfa, &reference] {
+            let (tx, _rx) = mpsc::channel();
+            for &(name, session) in script {
+                let frame = gw
+                    .codec()
+                    .event_frame(session, protoquot_spec::EventId::new(name))
+                    .unwrap();
+                let tx = tx.clone();
+                gw.submit(
+                    frame,
+                    Box::new(move |reply| {
+                        let _ = tx.send(reply);
+                    }),
+                );
+            }
+            gw.drain();
+        }
+        let (a, b) = (dfa.stats(), reference.stats());
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.convictions, b.convictions);
+        assert_eq!(a.rejects, b.rejects);
     }
 }

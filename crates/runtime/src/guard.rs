@@ -4,25 +4,32 @@
 //! plus the derived converter — into the exact CSR objects the static
 //! verifier uses ([`protoquot_spec::compile_composite`] and
 //! [`protoquot_spec::tau_star_rows`] over the shared
-//! [`protoquot_spec::EventTable`]) and hands out per-session
-//! [`SessionGuard`]s that re-check the paper's two-part satisfaction
-//! relation *online*, frame by frame:
+//! [`protoquot_spec::EventTable`]) and then **determinizes** the whole
+//! per-frame check into a DFA at build time: states are the reachable
+//! `(τ-closed composite subset, ψ-hub)` pairs, and the τ-closure, the
+//! external step and the ψ-hub step are fused into one dense
+//! `|states| × |Σ|` transition table whose entries carry the verdict:
 //!
-//! * **trace membership** — the guard tracks the subset of composite
-//!   states reachable under the observed external trace (τ-closure,
-//!   then an external step per frame). An empty set convicts the frame
-//!   as [`Conviction::NotATrace`]: no execution of `B ‖ C` produces it.
-//! * **safety** — the ψ-hub of the normalized service steps alongside.
-//!   A frame the service cannot take is a
-//!   [`Conviction::ServiceViolation`] (trace inclusion fails).
-//! * **progress** — after every accepted frame, each possible composite
-//!   state is tested for the paper's sink-acceptance containment
-//!   (`∃` acceptance set `A` of the current hub with `A ⊆ τ*(s)`).
-//!   When *every* possible state fails, the true system state fails
-//!   too, so the session is convicted of [`Conviction::Stalled`]. When
-//!   a client *attests* a stall ([`SessionGuard::attest_stall`]), the
-//!   existence of *one* failing possible state confirms a reachable
-//!   progress fault and convicts.
+//! * **trace membership** — an event under which the subset goes empty
+//!   is a dead edge ([`Conviction::NotATrace`]): no execution of
+//!   `B ‖ C` produces the frame.
+//! * **safety** — an event the subset survives but ψ cannot take is a
+//!   [`Conviction::ServiceViolation`] edge (trace inclusion fails).
+//! * **progress** — each DFA state precomputes the paper's
+//!   sink-acceptance containment (`∃` acceptance set `A` of the hub
+//!   with `A ⊆ τ*(s)`) over its subset. An edge into a state where
+//!   *every* subset member fails is a [`Conviction::Stalled`] edge
+//!   (the true system state must fail too); a state where *some*
+//!   member fails confirms a client-attested stall
+//!   ([`SessionGuard::attest_stall`]).
+//!
+//! The steady-state [`SessionGuard`] is therefore a single `u32` DFA
+//! state and one table row load per frame — O(1), no allocation — where
+//! the retained [`SessionGuardReference`] re-plays subset tracking
+//! (τ-closure + ext step + containment scan) on every frame. The
+//! reference is the differential oracle: `tests/runtime_agreement.rs`
+//! asserts bit-identical convictions (kind, event index, frame
+//! position) between the two on every system it sweeps.
 //!
 //! Both progress rules are sound with respect to the static check: for
 //! a converter that passes [`protoquot_spec::verify_system`], every
@@ -36,6 +43,7 @@ use protoquot_spec::{
 };
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Why a session was convicted by the online guard.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,6 +88,45 @@ impl std::fmt::Display for Conviction {
     }
 }
 
+/// Build-time cost and size of the compiled guard DFA, surfaced through
+/// `RuntimeStats` snapshots, `protoquot serve --stats` and the EXP-R
+/// bench report.
+#[derive(Clone, Debug, Default)]
+pub struct GuardBuildStats {
+    /// Reachable `(composite subset, ψ-hub)` DFA states.
+    pub dfa_states: usize,
+    /// Events per transition row (`|Σ|`, the shared event table).
+    pub dfa_events: usize,
+    /// Bytes of the dense transition table plus the per-state verdict
+    /// and subset-size side arrays.
+    pub table_bytes: usize,
+    /// Largest composite subset behind any DFA state.
+    pub max_subset: usize,
+    /// Wall-clock milliseconds spent subset-constructing the DFA
+    /// (compile + τ* rows + normalization excluded).
+    pub build_ms: f64,
+}
+
+impl std::fmt::Display for GuardBuildStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} states x {} events, {} table bytes, max subset {}, built in {:.3} ms",
+            self.dfa_states, self.dfa_events, self.table_bytes, self.max_subset, self.build_ms
+        )
+    }
+}
+
+/// Transition-table sentinel: the event extends no trace of `B ‖ C`.
+const T_NOT_A_TRACE: u32 = u32::MAX;
+/// Transition-table sentinel: ψ has no step for the event.
+const T_SERVICE_VIOLATION: u32 = u32::MAX - 1;
+/// Transition-table sentinel: every reachable state in the target
+/// subset fails sink-acceptance containment (eager stall).
+const T_STALL: u32 = u32::MAX - 2;
+/// Targets at or above this value are verdicts, not states.
+const T_SENTINEL_BASE: u32 = T_STALL;
+
 /// Compiled guard shared by every session of one gateway.
 pub struct GuardProgram {
     table: Arc<EventTable>,
@@ -90,10 +137,29 @@ pub struct GuardProgram {
     norm: NormalSpec,
     /// Per-hub acceptance sets as bitsets over the event table.
     acc: Vec<Vec<Vec<u64>>>,
+    /// Fused τ-closure + ext-step + ψ-step DFA: row `s` holds the
+    /// target (or verdict sentinel) for every event index.
+    trans: Vec<u32>,
+    /// `|Σ|` — the transition-row stride.
+    nsym: usize,
+    /// Initial DFA state (`(τ*-closure of the initial composite state,
+    /// ψ_A.ε)`).
+    dfa_initial: u32,
+    /// Per-DFA-state: some subset member fails containment (confirms an
+    /// attested stall).
+    any_fail: Vec<bool>,
+    /// Per-DFA-state: composite states in the subset (for parity with
+    /// the reference guard's `possible_states`).
+    subset_size: Vec<u32>,
+    /// Set when the *initial* configuration already fails containment
+    /// for every reachable state: sessions start convicted.
+    initial_verdict: Option<Conviction>,
+    build: GuardBuildStats,
 }
 
 impl GuardProgram {
-    /// Compiles `parts` (components plus converter) against `service`.
+    /// Compiles `parts` (components plus converter) against `service`
+    /// and subset-constructs the per-frame check into a DFA.
     ///
     /// Mirrors the validation of [`protoquot_spec::verify_system`]: the
     /// solo (externally visible) alphabet of the composition must equal
@@ -135,14 +201,191 @@ impl GuardProgram {
                     .collect()
             })
             .collect();
-        Ok(GuardProgram {
+        let mut prog = GuardProgram {
             table: Arc::new(table),
             comp,
             tau,
             words,
             norm,
             acc,
-        })
+            trans: Vec::new(),
+            nsym: 0,
+            dfa_initial: 0,
+            any_fail: Vec::new(),
+            subset_size: Vec::new(),
+            initial_verdict: None,
+            build: GuardBuildStats::default(),
+        };
+        prog.determinize();
+        Ok(prog)
+    }
+
+    /// Subset-constructs the DFA over the compiled composite: states are
+    /// reachable `(sorted τ-closed subset, hub)` pairs, edges fuse the
+    /// ext step, the τ-closure of its image and the ψ-hub step, and the
+    /// progress verdicts are folded into the table (stall edges) and the
+    /// per-state `any_fail` flags.
+    fn determinize(&mut self) {
+        let t0 = Instant::now();
+        let nsym = self.table.len();
+        let n = self.comp.n;
+
+        // Scratch for τ-closures and per-event ext steps.
+        let mut seen = vec![false; n];
+        let tau_close = |set: &mut Vec<u32>, seen: &mut [bool]| {
+            for &s in set.iter() {
+                seen[s as usize] = true;
+            }
+            let mut i = 0;
+            while i < set.len() {
+                let s = set[i] as usize;
+                for k in self.comp.int_off[s] as usize..self.comp.int_off[s + 1] as usize {
+                    let t = self.comp.int_tgt[k];
+                    if !seen[t as usize] {
+                        seen[t as usize] = true;
+                        set.push(t);
+                    }
+                }
+                i += 1;
+            }
+            set.sort_unstable();
+            for &s in set.iter() {
+                seen[s as usize] = false;
+            }
+        };
+
+        let mut initial = vec![self.comp.initial];
+        tau_close(&mut initial, &mut seen);
+
+        let mut index: HashMap<(Box<[u32]>, u32), u32> = HashMap::new();
+        let mut subsets: Vec<(Box<[u32]>, u32)> = Vec::new();
+        let mut trans: Vec<u32> = Vec::new();
+        let mut any_fail: Vec<bool> = Vec::new();
+        let mut subset_size: Vec<u32> = Vec::new();
+        let mut max_subset = 0usize;
+
+        let initial_hub = self.norm.initial_hub() as u32;
+        let push_state = |subset: Box<[u32]>,
+                              hub: u32,
+                              index: &mut HashMap<(Box<[u32]>, u32), u32>,
+                              subsets: &mut Vec<(Box<[u32]>, u32)>,
+                              work: &mut Vec<u32>|
+         -> u32 {
+            let key = (subset, hub);
+            if let Some(&id) = index.get(&key) {
+                return id;
+            }
+            let id = subsets.len() as u32;
+            index.insert(key.clone(), id);
+            subsets.push(key);
+            work.push(id);
+            id
+        };
+
+        let mut work: Vec<u32> = Vec::new();
+        self.dfa_initial = push_state(
+            initial.clone().into_boxed_slice(),
+            initial_hub,
+            &mut index,
+            &mut subsets,
+            &mut work,
+        );
+        if self.all_fail(&initial, initial_hub as usize) {
+            // The initial configuration already fails containment for
+            // every reachable state — sessions start convicted, exactly
+            // as the reference guard does.
+            self.initial_verdict = Some(Conviction::Stalled);
+        }
+
+        let mut next: Vec<u32> = Vec::new();
+        while let Some(id) = work.pop() {
+            let (subset, hub) = subsets[id as usize].clone();
+            max_subset = max_subset.max(subset.len());
+            let row = id as usize * nsym;
+            if trans.len() < row + nsym {
+                trans.resize(subsets.len() * nsym, T_NOT_A_TRACE);
+            }
+            while any_fail.len() < subsets.len() {
+                any_fail.push(false);
+                subset_size.push(0);
+            }
+            any_fail[id as usize] = subset
+                .iter()
+                .any(|&s| !self.progress_ok(s, hub as usize));
+            subset_size[id as usize] = subset.len() as u32;
+
+            for ev in 0..nsym as u32 {
+                next.clear();
+                for &s in subset.iter() {
+                    let s = s as usize;
+                    for k in self.comp.ext_off[s] as usize..self.comp.ext_off[s + 1] as usize {
+                        if self.comp.ext_ev[k] == ev {
+                            let t = self.comp.ext_tgt[k];
+                            if !seen[t as usize] {
+                                seen[t as usize] = true;
+                                next.push(t);
+                            }
+                        }
+                    }
+                }
+                for &t in next.iter() {
+                    seen[t as usize] = false;
+                }
+                let target = if next.is_empty() {
+                    T_NOT_A_TRACE
+                } else {
+                    let eid = self.table.event(ev).expect("event index within table");
+                    match self.norm.step(hub as usize, eid) {
+                        None => T_SERVICE_VIOLATION,
+                        Some(next_hub) => {
+                            tau_close(&mut next, &mut seen);
+                            if self.all_fail(&next, next_hub) {
+                                // A stall edge is terminal: the target
+                                // state is never resident, so it is not
+                                // interned or explored.
+                                T_STALL
+                            } else {
+                                push_state(
+                                    next.clone().into_boxed_slice(),
+                                    next_hub as u32,
+                                    &mut index,
+                                    &mut subsets,
+                                    &mut work,
+                                )
+                            }
+                        }
+                    }
+                };
+                // `trans` may have grown rows for states interned after
+                // this one; the row base is stable because ids are dense.
+                if trans.len() < subsets.len() * nsym {
+                    trans.resize(subsets.len() * nsym, T_NOT_A_TRACE);
+                }
+                trans[row + ev as usize] = target;
+            }
+        }
+        // States interned last may not have had rows/flags materialized.
+        trans.resize(subsets.len() * nsym, T_NOT_A_TRACE);
+        while any_fail.len() < subsets.len() {
+            any_fail.push(false);
+            subset_size.push(0);
+        }
+
+        debug_assert!(
+            subsets.len() < T_SENTINEL_BASE as usize,
+            "guard DFA state space collides with verdict sentinels"
+        );
+        self.nsym = nsym;
+        self.trans = trans;
+        self.any_fail = any_fail;
+        self.subset_size = subset_size;
+        self.build = GuardBuildStats {
+            dfa_states: subsets.len(),
+            dfa_events: nsym,
+            table_bytes: self.trans.len() * 4 + self.any_fail.len() + self.subset_size.len() * 4,
+            max_subset,
+            build_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
     }
 
     /// The shared event table (index ↔ event mapping on the wire).
@@ -160,6 +403,38 @@ impl GuardProgram {
         self.norm.num_hubs()
     }
 
+    /// DFA states of the determinized guard.
+    pub fn num_dfa_states(&self) -> usize {
+        self.build.dfa_states
+    }
+
+    /// Build-time cost and size of the guard DFA.
+    pub fn build_stats(&self) -> &GuardBuildStats {
+        &self.build
+    }
+
+    /// Walks the DFA greedily (first non-convicting event from each
+    /// state), returning up to `len` event indices of a genuine,
+    /// never-convicting trace of the loaded system — the workload the
+    /// relay-capacity benchmarks pump through the gateway. Shorter than
+    /// `len` only if the walk hits a state with no surviving edge.
+    pub fn sample_accepted(&self, len: usize) -> Vec<u16> {
+        let mut out = Vec::with_capacity(len);
+        let mut cur = self.dfa_initial;
+        if self.initial_verdict.is_some() {
+            return out;
+        }
+        for _ in 0..len {
+            let row = &self.trans[cur as usize * self.nsym..(cur as usize + 1) * self.nsym];
+            let Some(ev) = row.iter().position(|&t| t < T_SENTINEL_BASE) else {
+                break;
+            };
+            out.push(ev as u16);
+            cur = row[ev];
+        }
+        out
+    }
+
     /// Does composite state `s` satisfy sink-acceptance containment
     /// against hub `hub`?
     fn progress_ok(&self, s: u32, hub: usize) -> bool {
@@ -168,10 +443,126 @@ impl GuardProgram {
             .iter()
             .any(|a| a.iter().zip(row).all(|(&aw, &rw)| aw & !rw == 0))
     }
+
+    /// Does *every* state of `subset` fail containment against `hub`?
+    fn all_fail(&self, subset: &[u32], hub: usize) -> bool {
+        subset.iter().all(|&s| !self.progress_ok(s, hub))
+    }
 }
 
-/// Per-session online guard state.
+/// Per-session online guard state: one `u32` DFA state.
+///
+/// [`SessionGuard::observe`] is a single transition-table load per
+/// frame; the subset tracking, τ-closure and containment scans all
+/// happened at [`GuardProgram::new`] time. The pre-determinization
+/// implementation is retained as [`SessionGuardReference`] — the
+/// differential oracle.
 pub struct SessionGuard {
+    prog: Arc<GuardProgram>,
+    cur: u32,
+    convicted: Option<Conviction>,
+    observed: u64,
+}
+
+impl SessionGuard {
+    /// A fresh guard at the initial DFA state.
+    ///
+    /// If the initial configuration already fails progress containment
+    /// for every reachable state, the session starts convicted — the
+    /// static verdict is necessarily a progress failure too.
+    pub fn new(prog: Arc<GuardProgram>) -> SessionGuard {
+        let cur = prog.dfa_initial;
+        let convicted = prog.initial_verdict.clone();
+        SessionGuard {
+            prog,
+            cur,
+            convicted,
+            observed: 0,
+        }
+    }
+
+    /// Validates one external event frame (an event-table index).
+    ///
+    /// On `Err` the session is convicted and stays convicted; every
+    /// later call returns the same conviction.
+    pub fn observe(&mut self, event: u16) -> Result<(), Conviction> {
+        if let Some(c) = &self.convicted {
+            return Err(c.clone());
+        }
+        let prog = &*self.prog;
+        let ev = usize::from(event);
+        if ev >= prog.nsym {
+            // The gateway rejects unknown indices before reaching the
+            // guard; treat a stray one as a non-trace.
+            let c = Conviction::NotATrace { event };
+            self.convicted = Some(c.clone());
+            return Err(c);
+        }
+        let target = prog.trans[self.cur as usize * prog.nsym + ev];
+        if target < T_SENTINEL_BASE {
+            self.cur = target;
+            self.observed += 1;
+            return Ok(());
+        }
+        let c = match target {
+            T_NOT_A_TRACE => Conviction::NotATrace { event },
+            T_SERVICE_VIOLATION => Conviction::ServiceViolation { event },
+            _ => {
+                // A stall edge extends the trace with a genuine step —
+                // the conviction is about the state it lands in, so the
+                // frame counts as observed (the reference guard agrees).
+                self.observed += 1;
+                Conviction::Stalled
+            }
+        };
+        self.convicted = Some(c.clone());
+        Err(c)
+    }
+
+    /// Confirms or dismisses a client-attested stall.
+    ///
+    /// Convicts when some possible state fails containment — the
+    /// attested stall then witnesses a reachable progress-failing pair.
+    /// An attestation no possible state supports is dismissed (`Ok`).
+    pub fn attest_stall(&mut self) -> Result<(), Conviction> {
+        if let Some(c) = &self.convicted {
+            return Err(c.clone());
+        }
+        if self.prog.any_fail[self.cur as usize] {
+            let c = Conviction::Stalled;
+            self.convicted = Some(c.clone());
+            return Err(c);
+        }
+        Ok(())
+    }
+
+    /// The conviction, if the session has one.
+    pub fn convicted(&self) -> Option<&Conviction> {
+        self.convicted.as_ref()
+    }
+
+    /// Frames accepted so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Number of composite states currently possible.
+    pub fn possible_states(&self) -> usize {
+        self.prog.subset_size[self.cur as usize] as usize
+    }
+
+    /// The interned event behind a wire index, if any.
+    pub fn event_of(&self, event: u16) -> Option<EventId> {
+        self.prog.table.event(u32::from(event))
+    }
+}
+
+/// The pre-determinization per-session guard: re-plays subset tracking
+/// over the compiled `B ‖ C` product (τ-closure + ext step), the ψ-hub
+/// step and the containment scans on **every frame**. Retained verbatim
+/// as the differential oracle for [`SessionGuard`] — the same
+/// engine/reference split every other phase of this workspace has.
+pub struct SessionGuardReference {
     prog: Arc<GuardProgram>,
     /// τ-closed, sorted, deduplicated set of possible composite states.
     possible: Vec<u32>,
@@ -182,17 +573,13 @@ pub struct SessionGuard {
     observed: u64,
 }
 
-impl SessionGuard {
+impl SessionGuardReference {
     /// A fresh guard at the initial state of the compiled product.
-    ///
-    /// If the initial configuration already fails progress containment
-    /// for every reachable state, the session starts convicted — the
-    /// static verdict is necessarily a progress failure too.
-    pub fn new(prog: Arc<GuardProgram>) -> SessionGuard {
+    pub fn new(prog: Arc<GuardProgram>) -> SessionGuardReference {
         let n = prog.num_states();
         let possible = vec![prog.comp.initial];
         let hub = prog.norm.initial_hub();
-        let mut guard = SessionGuard {
+        let mut guard = SessionGuardReference {
             prog,
             possible,
             seen: vec![false; n],
@@ -239,16 +626,11 @@ impl SessionGuard {
     }
 
     /// Validates one external event frame (an event-table index).
-    ///
-    /// On `Err` the session is convicted and stays convicted; every
-    /// later call returns the same conviction.
     pub fn observe(&mut self, event: u16) -> Result<(), Conviction> {
         if let Some(c) = &self.convicted {
             return Err(c.clone());
         }
         let Some(eid) = self.prog.table.event(u32::from(event)) else {
-            // The gateway rejects unknown indices before reaching the
-            // guard; treat a stray one as a non-trace.
             let c = Conviction::NotATrace { event };
             self.convicted = Some(c.clone());
             return Err(c);
@@ -293,10 +675,6 @@ impl SessionGuard {
     }
 
     /// Confirms or dismisses a client-attested stall.
-    ///
-    /// Convicts when some possible state fails containment — the
-    /// attested stall then witnesses a reachable progress-failing pair.
-    /// An attestation no possible state supports is dismissed (`Ok`).
     pub fn attest_stall(&mut self) -> Result<(), Conviction> {
         if let Some(c) = &self.convicted {
             return Err(c.clone());
@@ -370,13 +748,20 @@ mod tests {
         let prog = Arc::new(GuardProgram::new(&[&implementation], &svc).unwrap());
         let (acc, del) = (idx(&prog, "acc"), idx(&prog, "del"));
         let mut g = SessionGuard::new(Arc::clone(&prog));
+        let mut r = SessionGuardReference::new(Arc::clone(&prog));
         for _ in 0..3 {
             assert_eq!(g.observe(acc), Ok(()));
             assert_eq!(g.observe(del), Ok(()));
+            assert_eq!(r.observe(acc), Ok(()));
+            assert_eq!(r.observe(del), Ok(()));
         }
         assert_eq!(g.observed(), 6);
+        assert_eq!(r.observed(), 6);
         assert!(g.convicted().is_none());
         assert_eq!(g.attest_stall(), Ok(()));
+        assert_eq!(r.attest_stall(), Ok(()));
+        assert!(prog.build_stats().dfa_states >= 2);
+        assert!(prog.build_stats().table_bytes > 0);
     }
 
     #[test]
@@ -409,6 +794,16 @@ mod tests {
         let mut g = SessionGuard::new(Arc::clone(&prog));
         assert_eq!(g.observe(acc), Ok(()));
         assert_eq!(g.observe(acc), Err(Conviction::NotATrace { event: acc }));
+
+        // The reference agrees frame for frame.
+        let mut r = SessionGuardReference::new(Arc::clone(&prog));
+        assert_eq!(
+            r.observe(del),
+            Err(Conviction::ServiceViolation { event: del })
+        );
+        let mut r = SessionGuardReference::new(Arc::clone(&prog));
+        assert_eq!(r.observe(acc), Ok(()));
+        assert_eq!(r.observe(acc), Err(Conviction::NotATrace { event: acc }));
     }
 
     #[test]
@@ -426,6 +821,8 @@ mod tests {
         let acc = idx(&prog, "acc");
         let mut g = SessionGuard::new(Arc::clone(&prog));
         assert_eq!(g.observe(acc), Err(Conviction::Stalled));
+        let mut r = SessionGuardReference::new(Arc::clone(&prog));
+        assert_eq!(r.observe(acc), Err(Conviction::Stalled));
     }
 
     #[test]
@@ -448,6 +845,10 @@ mod tests {
         assert_eq!(g.observe(acc), Ok(()));
         assert_eq!(g.possible_states(), 2);
         assert_eq!(g.attest_stall(), Err(Conviction::Stalled));
+        let mut r = SessionGuardReference::new(Arc::clone(&prog));
+        assert_eq!(r.observe(acc), Ok(()));
+        assert_eq!(r.possible_states(), 2);
+        assert_eq!(r.attest_stall(), Err(Conviction::Stalled));
     }
 
     #[test]
@@ -457,5 +858,41 @@ mod tests {
         b.ext(s0, "other", s0);
         let implementation = b.build().unwrap();
         assert!(GuardProgram::new(&[&implementation], &service()).is_err());
+    }
+
+    #[test]
+    fn sampled_traces_never_convict() {
+        let mut b = SpecBuilder::new("impl");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.ext(s0, "acc", s1);
+        b.ext(s1, "del", s0);
+        let implementation = b.build().unwrap();
+        let svc = service();
+        let prog = Arc::new(GuardProgram::new(&[&implementation], &svc).unwrap());
+        let trace = prog.sample_accepted(256);
+        assert_eq!(trace.len(), 256);
+        let mut g = SessionGuard::new(Arc::clone(&prog));
+        let mut r = SessionGuardReference::new(Arc::clone(&prog));
+        for &ev in &trace {
+            assert_eq!(g.observe(ev), Ok(()));
+            assert_eq!(r.observe(ev), Ok(()));
+        }
+    }
+
+    #[test]
+    fn stray_indices_convict_both_guards() {
+        let mut b = SpecBuilder::new("impl");
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.ext(s0, "acc", s1);
+        b.ext(s1, "del", s0);
+        let implementation = b.build().unwrap();
+        let svc = service();
+        let prog = Arc::new(GuardProgram::new(&[&implementation], &svc).unwrap());
+        let mut g = SessionGuard::new(Arc::clone(&prog));
+        let mut r = SessionGuardReference::new(Arc::clone(&prog));
+        assert_eq!(g.observe(999), Err(Conviction::NotATrace { event: 999 }));
+        assert_eq!(r.observe(999), Err(Conviction::NotATrace { event: 999 }));
     }
 }

@@ -9,10 +9,12 @@
 //! * [`codec`] — a length-prefixed wire format whose event frames are
 //!   indices into the shared [`protoquot_spec::EventTable`] (stable
 //!   across processes because the table is sorted by event name);
-//! * [`guard`] — the online conformance guard: each session re-checks
-//!   trace membership in `B ‖ C`, service trace inclusion (ψ-hub), and
-//!   sink-acceptance progress containment, frame by frame, on the same
-//!   compiled CSR objects the static verifier uses;
+//! * [`guard`] — the online conformance guard: trace membership in
+//!   `B ‖ C`, service trace inclusion (ψ-hub), and sink-acceptance
+//!   progress containment, **determinized at build time** into a DFA
+//!   over `(composite-subset, ψ-hub)` pairs so the per-frame check is
+//!   one transition-table row; the subset-replaying interpreter is
+//!   retained as the differential oracle;
 //! * [`gateway`] — a sharded, session-multiplexed relay: striped
 //!   session table, per-session bounded queues drained by a worker
 //!   pool, backpressure, idle eviction, graceful drain;
@@ -38,9 +40,9 @@ pub mod guard;
 pub mod stats;
 pub mod transport;
 
-pub use codec::{Frame, RejectReason, Reply, WireCodec};
+pub use codec::{Frame, FrameBuffer, RejectReason, Reply, WireCodec, WireError};
 pub use drive::{drive, DriveConfig, DriveReport, RunOutcome};
-pub use gateway::{Gateway, GatewayConfig, Responder};
-pub use guard::{Conviction, GuardProgram, SessionGuard};
+pub use gateway::{Gateway, GatewayConfig, GatewayError, Responder};
+pub use guard::{Conviction, GuardBuildStats, GuardProgram, SessionGuard, SessionGuardReference};
 pub use stats::{RuntimeStats, StatsSnapshot};
 pub use transport::{Conn, LoopbackConn, TcpConn, TcpServer};

@@ -6,7 +6,7 @@
 //! (the periodic snapshot stream).
 
 use crate::codec::RejectReason;
-use crate::guard::Conviction;
+use crate::guard::{Conviction, GuardBuildStats};
 use protoquot_spec::EventTable;
 use serde::Value;
 use std::collections::BTreeMap;
@@ -24,8 +24,20 @@ const REASONS: [RejectReason; 8] = [
     RejectReason::UnknownEvent,
 ];
 
+/// Counter slot for a reject reason. Exhaustive on purpose: adding a
+/// `RejectReason` variant without growing [`REASONS`] (and this match)
+/// is a compile error, not a runtime panic in the hot reject path.
 fn reason_slot(reason: RejectReason) -> usize {
-    REASONS.iter().position(|&r| r == reason).unwrap()
+    match reason {
+        RejectReason::NotATrace => 0,
+        RejectReason::ServiceViolation => 1,
+        RejectReason::Stalled => 2,
+        RejectReason::Convicted => 3,
+        RejectReason::Backpressure => 4,
+        RejectReason::Draining => 5,
+        RejectReason::Closed => 6,
+        RejectReason::UnknownEvent => 7,
+    }
 }
 
 /// Shared counters of one gateway.
@@ -42,11 +54,18 @@ pub struct RuntimeStats {
     queue_high_water: AtomicU64,
     /// Accepted frames per event-table index.
     per_event: Vec<AtomicU64>,
+    /// Build-time cost of the guard DFA (fixed at construction).
+    guard_build: GuardBuildStats,
 }
 
 impl RuntimeStats {
     /// Fresh counters for a table of `num_events` wire events.
     pub fn new(num_events: usize) -> RuntimeStats {
+        RuntimeStats::with_guard_build(num_events, GuardBuildStats::default())
+    }
+
+    /// Fresh counters carrying the gateway's guard-DFA build stats.
+    pub fn with_guard_build(num_events: usize, guard_build: GuardBuildStats) -> RuntimeStats {
         RuntimeStats {
             started: Instant::now(),
             sessions_opened: AtomicU64::new(0),
@@ -59,6 +78,7 @@ impl RuntimeStats {
             convictions: AtomicU64::new(0),
             queue_high_water: AtomicU64::new(0),
             per_event: (0..num_events).map(|_| AtomicU64::new(0)).collect(),
+            guard_build,
         }
     }
 
@@ -136,6 +156,7 @@ impl RuntimeStats {
                 .zip(&self.per_event)
                 .map(|(e, c)| (e.name(), c.load(Ordering::Relaxed)))
                 .collect(),
+            guard_build: self.guard_build.clone(),
         }
     }
 }
@@ -167,6 +188,8 @@ pub struct StatsSnapshot {
     pub queue_high_water: u64,
     /// Accepted frames per event name, in event-table order.
     pub per_event: Vec<(String, u64)>,
+    /// Size and build cost of the compiled guard DFA.
+    pub guard_build: GuardBuildStats,
 }
 
 impl StatsSnapshot {
@@ -206,6 +229,25 @@ impl StatsSnapshot {
                     .collect(),
             ),
         );
+        let mut g = BTreeMap::new();
+        g.insert(
+            "dfa_states".into(),
+            Value::Int(self.guard_build.dfa_states as i128),
+        );
+        g.insert(
+            "dfa_events".into(),
+            Value::Int(self.guard_build.dfa_events as i128),
+        );
+        g.insert(
+            "table_bytes".into(),
+            Value::Int(self.guard_build.table_bytes as i128),
+        );
+        g.insert(
+            "max_subset".into(),
+            Value::Int(self.guard_build.max_subset as i128),
+        );
+        g.insert("build_ms".into(), Value::Float(self.guard_build.build_ms));
+        o.insert("guard_build".into(), Value::Obj(g));
         Value::Obj(o)
     }
 
@@ -248,7 +290,8 @@ impl std::fmt::Display for StatsSnapshot {
             .iter()
             .map(|(name, n)| format!("{name}={n}"))
             .collect();
-        write!(f, "events {}", parts.join(" "))
+        writeln!(f, "events {}", parts.join(" "))?;
+        write!(f, "guard dfa {}", self.guard_build)
     }
 }
 
@@ -291,5 +334,60 @@ mod tests {
         );
         assert!(snap.to_json().contains("\"accepted\":1"));
         assert!(format!("{snap}").contains("queue high-water 5"));
+        assert!(snap.to_json().contains("\"guard_build\""));
+    }
+
+    /// Every `RejectReason` variant must own a distinct counter slot
+    /// inside the `REASONS` bounds, and the slot must point back at the
+    /// same variant. The `match` inside `reason_slot` is exhaustive, so
+    /// a new variant fails compilation before it can fail here.
+    #[test]
+    fn reason_slots_cover_every_variant_exactly_once() {
+        let mut hit = [false; REASONS.len()];
+        for &reason in REASONS.iter() {
+            let slot = reason_slot(reason);
+            assert!(slot < REASONS.len(), "{reason:?}: slot {slot} out of range");
+            assert_eq!(
+                REASONS[slot], reason,
+                "{reason:?}: REASONS[{slot}] disagrees with reason_slot"
+            );
+            assert!(!hit[slot], "{reason:?}: slot {slot} already taken");
+            hit[slot] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "some counter slot is unreachable");
+
+        // Counting through the public API lands in the right slots.
+        let stats = RuntimeStats::new(0);
+        for &reason in REASONS.iter() {
+            stats.note_reject(reason);
+        }
+        let table = EventTable::new(&Alphabet::new());
+        let snap = stats.snapshot(&table);
+        for &reason in REASONS.iter() {
+            assert!(
+                snap.rejects.contains(&(reason.name(), 1)),
+                "{reason:?}: reject count missing from the snapshot"
+            );
+        }
+    }
+
+    #[test]
+    fn guard_build_stats_surface_in_snapshots() {
+        let table = EventTable::new(&Alphabet::from_names(["acc"]));
+        let build = GuardBuildStats {
+            dfa_states: 7,
+            dfa_events: 1,
+            table_bytes: 42,
+            max_subset: 3,
+            build_ms: 0.5,
+        };
+        let stats = RuntimeStats::with_guard_build(table.len(), build);
+        let snap = stats.snapshot(&table);
+        assert_eq!(snap.guard_build.dfa_states, 7);
+        let value = snap.to_value();
+        let g = value.as_obj().unwrap()["guard_build"].as_obj().unwrap();
+        assert_eq!(g["dfa_states"], Value::Int(7));
+        assert_eq!(g["table_bytes"], Value::Int(42));
+        assert!(format!("{snap}").contains("guard dfa 7 states"));
     }
 }

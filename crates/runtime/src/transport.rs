@@ -8,11 +8,11 @@
 //! outstanding frame), which keeps reply matching trivial.
 
 use crate::codec::{
-    decode_frame, decode_reply, encode_frame, encode_reply, read_frame, read_payload, write_frame,
-    write_reply, Frame, Reply,
+    decode_frame, decode_reply, encode_frame, encode_reply, read_payload, write_frame, write_reply,
+    Frame, FrameBuffer, Reply,
 };
 use crate::gateway::Gateway;
-use std::io;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -151,30 +151,55 @@ impl Drop for TcpServer {
 /// Reads frames off one connection, submitting each to the gateway;
 /// replies are written (in completion order — lockstep clients see
 /// call order) through a mutex-shared clone of the stream.
+///
+/// Reads are batched: every socket wakeup pulls whatever bytes are
+/// available into a [`FrameBuffer`] and submits *all* complete frames
+/// it holds, so pipelined clients pay one read syscall — and one
+/// worker scheduling round per session — for a whole burst of frames.
+/// Partial frames stay buffered across reads; an EOF that strands one
+/// is reported as a torn stream, never silently dropped.
 fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let mut reader = stream;
+    let mut frames = FrameBuffer::new();
+    let mut chunk = [0u8; 16 * 1024];
     while !stop.load(Ordering::Acquire) {
-        let frame = match read_frame(&mut reader) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => break, // clean EOF
+        let got = match reader.read(&mut chunk) {
+            Ok(0) => {
+                if frames.is_mid_message() {
+                    return Err(frames.torn_error().into());
+                }
+                break; // clean EOF, between messages
+            }
+            Ok(n) => n,
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
             {
                 continue
             }
             Err(e) => return Err(e),
         };
-        let writer = Arc::clone(&writer);
-        gateway.submit(
-            frame,
-            Box::new(move |reply| {
-                let mut w = writer.lock().unwrap();
-                let _ = write_reply(&mut *w, &reply);
-            }),
-        );
+        frames.extend(&chunk[..got]);
+        loop {
+            match frames.next_frame() {
+                Ok(Some(frame)) => {
+                    let writer = Arc::clone(&writer);
+                    gateway.submit(
+                        frame,
+                        Box::new(move |reply| {
+                            let mut w = writer.lock().unwrap();
+                            let _ = write_reply(&mut *w, &reply);
+                        }),
+                    );
+                }
+                Ok(None) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
     }
     Ok(())
 }

@@ -58,7 +58,7 @@ fn derived_system() -> (Spec, Spec, Spec) {
 fn codec_and_verify_engine_share_the_mapping() {
     let (b, converter, service) = derived_system();
     let tbl = EventTable::new(service.alphabet());
-    let codec = WireCodec::new(service.alphabet());
+    let codec = WireCodec::new(service.alphabet()).expect("service alphabet fits the wire");
 
     for (i, &e) in tbl.events.iter().enumerate() {
         let frame = codec

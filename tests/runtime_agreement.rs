@@ -16,14 +16,15 @@
 use protoquot_core::{converter_verdict, solve};
 use protoquot_protocols::nak::ab_to_nak_configuration;
 use protoquot_protocols::{
-    at_least_once, colocated_configuration, exactly_once, symmetric_configuration,
+    at_least_once, colocated_configuration, exactly_once, random_component,
+    symmetric_configuration, RandomParams,
 };
 use protoquot_runtime::{
-    drive, Conn, DriveConfig, DriveReport, Frame, Gateway, GatewayConfig, LoopbackConn, Reply,
-    WireCodec,
+    drive, Conn, DriveConfig, DriveReport, Frame, Gateway, GatewayConfig, GuardProgram,
+    LoopbackConn, Reply, SessionGuard, SessionGuardReference, WireCodec,
 };
 use protoquot_sim::{redirect_transition, FaultPlan};
-use protoquot_spec::{compose_all, has_trace, EventId, Spec};
+use protoquot_spec::{compose_all, has_trace, Alphabet, EventId, Spec, SpecBuilder};
 use std::collections::HashMap;
 use std::io;
 use std::sync::{Arc, Mutex};
@@ -72,12 +73,25 @@ impl Conn for RecordingConn {
 /// (server and client alike), returning the report and the accepted
 /// per-session prefixes.
 fn campaign(components: &[Spec], service: &Spec, threads: usize) -> (DriveReport, TraceLog) {
+    campaign_with(components, service, threads, false)
+}
+
+/// Like [`campaign`], but selecting the gateway's guard implementation:
+/// the compiled DFA (`reference_guard: false`) or the subset-replaying
+/// oracle.
+fn campaign_with(
+    components: &[Spec],
+    service: &Spec,
+    threads: usize,
+    reference_guard: bool,
+) -> (DriveReport, TraceLog) {
     let parts: Vec<&Spec> = components.iter().collect();
     let gw = Gateway::new(
         &parts,
         service,
         GatewayConfig {
             workers: threads,
+            reference_guard,
             ..GatewayConfig::default()
         },
     )
@@ -244,4 +258,267 @@ fn convictions_name_the_violation_kind() {
         return;
     }
     panic!("no statically rejected mutant found to drive");
+}
+
+// ---------------------------------------------------------------------
+// DFA vs. reference guard differential
+// ---------------------------------------------------------------------
+
+/// Streams fed to each guard pair per system.
+const GUARD_STREAMS: u64 = 6;
+/// Frames per stream (conviction usually ends a stream much earlier).
+const STREAM_LEN: usize = 200;
+
+/// Deterministic xorshift64* generator so every differential stream is
+/// reproducible from its label seed.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A converter over `int` that declares every interface event but
+/// enables none: composing it with a component freezes all interaction
+/// on `Int` — the cheap way to steer arbitrary systems down the
+/// conviction paths (same trick as the verify differential).
+fn stuck_converter(int: &Alphabet) -> Spec {
+    let mut cb = SpecBuilder::new("stuck");
+    cb.state("c0");
+    for e in int.iter() {
+        cb.event(&e.name());
+    }
+    cb.build().expect("stuck converter is well-formed")
+}
+
+/// The core bit-identity check: the compiled DFA guard and the
+/// subset-replaying reference must agree on every stream — same
+/// conviction kind, same offending event index, same frame position
+/// (`observed()` at conviction time), same possible-state counts, and
+/// same attested-stall verdicts.
+///
+/// Streams follow a genuine sampled trace up to a random cut, then turn
+/// random (with indices one past the table to hit the unknown-index
+/// path too), so both the long-accept prefixes and all three conviction
+/// kinds are exercised.
+fn guards_agree(label: &str, parts: &[&Spec], service: &Spec, seed: u64) {
+    guards_agree_scaled(label, parts, service, seed, GUARD_STREAMS, STREAM_LEN)
+}
+
+/// [`guards_agree`] with an explicit stream budget: the
+/// several-hundred-mutant sweeps run a trimmed budget per mutant (the
+/// derived converters already cover the long OK paths at full budget).
+fn guards_agree_scaled(
+    label: &str,
+    parts: &[&Spec],
+    service: &Spec,
+    seed: u64,
+    streams: u64,
+    stream_len: usize,
+) {
+    let prog = match GuardProgram::new(parts, service) {
+        Ok(p) => Arc::new(p),
+        // Systems the gateway would refuse to load have no online
+        // behavior to compare.
+        Err(_) => return,
+    };
+    let nsym = prog.table().len().max(1) as u64;
+    let accepted = prog.sample_accepted(stream_len);
+    let mut rng = XorShift(seed | 1);
+    for round in 0..streams {
+        let mut dfa = SessionGuard::new(Arc::clone(&prog));
+        let mut reference = SessionGuardReference::new(Arc::clone(&prog));
+        assert_eq!(
+            dfa.convicted(),
+            reference.convicted(),
+            "{label}/s{round}: initial verdict differs"
+        );
+        if dfa.convicted().is_some() {
+            break; // start-convicted systems have no further frames
+        }
+        let cut = if accepted.is_empty() {
+            0
+        } else {
+            rng.next() as usize % (accepted.len() + 1)
+        };
+        for pos in 0..STREAM_LEN {
+            let ev = if pos < cut {
+                accepted[pos]
+            } else {
+                (rng.next() % (nsym + 1)) as u16
+            };
+            let d = dfa.observe(ev);
+            let r = reference.observe(ev);
+            assert_eq!(
+                d, r,
+                "{label}/s{round}: conviction differs at frame {pos} (event {ev})"
+            );
+            assert_eq!(
+                dfa.observed(),
+                reference.observed(),
+                "{label}/s{round}: frame position differs at frame {pos}"
+            );
+            if d.is_err() {
+                break;
+            }
+            assert_eq!(
+                dfa.possible_states(),
+                reference.possible_states(),
+                "{label}/s{round}: possible-state count differs at frame {pos}"
+            );
+            if rng.next() % 13 == 0 {
+                let da = dfa.attest_stall();
+                let ra = reference.attest_stall();
+                assert_eq!(
+                    da, ra,
+                    "{label}/s{round}: attested-stall verdict differs at frame {pos}"
+                );
+                if da.is_err() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            dfa.convicted(),
+            reference.convicted(),
+            "{label}/s{round}: final conviction differs"
+        );
+        assert_eq!(
+            dfa.observed(),
+            reference.observed(),
+            "{label}/s{round}: final frame position differs"
+        );
+    }
+}
+
+/// The three builtin systems, each with its derived converter and
+/// **every** single-transition mutant of it.
+#[test]
+fn dfa_and_reference_guards_agree_on_builtins_and_all_mutants() {
+    let systems: [(&str, Spec, Spec, Alphabet); 3] = {
+        let colocated = colocated_configuration();
+        let sym = symmetric_configuration();
+        let nak = ab_to_nak_configuration();
+        [
+            ("colocated", colocated.b, exactly_once(), colocated.int),
+            ("symmetric", sym.b, at_least_once(), sym.int),
+            ("ab-nak", nak.b, exactly_once(), nak.int),
+        ]
+    };
+    for (label, b, service, int) in &systems {
+        let q = solve(b, service, int)
+            .unwrap_or_else(|e| panic!("{label}: expected a converter, got {e}"));
+        guards_agree(
+            &format!("{label}/derived"),
+            &[b, &q.converter],
+            service,
+            0xD1FF_0000 ^ label.len() as u64,
+        );
+        // Every single-transition mutant (the symmetric converter has
+        // several hundred); each (build + streams) is independent, so
+        // the sweep fans out across threads.
+        let mutants: Vec<(usize, Spec)> = (0..)
+            .map_while(|k| Some((k, redirect_transition(&q.converter, k)?)))
+            .collect();
+        assert!(
+            !mutants.is_empty(),
+            "{label}: converter has no transitions to mutate"
+        );
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some((k, mutant)) = mutants.get(i) else {
+                        break;
+                    };
+                    // Trimmed budget: the derived run above already
+                    // soaks the long accept paths at full budget, so
+                    // each mutant only needs enough frames past the
+                    // cut to force its conviction.
+                    guards_agree_scaled(
+                        &format!("{label}/mut{k}"),
+                        &[b, mutant],
+                        service,
+                        0xD1FF_1000 ^ (*k as u64) << 8,
+                        2,
+                        64,
+                    );
+                });
+            }
+        });
+    }
+}
+
+/// 40 random components, each frozen by the stuck converter so the
+/// progress paths are reachable.
+#[test]
+fn dfa_and_reference_guards_agree_on_random_components() {
+    let service = exactly_once();
+    for seed in 0..40u64 {
+        let (b, int) = random_component(seed, RandomParams::default());
+        let stuck = stuck_converter(&int);
+        guards_agree(
+            &format!("random({seed})"),
+            &[&b, &stuck],
+            &service,
+            0xC0FF_EE00 ^ seed,
+        );
+    }
+}
+
+/// End-to-end gateway differential at 1 and 8 workers: the drive
+/// reports of a DFA-guarded gateway and a reference-guarded gateway
+/// must be byte-identical for the derived converter and for a
+/// statically rejected mutant of each builtin system — same runs, same
+/// convictions, same reject reasons, at every thread count.
+#[test]
+fn reference_guard_campaigns_match_dfa_campaigns() {
+    let systems: [(&str, Spec, Spec, Alphabet); 3] = {
+        let colocated = colocated_configuration();
+        let sym = symmetric_configuration();
+        let nak = ab_to_nak_configuration();
+        [
+            ("colocated", colocated.b, exactly_once(), colocated.int),
+            ("symmetric", sym.b, at_least_once(), sym.int),
+            ("ab-nak", nak.b, exactly_once(), nak.int),
+        ]
+    };
+    for (label, b, service, int) in &systems {
+        let q = solve(b, service, int)
+            .unwrap_or_else(|e| panic!("{label}: expected a converter, got {e}"));
+        let rejected_mutant = (0..8).find_map(|k| {
+            let m = redirect_transition(&q.converter, k)?;
+            let ok = converter_verdict(b, service, &m)
+                .map(|v| v.is_ok())
+                .unwrap_or(false);
+            (!ok).then_some(m)
+        });
+        let mut variants = vec![("derived", q.converter.clone())];
+        if let Some(m) = rejected_mutant {
+            variants.push(("mutant", m));
+        }
+        for (kind, converter) in &variants {
+            let components = [b.clone(), converter.clone()];
+            for threads in [1usize, 8] {
+                let (dfa_report, _) = campaign_with(&components, service, threads, false);
+                let (ref_report, _) = campaign_with(&components, service, threads, true);
+                assert_eq!(
+                    dfa_report.to_json(),
+                    ref_report.to_json(),
+                    "{label}/{kind}: DFA and reference gateways diverge at {threads} workers"
+                );
+            }
+        }
+    }
 }
