@@ -18,7 +18,8 @@ use protoquot_protocols::{
     at_least_once, exactly_once, nfa_blowup, relay_chain, symmetric_configuration, toggle_puzzle,
 };
 use protoquot_runtime::{
-    drive, Conn, DriveConfig, Frame, Gateway, GatewayConfig, GuardProgram, LoopbackConn, Reply,
+    drive, Conn, DriveConfig, Frame, Gateway, GatewayConfig, GuardProgram, LoopbackConn, MuxClient,
+    MuxTransport, ReactorConfig, ReactorServer, Reply, TcpConn,
 };
 use protoquot_sim::{redirect_transition, FaultPlan, FleetConfig, FleetRunner};
 use protoquot_spec::normalize;
@@ -186,6 +187,180 @@ fn pump_throughput_on(
     (total as f64 / secs, total)
 }
 
+/// EXP-R3 pump over a live reactor server on loopback TCP: `clients`
+/// threads each multiplex `sessions_per_client` concurrent sessions
+/// over **one** socket, pushing a sampled accepted trace through every
+/// session in batched rounds (one frame per session per round, replies
+/// drained before the next round — so per-session wire order is
+/// program order). Returns `(accepted events/sec, frames pumped)`.
+fn reactor_pump_throughput(
+    clients: usize,
+    sessions_per_client: u64,
+    trace_len: usize,
+) -> (f64, u64) {
+    let cfg = protoquot_protocols::colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&cfg.b, &service, &cfg.int).expect("Fig. 14 converter exists");
+    let gw = Gateway::new(&[&cfg.b, &q.converter], &service, GatewayConfig::default())
+        .expect("gateway must compile the system");
+    let trace = gw.program().sample_accepted(trace_len);
+    assert!(!trace.is_empty(), "colocated system must relay events");
+    let mut server = ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig::default())
+        .expect("reactor must bind a loopback port");
+    let addr = server.local_addr();
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients as u64 {
+            let trace = &trace;
+            scope.spawn(move || {
+                let mut conn = MuxClient::connect(addr).expect("connect to reactor");
+                let mut replies = Vec::new();
+                let base = c * sessions_per_client;
+                let mut round = |frames: &mut dyn Iterator<Item = Frame>| {
+                    let mut queued = 0u64;
+                    for frame in frames {
+                        conn.queue(&frame).expect("queue frame");
+                        queued += 1;
+                    }
+                    let mut got = 0u64;
+                    while got < queued {
+                        conn.exchange(true, &mut replies).expect("exchange");
+                        for r in replies.drain(..) {
+                            assert!(
+                                matches!(r, Reply::Accepted { .. }),
+                                "pump frame rejected: {r:?}"
+                            );
+                            got += 1;
+                        }
+                    }
+                };
+                for &event in trace {
+                    round(&mut (0..sessions_per_client).map(|s| Frame::Event {
+                        session: base + s,
+                        event,
+                    }));
+                }
+                round(&mut (0..sessions_per_client).map(|s| Frame::Close { session: base + s }));
+            });
+        }
+    });
+    let secs = t.elapsed().as_secs_f64();
+    server.stop();
+    gw.drain();
+    let snap = gw.stats();
+    assert_eq!(snap.convictions, 0, "pumped trace must stay accepted");
+    let total = clients as u64 * sessions_per_client * trace.len() as u64;
+    (total as f64 / secs, total)
+}
+
+/// Resident set size of this process in KiB, from `/proc/self/status`
+/// (Linux only; `None` elsewhere — EXP-R3 then reports no memory column).
+fn vm_rss_kib() -> Option<i64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
+/// One EXP-R3 row over the blocking transport: `sessions` concurrent
+/// TCP connections (the blocking server pins one OS thread to each),
+/// one session per connection, pumped in lockstep rounds by a single
+/// client thread. Returns `(events/sec, frames, rss delta KiB)`.
+fn blocking_concurrency_row(sessions: u64, trace_len: usize) -> (f64, u64, i64) {
+    let cfg = protoquot_protocols::colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&cfg.b, &service, &cfg.int).expect("Fig. 14 converter exists");
+    let gw = Gateway::new(&[&cfg.b, &q.converter], &service, GatewayConfig::default())
+        .expect("gateway must compile the system");
+    let trace = gw.program().sample_accepted(trace_len);
+    let rss_before = vm_rss_kib().unwrap_or(0);
+    let mut server = protoquot_runtime::TcpServer::bind(gw.clone(), "127.0.0.1:0")
+        .expect("blocking server must bind");
+    let addr = server.local_addr();
+    let mut conns: Vec<TcpConn> = (0..sessions)
+        .map(|_| TcpConn::connect(addr).expect("connect"))
+        .collect();
+    let t = Instant::now();
+    for &event in &trace {
+        for (s, conn) in conns.iter_mut().enumerate() {
+            match conn.call(&Frame::Event {
+                session: s as u64,
+                event,
+            }) {
+                Ok(Reply::Accepted { .. }) => {}
+                other => panic!("pump frame rejected: {other:?}"),
+            }
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let rss_after = vm_rss_kib().unwrap_or(0);
+    for (s, conn) in conns.iter_mut().enumerate() {
+        let _ = conn.call(&Frame::Close { session: s as u64 });
+    }
+    drop(conns);
+    server.stop();
+    gw.drain();
+    let total = sessions * trace.len() as u64;
+    (total as f64 / secs, total, (rss_after - rss_before).max(0))
+}
+
+/// One EXP-R3 row over the reactor: `sessions` concurrent sessions
+/// multiplexed over a **single** socket, pumped in batched rounds by a
+/// single client thread. Returns `(events/sec, frames, rss delta KiB)`.
+fn reactor_concurrency_row(sessions: u64, trace_len: usize) -> (f64, u64, i64) {
+    let cfg = protoquot_protocols::colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&cfg.b, &service, &cfg.int).expect("Fig. 14 converter exists");
+    let gw = Gateway::new(&[&cfg.b, &q.converter], &service, GatewayConfig::default())
+        .expect("gateway must compile the system");
+    let trace = gw.program().sample_accepted(trace_len);
+    let rss_before = vm_rss_kib().unwrap_or(0);
+    let mut server = ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig::default())
+        .expect("reactor must bind");
+    let addr = server.local_addr();
+    let mut conn = MuxClient::connect(addr).expect("connect");
+    let mut replies = Vec::new();
+    let t = Instant::now();
+    let mut rss_after = rss_before;
+    for (i, &event) in trace.iter().enumerate() {
+        for s in 0..sessions {
+            conn.queue(&Frame::Event { session: s, event })
+                .expect("queue");
+        }
+        let mut got = 0u64;
+        while got < sessions {
+            conn.exchange(true, &mut replies).expect("exchange");
+            for r in replies.drain(..) {
+                assert!(matches!(r, Reply::Accepted { .. }), "rejected: {r:?}");
+                got += 1;
+            }
+        }
+        if i == 0 {
+            // All sessions are resident after the first round.
+            rss_after = vm_rss_kib().unwrap_or(rss_before);
+        }
+    }
+    let secs = t.elapsed().as_secs_f64();
+    rss_after = rss_after.max(vm_rss_kib().unwrap_or(0));
+    for s in 0..sessions {
+        conn.queue(&Frame::Close { session: s })
+            .expect("queue close");
+    }
+    let mut got = 0u64;
+    while got < sessions {
+        conn.exchange(true, &mut replies).expect("exchange");
+        got += replies.drain(..).len() as u64;
+    }
+    server.stop();
+    gw.drain();
+    let total = sessions * trace.len() as u64;
+    (total as f64 / secs, total, (rss_after - rss_before).max(0))
+}
+
 /// Best-of-3 wall time (ms) of subset-constructing the guard DFA for
 /// the heaviest builtin system (the EXP-W symmetric converter, ~700
 /// external product transitions) — the figure the smoke gate tracks so
@@ -228,12 +403,18 @@ fn quick_smoke() -> i32 {
     let serve_events_per_sec = (0..2)
         .map(|_| pump_throughput(1, false, 8, 2_048).0)
         .fold(0.0f64, f64::max);
+    // Best-of-2 reactor pump (EXP-R3 workload, scaled down for CI): 256
+    // sessions multiplexed over one real loopback socket.
+    let reactor_events_per_sec = (0..2)
+        .map(|_| reactor_pump_throughput(1, 256, 256).0)
+        .fold(0.0f64, f64::max);
     let guard_build_ms = guard_build_time();
     let json = format!(
         "{{\"bench\":\"nfa-blowup-11\",\"safety_ms\":{safety_ms:.3},\
          \"progress_ms\":{progress_ms:.3},\"total_ms\":{total_ms:.3},\
          \"verify_ms\":{verify_ms:.3},\
          \"serve_events_per_sec\":{serve_events_per_sec:.0},\
+         \"reactor_events_per_sec\":{reactor_events_per_sec:.0},\
          \"guard_build_ms\":{guard_build_ms:.3}}}\n"
     );
     println!(
@@ -242,6 +423,7 @@ fn quick_smoke() -> i32 {
     );
     println!("smoke: EXP-W verified-converter check (engine, 1 thread) {verify_ms:.3} ms");
     println!("smoke: gateway capacity pump {serve_events_per_sec:.0} accepted events/s");
+    println!("smoke: reactor mux pump {reactor_events_per_sec:.0} accepted events/s");
     println!("smoke: EXP-W guard DFA build {guard_build_ms:.3} ms");
     if let Err(e) = std::fs::write("BENCH_smoke.json", &json) {
         eprintln!("smoke: cannot write BENCH_smoke.json: {e}");
@@ -304,6 +486,21 @@ fn quick_smoke() -> i32 {
         eprintln!(
             "smoke: REGRESSION — the gateway relayed {serve_events_per_sec:.0} events/s, \
              less than half the committed baseline of {serve_budget:.0} events/s"
+        );
+        return 1;
+    }
+    let Some(reactor_budget) = baseline_field(&value, "reactor_events_per_sec") else {
+        eprintln!("smoke: {baseline_path} lacks a numeric `reactor_events_per_sec`");
+        return 1;
+    };
+    println!(
+        "smoke: baseline reactor {reactor_budget:.0} events/s, gate at {:.0} events/s (2x)",
+        reactor_budget / 2.0
+    );
+    if reactor_events_per_sec < reactor_budget / 2.0 {
+        eprintln!(
+            "smoke: REGRESSION — the reactor relayed {reactor_events_per_sec:.0} events/s, \
+             less than half the committed baseline of {reactor_budget:.0} events/s"
         );
         return 1;
     }
@@ -879,6 +1076,41 @@ fn main() {
                 "{:>12} {label:>10} {:>8} {frames:>12} {events_per_sec:>14.0}",
                 "EXP-W/sym", 1
             );
+        }
+    }
+
+    println!("\n== EXP-R3: reactor concurrency — events/s and memory vs session count ==");
+    {
+        // How many *concurrent* sessions each transport architecture
+        // carries, and at what cost: the blocking server pins one OS
+        // thread to every connection, so its row is the thread-per-
+        // connection price; the reactor multiplexes every session over
+        // one socket served by a fixed loop pool. RSS deltas cover the
+        // whole process (client and server are in-process here).
+        println!(
+            "{:>10} {:>10} {:>10} {:>12} {:>14} {:>12}",
+            "transport", "sessions", "sockets", "frames", "events/sec", "rss KiB"
+        );
+        for &sessions in &[1_000u64, 10_000, 100_000] {
+            let (evps, frames, rss) = reactor_concurrency_row(sessions, 8);
+            println!(
+                "{:>10} {sessions:>10} {:>10} {frames:>12} {evps:>14.0} {rss:>12}",
+                "reactor", 1
+            );
+            // Thread-per-connection runs out of OS threads long before
+            // 100k; measure it only where it can actually stand up.
+            if sessions <= 1_000 {
+                let (evps, frames, rss) = blocking_concurrency_row(sessions, 8);
+                println!(
+                    "{:>10} {sessions:>10} {sessions:>10} {frames:>12} {evps:>14.0} {rss:>12}",
+                    "blocking"
+                );
+            } else {
+                println!(
+                    "{:>10} {sessions:>10} {sessions:>10} {:>12} {:>14} {:>12}",
+                    "blocking", "-", "-", "(thread-per-conn)"
+                );
+            }
         }
     }
 

@@ -31,7 +31,8 @@
 
 use protoquot_core::{prune_useless, solve_with, ProgressStrategy, QuotientOptions};
 use protoquot_runtime::{
-    drive, Conn, DriveConfig, Gateway, GatewayConfig, LoopbackConn, TcpConn, TcpServer,
+    drive, drive_mux, Conn, DriveConfig, Gateway, GatewayConfig, LoopbackConn, LoopbackMux,
+    MuxClient, MuxTransport, ReactorConfig, ReactorServer, TcpConn, TcpServer,
 };
 use protoquot_sim::{
     redirect_transition, run_monitored, FaultPlan, FleetConfig, FleetRunner, MonitorVerdict,
@@ -88,11 +89,12 @@ usage:
             [--seed S] [--no-shrink] [--json]
   protoquot soak --builtin colocated|symmetric|ab-nak [--mutate K] [options as above]
   protoquot serve (FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K])
-            [--addr HOST:PORT] [--threads N] [--duration SECS] [--stats]
+            [--addr HOST:PORT] [--transport blocking|reactor] [--loops N]
+            [--threads N] [--duration SECS] [--stats]
   protoquot drive (FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K])
             (--connect HOST:PORT | --loopback) [--runs N] [--threads T] [--steps N]
-            [--faults loss,dup,reorder,burst] [--seed S] [--duration SECS]
-            [--expect-clean] [--json]
+            [--sessions-per-conn N] [--faults loss,dup,reorder,burst] [--seed S]
+            [--duration SECS] [--expect-clean] [--json]
 
 FILE contains specifications in the textual language, e.g.:
 
@@ -157,6 +159,9 @@ const VALUED: &[&str] = &[
     "--addr",
     "--connect",
     "--duration",
+    "--transport",
+    "--loops",
+    "--sessions-per-conn",
 ];
 
 fn parse_args(rest: &[String]) -> Result<Parsed, CliError> {
@@ -876,7 +881,8 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
         &p,
         "usage: protoquot serve (FILE --service SPEC --components S1,S2,... | \
          --builtin colocated|symmetric|ab-nak [--mutate K]) [--addr HOST:PORT] \
-         [--threads N] [--duration SECS] [--stats]",
+         [--transport blocking|reactor] [--loops N] [--threads N] \
+         [--duration SECS] [--stats]",
     )?;
     let workers: usize = match p.value("--threads") {
         Some(v) => v
@@ -884,6 +890,16 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
             .map_err(|_| CliError("--threads must be a number".into()))?,
         None => 4,
     };
+    let loops: usize = match p.value("--loops") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError("--loops must be a number".into()))?,
+        None => ReactorConfig::default().loops,
+    };
+    let transport = p.value("--transport").unwrap_or("blocking");
+    if !matches!(transport, "blocking" | "reactor") {
+        return err("--transport must be `blocking` or `reactor`");
+    }
     let duration = parse_duration(&p)?;
     let parts: Vec<&Spec> = components.iter().collect();
     let cfg = GatewayConfig {
@@ -892,14 +908,30 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
     };
     let gw = Gateway::new(&parts, &service, cfg).map_err(|e| CliError(e.to_string()))?;
     let mut out = String::new();
+    enum Server {
+        Blocking(TcpServer),
+        Reactor(ReactorServer),
+    }
     let mut server = None;
     if let Some(addr) = p.value("--addr") {
-        let s = TcpServer::bind(gw.clone(), addr)
-            .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+        let (s, local) = match transport {
+            "reactor" => {
+                let s = ReactorServer::bind(gw.clone(), addr, ReactorConfig { loops })
+                    .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+                let local = s.local_addr();
+                (Server::Reactor(s), local)
+            }
+            _ => {
+                let s = TcpServer::bind(gw.clone(), addr)
+                    .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+                let local = s.local_addr();
+                (Server::Blocking(s), local)
+            }
+        };
         // Printed immediately (not just returned) so scripts can scrape
         // the bound port before the serve loop ends.
-        println!("serving on {}", s.local_addr());
-        out.push_str(&format!("served on {}\n", s.local_addr()));
+        println!("serving on {local}");
+        out.push_str(&format!("served on {local}\n"));
         server = Some(s);
     }
     let deadline = duration.map(|d| std::time::Instant::now() + d);
@@ -918,8 +950,10 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
             last_snapshot = std::time::Instant::now();
         }
     }
-    if let Some(mut s) = server {
-        s.stop();
+    match server {
+        Some(Server::Blocking(mut s)) => s.stop(),
+        Some(Server::Reactor(mut s)) => s.stop(),
+        None => {}
     }
     gw.drain();
     let snap = gw.stats();
@@ -937,7 +971,7 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
         &p,
         "usage: protoquot drive (FILE --service SPEC --components S1,S2,... | \
          --builtin colocated|symmetric|ab-nak [--mutate K]) (--connect HOST:PORT | \
-         --loopback) [--runs N] [--threads T] [--steps N] \
+         --loopback) [--runs N] [--threads T] [--steps N] [--sessions-per-conn N] \
          [--faults loss,dup,reorder,burst] [--seed S] [--duration SECS] \
          [--expect-clean] [--json]",
     )?;
@@ -958,14 +992,25 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
         max_steps: parse_num("--steps", 600)?,
         faults,
         duration: parse_duration(&p)?,
+        sessions_per_conn: parse_num("--sessions-per-conn", 1)?,
         ..DriveConfig::default()
     };
+    // `--sessions-per-conn` selects the multiplexed campaign: the same
+    // per-session state machines, batched over one connection per
+    // thread instead of one blocking call per frame.
+    let mux = p.value("--sessions-per-conn").is_some();
     let report = match (p.value("--connect"), p.has("--loopback")) {
         (Some(addr), false) => {
             let addr = addr.to_string();
-            drive(&components, &service, &cfg, move || {
-                TcpConn::connect(&addr).map(|c| Box::new(c) as Box<dyn Conn>)
-            })
+            if mux {
+                drive_mux(&components, &service, &cfg, move || {
+                    MuxClient::connect(&addr).map(|c| Box::new(c) as Box<dyn MuxTransport>)
+                })
+            } else {
+                drive(&components, &service, &cfg, move || {
+                    TcpConn::connect(&addr).map(|c| Box::new(c) as Box<dyn Conn>)
+                })
+            }
         }
         (None, true) => {
             let parts: Vec<&Spec> = components.iter().collect();
@@ -974,9 +1019,15 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
                 ..GatewayConfig::default()
             };
             let gw = Gateway::new(&parts, &service, gw_cfg).map_err(|e| CliError(e.to_string()))?;
-            let report = drive(&components, &service, &cfg, || {
-                Ok(Box::new(LoopbackConn::new(gw.clone())) as Box<dyn Conn>)
-            });
+            let report = if mux {
+                drive_mux(&components, &service, &cfg, || {
+                    Ok(Box::new(LoopbackMux::new(gw.clone())) as Box<dyn MuxTransport>)
+                })
+            } else {
+                drive(&components, &service, &cfg, || {
+                    Ok(Box::new(LoopbackConn::new(gw.clone())) as Box<dyn Conn>)
+                })
+            };
             gw.drain();
             report
         }
@@ -1511,6 +1562,80 @@ mod tests {
         let snap = gw.stats();
         assert!(snap.accepted > 0, "no frames reached the served gateway");
         assert_eq!(snap.convictions, 0);
+    }
+
+    #[test]
+    fn serve_reactor_and_drive_multiplexed_over_tcp() {
+        // End-to-end over the readiness transport: a reactor-served
+        // gateway, driven by multiplexed sessions over one socket per
+        // thread. The mux report must equal a lockstep campaign's.
+        let (components, service) = builtin_soak_system("colocated", None).unwrap();
+        let parts: Vec<&Spec> = components.iter().collect();
+        let gw = Gateway::new(&parts, &service, GatewayConfig::default()).unwrap();
+        let mut server =
+            ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let mux_out = run_ok(&[
+            "drive",
+            "--builtin",
+            "colocated",
+            "--connect",
+            &addr,
+            "--runs",
+            "8",
+            "--steps",
+            "200",
+            "--sessions-per-conn",
+            "4",
+            "--expect-clean",
+            "--json",
+        ]);
+        // Closed sessions are tombstoned until idle eviction, so the
+        // lockstep control campaign (same run indices = same session
+        // ids) needs a fresh gateway.
+        let gw2 = Gateway::new(&parts, &service, GatewayConfig::default()).unwrap();
+        let mut server2 = TcpServer::bind(gw2.clone(), "127.0.0.1:0").unwrap();
+        let addr2 = server2.local_addr().to_string();
+        let lockstep_out = run_ok(&[
+            "drive",
+            "--builtin",
+            "colocated",
+            "--connect",
+            &addr2,
+            "--runs",
+            "8",
+            "--steps",
+            "200",
+            "--expect-clean",
+            "--json",
+        ]);
+        assert_eq!(
+            mux_out, lockstep_out,
+            "multiplexed and lockstep campaigns diverged over the reactor"
+        );
+        server.stop();
+        server2.stop();
+        gw.drain();
+        gw2.drain();
+        let snap = gw.stats();
+        assert!(snap.accepted > 0, "no frames reached the served gateway");
+        assert_eq!(snap.convictions, 0);
+        assert!(
+            snap.connections_opened >= 1 && snap.connections_opened == snap.connections_closed,
+            "connection accounting is off: {snap}"
+        );
+    }
+
+    #[test]
+    fn serve_rejects_unknown_transport() {
+        let args: Vec<String> = ["serve", "--builtin", "colocated", "--transport", "carrier"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(run(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("--transport must be"));
     }
 
     #[test]

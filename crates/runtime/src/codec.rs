@@ -348,29 +348,19 @@ pub fn write_reply<W: Write>(w: &mut W, reply: &Reply) -> io::Result<()> {
     w.write_all(&buf)
 }
 
-/// An incremental frame decoder: bytes go in as they arrive off a
-/// stream, complete frames come out in order — so a transport can
-/// decode *every* frame already buffered per wakeup instead of paying
-/// one syscall round per frame (the gateway then drains them in one
-/// batch).
-///
-/// EOF bookkeeping matches [`read_frame`]: ending the stream between
-/// messages is clean, ending it mid-message is a torn stream.
+/// The incremental decode engine shared by [`FrameBuffer`] and
+/// [`ReplyBuffer`]: accumulates raw stream bytes, yields complete
+/// length-prefixed payloads in order, compacts the consumed prefix
+/// lazily.
 #[derive(Default)]
-pub struct FrameBuffer {
+struct PayloadBuffer {
     buf: Vec<u8>,
     /// Consumed prefix of `buf` (compacted once it grows past half).
     start: usize,
 }
 
-impl FrameBuffer {
-    /// An empty buffer.
-    pub fn new() -> FrameBuffer {
-        FrameBuffer::default()
-    }
-
-    /// Appends raw stream bytes.
-    pub fn extend(&mut self, bytes: &[u8]) {
+impl PayloadBuffer {
+    fn extend(&mut self, bytes: &[u8]) {
         if self.start > 0 && self.start * 2 >= self.buf.len() {
             self.buf.drain(..self.start);
             self.start = 0;
@@ -378,9 +368,9 @@ impl FrameBuffer {
         self.buf.extend_from_slice(bytes);
     }
 
-    /// Pops the next complete frame, or `Ok(None)` when more bytes are
-    /// needed.
-    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+    /// The next complete payload (without its length prefix), or
+    /// `Ok(None)` when more bytes are needed. Consumes the message.
+    fn next_payload(&mut self) -> Result<Option<&[u8]>, WireError> {
         let pending = &self.buf[self.start..];
         if pending.len() < 4 {
             return Ok(None);
@@ -392,24 +382,108 @@ impl FrameBuffer {
         if pending.len() < 4 + len {
             return Ok(None);
         }
-        let frame = decode_frame(&pending[4..4 + len])?;
-        self.start += 4 + len;
-        Ok(Some(frame))
+        let at = self.start + 4;
+        self.start = at + len;
+        Ok(Some(&self.buf[at..at + len]))
+    }
+
+    fn is_mid_message(&self) -> bool {
+        self.start < self.buf.len()
+    }
+
+    fn torn_error(&self) -> WireError {
+        WireError(format!(
+            "torn stream: EOF with {} buffered bytes of a partial frame",
+            self.buf.len() - self.start
+        ))
+    }
+}
+
+/// An incremental frame decoder: bytes go in as they arrive off a
+/// stream, complete frames come out in order — so a transport can
+/// decode *every* frame already buffered per wakeup instead of paying
+/// one syscall round per frame (the gateway then drains them in one
+/// batch).
+///
+/// EOF bookkeeping matches [`read_frame`]: ending the stream between
+/// messages is clean, ending it mid-message is a torn stream.
+#[derive(Default)]
+pub struct FrameBuffer {
+    inner: PayloadBuffer,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.inner.extend(bytes);
+    }
+
+    /// Pops the next complete frame, or `Ok(None)` when more bytes are
+    /// needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        match self.inner.next_payload()? {
+            None => Ok(None),
+            Some(p) => Ok(Some(decode_frame(p)?)),
+        }
     }
 
     /// Whether the buffer holds a partial message: EOF now would be a
     /// torn stream, not a clean close.
     pub fn is_mid_message(&self) -> bool {
-        self.start < self.buf.len()
+        self.inner.is_mid_message()
     }
 
     /// The torn-stream error for an EOF at this point; call only when
     /// [`FrameBuffer::is_mid_message`] is true.
     pub fn torn_error(&self) -> WireError {
-        WireError(format!(
-            "torn stream: EOF with {} buffered bytes of a partial frame",
-            self.buf.len() - self.start
-        ))
+        self.inner.torn_error()
+    }
+}
+
+/// The client-side mirror of [`FrameBuffer`]: incremental decode of
+/// gateway replies. A multiplexing driver reads whatever the socket has,
+/// feeds it here, and dispatches each decoded [`Reply`] to the session
+/// it names — many sessions' replies interleave on one connection.
+#[derive(Default)]
+pub struct ReplyBuffer {
+    inner: PayloadBuffer,
+}
+
+impl ReplyBuffer {
+    /// An empty buffer.
+    pub fn new() -> ReplyBuffer {
+        ReplyBuffer::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.inner.extend(bytes);
+    }
+
+    /// Pops the next complete reply, or `Ok(None)` when more bytes are
+    /// needed.
+    pub fn next_reply(&mut self) -> Result<Option<Reply>, WireError> {
+        match self.inner.next_payload()? {
+            None => Ok(None),
+            Some(p) => Ok(Some(decode_reply(p)?)),
+        }
+    }
+
+    /// Whether the buffer holds a partial message: EOF now would be a
+    /// torn stream, not a clean close.
+    pub fn is_mid_message(&self) -> bool {
+        self.inner.is_mid_message()
+    }
+
+    /// The torn-stream error for an EOF at this point; call only when
+    /// [`ReplyBuffer::is_mid_message`] is true.
+    pub fn torn_error(&self) -> WireError {
+        self.inner.torn_error()
     }
 }
 
@@ -630,17 +704,17 @@ mod tests {
         encode_reply(&reply, &mut bytes);
         for cut in 1..bytes.len() {
             let mut r = io::Cursor::new(bytes[..cut].to_vec());
-            assert!(
-                read_reply(&mut r).is_err(),
-                "reply cut at {cut} must error"
-            );
+            assert!(read_reply(&mut r).is_err(), "reply cut at {cut} must error");
         }
     }
 
     #[test]
     fn frame_buffer_decodes_batches_and_detects_torn_streams() {
         let frames = [
-            Frame::Event { session: 1, event: 2 },
+            Frame::Event {
+                session: 1,
+                event: 2,
+            },
             Frame::Stall { session: 3 },
             Frame::Close { session: 4 },
         ];
@@ -680,5 +754,160 @@ mod tests {
         let mut fb = FrameBuffer::new();
         fb.extend(&[0xFF, 0xFF, 0xFF, 0xFF, 0]);
         assert!(fb.next_frame().is_err());
+    }
+
+    /// The session id survives the wire byte-exactly for every frame
+    /// and reply shape, across the whole u64 range.
+    #[test]
+    fn session_ids_round_trip_across_the_codec() {
+        let sessions = [0u64, 1, 0xFF, 0x0100, u32::MAX as u64, 1 << 40, u64::MAX];
+        for &session in &sessions {
+            for frame in [
+                Frame::Event { session, event: 0 },
+                Frame::Event {
+                    session,
+                    event: u16::MAX,
+                },
+                Frame::Stall { session },
+                Frame::Close { session },
+            ] {
+                let mut buf = Vec::new();
+                encode_frame(&frame, &mut buf);
+                let mut fb = FrameBuffer::new();
+                fb.extend(&buf);
+                let back = fb.next_frame().unwrap().unwrap();
+                assert_eq!(back, frame);
+                assert_eq!(back.session(), session);
+            }
+            for reply in [
+                Reply::Accepted { session },
+                Reply::Rejected {
+                    session,
+                    reason: RejectReason::NotATrace,
+                },
+            ] {
+                let mut buf = Vec::new();
+                encode_reply(&reply, &mut buf);
+                let mut rb = ReplyBuffer::new();
+                rb.extend(&buf);
+                let back = rb.next_reply().unwrap().unwrap();
+                assert_eq!(back, reply);
+                assert_eq!(back.session(), session);
+            }
+        }
+    }
+
+    /// Frames from distinct sessions interleaved on one connection
+    /// decode to the right sessions, in wire order, whether the bytes
+    /// arrive all at once or dribble in one at a time.
+    #[test]
+    fn interleaved_sessions_on_one_connection_decode_to_the_right_sessions() {
+        // 8 sessions, round-robin interleaved: session s sends event s,
+        // then a stall, then a close — 24 frames on one byte stream.
+        let mut expect = Vec::new();
+        for round in 0..3u8 {
+            for s in 0..8u64 {
+                expect.push(match round {
+                    0 => Frame::Event {
+                        session: 0x1000 + s,
+                        event: s as u16,
+                    },
+                    1 => Frame::Stall {
+                        session: 0x1000 + s,
+                    },
+                    _ => Frame::Close {
+                        session: 0x1000 + s,
+                    },
+                });
+            }
+        }
+        let mut bytes = Vec::new();
+        for f in &expect {
+            encode_frame(f, &mut bytes);
+        }
+
+        // One shot.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&bytes);
+        let mut got = Vec::new();
+        while let Some(f) = fb.next_frame().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, expect);
+
+        // Byte-at-a-time (worst-case segmentation).
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            fb.extend(std::slice::from_ref(b));
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, expect);
+
+        // And the reply direction: the gateway answers out of session
+        // order (worker scheduling), the client must still attribute
+        // each reply to the session its header names.
+        let replies: Vec<Reply> = (0..8u64)
+            .rev()
+            .map(|s| {
+                if s % 2 == 0 {
+                    Reply::Accepted {
+                        session: 0x1000 + s,
+                    }
+                } else {
+                    Reply::Rejected {
+                        session: 0x1000 + s,
+                        reason: RejectReason::Stalled,
+                    }
+                }
+            })
+            .collect();
+        let mut bytes = Vec::new();
+        for r in &replies {
+            encode_reply(r, &mut bytes);
+        }
+        let mut rb = ReplyBuffer::new();
+        let mut got = Vec::new();
+        for chunk in bytes.chunks(3) {
+            rb.extend(chunk);
+            while let Some(r) = rb.next_reply().unwrap() {
+                got.push(r);
+            }
+        }
+        assert_eq!(got, replies);
+        assert!(!rb.is_mid_message());
+    }
+
+    /// EOF at every byte offset of a reply message through the
+    /// incremental buffer: offset 0 (and any message boundary) is
+    /// clean, everywhere else is a torn stream.
+    #[test]
+    fn reply_buffer_truncation_at_every_offset() {
+        let reply = Reply::Rejected {
+            session: 0x0A0B_0C0D_0E0F_1011,
+            reason: RejectReason::ServiceViolation,
+        };
+        let mut bytes = Vec::new();
+        encode_reply(&reply, &mut bytes);
+        assert_eq!(bytes.len(), 14, "4-byte prefix + 10-byte payload");
+        for cut in 0..=bytes.len() {
+            let mut rb = ReplyBuffer::new();
+            rb.extend(&bytes[..cut]);
+            let decoded = rb.next_reply().unwrap();
+            if cut == bytes.len() {
+                assert_eq!(decoded, Some(reply));
+                assert!(!rb.is_mid_message());
+            } else {
+                assert_eq!(decoded, None, "cut at {cut} must not yield a reply");
+                if cut == 0 {
+                    assert!(!rb.is_mid_message(), "empty buffer is a clean EOF");
+                } else {
+                    assert!(rb.is_mid_message(), "cut at {cut} must be torn");
+                    assert!(rb.torn_error().0.contains("torn stream"));
+                }
+            }
+        }
     }
 }

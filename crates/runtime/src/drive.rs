@@ -5,10 +5,30 @@
 //! fault biasing, same [`ServiceMonitor`]/[`ProgressWatchdog`]
 //! machinery — but relays every *solo* (externally visible) event to a
 //! serving gateway as a wire frame and records the verdicts coming
-//! back. Each run is one session, driven in lockstep (one outstanding
-//! frame), so the resulting [`DriveReport`] is identical at any client
-//! or server thread count: worker threads claim run indices from an
-//! atomic counter and the outcomes are re-sorted by run.
+//! back. Each run is one session; worker threads claim run indices
+//! from an atomic counter and the outcomes are re-sorted by run, so
+//! the resulting [`DriveReport`] is identical at any client or server
+//! thread count.
+//!
+//! Every run is executed by a resumable `SessionTask` state machine:
+//! `advance(reply) -> Option<Frame>` hands the driver the next frame
+//! to send and parks the task until that frame's reply arrives. Both
+//! campaign shapes are thin loops over it —
+//!
+//! * [`drive`] (lockstep): one [`Conn`] per thread, one live task at a
+//!   time, `call` per frame;
+//! * [`drive_mux`] (multiplexed): one [`MuxTransport`] per thread
+//!   carrying up to [`DriveConfig::sessions_per_conn`] concurrent
+//!   tasks, frames batched per exchange and replies dispatched to
+//!   tasks by the session id in their headers.
+//!
+//! Because the two paths share the per-session state machine verbatim
+//! and each task keeps exactly one frame outstanding (so per-session
+//! wire order is program order and the gateway's bounded queues never
+//! push back), a mux campaign produces the *same* report as a lockstep
+//! campaign over the same config — transports and concurrency change
+//! the schedule of bytes, not the verdicts. `tests/reactor_transport.rs`
+//! pins this byte-for-byte across transports.
 //!
 //! When the local watchdog sees a deadlock or livelock, the client
 //! *attests* a stall ([`crate::codec::Frame::Stall`]); the gateway
@@ -17,14 +37,14 @@
 //! (safety) or on the attested stall (progress).
 
 use crate::codec::{Frame, Reply, WireCodec};
-use crate::transport::Conn;
+use crate::transport::{Conn, MuxTransport};
 use protoquot_sim::{
-    derive_seed, Action, ExternalPolicy, FaultPlan, MonitorVerdict, ProgressVerdict,
+    derive_seed, Action, ExternalPolicy, FaultPlan, FaultState, MonitorVerdict, ProgressVerdict,
     ProgressWatchdog, Runner, ServiceMonitor, System,
 };
 use protoquot_spec::Spec;
 use serde::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -49,6 +69,10 @@ pub struct DriveConfig {
     pub probe_budget: usize,
     /// Stop claiming new runs after this wall-clock budget (soak mode).
     pub duration: Option<Duration>,
+    /// Concurrent sessions each connection multiplexes in
+    /// [`drive_mux`] campaigns (total concurrency = `threads` × this).
+    /// Ignored by the lockstep [`drive`] path.
+    pub sessions_per_conn: u64,
 }
 
 impl Default for DriveConfig {
@@ -62,6 +86,7 @@ impl Default for DriveConfig {
             quiescence_threshold: 64,
             probe_budget: 20_000,
             duration: None,
+            sessions_per_conn: 1,
         }
     }
 }
@@ -200,15 +225,7 @@ where
             // all; report it as a failed run instead of panicking.
             let mut o = empty_outcome(0);
             o.io_error = Some(e.to_string());
-            return DriveReport {
-                runs: 1,
-                frames_sent: 0,
-                accepted: 0,
-                convicted_runs: 0,
-                stalls_attested: 0,
-                io_errors: 1,
-                outcomes: vec![o],
-            };
+            return report_from(vec![o]);
         }
     };
     let next = AtomicU64::new(0);
@@ -238,10 +255,7 @@ where
                                 // driver thread panicked: losing the
                                 // partial outcomes would only mask the
                                 // original failure.
-                                outcomes
-                                    .lock()
-                                    .unwrap_or_else(|p| p.into_inner())
-                                    .push(o);
+                                outcomes.lock().unwrap_or_else(|p| p.into_inner()).push(o);
                                 continue;
                             }
                         };
@@ -257,25 +271,13 @@ where
                     if out.io_error.is_some() {
                         conn = None; // reconnect for the next run
                     }
-                    outcomes
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner())
-                        .push(out);
+                    outcomes.lock().unwrap_or_else(|p| p.into_inner()).push(out);
                 }
             });
         }
     });
-    let mut outcomes = outcomes.into_inner().unwrap_or_else(|p| p.into_inner());
-    outcomes.sort_by_key(|o| o.run);
-    DriveReport {
-        runs: outcomes.len() as u64,
-        frames_sent: outcomes.iter().map(|o| o.frames_sent).sum(),
-        accepted: outcomes.iter().map(|o| o.accepted).sum(),
-        convicted_runs: outcomes.iter().filter(|o| o.conviction.is_some()).count() as u64,
-        stalls_attested: outcomes.iter().filter(|o| o.stall_attested).count() as u64,
-        io_errors: outcomes.iter().filter(|o| o.io_error.is_some()).count() as u64,
-        outcomes,
-    }
+    let outcomes = outcomes.into_inner().unwrap_or_else(|p| p.into_inner());
+    report_from(outcomes)
 }
 
 fn empty_outcome(run: u64) -> RunOutcome {
@@ -291,7 +293,235 @@ fn empty_outcome(run: u64) -> RunOutcome {
     }
 }
 
-/// One session: a fleet-style weighted random execution, relayed.
+/// Which frame a parked [`SessionTask`] is waiting on.
+enum Pending {
+    Event,
+    Stall,
+    Close,
+}
+
+/// One driven session as a resumable state machine.
+///
+/// [`SessionTask::advance`] consumes the reply to the previously
+/// returned frame (if any), runs the fleet-style execution forward,
+/// and returns the next frame to put on the wire — or `None` when the
+/// run is finished and [`SessionTask::into_outcome`] may be taken.
+/// The lockstep and multiplexed campaign drivers differ only in how
+/// they schedule these frames onto connections; the run semantics —
+/// and therefore the [`RunOutcome`] for a given config and run index —
+/// live entirely here.
+struct SessionTask<'a> {
+    cfg: &'a DriveConfig,
+    codec: &'a WireCodec,
+    runner: Runner,
+    monitor: ServiceMonitor,
+    watchdog: ProgressWatchdog,
+    fault: FaultState,
+    session: u64,
+    out: RunOutcome,
+    pending: Option<Pending>,
+    /// Action whose post-reply bookkeeping (`watchdog.note`, verdict
+    /// checks) still has to run once the in-flight reply arrives.
+    tail_action: Option<Action>,
+    done: bool,
+}
+
+impl<'a> SessionTask<'a> {
+    fn new(
+        components: &[Spec],
+        service: &Spec,
+        codec: &'a WireCodec,
+        cfg: &'a DriveConfig,
+        run: u64,
+    ) -> SessionTask<'a> {
+        let seed = derive_seed(cfg.seed, run);
+        let system = System::new(components.to_vec(), ExternalPolicy::AlwaysEnabled);
+        SessionTask {
+            cfg,
+            codec,
+            runner: Runner::new(system, seed),
+            monitor: ServiceMonitor::new(service),
+            watchdog: ProgressWatchdog::new(cfg.quiescence_threshold, cfg.probe_budget),
+            fault: cfg.faults.start(seed),
+            session: run,
+            out: empty_outcome(run),
+            pending: None,
+            tail_action: None,
+            done: false,
+        }
+    }
+
+    /// Feeds the reply to the last returned frame (`None` only on the
+    /// first call) and returns the next frame to send, or `None` when
+    /// the run is complete.
+    fn advance(&mut self, reply: Option<Reply>) -> Option<Frame> {
+        if self.done {
+            return None;
+        }
+        match self.pending.take() {
+            None => {}
+            Some(Pending::Event) => {
+                match reply {
+                    Some(Reply::Accepted { .. }) => self.out.accepted += 1,
+                    Some(Reply::Rejected { reason, .. }) => {
+                        self.out.conviction = Some(reason.name().to_string());
+                    }
+                    None => return self.finish(),
+                }
+                let stop = self.out.conviction.is_some();
+                if let Some(frame) = self.tail(stop) {
+                    return Some(frame);
+                }
+                if self.done {
+                    return None;
+                }
+            }
+            Some(Pending::Stall) => {
+                match reply {
+                    Some(Reply::Accepted { .. }) => {}
+                    Some(Reply::Rejected { reason, .. }) => {
+                        self.out.conviction = Some(reason.name().to_string());
+                    }
+                    None => {}
+                }
+                // An attested stall always ends the run, confirmed or
+                // dismissed.
+                return self.finish();
+            }
+            Some(Pending::Close) => {
+                self.done = true;
+                return None;
+            }
+        }
+        self.step_loop()
+    }
+
+    /// The connection died while this task's frame was in flight.
+    /// Terminal: records the error exactly as the lockstep path does —
+    /// including running the event tail's safety check, and ignoring
+    /// errors on the final `Close`.
+    fn fail(&mut self, e: &io::Error) {
+        if self.done {
+            return;
+        }
+        match self.pending.take() {
+            Some(Pending::Event) => {
+                self.out.io_error = Some(e.to_string());
+                let _ = self.tail(true);
+            }
+            Some(Pending::Stall) => {
+                self.out.io_error = Some(e.to_string());
+                let _ = self.finish();
+            }
+            // A failed Close is ignored (the run already concluded).
+            Some(Pending::Close) | None => {}
+        }
+        self.done = true;
+    }
+
+    fn into_outcome(self) -> RunOutcome {
+        self.out
+    }
+
+    /// Runs the execution until a frame must cross the wire.
+    fn step_loop(&mut self) -> Option<Frame> {
+        loop {
+            if self.runner.steps() >= self.cfg.max_steps {
+                return self.finish();
+            }
+            let fault = &mut self.fault;
+            let Some(action) = self.runner.step_weighted(|a, base| fault.weigh(a, base)) else {
+                self.out.local_verdict = "deadlock";
+                return self.attest();
+            };
+            self.fault.note(&action);
+            if let Action::Event { event, .. } = &action {
+                self.monitor.observe(*event);
+                // Solo events are the composite interface: relay them.
+                if let Some(frame) = self.codec.event_frame(self.session, *event) {
+                    self.out.frames_sent += 1;
+                    self.tail_action = Some(action);
+                    self.pending = Some(Pending::Event);
+                    return Some(frame);
+                }
+            }
+            self.tail_action = Some(action);
+            if let Some(frame) = self.tail(false) {
+                return Some(frame);
+            }
+            if self.done {
+                return None;
+            }
+        }
+    }
+
+    /// Post-action bookkeeping: watchdog note, safety verdict, and —
+    /// unless the run is already stopping — the progress probe. Returns
+    /// a frame (stall attestation or close) when one must be sent.
+    fn tail(&mut self, mut stop: bool) -> Option<Frame> {
+        let action = self
+            .tail_action
+            .take()
+            .expect("tail runs once per recorded action");
+        self.watchdog.note(&action, &self.monitor);
+        if matches!(
+            self.monitor.verdict(),
+            MonitorVerdict::SafetyViolation { .. }
+        ) {
+            self.out.local_verdict = "safety";
+            stop = true;
+        } else if !stop {
+            match self
+                .watchdog
+                .poll(self.runner.system(), self.runner.states(), &self.monitor)
+            {
+                ProgressVerdict::Livelock { .. } => {
+                    self.out.local_verdict = "livelock";
+                    return self.attest();
+                }
+                ProgressVerdict::Deadlock { .. } => {
+                    self.out.local_verdict = "deadlock";
+                    return self.attest();
+                }
+                ProgressVerdict::Progressing => {}
+            }
+        }
+        if stop {
+            return self.finish();
+        }
+        None
+    }
+
+    /// Sends a stall attestation; a `Stalled` rejection is a
+    /// conviction.
+    fn attest(&mut self) -> Option<Frame> {
+        if self.out.conviction.is_some() || self.out.io_error.is_some() {
+            return self.finish();
+        }
+        self.out.stall_attested = true;
+        self.pending = Some(Pending::Stall);
+        Some(Frame::Stall {
+            session: self.session,
+        })
+    }
+
+    /// Ends the execution: fixes the step count and sends the final
+    /// `Close` unless the transport already failed.
+    fn finish(&mut self) -> Option<Frame> {
+        self.out.steps = self.runner.steps();
+        if self.out.io_error.is_some() {
+            self.done = true;
+            return None;
+        }
+        self.pending = Some(Pending::Close);
+        Some(Frame::Close {
+            session: self.session,
+        })
+    }
+}
+
+/// One session over a lockstep connection: drive the [`SessionTask`]
+/// frame by frame, each `call` blocking for its reply.
 fn run_one(
     components: &[Spec],
     service: &Spec,
@@ -300,81 +530,271 @@ fn run_one(
     cfg: &DriveConfig,
     run: u64,
 ) -> RunOutcome {
-    let seed = derive_seed(cfg.seed, run);
-    let system = System::new(components.to_vec(), ExternalPolicy::AlwaysEnabled);
-    let mut runner = Runner::new(system, seed);
-    let mut monitor = ServiceMonitor::new(service);
-    let mut watchdog = ProgressWatchdog::new(cfg.quiescence_threshold, cfg.probe_budget);
-    let mut fault = cfg.faults.start(seed);
-    let session = run;
-    let mut out = empty_outcome(run);
-    while runner.steps() < cfg.max_steps {
-        let Some(action) = runner.step_weighted(|a, base| fault.weigh(a, base)) else {
-            out.local_verdict = "deadlock";
-            attest(conn, session, &mut out);
-            break;
-        };
-        fault.note(&action);
-        let mut stop = false;
-        if let Action::Event { event, .. } = &action {
-            monitor.observe(*event);
-            // Solo events are the composite interface: relay them.
-            if let Some(frame) = codec.event_frame(session, *event) {
-                out.frames_sent += 1;
-                match conn.call(&frame) {
-                    Ok(Reply::Accepted { .. }) => out.accepted += 1,
-                    Ok(Reply::Rejected { reason, .. }) => {
-                        out.conviction = Some(reason.name().to_string());
-                        stop = true;
-                    }
-                    Err(e) => {
-                        out.io_error = Some(e.to_string());
-                        stop = true;
-                    }
-                }
+    let mut task = SessionTask::new(components, service, codec, cfg, run);
+    let mut next = task.advance(None);
+    while let Some(frame) = next {
+        match conn.call(&frame) {
+            Ok(reply) => next = task.advance(Some(reply)),
+            Err(e) => {
+                task.fail(&e);
+                break;
             }
         }
-        watchdog.note(&action, &monitor);
-        if matches!(monitor.verdict(), MonitorVerdict::SafetyViolation { .. }) {
-            out.local_verdict = "safety";
-            stop = true;
-        } else if !stop {
-            match watchdog.poll(runner.system(), runner.states(), &monitor) {
-                ProgressVerdict::Livelock { .. } => {
-                    out.local_verdict = "livelock";
-                    attest(conn, session, &mut out);
-                    stop = true;
-                }
-                ProgressVerdict::Deadlock { .. } => {
-                    out.local_verdict = "deadlock";
-                    attest(conn, session, &mut out);
-                    stop = true;
-                }
-                ProgressVerdict::Progressing => {}
-            }
-        }
-        if stop {
-            break;
-        }
     }
-    out.steps = runner.steps();
-    if out.io_error.is_none() {
-        let _ = conn.call(&Frame::Close { session });
-    }
-    out
+    task.into_outcome()
 }
 
-/// Sends a stall attestation; a `Stalled` rejection is a conviction.
-fn attest(conn: &mut dyn Conn, session: u64, out: &mut RunOutcome) {
-    if out.conviction.is_some() || out.io_error.is_some() {
-        return;
-    }
-    out.stall_attested = true;
-    match conn.call(&Frame::Stall { session }) {
-        Ok(Reply::Accepted { .. }) => {}
-        Ok(Reply::Rejected { reason, .. }) => {
-            out.conviction = Some(reason.name().to_string());
+/// Drives `cfg.runs` sessions multiplexed over [`MuxTransport`]
+/// connections: each of `cfg.threads` worker threads keeps up to
+/// [`DriveConfig::sessions_per_conn`] concurrent `SessionTask`s live
+/// on one connection, batching their frames per exchange and routing
+/// each reply to the task its session id names.
+///
+/// Every task holds at most one outstanding frame, so per-session wire
+/// order equals program order and the report matches a lockstep
+/// [`drive`] campaign over the same config, field for field.
+pub fn drive_mux<F>(
+    components: &[Spec],
+    service: &Spec,
+    cfg: &DriveConfig,
+    mk_conn: F,
+) -> DriveReport
+where
+    F: Fn() -> io::Result<Box<dyn MuxTransport>> + Sync,
+{
+    let codec = match WireCodec::new(service.alphabet()) {
+        Ok(c) => c,
+        Err(e) => {
+            let mut o = empty_outcome(0);
+            o.io_error = Some(e.to_string());
+            return report_from(vec![o]);
         }
-        Err(e) => out.io_error = Some(e.to_string()),
+    };
+    let next = AtomicU64::new(0);
+    let deadline = cfg.duration.map(|d| Instant::now() + d);
+    let outcomes: Mutex<Vec<RunOutcome>> = Mutex::new(Vec::new());
+    let per_conn = cfg.sessions_per_conn.max(1) as usize;
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.threads.max(1) {
+            scope.spawn(|| {
+                let mut conn: Option<Box<dyn MuxTransport>> = None;
+                let mut tasks: HashMap<u64, SessionTask> = HashMap::new();
+                let mut replies: Vec<Reply> = Vec::new();
+                let mut exhausted = false;
+                let push = |out: RunOutcome| {
+                    outcomes.lock().unwrap_or_else(|p| p.into_inner()).push(out);
+                };
+                loop {
+                    // Refill the task set up to the per-connection cap.
+                    while !exhausted && tasks.len() < per_conn {
+                        let run = next.fetch_add(1, Ordering::Relaxed);
+                        if run >= cfg.runs {
+                            exhausted = true;
+                            break;
+                        }
+                        if let Some(deadline) = deadline {
+                            if Instant::now() >= deadline {
+                                exhausted = true;
+                                break;
+                            }
+                        }
+                        if conn.is_none() {
+                            conn = match mk_conn() {
+                                Ok(c) => Some(c),
+                                Err(e) => {
+                                    let mut o = empty_outcome(run);
+                                    o.io_error = Some(e.to_string());
+                                    push(o);
+                                    continue;
+                                }
+                            };
+                        }
+                        let mut task = SessionTask::new(components, service, &codec, cfg, run);
+                        match task.advance(None) {
+                            Some(frame) => {
+                                if let Err(e) = conn.as_mut().unwrap().queue(&frame) {
+                                    task.fail(&e);
+                                    push(task.into_outcome());
+                                    continue;
+                                }
+                                tasks.insert(run, task);
+                            }
+                            None => push(task.into_outcome()),
+                        }
+                    }
+                    if tasks.is_empty() {
+                        if exhausted {
+                            break;
+                        }
+                        continue;
+                    }
+                    // Flush queued frames and wait for replies.
+                    let c = conn.as_mut().expect("live tasks imply a connection");
+                    match c.exchange(true, &mut replies) {
+                        Ok(()) => {
+                            let mut failed = None;
+                            for reply in replies.drain(..) {
+                                let session = reply.session();
+                                let Some(mut task) = tasks.remove(&session) else {
+                                    continue; // reply for an already-failed task
+                                };
+                                match task.advance(Some(reply)) {
+                                    Some(frame) => match conn.as_mut().unwrap().queue(&frame) {
+                                        Ok(()) => {
+                                            tasks.insert(session, task);
+                                        }
+                                        Err(e) => {
+                                            task.fail(&e);
+                                            push(task.into_outcome());
+                                            failed = Some(e);
+                                        }
+                                    },
+                                    None => push(task.into_outcome()),
+                                }
+                            }
+                            if let Some(e) = failed {
+                                fail_all(&mut tasks, &e, &push);
+                                conn = None;
+                            }
+                        }
+                        Err(e) => {
+                            // The connection died: every in-flight task
+                            // on it records the transport error, and the
+                            // next refill reconnects.
+                            fail_all(&mut tasks, &e, &push);
+                            conn = None;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let outcomes = outcomes.into_inner().unwrap_or_else(|p| p.into_inner());
+    report_from(outcomes)
+}
+
+/// Terminally fails every in-flight task with `e`.
+fn fail_all<F: Fn(RunOutcome)>(tasks: &mut HashMap<u64, SessionTask>, e: &io::Error, push: &F) {
+    for (_, mut task) in tasks.drain() {
+        task.fail(e);
+        push(task.into_outcome());
+    }
+}
+
+/// Sorts outcomes by run and aggregates the campaign totals.
+fn report_from(mut outcomes: Vec<RunOutcome>) -> DriveReport {
+    outcomes.sort_by_key(|o| o.run);
+    DriveReport {
+        runs: outcomes.len() as u64,
+        frames_sent: outcomes.iter().map(|o| o.frames_sent).sum(),
+        accepted: outcomes.iter().map(|o| o.accepted).sum(),
+        convicted_runs: outcomes.iter().filter(|o| o.conviction.is_some()).count() as u64,
+        stalls_attested: outcomes.iter().filter(|o| o.stall_attested).count() as u64,
+        io_errors: outcomes.iter().filter(|o| o.io_error.is_some()).count() as u64,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gateway::{Gateway, GatewayConfig};
+    use crate::transport::{LoopbackConn, LoopbackMux};
+    use protoquot_core::solve;
+    use protoquot_protocols::{colocated_configuration, exactly_once};
+    use protoquot_sim::redirect_transition;
+
+    fn gateway(components: &[Spec], service: &Spec) -> Gateway {
+        let parts: Vec<&Spec> = components.iter().collect();
+        Gateway::new(&parts, service, GatewayConfig::default())
+            .expect("gateway must compile the system")
+    }
+
+    fn cfg(sessions_per_conn: u64, threads: usize) -> DriveConfig {
+        DriveConfig {
+            runs: 48,
+            threads,
+            seed: 0xBEEF_CAFE,
+            max_steps: 400,
+            faults: FaultPlan::parse("loss,reorder").unwrap(),
+            sessions_per_conn,
+            ..DriveConfig::default()
+        }
+    }
+
+    /// A multiplexed campaign must reproduce the lockstep campaign's
+    /// report byte for byte — same accepts, same convictions, same
+    /// stall attestations — for a clean derived converter and for a
+    /// convicted mutant alike, at several concurrency shapes.
+    #[test]
+    fn mux_campaigns_match_lockstep_campaigns() {
+        let system = colocated_configuration();
+        let service = exactly_once();
+        let q = solve(&system.b, &service, &system.int).expect("colocated converter derives");
+        let mutant = (0..8)
+            .find_map(|k| redirect_transition(&q.converter, k))
+            .expect("converter has transitions to mutate");
+        for (label, converter) in [("derived", &q.converter), ("mutant", &mutant)] {
+            let components = [system.b.clone(), converter.clone()];
+            let gw = gateway(&components, &service);
+            let lockstep = drive(&components, &service, &cfg(1, 1), || {
+                Ok(Box::new(LoopbackConn::new(gw.clone())) as Box<dyn Conn>)
+            });
+            for (sessions, threads) in [(1u64, 1usize), (8, 1), (16, 2)] {
+                let gw = gateway(&components, &service);
+                let mux = drive_mux(&components, &service, &cfg(sessions, threads), || {
+                    Ok(Box::new(LoopbackMux::new(gw.clone())) as Box<dyn MuxTransport>)
+                });
+                assert_eq!(
+                    lockstep.to_json(),
+                    mux.to_json(),
+                    "{label}: mux report diverges at {sessions} sessions/conn × {threads} threads"
+                );
+            }
+            if label == "mutant" {
+                assert!(
+                    lockstep.convicted_runs > 0,
+                    "mutant campaign saw no convictions"
+                );
+            } else {
+                assert!(lockstep.is_clean(), "derived converter was convicted");
+                assert!(lockstep.accepted > 0, "derived campaign relayed nothing");
+            }
+        }
+    }
+
+    /// A mux connection that dies mid-campaign records transport errors
+    /// for the in-flight sessions and the campaign still accounts for
+    /// every run.
+    #[test]
+    fn mux_campaign_survives_connection_failures() {
+        struct FailingMux {
+            calls: u64,
+        }
+        impl MuxTransport for FailingMux {
+            fn queue(&mut self, _frame: &Frame) -> io::Result<()> {
+                Ok(())
+            }
+            fn exchange(&mut self, _wait: bool, _replies: &mut Vec<Reply>) -> io::Result<()> {
+                self.calls += 1;
+                Err(io::Error::other("wire snapped"))
+            }
+        }
+        let system = colocated_configuration();
+        let service = exactly_once();
+        let q = solve(&system.b, &service, &system.int).expect("colocated converter derives");
+        let components = [system.b.clone(), q.converter.clone()];
+        let report = drive_mux(&components, &service, &cfg(4, 1), || {
+            Ok(Box::new(FailingMux { calls: 0 }) as Box<dyn MuxTransport>)
+        });
+        assert_eq!(report.runs, 48, "every claimed run must be accounted for");
+        assert!(report.io_errors > 0, "the snapped wire left no trace");
+        for o in &report.outcomes {
+            assert!(
+                o.io_error.is_some(),
+                "run {} completed over a wire that always fails",
+                o.run
+            );
+        }
     }
 }

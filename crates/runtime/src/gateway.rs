@@ -192,8 +192,7 @@ impl Gateway {
     ) -> Result<Gateway, GatewayError> {
         let prog = Arc::new(GuardProgram::new(parts, service)?);
         let codec = WireCodec::from_table(Arc::clone(prog.table()))?;
-        let stats =
-            RuntimeStats::with_guard_build(codec.table().len(), prog.build_stats().clone());
+        let stats = RuntimeStats::with_guard_build(codec.table().len(), prog.build_stats().clone());
         let shards = (0..cfg.shards.max(1)).map(|_| Shard::default()).collect();
         let pool = ThreadPool::new(cfg.workers.max(1));
         Ok(Gateway {
@@ -378,6 +377,11 @@ impl Gateway {
             std::thread::sleep(Duration::from_millis(1));
         }
         self.inner.pool.join();
+    }
+
+    /// The live counters, for transports to record connection events.
+    pub(crate) fn runtime_stats(&self) -> &RuntimeStats {
+        &self.inner.stats
     }
 
     /// Point-in-time statistics.

@@ -266,10 +266,10 @@ impl GuardProgram {
 
         let initial_hub = self.norm.initial_hub() as u32;
         let push_state = |subset: Box<[u32]>,
-                              hub: u32,
-                              index: &mut HashMap<(Box<[u32]>, u32), u32>,
-                              subsets: &mut Vec<(Box<[u32]>, u32)>,
-                              work: &mut Vec<u32>|
+                          hub: u32,
+                          index: &mut HashMap<(Box<[u32]>, u32), u32>,
+                          subsets: &mut Vec<(Box<[u32]>, u32)>,
+                          work: &mut Vec<u32>|
          -> u32 {
             let key = (subset, hub);
             if let Some(&id) = index.get(&key) {
@@ -309,9 +309,7 @@ impl GuardProgram {
                 any_fail.push(false);
                 subset_size.push(0);
             }
-            any_fail[id as usize] = subset
-                .iter()
-                .any(|&s| !self.progress_ok(s, hub as usize));
+            any_fail[id as usize] = subset.iter().any(|&s| !self.progress_ok(s, hub as usize));
             subset_size[id as usize] = subset.len() as u32;
 
             for ev in 0..nsym as u32 {

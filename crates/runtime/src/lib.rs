@@ -18,17 +18,31 @@
 //! * [`gateway`] — a sharded, session-multiplexed relay: striped
 //!   session table, per-session bounded queues drained by a worker
 //!   pool, backpressure, idle eviction, graceful drain;
-//! * [`transport`] — in-memory loopback and blocking TCP carriers of
-//!   the same bytes;
+//! * [`transport`] — carriers of the same bytes: in-memory loopback,
+//!   blocking thread-per-connection TCP ([`TcpServer`], kept as the
+//!   differential oracle), and a non-blocking epoll reactor
+//!   ([`ReactorServer`]) that serves every connection from a fixed
+//!   pool of event loops and multiplexes 100k+ sessions per socket
+//!   via the session ids already present in each frame header;
 //! * [`mod@drive`] — a seeded load generator replaying fleet-style fault
-//!   schedules over the wire, attesting stalls to the server;
+//!   schedules over the wire, attesting stalls to the server; one
+//!   session at a time per connection ([`drive()`]) or many concurrent
+//!   sessions multiplexed over each connection ([`drive_mux`]), with
+//!   byte-identical reports either way;
 //! * [`stats`] — lock-free counters with JSON snapshots.
 //!
 //! The headline property, enforced by `tests/runtime_agreement.rs` at
 //! the workspace root: **every event sequence the runtime accepts is a
 //! trace the static checker accepts, and every faulty converter the
 //! static checker rejects is convicted online** when driven with the
-//! same fleet schedules.
+//! same fleet schedules. `tests/reactor_transport.rs` extends the
+//! differential across transports: the same campaign produces the
+//! same report over loopback, blocking TCP and the reactor, lockstep
+//! or multiplexed.
+//!
+//! The operator-facing guide — every CLI flag, the stats/report JSON
+//! schemas, reject reasons, and backpressure/eviction/drain semantics
+//! — is `docs/RUNTIME.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,9 +54,12 @@ pub mod guard;
 pub mod stats;
 pub mod transport;
 
-pub use codec::{Frame, FrameBuffer, RejectReason, Reply, WireCodec, WireError};
-pub use drive::{drive, DriveConfig, DriveReport, RunOutcome};
+pub use codec::{Frame, FrameBuffer, RejectReason, Reply, ReplyBuffer, WireCodec, WireError};
+pub use drive::{drive, drive_mux, DriveConfig, DriveReport, RunOutcome};
 pub use gateway::{Gateway, GatewayConfig, GatewayError, Responder};
 pub use guard::{Conviction, GuardBuildStats, GuardProgram, SessionGuard, SessionGuardReference};
 pub use stats::{RuntimeStats, StatsSnapshot};
-pub use transport::{Conn, LoopbackConn, TcpConn, TcpServer};
+pub use transport::{
+    Conn, LoopbackConn, LoopbackMux, MuxClient, MuxTransport, ReactorConfig, ReactorServer,
+    TcpConn, TcpServer,
+};

@@ -47,6 +47,8 @@ pub struct RuntimeStats {
     sessions_evicted: AtomicU64,
     sessions_closed: AtomicU64,
     sessions_active: AtomicU64,
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
     frames: AtomicU64,
     accepted: AtomicU64,
     rejects: [AtomicU64; 8],
@@ -72,6 +74,8 @@ impl RuntimeStats {
             sessions_evicted: AtomicU64::new(0),
             sessions_closed: AtomicU64::new(0),
             sessions_active: AtomicU64::new(0),
+            connections_opened: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             rejects: Default::default(),
@@ -98,6 +102,16 @@ impl RuntimeStats {
     pub fn note_close(&self) {
         self.sessions_closed.fetch_add(1, Ordering::Relaxed);
         self.sessions_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// A transport connection was accepted.
+    pub fn note_conn_open(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A transport connection ended (clean EOF, torn stream, or error).
+    pub fn note_conn_close(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A frame arrived (before any verdict).
@@ -139,6 +153,8 @@ impl RuntimeStats {
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
             sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            connections_opened: self.connections_opened.load(Ordering::Relaxed),
+            connections_closed: self.connections_closed.load(Ordering::Relaxed),
             frames: self.frames.load(Ordering::Relaxed),
             accepted,
             events_per_sec: accepted as f64 / elapsed,
@@ -174,6 +190,10 @@ pub struct StatsSnapshot {
     pub sessions_closed: u64,
     /// Sessions currently resident.
     pub sessions_active: u64,
+    /// Transport connections ever accepted (0 for pure loopback).
+    pub connections_opened: u64,
+    /// Transport connections ended.
+    pub connections_closed: u64,
     /// Frames received.
     pub frames: u64,
     /// Event frames accepted by the guard.
@@ -203,6 +223,10 @@ impl StatsSnapshot {
         s.insert("closed".into(), Value::Int(self.sessions_closed as i128));
         s.insert("active".into(), Value::Int(self.sessions_active as i128));
         o.insert("sessions".into(), Value::Obj(s));
+        let mut c = BTreeMap::new();
+        c.insert("opened".into(), Value::Int(self.connections_opened as i128));
+        c.insert("closed".into(), Value::Int(self.connections_closed as i128));
+        o.insert("connections".into(), Value::Obj(c));
         o.insert("frames".into(), Value::Int(self.frames as i128));
         o.insert("accepted".into(), Value::Int(self.accepted as i128));
         o.insert("events_per_sec".into(), Value::Float(self.events_per_sec));
@@ -270,6 +294,11 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
+            "connections opened={} closed={}",
+            self.connections_opened, self.connections_closed
+        )?;
+        writeln!(
+            f,
             "frames {} | accepted {} ({:.0} ev/s) | convictions {} | queue high-water {}",
             self.frames,
             self.accepted,
@@ -304,6 +333,9 @@ mod tests {
     fn counters_round_trip_into_snapshots() {
         let table = EventTable::new(&Alphabet::from_names(["acc", "del"]));
         let stats = RuntimeStats::new(table.len());
+        stats.note_conn_open();
+        stats.note_conn_open();
+        stats.note_conn_close();
         stats.note_open();
         stats.note_frame();
         stats.note_accept(0);
@@ -317,6 +349,8 @@ mod tests {
         let snap = stats.snapshot(&table);
         assert_eq!(snap.sessions_opened, 1);
         assert_eq!(snap.sessions_active, 0);
+        assert_eq!(snap.connections_opened, 2);
+        assert_eq!(snap.connections_closed, 1);
         assert_eq!(snap.frames, 2);
         assert_eq!(snap.accepted, 1);
         assert_eq!(snap.rejects, vec![("backpressure", 1)]);
@@ -332,8 +366,13 @@ mod tests {
             obj["rejects"].as_obj().unwrap()["backpressure"],
             Value::Int(1)
         );
+        assert_eq!(
+            obj["connections"].as_obj().unwrap()["opened"],
+            Value::Int(2)
+        );
         assert!(snap.to_json().contains("\"accepted\":1"));
         assert!(format!("{snap}").contains("queue high-water 5"));
+        assert!(format!("{snap}").contains("connections opened=2 closed=1"));
         assert!(snap.to_json().contains("\"guard_build\""));
     }
 

@@ -1,21 +1,52 @@
-//! Wire transports: in-memory loopback and blocking TCP.
+//! Wire transports: in-memory loopback, blocking TCP, and the epoll
+//! reactor.
 //!
-//! Both sides speak the length-prefixed codec from [`crate::codec`].
-//! [`LoopbackConn`] round-trips every frame and reply through the
-//! encoder/decoder so in-process benchmarks exercise the real wire
-//! format; [`TcpServer`]/[`TcpConn`] carry the same bytes over
-//! `std::net` sockets. Clients are lockstep per connection (one
-//! outstanding frame), which keeps reply matching trivial.
+//! Every transport speaks the length-prefixed codec from
+//! [`crate::codec`]. [`LoopbackConn`] round-trips every frame and reply
+//! through the encoder/decoder so in-process benchmarks exercise the
+//! real wire format; [`TcpServer`]/[`TcpConn`] carry the same bytes
+//! over `std::net` sockets with one blocking reader thread per
+//! connection; [`ReactorServer`] carries them over *non-blocking*
+//! sockets driven by a small fixed pool of epoll event-loop threads,
+//! so concurrency is bounded by session state, not by thread count.
+//!
+//! Two client shapes exist. [`Conn`] is lockstep — one outstanding
+//! frame per connection, reply matching trivial — and both servers
+//! accept it. [`MuxTransport`] is the multiplexed shape: a driver
+//! queues frames from *many* sessions onto one connection, flushes
+//! them in one batch, and attributes each interleaved reply to the
+//! session its header names ([`MuxClient`] over TCP, [`LoopbackMux`]
+//! in process). The reactor plus a mux client is how `protoquot drive
+//! --sessions-per-conn N` holds tens of thousands of concurrent
+//! sessions over a handful of sockets.
+//!
+//! ## Reactor anatomy
+//!
+//! [`ReactorServer::bind`] spawns `loops` event-loop threads, each
+//! owning one `reactor::Poll`. Loop 0 also owns the (non-blocking)
+//! listener and hands accepted connections round-robin to all loops
+//! through per-loop inboxes, waking the target loop. Per readiness
+//! wakeup a loop reads everything the socket has, feeds a
+//! [`FrameBuffer`], and submits every complete frame to the gateway;
+//! replies are encoded by whichever gateway worker finished the frame
+//! into the connection's shared outbound buffer, and the owning loop
+//! is woken to flush it. `EPOLLOUT` interest is registered only while
+//! flushed-behind bytes remain, and a connection whose outbound buffer
+//! outgrows [`OUTBUF_CAP`] (a client that stopped reading) is dropped
+//! rather than buffered without bound.
 
 use crate::codec::{
     decode_frame, decode_reply, encode_frame, encode_reply, read_payload, write_frame, write_reply,
-    Frame, FrameBuffer, Reply,
+    Frame, FrameBuffer, Reply, ReplyBuffer,
 };
 use crate::gateway::Gateway;
-use std::io::{self, Read};
+use reactor::{Events, Interest, Poll, Token, Waker};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -107,8 +138,10 @@ impl TcpServer {
                     Ok((stream, _)) => {
                         let gateway = gateway.clone();
                         let stop = Arc::clone(&accept_stop);
+                        gateway.runtime_stats().note_conn_open();
                         conns.push(std::thread::spawn(move || {
                             let _ = serve_connection(&gateway, stream, &stop);
+                            gateway.runtime_stats().note_conn_close();
                         }));
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -204,6 +237,614 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) -> 
     Ok(())
 }
 
+/// Token of each loop's waker registration.
+const TOKEN_WAKER: Token = Token(0);
+/// Token of the listener registration (loop 0 only).
+const TOKEN_LISTENER: Token = Token(1);
+/// First token handed to an accepted connection.
+const TOKEN_CONN_BASE: usize = 2;
+/// Read chunk size per readiness wakeup.
+const READ_CHUNK: usize = 64 * 1024;
+/// Outbound bytes a connection may fall behind before it is dropped as
+/// a dead or stalled reader. Generous: a full per-session queue's worth
+/// of replies for thousands of sessions fits in a fraction of this.
+pub const OUTBUF_CAP: usize = 4 << 20;
+
+/// Tuning knobs of a [`ReactorServer`].
+#[derive(Clone, Debug)]
+pub struct ReactorConfig {
+    /// Event-loop threads. Each owns one epoll instance; connections
+    /// are assigned round-robin at accept time. Two loops saturate the
+    /// guard DFA on small machines; more only help past several
+    /// thousand *active* (not merely resident) connections.
+    pub loops: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> ReactorConfig {
+        ReactorConfig { loops: 2 }
+    }
+}
+
+/// Outbound bytes of one reactor connection, shared between the
+/// event loop (flush side) and gateway-worker responders (append side).
+#[derive(Default)]
+struct OutBuf {
+    buf: Vec<u8>,
+    /// Flushed prefix of `buf` (partial-write tracking).
+    start: usize,
+}
+
+impl OutBuf {
+    fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    fn compact(&mut self) {
+        if self.start > 0 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// The cross-thread face of one event loop: how the acceptor hands it
+/// connections and how responders ask it to flush.
+struct LoopShared {
+    waker: Waker,
+    /// Connections accepted but not yet registered on this loop.
+    inbox: Mutex<Vec<TcpStream>>,
+    /// Tokens with fresh outbound bytes to flush.
+    flush: Mutex<Vec<usize>>,
+    stop: AtomicBool,
+}
+
+impl LoopShared {
+    /// Queue `token` for a flush and wake the loop. Called by gateway
+    /// workers after appending a reply to the connection's [`OutBuf`].
+    fn request_flush(&self, token: usize) {
+        self.flush.lock().unwrap().push(token);
+        let _ = self.waker.wake();
+    }
+}
+
+/// Per-connection state owned by its event loop.
+struct ReactorConn {
+    stream: TcpStream,
+    frames: FrameBuffer,
+    out: Arc<Mutex<OutBuf>>,
+    /// Whether the registration currently includes `EPOLLOUT`.
+    write_interest: bool,
+}
+
+/// A non-blocking TCP acceptor in front of a gateway: all connections
+/// are driven by a fixed pool of epoll event-loop threads, so the
+/// thread count is constant no matter how many clients — or how many
+/// multiplexed sessions per client — are live. See the module docs for
+/// the full data path.
+pub struct ReactorServer {
+    addr: SocketAddr,
+    loops: Vec<Arc<LoopShared>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ReactorServer {
+    /// Binds `addr` and serves `gateway` from `cfg.loops` event-loop
+    /// threads until [`ReactorServer::stop`].
+    pub fn bind<A: ToSocketAddrs>(
+        gateway: Gateway,
+        addr: A,
+        cfg: ReactorConfig,
+    ) -> io::Result<ReactorServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+
+        let n = cfg.loops.max(1);
+        let mut polls = Vec::with_capacity(n);
+        let mut loops = Vec::with_capacity(n);
+        for _ in 0..n {
+            let poll = Poll::new()?;
+            let waker = Waker::new(&poll, TOKEN_WAKER)?;
+            polls.push(poll);
+            loops.push(Arc::new(LoopShared {
+                waker,
+                inbox: Mutex::new(Vec::new()),
+                flush: Mutex::new(Vec::new()),
+                stop: AtomicBool::new(false),
+            }));
+        }
+
+        let mut handles = Vec::with_capacity(n);
+        let next = Arc::new(AtomicUsize::new(0));
+        let mut listener = Some(listener);
+        for (i, poll) in polls.into_iter().enumerate() {
+            let gateway = gateway.clone();
+            let shared = Arc::clone(&loops[i]);
+            // Loop 0 owns the listener and hands connections to peers.
+            let listener = if i == 0 {
+                let l = listener.take().expect("listener assigned once");
+                poll.register(l.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+                Some(l)
+            } else {
+                None
+            };
+            let peers: Vec<Arc<LoopShared>> = loops.clone();
+            let next = Arc::clone(&next);
+            handles.push(std::thread::spawn(move || {
+                event_loop(&gateway, &poll, &shared, listener.as_ref(), &peers, &next);
+            }));
+        }
+        Ok(ReactorServer {
+            addr,
+            loops,
+            handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops every event loop and joins it; live connections are
+    /// dropped (their sessions stay in the gateway until evicted).
+    pub fn stop(&mut self) {
+        for l in &self.loops {
+            l.stop.store(true, Ordering::Release);
+            let _ = l.waker.wake();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One event-loop thread: readiness events in, gateway submissions and
+/// reply flushes out. Runs until its `LoopShared::stop` flag is set.
+fn event_loop(
+    gateway: &Gateway,
+    poll: &Poll,
+    shared: &Arc<LoopShared>,
+    listener: Option<&TcpListener>,
+    peers: &[Arc<LoopShared>],
+    next: &AtomicUsize,
+) {
+    let mut events = Events::with_capacity(512);
+    let mut conns: HashMap<usize, ReactorConn> = HashMap::new();
+    let mut next_token = TOKEN_CONN_BASE;
+    let mut chunk = vec![0u8; READ_CHUNK];
+    loop {
+        // The timeout is a safety net for a lost wakeup; every real
+        // transition arrives as a readiness event or a waker nudge.
+        if poll
+            .poll(&mut events, Some(Duration::from_millis(100)))
+            .is_err()
+        {
+            break;
+        }
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let mut accept_burst = false;
+        for ev in events.iter() {
+            match ev.token() {
+                TOKEN_WAKER => shared.waker.drain(),
+                TOKEN_LISTENER => accept_burst = true,
+                Token(t) => {
+                    let keep = match conns.get_mut(&t) {
+                        // A stale event for a connection dropped earlier
+                        // in this batch.
+                        None => continue,
+                        Some(conn) => {
+                            let mut keep = true;
+                            if ev.is_writable() {
+                                keep = flush_conn(poll, Token(t), conn).is_ok();
+                            }
+                            if keep && ev.is_readable() {
+                                keep = read_conn(gateway, shared, Token(t), conn, &mut chunk);
+                            }
+                            keep
+                        }
+                    };
+                    if !keep {
+                        drop_conn(gateway, poll, &mut conns, t);
+                    }
+                }
+            }
+        }
+        if accept_burst {
+            if let Some(listener) = listener {
+                accept_all(
+                    listener,
+                    peers,
+                    next,
+                    shared,
+                    &mut conns,
+                    &mut next_token,
+                    poll,
+                    gateway,
+                );
+            }
+        }
+        // Register connections handed over by the acceptor loop.
+        let handed: Vec<TcpStream> = std::mem::take(&mut *shared.inbox.lock().unwrap());
+        for stream in handed {
+            register_conn(poll, &mut conns, &mut next_token, stream, gateway);
+        }
+        // Flush connections whose responders appended replies.
+        let mut dirty: Vec<usize> = std::mem::take(&mut *shared.flush.lock().unwrap());
+        dirty.sort_unstable();
+        dirty.dedup();
+        for t in dirty {
+            let keep = match conns.get_mut(&t) {
+                None => continue,
+                Some(conn) => flush_conn(poll, Token(t), conn).is_ok(),
+            };
+            if !keep {
+                drop_conn(gateway, poll, &mut conns, t);
+            }
+        }
+    }
+    // Shutdown: deregister and drop everything this loop owns.
+    let tokens: Vec<usize> = conns.keys().copied().collect();
+    for t in tokens {
+        drop_conn(gateway, poll, &mut conns, t);
+    }
+}
+
+/// Accepts until the listener would block, assigning each connection
+/// round-robin over all loops (self included).
+#[allow(clippy::too_many_arguments)]
+fn accept_all(
+    listener: &TcpListener,
+    peers: &[Arc<LoopShared>],
+    next: &AtomicUsize,
+    shared: &Arc<LoopShared>,
+    conns: &mut HashMap<usize, ReactorConn>,
+    next_token: &mut usize,
+    poll: &Poll,
+    gateway: &Gateway,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                gateway.runtime_stats().note_conn_open();
+                let target = next.fetch_add(1, Ordering::Relaxed) % peers.len();
+                if Arc::ptr_eq(&peers[target], shared) {
+                    register_conn(poll, conns, next_token, stream, gateway);
+                } else {
+                    peers[target].inbox.lock().unwrap().push(stream);
+                    let _ = peers[target].waker.wake();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// Puts one accepted stream under this loop's epoll and conn table.
+fn register_conn(
+    poll: &Poll,
+    conns: &mut HashMap<usize, ReactorConn>,
+    next_token: &mut usize,
+    stream: TcpStream,
+    gateway: &Gateway,
+) {
+    let token = *next_token;
+    *next_token += 1;
+    let ok = stream.set_nodelay(true).is_ok()
+        && stream.set_nonblocking(true).is_ok()
+        && poll
+            .register(stream.as_raw_fd(), Token(token), Interest::READABLE)
+            .is_ok();
+    if !ok {
+        gateway.runtime_stats().note_conn_close();
+        return;
+    }
+    conns.insert(
+        token,
+        ReactorConn {
+            stream,
+            frames: FrameBuffer::new(),
+            out: Arc::new(Mutex::new(OutBuf::default())),
+            write_interest: false,
+        },
+    );
+}
+
+/// Drains the socket's readable bytes into the connection's
+/// [`FrameBuffer`] and submits every complete frame. Returns `false`
+/// when the connection is finished (EOF, error, or protocol damage).
+fn read_conn(
+    gateway: &Gateway,
+    shared: &Arc<LoopShared>,
+    token: Token,
+    conn: &mut ReactorConn,
+    chunk: &mut [u8],
+) -> bool {
+    loop {
+        match conn.stream.read(chunk) {
+            // EOF. A partial frame left in the buffer is a torn stream;
+            // either way the connection is done (replies already in
+            // flight for its frames go to the orphaned buffer).
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.frames.extend(&chunk[..n]);
+                loop {
+                    match conn.frames.next_frame() {
+                        Ok(Some(frame)) => {
+                            let out = Arc::clone(&conn.out);
+                            let shared = Arc::clone(shared);
+                            gateway.submit(
+                                frame,
+                                Box::new(move |reply| {
+                                    encode_reply(&reply, &mut out.lock().unwrap().buf);
+                                    shared.request_flush(token.0);
+                                }),
+                            );
+                        }
+                        Ok(None) => break,
+                        // Adversarial or corrupt input: cut the
+                        // connection, exactly like the blocking server.
+                        Err(_) => return false,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Writes as much buffered output as the socket takes. Registers
+/// `EPOLLOUT` interest while bytes remain, drops it once drained, and
+/// errors the connection away when the backlog exceeds [`OUTBUF_CAP`].
+fn flush_conn(poll: &Poll, token: Token, conn: &mut ReactorConn) -> io::Result<()> {
+    let mut out = conn.out.lock().unwrap();
+    while out.pending() > 0 {
+        let start = out.start;
+        match (&conn.stream).write(&out.buf[start..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => out.start += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    if out.pending() == 0 {
+        out.buf.clear();
+        out.start = 0;
+        if conn.write_interest {
+            poll.reregister(conn.stream.as_raw_fd(), token, Interest::READABLE)?;
+            conn.write_interest = false;
+        }
+    } else {
+        if out.pending() > OUTBUF_CAP {
+            return Err(io::Error::other(
+                "reactor connection outbound backlog over cap",
+            ));
+        }
+        out.compact();
+        if !conn.write_interest {
+            poll.reregister(
+                conn.stream.as_raw_fd(),
+                token,
+                Interest::READABLE.add(Interest::WRITABLE),
+            )?;
+            conn.write_interest = true;
+        }
+    }
+    Ok(())
+}
+
+/// Deregisters and forgets one connection.
+fn drop_conn(
+    gateway: &Gateway,
+    poll: &Poll,
+    conns: &mut HashMap<usize, ReactorConn>,
+    token: usize,
+) {
+    if let Some(conn) = conns.remove(&token) {
+        let _ = poll.deregister(conn.stream.as_raw_fd());
+        gateway.runtime_stats().note_conn_close();
+    }
+}
+
+/// A connection carrying frames from many sessions at once: queue
+/// frames, then [`MuxTransport::exchange`] to flush them and collect
+/// whatever replies have arrived. Reply attribution is by the session
+/// id in each reply header — valid because the driver keeps at most
+/// one outstanding frame per session.
+pub trait MuxTransport {
+    /// Buffers `frame` for the next exchange.
+    fn queue(&mut self, frame: &Frame) -> io::Result<()>;
+
+    /// Flushes queued frames and appends decoded replies to `replies`.
+    /// With `wait` true, blocks until at least one reply arrives;
+    /// otherwise returns once the outbound bytes are flushed (or would
+    /// block) and the readable bytes are drained.
+    fn exchange(&mut self, wait: bool, replies: &mut Vec<Reply>) -> io::Result<()>;
+}
+
+/// Client side of the multiplexed TCP transport: one non-blocking
+/// socket, frames batch-encoded into one outbound buffer, replies
+/// batch-decoded through a [`ReplyBuffer`]. Blocks (when asked to) on
+/// its own single-fd epoll instance rather than spinning.
+pub struct MuxClient {
+    stream: TcpStream,
+    poll: Poll,
+    out: OutBuf,
+    replies: ReplyBuffer,
+    chunk: Vec<u8>,
+}
+
+impl MuxClient {
+    /// Connects to a serving gateway at `addr`.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<MuxClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        let poll = Poll::new()?;
+        poll.register(stream.as_raw_fd(), Token(0), Interest::READABLE)?;
+        Ok(MuxClient {
+            stream,
+            poll,
+            out: OutBuf::default(),
+            replies: ReplyBuffer::new(),
+            chunk: vec![0u8; READ_CHUNK],
+        })
+    }
+
+    /// Writes until the socket would block; true when fully flushed.
+    fn try_flush(&mut self) -> io::Result<bool> {
+        while self.out.pending() > 0 {
+            let start = self.out.start;
+            match (&self.stream).write(&self.out.buf[start..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out.start += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.out.compact();
+                    return Ok(false);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.buf.clear();
+        self.out.start = 0;
+        Ok(true)
+    }
+
+    /// Reads until the socket would block, decoding replies. Returns
+    /// how many replies were appended.
+    fn try_read(&mut self, replies: &mut Vec<Reply>) -> io::Result<usize> {
+        let mut got = 0;
+        loop {
+            match self.stream.read(&mut self.chunk) {
+                Ok(0) => {
+                    return if self.replies.is_mid_message() {
+                        Err(self.replies.torn_error().into())
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection with frames outstanding",
+                        ))
+                    };
+                }
+                Ok(n) => {
+                    self.replies.extend(&self.chunk[..n]);
+                    while let Some(r) = self.replies.next_reply()? {
+                        replies.push(r);
+                        got += 1;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(got),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl MuxTransport for MuxClient {
+    fn queue(&mut self, frame: &Frame) -> io::Result<()> {
+        encode_frame(frame, &mut self.out.buf);
+        Ok(())
+    }
+
+    fn exchange(&mut self, wait: bool, replies: &mut Vec<Reply>) -> io::Result<()> {
+        let mut events = Events::with_capacity(4);
+        loop {
+            let flushed = self.try_flush()?;
+            let got = self.try_read(replies)?;
+            if got > 0 || (!wait && flushed) {
+                return Ok(());
+            }
+            let interest = if flushed {
+                Interest::READABLE
+            } else {
+                Interest::READABLE.add(Interest::WRITABLE)
+            };
+            self.poll
+                .reregister(self.stream.as_raw_fd(), Token(0), interest)?;
+            self.poll
+                .poll(&mut events, Some(Duration::from_millis(100)))?;
+        }
+    }
+}
+
+/// In-process [`MuxTransport`]: frames go through the real encoder and
+/// decoder straight into [`Gateway::submit`]; replies round-trip the
+/// wire format into a condvar-guarded queue the exchange drains. The
+/// differential twin of [`MuxClient`] for socket-free tests and
+/// benchmarks.
+pub struct LoopbackMux {
+    gateway: Gateway,
+    pending: Arc<(Mutex<Vec<Reply>>, Condvar)>,
+    buf: Vec<u8>,
+}
+
+impl LoopbackMux {
+    /// A multiplexed loopback connection onto `gateway`.
+    pub fn new(gateway: Gateway) -> LoopbackMux {
+        LoopbackMux {
+            gateway,
+            pending: Arc::new((Mutex::new(Vec::new()), Condvar::new())),
+            buf: Vec::with_capacity(32),
+        }
+    }
+}
+
+impl MuxTransport for LoopbackMux {
+    fn queue(&mut self, frame: &Frame) -> io::Result<()> {
+        self.buf.clear();
+        encode_frame(frame, &mut self.buf);
+        let decoded = decode_frame(&self.buf[4..])?;
+        let pending = Arc::clone(&self.pending);
+        self.gateway.submit(
+            decoded,
+            Box::new(move |reply| {
+                let mut wire = Vec::with_capacity(16);
+                encode_reply(&reply, &mut wire);
+                if let Ok(reply) = decode_reply(&wire[4..]) {
+                    let (lock, cv) = &*pending;
+                    lock.lock().unwrap().push(reply);
+                    cv.notify_one();
+                }
+            }),
+        );
+        Ok(())
+    }
+
+    fn exchange(&mut self, wait: bool, replies: &mut Vec<Reply>) -> io::Result<()> {
+        let (lock, cv) = &*self.pending;
+        let mut got = lock.lock().unwrap();
+        if wait {
+            // Gateway workers always answer admitted frames, so a bare
+            // wait cannot hang; the timeout guards responder drops
+            // during teardown.
+            while got.is_empty() {
+                let (g, _) = cv
+                    .wait_timeout(got, Duration::from_millis(100))
+                    .map_err(|_| io::Error::other("poisoned reply queue"))?;
+                got = g;
+            }
+        }
+        replies.append(&mut got);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +882,171 @@ mod tests {
                 reason: RejectReason::NotATrace,
             }
         );
+        gw.drain();
+    }
+
+    #[test]
+    fn reactor_serves_concurrent_lockstep_clients() {
+        let gw = relay_gateway();
+        let mut server =
+            ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let acc = EventId::new("acc");
+        let del = EventId::new("del");
+        std::thread::scope(|scope| {
+            for session in 0..4u64 {
+                let codec = gw.codec().clone();
+                scope.spawn(move || {
+                    let mut conn = TcpConn::connect(addr).unwrap();
+                    for _ in 0..20 {
+                        let f = codec.event_frame(session, acc).unwrap();
+                        assert_eq!(conn.call(&f).unwrap(), Reply::Accepted { session });
+                        let f = codec.event_frame(session, del).unwrap();
+                        assert_eq!(conn.call(&f).unwrap(), Reply::Accepted { session });
+                    }
+                    let close = Frame::Close { session };
+                    assert_eq!(conn.call(&close).unwrap(), Reply::Accepted { session });
+                });
+            }
+        });
+        server.stop();
+        let snap = gw.stats();
+        assert_eq!(snap.accepted, 4 * 40);
+        assert_eq!(snap.convictions, 0);
+        assert_eq!(snap.connections_opened, 4);
+        assert_eq!(snap.connections_closed, 4);
+        gw.drain();
+    }
+
+    /// Many sessions multiplexed over one reactor connection: every
+    /// reply lands on the session its header names, and the guard sees
+    /// each session's frames in order.
+    #[test]
+    fn reactor_multiplexes_sessions_over_one_connection() {
+        let gw = relay_gateway();
+        let mut server =
+            ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig { loops: 1 }).unwrap();
+        let addr = server.local_addr();
+        let codec = gw.codec().clone();
+        let acc = EventId::new("acc");
+        let del = EventId::new("del");
+
+        let sessions: Vec<u64> = (0..64).collect();
+        let mut mux = MuxClient::connect(addr).unwrap();
+        // Round-robin: every session sends acc, then every session del,
+        // for 10 rounds — all interleaved on one socket.
+        let mut outstanding = 0usize;
+        let mut replies = Vec::new();
+        let mut accepted = std::collections::HashMap::new();
+        for round in 0..20 {
+            let ev = if round % 2 == 0 { acc } else { del };
+            for &s in &sessions {
+                mux.queue(&codec.event_frame(s, ev).unwrap()).unwrap();
+                outstanding += 1;
+            }
+            while outstanding > 0 {
+                mux.exchange(true, &mut replies).unwrap();
+                for r in replies.drain(..) {
+                    match r {
+                        Reply::Accepted { session } => {
+                            *accepted.entry(session).or_insert(0u32) += 1;
+                        }
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                    outstanding -= 1;
+                }
+            }
+        }
+        for &s in &sessions {
+            assert_eq!(accepted[&s], 20, "session {s} reply attribution");
+        }
+        server.stop();
+        let snap = gw.stats();
+        assert_eq!(snap.accepted, 64 * 20);
+        assert_eq!(snap.convictions, 0);
+        gw.drain();
+    }
+
+    /// Garbage bytes on one connection cut that connection — and only
+    /// that connection; the server keeps serving others.
+    #[test]
+    fn reactor_drops_corrupt_connections_and_survives() {
+        let gw = relay_gateway();
+        let mut server =
+            ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig { loops: 1 }).unwrap();
+        let addr = server.local_addr();
+
+        // A client that speaks garbage: oversized length prefix.
+        let mut evil = TcpStream::connect(addr).unwrap();
+        evil.write_all(&[0xFF; 32]).unwrap();
+        // The server must cut it: reads eventually see EOF/reset.
+        evil.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut sink = [0u8; 16];
+        loop {
+            match evil.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+
+        // A well-behaved client still gets served.
+        let codec = gw.codec().clone();
+        let mut conn = TcpConn::connect(addr).unwrap();
+        let f = codec.event_frame(1, EventId::new("acc")).unwrap();
+        assert_eq!(conn.call(&f).unwrap(), Reply::Accepted { session: 1 });
+        server.stop();
+        gw.drain();
+    }
+
+    /// A client that dies mid-frame (torn stream) is dropped without
+    /// taking the loop down.
+    #[test]
+    fn reactor_survives_torn_streams() {
+        let gw = relay_gateway();
+        let mut server =
+            ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig { loops: 1 }).unwrap();
+        let addr = server.local_addr();
+        let codec = gw.codec().clone();
+
+        let mut torn = TcpStream::connect(addr).unwrap();
+        let mut bytes = Vec::new();
+        encode_frame(
+            &codec.event_frame(5, EventId::new("acc")).unwrap(),
+            &mut bytes,
+        );
+        torn.write_all(&bytes[..bytes.len() / 2]).unwrap();
+        drop(torn);
+
+        let mut conn = TcpConn::connect(addr).unwrap();
+        let f = codec.event_frame(2, EventId::new("acc")).unwrap();
+        assert_eq!(conn.call(&f).unwrap(), Reply::Accepted { session: 2 });
+        server.stop();
+        gw.drain();
+    }
+
+    #[test]
+    fn loopback_mux_interleaves_sessions() {
+        let gw = relay_gateway();
+        let codec = gw.codec().clone();
+        let mut mux = LoopbackMux::new(gw.clone());
+        let acc = EventId::new("acc");
+        let mut outstanding = 0usize;
+        for s in 0..16u64 {
+            mux.queue(&codec.event_frame(s, acc).unwrap()).unwrap();
+            outstanding += 1;
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut replies = Vec::new();
+        while outstanding > 0 {
+            mux.exchange(true, &mut replies).unwrap();
+            for r in replies.drain(..) {
+                assert!(matches!(r, Reply::Accepted { .. }));
+                assert!(seen.insert(r.session()), "duplicate reply for {r:?}");
+                outstanding -= 1;
+            }
+        }
+        assert_eq!(seen.len(), 16);
         gw.drain();
     }
 

@@ -347,6 +347,7 @@ fn guards_agree_scaled(
         } else {
             rng.next() as usize % (accepted.len() + 1)
         };
+        #[allow(clippy::needless_range_loop)] // `pos` indexes past `accepted`'s end
         for pos in 0..STREAM_LEN {
             let ev = if pos < cut {
                 accepted[pos]
@@ -372,7 +373,7 @@ fn guards_agree_scaled(
                 reference.possible_states(),
                 "{label}/s{round}: possible-state count differs at frame {pos}"
             );
-            if rng.next() % 13 == 0 {
+            if rng.next().is_multiple_of(13) {
                 let da = dfa.attest_stall();
                 let ra = reference.attest_stall();
                 assert_eq!(
