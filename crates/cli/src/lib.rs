@@ -31,8 +31,9 @@
 
 use protoquot_core::{prune_useless, solve_with, ProgressStrategy, QuotientOptions};
 use protoquot_runtime::{
-    drive, drive_mux, Conn, DriveConfig, Gateway, GatewayConfig, LoopbackConn, LoopbackMux,
-    MuxClient, MuxTransport, ReactorConfig, ReactorServer, TcpConn, TcpServer,
+    adversarial, drive, drive_mux, AdversarialConfig, Conn, ConnLimits, DriveConfig, FuzzConfig,
+    FuzzTarget, Gateway, GatewayConfig, LoopbackConn, LoopbackMux, MuxClient, MuxTransport,
+    ReactorConfig, ReactorServer, TcpConn, TcpServer,
 };
 use protoquot_sim::{
     redirect_transition, run_monitored, FaultPlan, FleetConfig, FleetRunner, MonitorVerdict,
@@ -60,6 +61,23 @@ impl fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+impl CliError {
+    /// The process exit code for this failure. Verdict failures are
+    /// distinguished so CI can tell a *convicted converter* (the guard
+    /// found the system guilty — exit 2) from an *operational* unclean
+    /// campaign (resource rejects or transport errors under
+    /// `--expect-clean` — exit 3). Everything else exits 1.
+    pub fn exit_code(&self) -> u8 {
+        if self.0.starts_with("drive convicted:") {
+            2
+        } else if self.0.starts_with("drive unclean:") {
+            3
+        } else {
+            1
+        }
+    }
+}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError(msg.into()))
@@ -90,11 +108,15 @@ usage:
   protoquot soak --builtin colocated|symmetric|ab-nak [--mutate K] [options as above]
   protoquot serve (FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K])
             [--addr HOST:PORT] [--transport blocking|reactor] [--loops N]
-            [--threads N] [--duration SECS] [--stats]
+            [--threads N] [--duration SECS] [--stats] [--frame-budget N]
+            [--max-sessions-per-conn N] [--read-deadline SECS]
   protoquot drive (FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K])
             (--connect HOST:PORT | --loopback) [--runs N] [--threads T] [--steps N]
             [--sessions-per-conn N] [--faults loss,dup,reorder,burst] [--seed S]
-            [--duration SECS] [--expect-clean] [--json]
+            [--duration SECS] [--expect-clean] [--adversarial] [--json]
+  protoquot fuzz [FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K]]
+            [--target codec|guard|gateway|all] [--seed S] [--iters N] [--max-len N]
+            [--no-shrink] [--json]
 
 FILE contains specifications in the textual language, e.g.:
 
@@ -126,6 +148,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "soak" => cmd_soak(rest),
         "serve" => cmd_serve(rest),
         "drive" => cmd_drive(rest),
+        "fuzz" => cmd_fuzz(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -162,6 +185,12 @@ const VALUED: &[&str] = &[
     "--transport",
     "--loops",
     "--sessions-per-conn",
+    "--frame-budget",
+    "--max-sessions-per-conn",
+    "--read-deadline",
+    "--target",
+    "--iters",
+    "--max-len",
 ];
 
 fn parse_args(rest: &[String]) -> Result<Parsed, CliError> {
@@ -882,7 +911,8 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
         "usage: protoquot serve (FILE --service SPEC --components S1,S2,... | \
          --builtin colocated|symmetric|ab-nak [--mutate K]) [--addr HOST:PORT] \
          [--transport blocking|reactor] [--loops N] [--threads N] \
-         [--duration SECS] [--stats]",
+         [--duration SECS] [--stats] [--frame-budget N] \
+         [--max-sessions-per-conn N] [--read-deadline SECS]",
     )?;
     let workers: usize = match p.value("--threads") {
         Some(v) => v
@@ -890,6 +920,24 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
             .map_err(|_| CliError("--threads must be a number".into()))?,
         None => 4,
     };
+    let frame_budget: u64 = match p.value("--frame-budget") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError("--frame-budget must be a number (0 disables)".into()))?,
+        None => 0,
+    };
+    let mut limits = ConnLimits::default();
+    if let Some(v) = p.value("--max-sessions-per-conn") {
+        limits.max_sessions_per_conn = v.parse().map_err(|_| {
+            CliError("--max-sessions-per-conn must be a number (0 disables)".into())
+        })?;
+    }
+    if let Some(v) = p.value("--read-deadline") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| CliError("--read-deadline must be seconds (0 disables)".into()))?;
+        limits.read_deadline = Duration::from_secs_f64(secs);
+    }
     let loops: usize = match p.value("--loops") {
         Some(v) => v
             .parse()
@@ -904,6 +952,7 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
     let parts: Vec<&Spec> = components.iter().collect();
     let cfg = GatewayConfig {
         workers,
+        session_frame_budget: frame_budget,
         ..GatewayConfig::default()
     };
     let gw = Gateway::new(&parts, &service, cfg).map_err(|e| CliError(e.to_string()))?;
@@ -916,13 +965,18 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
     if let Some(addr) = p.value("--addr") {
         let (s, local) = match transport {
             "reactor" => {
-                let s = ReactorServer::bind(gw.clone(), addr, ReactorConfig { loops })
+                let cfg = ReactorConfig {
+                    loops,
+                    limits,
+                    ..ReactorConfig::default()
+                };
+                let s = ReactorServer::bind(gw.clone(), addr, cfg)
                     .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
                 let local = s.local_addr();
                 (Server::Reactor(s), local)
             }
             _ => {
-                let s = TcpServer::bind(gw.clone(), addr)
+                let s = TcpServer::bind_with(gw.clone(), addr, limits)
                     .map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
                 let local = s.local_addr();
                 (Server::Blocking(s), local)
@@ -967,13 +1021,36 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
 
 fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
     let p = parse_args(rest)?;
+    // The adversarial campaign attacks the wire itself — no spec needed
+    // (and none consulted), so it branches before target loading.
+    if p.has("--adversarial") {
+        let Some(addr) = p.value("--connect") else {
+            return err("--adversarial needs --connect HOST:PORT (it attacks the wire itself)");
+        };
+        let report = adversarial(addr, &AdversarialConfig::default())
+            .map_err(|e| CliError(format!("adversarial campaign failed to run: {e}")))?;
+        let out = if p.has("--json") {
+            let mut json = report.to_json();
+            json.push('\n');
+            json
+        } else {
+            format!("{report}")
+        };
+        if p.has("--expect-clean") && !report.is_contained() {
+            return err(format!(
+                "drive unclean: adversarial campaign not contained \
+                 (an attack was neither convicted nor evicted):\n{report}"
+            ));
+        }
+        return Ok(out);
+    }
     let (components, service) = load_target(
         &p,
         "usage: protoquot drive (FILE --service SPEC --components S1,S2,... | \
          --builtin colocated|symmetric|ab-nak [--mutate K]) (--connect HOST:PORT | \
          --loopback) [--runs N] [--threads T] [--steps N] [--sessions-per-conn N] \
          [--faults loss,dup,reorder,burst] [--seed S] [--duration SECS] \
-         [--expect-clean] [--json]",
+         [--expect-clean] [--adversarial] [--json]",
     )?;
     let parse_num = |flag: &str, default: u64| -> Result<u64, CliError> {
         match p.value(flag) {
@@ -1041,8 +1118,95 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
         format!("{report}\n")
     };
     if p.has("--expect-clean") && !report.is_clean() {
+        // Convictions are verdicts against the converter; everything
+        // else unclean is operational. CI keys its exit code off the
+        // message prefix (see `CliError::exit_code`).
+        if report.convicted_runs > 0 {
+            return err(format!(
+                "drive convicted: the online guard convicted {} run(s): {report}",
+                report.convicted_runs
+            ));
+        }
         return err(format!(
-            "drive expected a clean campaign but found convictions or transport errors: {report}"
+            "drive unclean: {} operational reject(s) and {} transport error(s) \
+             (no convictions): {report}",
+            report.rejected_runs, report.io_errors
+        ));
+    }
+    Ok(out)
+}
+
+/// `protoquot fuzz`: the deterministic fuzz engine over the codec,
+/// guard, and gateway targets. Without a FILE or `--builtin` the
+/// colocated paper system is fuzzed (the targets need *a* compiled
+/// system; hostile inputs do not care which).
+fn cmd_fuzz(rest: &[String]) -> Result<String, CliError> {
+    let p = parse_args(rest)?;
+    let (components, service) = if p.value("--builtin").is_none() && p.positional.is_empty() {
+        builtin_soak_system("colocated", p.value("--mutate"))?
+    } else {
+        load_target(
+            &p,
+            "usage: protoquot fuzz [FILE --service SPEC --components S1,S2,... | \
+                 --builtin colocated|symmetric|ab-nak [--mutate K]] \
+                 [--target codec|guard|gateway|all] [--seed S] [--iters N] \
+                 [--max-len N] [--no-shrink] [--json]",
+        )?
+    };
+    // Seeds round-trip through the report, which prints them in hex;
+    // accept both `0x…` and decimal so a red report reproduces by
+    // copy-paste.
+    let parse_num = |flag: &str, default: u64| -> Result<u64, CliError> {
+        match p.value(flag) {
+            Some(v) => match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            }
+            .map_err(|_| CliError(format!("{flag} must be a number"))),
+            None => Ok(default),
+        }
+    };
+    let defaults = FuzzConfig::default();
+    let cfg = FuzzConfig {
+        seed: parse_num("--seed", defaults.seed)?,
+        iters: parse_num("--iters", defaults.iters)?,
+        max_len: parse_num("--max-len", defaults.max_len as u64)? as usize,
+        shrink: !p.has("--no-shrink"),
+        ..defaults
+    };
+    let targets: Vec<FuzzTarget> = match p.value("--target").unwrap_or("all") {
+        "all" => FuzzTarget::ALL.to_vec(),
+        name => match FuzzTarget::parse(name) {
+            Some(t) => vec![t],
+            None => return err("--target must be codec, guard, gateway, or all"),
+        },
+    };
+    let parts: Vec<&Spec> = components.iter().collect();
+    let started = std::time::Instant::now();
+    let report = protoquot_runtime::fuzz::fuzz(&parts, &service, &targets, &cfg)
+        .map_err(|e| CliError(format!("fuzz target system does not compile: {e}")))?;
+    let elapsed = started.elapsed();
+    let mut out = if p.has("--json") {
+        let mut json = report.to_json();
+        json.push('\n');
+        json
+    } else {
+        format!("{report}\n")
+    };
+    if !p.has("--json") {
+        // Throughput goes to the human report only — the JSON stays
+        // deterministic for CI pinning.
+        let total: u64 = report.executed.iter().map(|(_, n)| n).sum();
+        out.push_str(&format!(
+            "{total} cases in {:.2}s ({:.0} cases/s)\n",
+            elapsed.as_secs_f64(),
+            total as f64 / elapsed.as_secs_f64().max(1e-9),
+        ));
+    }
+    if !report.is_clean() {
+        return err(format!(
+            "fuzz found {} failing case(s):\n{report}",
+            report.findings.len()
         ));
     }
     Ok(out)

@@ -11,7 +11,9 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            // 2 = conviction verdict, 3 = operationally unclean under
+            // --expect-clean, 1 = everything else.
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -84,6 +84,9 @@ pub enum RejectReason {
     Closed,
     /// The event index is outside the shared table.
     UnknownEvent,
+    /// The frame overran a configured resource budget (per-session
+    /// frame budget, or per-connection session cap at the transport).
+    ResourceLimit,
 }
 
 impl RejectReason {
@@ -98,7 +101,22 @@ impl RejectReason {
             RejectReason::Draining => "draining",
             RejectReason::Closed => "closed",
             RejectReason::UnknownEvent => "unknown_event",
+            RejectReason::ResourceLimit => "resource_limit",
         }
+    }
+
+    /// Whether the reason is a *conviction* — the online guard's
+    /// verdict on the session's trace — as opposed to an operational
+    /// rejection (flow control, lifecycle, malformed input, budgets)
+    /// that says nothing about the converter's correctness.
+    pub fn is_conviction(self) -> bool {
+        matches!(
+            self,
+            RejectReason::NotATrace
+                | RejectReason::ServiceViolation
+                | RejectReason::Stalled
+                | RejectReason::Convicted
+        )
     }
 
     fn code(self) -> u8 {
@@ -111,10 +129,11 @@ impl RejectReason {
             RejectReason::Draining => 6,
             RejectReason::Closed => 7,
             RejectReason::UnknownEvent => 8,
+            RejectReason::ResourceLimit => 9,
         }
     }
 
-    fn from_code(c: u8) -> Option<RejectReason> {
+    pub(crate) fn from_code(c: u8) -> Option<RejectReason> {
         Some(match c {
             1 => RejectReason::NotATrace,
             2 => RejectReason::ServiceViolation,
@@ -124,6 +143,7 @@ impl RejectReason {
             6 => RejectReason::Draining,
             7 => RejectReason::Closed,
             8 => RejectReason::UnknownEvent,
+            9 => RejectReason::ResourceLimit,
             _ => return None,
         })
     }
@@ -140,6 +160,7 @@ impl fmt::Display for RejectReason {
             RejectReason::Draining => "draining",
             RejectReason::Closed => "closed",
             RejectReason::UnknownEvent => "unknown-event",
+            RejectReason::ResourceLimit => "resource-limit",
         };
         f.write_str(s)
     }
@@ -580,6 +601,7 @@ mod tests {
             RejectReason::Draining,
             RejectReason::Closed,
             RejectReason::UnknownEvent,
+            RejectReason::ResourceLimit,
         ] {
             replies.push(Reply::Rejected { session: 9, reason });
         }

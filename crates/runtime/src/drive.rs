@@ -104,8 +104,15 @@ pub struct RunOutcome {
     pub accepted: u64,
     /// Whether the client attested a stall.
     pub stall_attested: bool,
-    /// Server-side conviction (reject reason name), if any.
+    /// Server-side conviction (reject reason name), if any. Only
+    /// reasons where [`crate::codec::RejectReason::is_conviction`]
+    /// holds — verdicts against the converter — land here.
     pub conviction: Option<String>,
+    /// Operational rejection (reject reason name), if any: the server
+    /// refused the session for resource/overload reasons
+    /// (`resource_limit`, `overloaded`, …) without judging the
+    /// converter. The run still stops, but it is not a conviction.
+    pub rejected: Option<String>,
     /// What the local monitor/watchdog concluded.
     pub local_verdict: &'static str,
     /// Transport failure, if the run died on I/O.
@@ -123,6 +130,8 @@ pub struct DriveReport {
     pub accepted: u64,
     /// Runs that ended with a server-side conviction.
     pub convicted_runs: u64,
+    /// Runs ended by an operational rejection (not a conviction).
+    pub rejected_runs: u64,
     /// Stall attestations sent.
     pub stalls_attested: u64,
     /// Runs that died on transport errors.
@@ -132,9 +141,10 @@ pub struct DriveReport {
 }
 
 impl DriveReport {
-    /// No convictions and no transport failures.
+    /// No convictions, no operational rejections, and no transport
+    /// failures.
     pub fn is_clean(&self) -> bool {
-        self.convicted_runs == 0 && self.io_errors == 0
+        self.convicted_runs == 0 && self.rejected_runs == 0 && self.io_errors == 0
     }
 
     /// The report as a JSON value tree (thread-count invariant).
@@ -146,6 +156,10 @@ impl DriveReport {
         o.insert(
             "convicted_runs".into(),
             Value::Int(self.convicted_runs as i128),
+        );
+        o.insert(
+            "rejected_runs".into(),
+            Value::Int(self.rejected_runs as i128),
         );
         o.insert(
             "stalls_attested".into(),
@@ -182,6 +196,13 @@ impl RunOutcome {
             },
         );
         o.insert(
+            "rejected".into(),
+            match &self.rejected {
+                Some(r) => Value::Str(r.clone()),
+                None => Value::Null,
+            },
+        );
+        o.insert(
             "local_verdict".into(),
             Value::Str(self.local_verdict.to_string()),
         );
@@ -200,11 +221,12 @@ impl std::fmt::Display for DriveReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "runs {} | frames {} accepted {} | convicted {} | stalls attested {} | io errors {}",
+            "runs {} | frames {} accepted {} | convicted {} | rejected {} | stalls attested {} | io errors {}",
             self.runs,
             self.frames_sent,
             self.accepted,
             self.convicted_runs,
+            self.rejected_runs,
             self.stalls_attested,
             self.io_errors
         )
@@ -288,6 +310,7 @@ fn empty_outcome(run: u64) -> RunOutcome {
         accepted: 0,
         stall_attested: false,
         conviction: None,
+        rejected: None,
         local_verdict: "conforming",
         io_error: None,
     }
@@ -363,12 +386,10 @@ impl<'a> SessionTask<'a> {
             Some(Pending::Event) => {
                 match reply {
                     Some(Reply::Accepted { .. }) => self.out.accepted += 1,
-                    Some(Reply::Rejected { reason, .. }) => {
-                        self.out.conviction = Some(reason.name().to_string());
-                    }
+                    Some(Reply::Rejected { reason, .. }) => self.record_reject(reason),
                     None => return self.finish(),
                 }
-                let stop = self.out.conviction.is_some();
+                let stop = self.out.conviction.is_some() || self.out.rejected.is_some();
                 if let Some(frame) = self.tail(stop) {
                     return Some(frame);
                 }
@@ -379,9 +400,7 @@ impl<'a> SessionTask<'a> {
             Some(Pending::Stall) => {
                 match reply {
                     Some(Reply::Accepted { .. }) => {}
-                    Some(Reply::Rejected { reason, .. }) => {
-                        self.out.conviction = Some(reason.name().to_string());
-                    }
+                    Some(Reply::Rejected { reason, .. }) => self.record_reject(reason),
                     None => {}
                 }
                 // An attested stall always ends the run, confirmed or
@@ -492,10 +511,25 @@ impl<'a> SessionTask<'a> {
         None
     }
 
+    /// Classifies a server rejection: guard verdicts are convictions,
+    /// everything else (resource limits, overload, closed sessions) is
+    /// an operational rejection. Either way the run stops.
+    fn record_reject(&mut self, reason: crate::codec::RejectReason) {
+        let name = reason.name().to_string();
+        if reason.is_conviction() {
+            self.out.conviction = Some(name);
+        } else {
+            self.out.rejected = Some(name);
+        }
+    }
+
     /// Sends a stall attestation; a `Stalled` rejection is a
     /// conviction.
     fn attest(&mut self) -> Option<Frame> {
-        if self.out.conviction.is_some() || self.out.io_error.is_some() {
+        if self.out.conviction.is_some()
+            || self.out.rejected.is_some()
+            || self.out.io_error.is_some()
+        {
             return self.finish();
         }
         self.out.stall_attested = true;
@@ -689,6 +723,7 @@ fn report_from(mut outcomes: Vec<RunOutcome>) -> DriveReport {
         frames_sent: outcomes.iter().map(|o| o.frames_sent).sum(),
         accepted: outcomes.iter().map(|o| o.accepted).sum(),
         convicted_runs: outcomes.iter().filter(|o| o.conviction.is_some()).count() as u64,
+        rejected_runs: outcomes.iter().filter(|o| o.rejected.is_some()).count() as u64,
         stalls_attested: outcomes.iter().filter(|o| o.stall_attested).count() as u64,
         io_errors: outcomes.iter().filter(|o| o.io_error.is_some()).count() as u64,
         outcomes,

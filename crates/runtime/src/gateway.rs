@@ -92,6 +92,12 @@ pub struct GatewayConfig {
     pub queue_cap: usize,
     /// Idle time after which [`Gateway::evict_idle`] removes a session.
     pub idle_timeout: Duration,
+    /// Frames (events + stalls) one session may submit over its
+    /// lifetime; beyond it the session is *expelled*: the frame bounces
+    /// with [`RejectReason::ResourceLimit`], the session is marked
+    /// closed, and the next idle sweep removes it. `0` disables the
+    /// budget (the default — campaigns legitimately run long sessions).
+    pub session_frame_budget: u64,
     /// Run sessions on the pre-determinization subset-replaying guard
     /// ([`SessionGuardReference`]) instead of the compiled DFA. The
     /// differential suites and the EXP-R2 before/after comparison flip
@@ -106,6 +112,7 @@ impl Default for GatewayConfig {
             shards: 8,
             queue_cap: 64,
             idle_timeout: Duration::from_secs(30),
+            session_frame_budget: 0,
             reference_guard: false,
         }
     }
@@ -159,6 +166,9 @@ struct SessionCore {
     scheduled: bool,
     closed: bool,
     last_active: Instant,
+    /// Event + stall frames processed, charged against
+    /// [`GatewayConfig::session_frame_budget`].
+    frames_seen: u64,
 }
 
 type Shard = Mutex<HashMap<u64, Arc<Mutex<SessionCore>>>>;
@@ -232,6 +242,7 @@ impl Gateway {
                 scheduled: false,
                 closed: false,
                 last_active: Instant::now(),
+                frames_seen: 0,
             }))
         }))
     }
@@ -384,6 +395,16 @@ impl Gateway {
         &self.inner.stats
     }
 
+    /// Accounts a frame a *transport* refused before submission (e.g.
+    /// the per-connection session cap) and builds the rejection reply.
+    /// Keeps transport-side rejects indistinguishable from gateway-side
+    /// ones in the stats: the frame is counted, the reason is counted.
+    pub(crate) fn transport_reject(&self, session: u64, reason: RejectReason) -> Reply {
+        self.inner.stats.note_frame();
+        self.inner.stats.note_reject(reason);
+        Reply::Rejected { session, reason }
+    }
+
     /// Point-in-time statistics.
     pub fn stats(&self) -> StatsSnapshot {
         self.inner.stats.snapshot(self.inner.codec.table())
@@ -438,6 +459,18 @@ fn process(inner: &GatewayInner, core: &mut SessionCore, frame: Frame) -> Reply 
     };
     if core.closed {
         return reject(RejectReason::Closed);
+    }
+    // Frame budget: an event/stall stream past the configured cap
+    // expels the session — convict-or-evict, never buffer an abusive
+    // session forever. `Close` is always admitted (it releases state).
+    if !matches!(frame, Frame::Close { .. }) {
+        let budget = inner.cfg.session_frame_budget;
+        core.frames_seen += 1;
+        if budget > 0 && core.frames_seen > budget {
+            core.closed = true;
+            inner.stats.note_expel();
+            return reject(RejectReason::ResourceLimit);
+        }
     }
     match frame {
         Frame::Event { event, .. } => {
@@ -603,6 +636,60 @@ mod tests {
             }
         );
         gw.drain();
+    }
+
+    /// A session that overruns its frame budget is expelled: the
+    /// overrunning frame bounces with `ResourceLimit`, later frames see
+    /// `Closed`, other sessions are untouched, and the idle sweep
+    /// removes the expelled core.
+    #[test]
+    fn frame_budget_expels_abusive_sessions() {
+        let cfg = GatewayConfig {
+            session_frame_budget: 4,
+            idle_timeout: Duration::from_millis(0),
+            ..GatewayConfig::default()
+        };
+        let gw = gateway(cfg);
+        let acc = |s| {
+            gw.codec()
+                .event_frame(s, protoquot_spec::EventId::new("acc"))
+                .unwrap()
+        };
+        let del = |s| {
+            gw.codec()
+                .event_frame(s, protoquot_spec::EventId::new("del"))
+                .unwrap()
+        };
+        for _ in 0..2 {
+            assert_eq!(gw.call(acc(1)), Reply::Accepted { session: 1 });
+            assert_eq!(gw.call(del(1)), Reply::Accepted { session: 1 });
+        }
+        assert_eq!(
+            gw.call(acc(1)),
+            Reply::Rejected {
+                session: 1,
+                reason: RejectReason::ResourceLimit,
+            }
+        );
+        assert_eq!(
+            gw.call(del(1)),
+            Reply::Rejected {
+                session: 1,
+                reason: RejectReason::Closed,
+            }
+        );
+        // A well-behaved session is unaffected.
+        assert_eq!(gw.call(acc(2)), Reply::Accepted { session: 2 });
+        let snap = gw.stats();
+        assert_eq!(snap.sessions_expelled, 1);
+        assert!(snap.rejects.contains(&("resource_limit", 1)));
+        gw.drain();
+        assert_eq!(gw.evict_idle(), 2);
+        assert_eq!(gw.resident_sessions(), 0);
+        // The expelled session counts as closed by the sweep, not as an
+        // idle eviction: it was terminated for cause, and `expelled`
+        // already attributes the cause.
+        assert_eq!(gw.stats().sessions_closed, 1);
     }
 
     #[test]

@@ -29,7 +29,17 @@
 //!   session at a time per connection ([`drive()`]) or many concurrent
 //!   sessions multiplexed over each connection ([`drive_mux`]), with
 //!   byte-identical reports either way;
-//! * [`stats`] — lock-free counters with JSON snapshots.
+//! * [`mod@fuzz`] — a vendored deterministic fuzz engine (seeded
+//!   corpus, structure-aware frame mutators, panic/hang detection,
+//!   ddmin shrinking) over the codec, guard, and gateway dispatch —
+//!   `protoquot fuzz`, gated in CI under a pinned seed;
+//! * [`mod@adversarial`] — a hostile load generator: eight wire-level
+//!   attacks (garbage, truncation, floods, churn, slow-drip,
+//!   backpressure abuse, zombies) with a deterministic,
+//!   transport-invariant containment report — `drive --adversarial`;
+//! * [`stats`] — lock-free counters with JSON snapshots, including
+//!   the connection-eviction taxonomy (`slow_consumer`, `slow_read`,
+//!   `protocol`) behind the resource limits in [`transport`].
 //!
 //! The headline property, enforced by `tests/runtime_agreement.rs` at
 //! the workspace root: **every event sequence the runtime accepts is a
@@ -47,19 +57,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 pub mod codec;
 pub mod drive;
+pub mod fuzz;
 pub mod gateway;
 pub mod guard;
 pub mod stats;
 pub mod transport;
 
+pub use adversarial::{adversarial, AdversarialConfig, AdversarialReport, AttackOutcome};
 pub use codec::{Frame, FrameBuffer, RejectReason, Reply, ReplyBuffer, WireCodec, WireError};
 pub use drive::{drive, drive_mux, DriveConfig, DriveReport, RunOutcome};
+pub use fuzz::{Finding, FindingKind, FuzzConfig, FuzzReport, FuzzTarget};
 pub use gateway::{Gateway, GatewayConfig, GatewayError, Responder};
 pub use guard::{Conviction, GuardBuildStats, GuardProgram, SessionGuard, SessionGuardReference};
-pub use stats::{RuntimeStats, StatsSnapshot};
+pub use stats::{ConnEvictReason, RuntimeStats, StatsSnapshot};
 pub use transport::{
-    Conn, LoopbackConn, LoopbackMux, MuxClient, MuxTransport, ReactorConfig, ReactorServer,
-    TcpConn, TcpServer,
+    Conn, ConnLimits, LoopbackConn, LoopbackMux, MuxClient, MuxTransport, ReactorConfig,
+    ReactorServer, TcpConn, TcpServer,
 };

@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-const REASONS: [RejectReason; 8] = [
+const REASONS: [RejectReason; 9] = [
     RejectReason::NotATrace,
     RejectReason::ServiceViolation,
     RejectReason::Stalled,
@@ -22,6 +22,7 @@ const REASONS: [RejectReason; 8] = [
     RejectReason::Draining,
     RejectReason::Closed,
     RejectReason::UnknownEvent,
+    RejectReason::ResourceLimit,
 ];
 
 /// Counter slot for a reject reason. Exhaustive on purpose: adding a
@@ -37,6 +38,52 @@ fn reason_slot(reason: RejectReason) -> usize {
         RejectReason::Draining => 5,
         RejectReason::Closed => 6,
         RejectReason::UnknownEvent => 7,
+        RejectReason::ResourceLimit => 8,
+    }
+}
+
+/// Why a transport cut a connection before the peer closed it — the
+/// connection-level half of the eviction taxonomy (the session-level
+/// half is idle eviction and budget expulsion in the gateway). The
+/// invariant these exist for: an abusive peer is convicted or evicted,
+/// never allowed to stall a worker pool or an event loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConnEvictReason {
+    /// The peer stopped reading and its outbound buffer overran the
+    /// cap (reactor write-buffer limit, previously a silent drop).
+    SlowConsumer,
+    /// The peer left a frame unfinished past the read deadline
+    /// (slow-drip / slow-loris input).
+    SlowRead,
+    /// The peer sent bytes that do not decode (garbage, oversize or
+    /// zero length prefix) or died mid-frame (torn stream).
+    Protocol,
+}
+
+impl ConnEvictReason {
+    /// Stable snake_case name for stats keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConnEvictReason::SlowConsumer => "slow_consumer",
+            ConnEvictReason::SlowRead => "slow_read",
+            ConnEvictReason::Protocol => "protocol",
+        }
+    }
+}
+
+/// Slot order of [`ConnEvictReason`] counters; exhaustive like
+/// [`reason_slot`].
+const CONN_EVICT_REASONS: [ConnEvictReason; 3] = [
+    ConnEvictReason::SlowConsumer,
+    ConnEvictReason::SlowRead,
+    ConnEvictReason::Protocol,
+];
+
+fn conn_evict_slot(reason: ConnEvictReason) -> usize {
+    match reason {
+        ConnEvictReason::SlowConsumer => 0,
+        ConnEvictReason::SlowRead => 1,
+        ConnEvictReason::Protocol => 2,
     }
 }
 
@@ -47,11 +94,13 @@ pub struct RuntimeStats {
     sessions_evicted: AtomicU64,
     sessions_closed: AtomicU64,
     sessions_active: AtomicU64,
+    sessions_expelled: AtomicU64,
     connections_opened: AtomicU64,
     connections_closed: AtomicU64,
+    conn_evictions: [AtomicU64; 3],
     frames: AtomicU64,
     accepted: AtomicU64,
-    rejects: [AtomicU64; 8],
+    rejects: [AtomicU64; 9],
     convictions: AtomicU64,
     queue_high_water: AtomicU64,
     /// Accepted frames per event-table index.
@@ -74,8 +123,10 @@ impl RuntimeStats {
             sessions_evicted: AtomicU64::new(0),
             sessions_closed: AtomicU64::new(0),
             sessions_active: AtomicU64::new(0),
+            sessions_expelled: AtomicU64::new(0),
             connections_opened: AtomicU64::new(0),
             connections_closed: AtomicU64::new(0),
+            conn_evictions: Default::default(),
             frames: AtomicU64::new(0),
             accepted: AtomicU64::new(0),
             rejects: Default::default(),
@@ -112,6 +163,20 @@ impl RuntimeStats {
     /// A transport connection ended (clean EOF, torn stream, or error).
     pub fn note_conn_close(&self) {
         self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A transport cut a connection for `reason`. Counted *in addition
+    /// to* [`RuntimeStats::note_conn_close`], which still fires when the
+    /// connection is dropped — evictions attribute the cut, closes
+    /// count it.
+    pub fn note_conn_evict(&self, reason: ConnEvictReason) {
+        self.conn_evictions[conn_evict_slot(reason)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session overran its frame budget and was expelled (marked
+    /// closed by the gateway rather than by a client `Close`).
+    pub fn note_expel(&self) {
+        self.sessions_expelled.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A frame arrived (before any verdict).
@@ -153,8 +218,14 @@ impl RuntimeStats {
             sessions_evicted: self.sessions_evicted.load(Ordering::Relaxed),
             sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
             sessions_active: self.sessions_active.load(Ordering::Relaxed),
+            sessions_expelled: self.sessions_expelled.load(Ordering::Relaxed),
             connections_opened: self.connections_opened.load(Ordering::Relaxed),
             connections_closed: self.connections_closed.load(Ordering::Relaxed),
+            conn_evictions: CONN_EVICT_REASONS
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| (r.name(), self.conn_evictions[i].load(Ordering::Relaxed)))
+                .collect(),
             frames: self.frames.load(Ordering::Relaxed),
             accepted,
             events_per_sec: accepted as f64 / elapsed,
@@ -190,10 +261,15 @@ pub struct StatsSnapshot {
     pub sessions_closed: u64,
     /// Sessions currently resident.
     pub sessions_active: u64,
+    /// Sessions expelled after overrunning their frame budget.
+    pub sessions_expelled: u64,
     /// Transport connections ever accepted (0 for pure loopback).
     pub connections_opened: u64,
     /// Transport connections ended.
     pub connections_closed: u64,
+    /// Connection cuts per [`ConnEvictReason`] (every reason listed,
+    /// zero counts included — operators alert on these).
+    pub conn_evictions: Vec<(&'static str, u64)>,
     /// Frames received.
     pub frames: u64,
     /// Event frames accepted by the guard.
@@ -222,10 +298,23 @@ impl StatsSnapshot {
         s.insert("evicted".into(), Value::Int(self.sessions_evicted as i128));
         s.insert("closed".into(), Value::Int(self.sessions_closed as i128));
         s.insert("active".into(), Value::Int(self.sessions_active as i128));
+        s.insert(
+            "expelled".into(),
+            Value::Int(self.sessions_expelled as i128),
+        );
         o.insert("sessions".into(), Value::Obj(s));
         let mut c = BTreeMap::new();
         c.insert("opened".into(), Value::Int(self.connections_opened as i128));
         c.insert("closed".into(), Value::Int(self.connections_closed as i128));
+        c.insert(
+            "evictions".into(),
+            Value::Obj(
+                self.conn_evictions
+                    .iter()
+                    .map(|&(name, n)| (name.to_string(), Value::Int(n as i128)))
+                    .collect(),
+            ),
+        );
         o.insert("connections".into(), Value::Obj(c));
         o.insert("frames".into(), Value::Int(self.frames as i128));
         o.insert("accepted".into(), Value::Int(self.accepted as i128));
@@ -292,11 +381,27 @@ impl std::fmt::Display for StatsSnapshot {
             self.sessions_closed,
             self.sessions_evicted
         )?;
+        let evictions: Vec<String> = self
+            .conn_evictions
+            .iter()
+            .filter(|&&(_, n)| n > 0)
+            .map(|&(name, n)| format!("{name}={n}"))
+            .collect();
         writeln!(
             f,
-            "connections opened={} closed={}",
-            self.connections_opened, self.connections_closed
+            "connections opened={} closed={}{}{}",
+            self.connections_opened,
+            self.connections_closed,
+            if evictions.is_empty() {
+                ""
+            } else {
+                " | evictions "
+            },
+            evictions.join(" ")
         )?;
+        if self.sessions_expelled > 0 {
+            writeln!(f, "sessions expelled={}", self.sessions_expelled)?;
+        }
         writeln!(
             f,
             "frames {} | accepted {} ({:.0} ev/s) | convictions {} | queue high-water {}",
@@ -408,6 +513,56 @@ mod tests {
                 "{reason:?}: reject count missing from the snapshot"
             );
         }
+    }
+
+    /// Connection evictions are attributed per reason, surfaced in the
+    /// JSON snapshot with every reason present (zero counts included),
+    /// and session expulsions count separately from closes.
+    #[test]
+    fn conn_eviction_taxonomy_round_trips() {
+        let table = EventTable::new(&Alphabet::from_names(["acc"]));
+        let stats = RuntimeStats::new(table.len());
+        stats.note_conn_open();
+        stats.note_conn_evict(ConnEvictReason::SlowConsumer);
+        stats.note_conn_close();
+        stats.note_conn_evict(ConnEvictReason::Protocol);
+        stats.note_conn_evict(ConnEvictReason::Protocol);
+        stats.note_open();
+        stats.note_expel();
+
+        let snap = stats.snapshot(&table);
+        assert_eq!(
+            snap.conn_evictions,
+            vec![("slow_consumer", 1), ("slow_read", 0), ("protocol", 2)]
+        );
+        assert_eq!(snap.sessions_expelled, 1);
+        let value = snap.to_value();
+        let conns = value.as_obj().unwrap()["connections"].as_obj().unwrap();
+        let ev = conns["evictions"].as_obj().unwrap();
+        assert_eq!(ev["slow_consumer"], Value::Int(1));
+        assert_eq!(ev["slow_read"], Value::Int(0));
+        assert_eq!(ev["protocol"], Value::Int(2));
+        assert_eq!(
+            value.as_obj().unwrap()["sessions"].as_obj().unwrap()["expelled"],
+            Value::Int(1)
+        );
+        let text = format!("{snap}");
+        assert!(text.contains("evictions slow_consumer=1 protocol=2"));
+        assert!(text.contains("sessions expelled=1"));
+    }
+
+    /// Every `ConnEvictReason` owns a distinct slot, mirroring the
+    /// reject-reason slot test.
+    #[test]
+    fn conn_evict_slots_cover_every_variant_exactly_once() {
+        let mut hit = [false; CONN_EVICT_REASONS.len()];
+        for &reason in CONN_EVICT_REASONS.iter() {
+            let slot = conn_evict_slot(reason);
+            assert_eq!(CONN_EVICT_REASONS[slot], reason);
+            assert!(!hit[slot], "{reason:?}: slot {slot} already taken");
+            hit[slot] = true;
+        }
+        assert!(hit.iter().all(|&h| h));
     }
 
     #[test]

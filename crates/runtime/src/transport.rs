@@ -32,23 +32,94 @@
 //! into the connection's shared outbound buffer, and the owning loop
 //! is woken to flush it. `EPOLLOUT` interest is registered only while
 //! flushed-behind bytes remain, and a connection whose outbound buffer
-//! outgrows [`OUTBUF_CAP`] (a client that stopped reading) is dropped
-//! rather than buffered without bound.
+//! outgrows [`ReactorConfig::outbuf_cap`] (a client that stopped
+//! reading) is dropped as a counted
+//! [`ConnEvictReason::SlowConsumer`] eviction rather than buffered
+//! without bound. Each readiness event reads a bounded number of
+//! chunks so a firehosing peer cannot starve its loop's other
+//! connections or defer that cap; [`ConnLimits`] adds the per-
+//! connection session cap and the torn-frame read deadline.
 
 use crate::codec::{
     decode_frame, decode_reply, encode_frame, encode_reply, read_payload, write_frame, write_reply,
-    Frame, FrameBuffer, Reply, ReplyBuffer,
+    Frame, FrameBuffer, RejectReason, Reply, ReplyBuffer,
 };
 use crate::gateway::Gateway;
+use crate::stats::ConnEvictReason;
 use reactor::{Events, Interest, Poll, Token, Waker};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Per-connection resource limits, enforced by both socket servers
+/// (the in-process loopbacks have no connection to bound).
+///
+/// These are the transport half of the convict-or-evict invariant: a
+/// peer that floods sessions is *rejected* frame by frame
+/// ([`RejectReason::ResourceLimit`]), a peer that drips a frame past
+/// the read deadline is *evicted*
+/// ([`ConnEvictReason::SlowRead`]) — either way the worker pool and
+/// the event loops keep serving everyone else.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnLimits {
+    /// Live sessions one connection may hold at once (a `Close` frees
+    /// its slot). Frames naming a session beyond the cap bounce with
+    /// [`RejectReason::ResourceLimit`] without touching the gateway.
+    /// `0` disables the cap — the default, because multiplexed
+    /// campaigns legitimately hold 100k+ sessions on one socket.
+    pub max_sessions_per_conn: usize,
+    /// How long a connection may sit *mid-frame* (length prefix or
+    /// payload started but unfinished) before it is cut as a
+    /// slow-reader attack. Measured from the first byte of the
+    /// unfinished message. `Duration::ZERO` disables the deadline.
+    pub read_deadline: Duration,
+}
+
+impl Default for ConnLimits {
+    fn default() -> ConnLimits {
+        ConnLimits {
+            max_sessions_per_conn: 0,
+            // Complete frames are ≤ 15 bytes; a peer mid-frame for ten
+            // seconds is dripping, not slow.
+            read_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Tracks the live-session set of one connection against
+/// [`ConnLimits::max_sessions_per_conn`].
+#[derive(Default)]
+struct ConnSessions {
+    live: HashSet<u64>,
+}
+
+impl ConnSessions {
+    /// Admits `frame` against the cap: `Ok(())` to submit it to the
+    /// gateway, `Err(reason)` to bounce it at the transport.
+    fn admit(&mut self, frame: &Frame, cap: usize) -> Result<(), RejectReason> {
+        match frame {
+            Frame::Close { session } => {
+                self.live.remove(session);
+                Ok(())
+            }
+            Frame::Event { session, .. } | Frame::Stall { session } => {
+                if self.live.contains(session) {
+                    return Ok(());
+                }
+                if cap > 0 && self.live.len() >= cap {
+                    return Err(RejectReason::ResourceLimit);
+                }
+                self.live.insert(*session);
+                Ok(())
+            }
+        }
+    }
+}
 
 /// One side of a frame/reply conversation with a gateway.
 pub trait Conn {
@@ -120,12 +191,22 @@ pub struct TcpServer {
 }
 
 impl TcpServer {
-    /// Binds `addr` and serves `gateway` until [`TcpServer::stop`].
+    /// Binds `addr` and serves `gateway` with default [`ConnLimits`]
+    /// until [`TcpServer::stop`].
     ///
     /// Each accepted connection gets a reader thread; replies are
     /// written back by gateway workers through a shared write half, so
     /// a slow client never blocks the acceptor.
     pub fn bind<A: ToSocketAddrs>(gateway: Gateway, addr: A) -> io::Result<TcpServer> {
+        TcpServer::bind_with(gateway, addr, ConnLimits::default())
+    }
+
+    /// [`TcpServer::bind`] with explicit per-connection limits.
+    pub fn bind_with<A: ToSocketAddrs>(
+        gateway: Gateway,
+        addr: A,
+        limits: ConnLimits,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -140,7 +221,7 @@ impl TcpServer {
                         let stop = Arc::clone(&accept_stop);
                         gateway.runtime_stats().note_conn_open();
                         conns.push(std::thread::spawn(move || {
-                            let _ = serve_connection(&gateway, stream, &stop);
+                            let _ = serve_connection(&gateway, stream, &stop, limits);
                             gateway.runtime_stats().note_conn_close();
                         }));
                     }
@@ -190,18 +271,31 @@ impl Drop for TcpServer {
 /// it holds, so pipelined clients pay one read syscall — and one
 /// worker scheduling round per session — for a whole burst of frames.
 /// Partial frames stay buffered across reads; an EOF that strands one
-/// is reported as a torn stream, never silently dropped.
-fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) -> io::Result<()> {
+/// is reported as a torn stream, never silently dropped. Cuts that
+/// evict an abusive peer (garbage, torn stream, slow drip) are
+/// attributed in the gateway stats per [`ConnEvictReason`].
+fn serve_connection(
+    gateway: &Gateway,
+    stream: TcpStream,
+    stop: &AtomicBool,
+    limits: ConnLimits,
+) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let mut reader = stream;
     let mut frames = FrameBuffer::new();
+    let mut sessions = ConnSessions::default();
     let mut chunk = [0u8; 16 * 1024];
+    // First byte of an unfinished message, for the read deadline.
+    let mut mid_since: Option<Instant> = None;
     while !stop.load(Ordering::Acquire) {
         let got = match reader.read(&mut chunk) {
             Ok(0) => {
                 if frames.is_mid_message() {
+                    gateway
+                        .runtime_stats()
+                        .note_conn_evict(ConnEvictReason::Protocol);
                     return Err(frames.torn_error().into());
                 }
                 break; // clean EOF, between messages
@@ -212,7 +306,18 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) -> 
                     || e.kind() == io::ErrorKind::TimedOut
                     || e.kind() == io::ErrorKind::Interrupted =>
             {
-                continue
+                if let Some(since) = mid_since {
+                    if !limits.read_deadline.is_zero() && since.elapsed() >= limits.read_deadline {
+                        gateway
+                            .runtime_stats()
+                            .note_conn_evict(ConnEvictReason::SlowRead);
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "frame unfinished past the read deadline",
+                        ));
+                    }
+                }
+                continue;
             }
             Err(e) => return Err(e),
         };
@@ -220,6 +325,12 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) -> 
         loop {
             match frames.next_frame() {
                 Ok(Some(frame)) => {
+                    if let Err(reason) = sessions.admit(&frame, limits.max_sessions_per_conn) {
+                        let reply = gateway.transport_reject(frame.session(), reason);
+                        let mut w = writer.lock().unwrap();
+                        let _ = write_reply(&mut *w, &reply);
+                        continue;
+                    }
                     let writer = Arc::clone(&writer);
                     gateway.submit(
                         frame,
@@ -230,8 +341,21 @@ fn serve_connection(gateway: &Gateway, stream: TcpStream, stop: &AtomicBool) -> 
                     );
                 }
                 Ok(None) => break,
-                Err(e) => return Err(e.into()),
+                Err(e) => {
+                    gateway
+                        .runtime_stats()
+                        .note_conn_evict(ConnEvictReason::Protocol);
+                    return Err(e.into());
+                }
             }
+        }
+        // The deadline clock starts when a message is left unfinished
+        // and is *not* reset by later partial progress: a drip client
+        // feeding one byte per poll must still run out of road.
+        if frames.is_mid_message() {
+            mid_since.get_or_insert_with(Instant::now);
+        } else {
+            mid_since = None;
         }
     }
     Ok(())
@@ -245,6 +369,11 @@ const TOKEN_LISTENER: Token = Token(1);
 const TOKEN_CONN_BASE: usize = 2;
 /// Read chunk size per readiness wakeup.
 const READ_CHUNK: usize = 64 * 1024;
+
+/// How many `READ_CHUNK`-sized reads one readiness event may consume
+/// before the event loop takes back control to flush replies and serve
+/// other connections. See `read_conn` for why this bound must exist.
+const MAX_READS_PER_EVENT: usize = 4;
 /// Outbound bytes a connection may fall behind before it is dropped as
 /// a dead or stalled reader. Generous: a full per-session queue's worth
 /// of replies for thousands of sessions fits in a fraction of this.
@@ -258,11 +387,21 @@ pub struct ReactorConfig {
     /// guard DFA on small machines; more only help past several
     /// thousand *active* (not merely resident) connections.
     pub loops: usize,
+    /// Outbound bytes a connection may fall behind before it is cut as
+    /// a slow consumer ([`ConnEvictReason::SlowConsumer`]). Defaults to
+    /// [`OUTBUF_CAP`]; tests shrink it to force the eviction path.
+    pub outbuf_cap: usize,
+    /// Per-connection session cap and read deadline.
+    pub limits: ConnLimits,
 }
 
 impl Default for ReactorConfig {
     fn default() -> ReactorConfig {
-        ReactorConfig { loops: 2 }
+        ReactorConfig {
+            loops: 2,
+            outbuf_cap: OUTBUF_CAP,
+            limits: ConnLimits::default(),
+        }
     }
 }
 
@@ -315,6 +454,11 @@ struct ReactorConn {
     out: Arc<Mutex<OutBuf>>,
     /// Whether the registration currently includes `EPOLLOUT`.
     write_interest: bool,
+    /// Live sessions on this connection, for the per-connection cap.
+    sessions: ConnSessions,
+    /// First byte of an unfinished inbound message, for the read
+    /// deadline sweep.
+    mid_since: Option<Instant>,
 }
 
 /// A non-blocking TCP acceptor in front of a gateway: all connections
@@ -371,8 +515,17 @@ impl ReactorServer {
             };
             let peers: Vec<Arc<LoopShared>> = loops.clone();
             let next = Arc::clone(&next);
+            let cfg = cfg.clone();
             handles.push(std::thread::spawn(move || {
-                event_loop(&gateway, &poll, &shared, listener.as_ref(), &peers, &next);
+                event_loop(
+                    &gateway,
+                    &poll,
+                    &shared,
+                    listener.as_ref(),
+                    &peers,
+                    &next,
+                    &cfg,
+                );
             }));
         }
         Ok(ReactorServer {
@@ -415,11 +568,19 @@ fn event_loop(
     listener: Option<&TcpListener>,
     peers: &[Arc<LoopShared>],
     next: &AtomicUsize,
+    cfg: &ReactorConfig,
 ) {
     let mut events = Events::with_capacity(512);
     let mut conns: HashMap<usize, ReactorConn> = HashMap::new();
     let mut next_token = TOKEN_CONN_BASE;
     let mut chunk = vec![0u8; READ_CHUNK];
+    // Read-deadline sweep cadence: often enough to cut a dripper soon
+    // after its deadline, rarely enough to stay off the hot path even
+    // when readiness events keep the loop from ever hitting the poll
+    // timeout.
+    let deadline = cfg.limits.read_deadline;
+    let sweep_every = (deadline / 4).clamp(Duration::from_millis(25), Duration::from_secs(1));
+    let mut last_sweep = Instant::now();
     loop {
         // The timeout is a safety net for a lost wakeup; every real
         // transition arrives as a readiness event or a waker nudge.
@@ -445,10 +606,11 @@ fn event_loop(
                         Some(conn) => {
                             let mut keep = true;
                             if ev.is_writable() {
-                                keep = flush_conn(poll, Token(t), conn).is_ok();
+                                keep = flush_conn(gateway, poll, Token(t), conn, cfg.outbuf_cap)
+                                    .is_ok();
                             }
                             if keep && ev.is_readable() {
-                                keep = read_conn(gateway, shared, Token(t), conn, &mut chunk);
+                                keep = read_conn(gateway, shared, Token(t), conn, &mut chunk, cfg);
                             }
                             keep
                         }
@@ -485,9 +647,24 @@ fn event_loop(
         for t in dirty {
             let keep = match conns.get_mut(&t) {
                 None => continue,
-                Some(conn) => flush_conn(poll, Token(t), conn).is_ok(),
+                Some(conn) => flush_conn(gateway, poll, Token(t), conn, cfg.outbuf_cap).is_ok(),
             };
             if !keep {
+                drop_conn(gateway, poll, &mut conns, t);
+            }
+        }
+        // Read-deadline sweep: cut connections stuck mid-frame.
+        if !deadline.is_zero() && last_sweep.elapsed() >= sweep_every {
+            last_sweep = Instant::now();
+            let expired: Vec<usize> = conns
+                .iter()
+                .filter(|(_, c)| c.mid_since.is_some_and(|s| s.elapsed() >= deadline))
+                .map(|(&t, _)| t)
+                .collect();
+            for t in expired {
+                gateway
+                    .runtime_stats()
+                    .note_conn_evict(ConnEvictReason::SlowRead);
                 drop_conn(gateway, poll, &mut conns, t);
             }
         }
@@ -557,6 +734,8 @@ fn register_conn(
             frames: FrameBuffer::new(),
             out: Arc::new(Mutex::new(OutBuf::default())),
             write_interest: false,
+            sessions: ConnSessions::default(),
+            mid_since: None,
         },
     );
 }
@@ -570,18 +749,46 @@ fn read_conn(
     token: Token,
     conn: &mut ReactorConn,
     chunk: &mut [u8],
+    cfg: &ReactorConfig,
 ) -> bool {
+    // Bounded work per readiness event. A peer that writes continuously
+    // would otherwise keep this loop inside `read` forever — starving
+    // every other connection on the loop AND the flush pass that
+    // enforces `outbuf_cap`, so its reply backlog could grow without
+    // bound while it never reads. Registrations are level-triggered, so
+    // leftover bytes re-report on the next poll, after flushes ran.
+    let mut reads = 0usize;
     loop {
+        if reads == MAX_READS_PER_EVENT {
+            return true;
+        }
+        reads += 1;
         match conn.stream.read(chunk) {
             // EOF. A partial frame left in the buffer is a torn stream;
             // either way the connection is done (replies already in
             // flight for its frames go to the orphaned buffer).
-            Ok(0) => return false,
+            Ok(0) => {
+                if conn.frames.is_mid_message() {
+                    gateway
+                        .runtime_stats()
+                        .note_conn_evict(ConnEvictReason::Protocol);
+                }
+                return false;
+            }
             Ok(n) => {
                 conn.frames.extend(&chunk[..n]);
                 loop {
                     match conn.frames.next_frame() {
                         Ok(Some(frame)) => {
+                            if let Err(reason) = conn
+                                .sessions
+                                .admit(&frame, cfg.limits.max_sessions_per_conn)
+                            {
+                                let reply = gateway.transport_reject(frame.session(), reason);
+                                encode_reply(&reply, &mut conn.out.lock().unwrap().buf);
+                                shared.request_flush(token.0);
+                                continue;
+                            }
                             let out = Arc::clone(&conn.out);
                             let shared = Arc::clone(shared);
                             gateway.submit(
@@ -595,8 +802,23 @@ fn read_conn(
                         Ok(None) => break,
                         // Adversarial or corrupt input: cut the
                         // connection, exactly like the blocking server.
-                        Err(_) => return false,
+                        Err(_) => {
+                            gateway
+                                .runtime_stats()
+                                .note_conn_evict(ConnEvictReason::Protocol);
+                            return false;
+                        }
                     }
+                }
+                // Track when the tail of an unfinished frame first
+                // appeared; the event loop's sweep cuts the connection
+                // if it lingers past the read deadline. Partial
+                // progress does not reset the clock — that would let a
+                // dripper stay alive one byte at a time.
+                if conn.frames.is_mid_message() {
+                    conn.mid_since.get_or_insert_with(Instant::now);
+                } else {
+                    conn.mid_since = None;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
@@ -608,8 +830,15 @@ fn read_conn(
 
 /// Writes as much buffered output as the socket takes. Registers
 /// `EPOLLOUT` interest while bytes remain, drops it once drained, and
-/// errors the connection away when the backlog exceeds [`OUTBUF_CAP`].
-fn flush_conn(poll: &Poll, token: Token, conn: &mut ReactorConn) -> io::Result<()> {
+/// evicts the connection as a counted slow consumer when the backlog
+/// exceeds `outbuf_cap`.
+fn flush_conn(
+    gateway: &Gateway,
+    poll: &Poll,
+    token: Token,
+    conn: &mut ReactorConn,
+    outbuf_cap: usize,
+) -> io::Result<()> {
     let mut out = conn.out.lock().unwrap();
     while out.pending() > 0 {
         let start = out.start;
@@ -629,7 +858,10 @@ fn flush_conn(poll: &Poll, token: Token, conn: &mut ReactorConn) -> io::Result<(
             conn.write_interest = false;
         }
     } else {
-        if out.pending() > OUTBUF_CAP {
+        if out.pending() > outbuf_cap {
+            gateway
+                .runtime_stats()
+                .note_conn_evict(ConnEvictReason::SlowConsumer);
             return Err(io::Error::other(
                 "reactor connection outbound backlog over cap",
             ));
@@ -924,8 +1156,15 @@ mod tests {
     #[test]
     fn reactor_multiplexes_sessions_over_one_connection() {
         let gw = relay_gateway();
-        let mut server =
-            ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig { loops: 1 }).unwrap();
+        let mut server = ReactorServer::bind(
+            gw.clone(),
+            "127.0.0.1:0",
+            ReactorConfig {
+                loops: 1,
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
         let addr = server.local_addr();
         let codec = gw.codec().clone();
         let acc = EventId::new("acc");
@@ -972,8 +1211,15 @@ mod tests {
     #[test]
     fn reactor_drops_corrupt_connections_and_survives() {
         let gw = relay_gateway();
-        let mut server =
-            ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig { loops: 1 }).unwrap();
+        let mut server = ReactorServer::bind(
+            gw.clone(),
+            "127.0.0.1:0",
+            ReactorConfig {
+                loops: 1,
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
         let addr = server.local_addr();
 
         // A client that speaks garbage: oversized length prefix.
@@ -1004,8 +1250,15 @@ mod tests {
     #[test]
     fn reactor_survives_torn_streams() {
         let gw = relay_gateway();
-        let mut server =
-            ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig { loops: 1 }).unwrap();
+        let mut server = ReactorServer::bind(
+            gw.clone(),
+            "127.0.0.1:0",
+            ReactorConfig {
+                loops: 1,
+                ..ReactorConfig::default()
+            },
+        )
+        .unwrap();
         let addr = server.local_addr();
         let codec = gw.codec().clone();
 

@@ -1,0 +1,353 @@
+//! Adversarial wire robustness, pinned end to end.
+//!
+//! Four properties, all over real sockets:
+//!
+//! 1. **Torn/garbage bytes at every offset through the reactor** — the
+//!    blocking `read_frame` path already has per-offset coverage; here
+//!    the same hostile prefixes go through the epoll reactor, which
+//!    must cut every damaged connection (counted as a `protocol`
+//!    eviction) and keep serving honest ones.
+//! 2. **Session floods evict, never stall** — the same lockstep flood
+//!    against 1-worker and 8-worker gateways must be answered in full
+//!    (no stall) and produce *identical* deterministic stats: the
+//!    reject histogram, session counts, and eviction taxonomy cannot
+//!    depend on worker scheduling.
+//! 3. **Slow consumers are counted evictions** — a client that writes
+//!    frames but never reads replies must be dropped once the reactor's
+//!    outbound buffer cap is hit, and the drop must be visible in
+//!    `RuntimeStats` as a `slow_consumer` eviction (the regression for
+//!    the formerly silent 4 MiB-cap drop).
+//! 4. **The adversarial campaign is transport-invariant** — the full
+//!    `drive --adversarial` battery against identically configured
+//!    blocking and reactor servers must produce byte-identical report
+//!    JSON, with every attack neutralized.
+
+use protoquot_core::solve;
+use protoquot_protocols::{colocated_configuration, exactly_once};
+use protoquot_runtime::{
+    adversarial, AdversarialConfig, Conn, ConnLimits, Frame, Gateway, GatewayConfig, ReactorConfig,
+    ReactorServer, StatsSnapshot, TcpConn, TcpServer,
+};
+use protoquot_spec::Spec;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+fn derived_system() -> (Vec<Spec>, Spec) {
+    let system = colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&system.b, &service, &system.int).expect("colocated converter derives");
+    (vec![system.b, q.converter], service)
+}
+
+fn gateway(components: &[Spec], service: &Spec, cfg: GatewayConfig) -> Gateway {
+    let parts: Vec<&Spec> = components.iter().collect();
+    Gateway::new(&parts, service, cfg).expect("gateway must compile the system")
+}
+
+/// Polls `gw` stats until `pred` holds or the deadline passes.
+fn wait_for(gw: &Gateway, deadline: Duration, pred: impl Fn(&StatsSnapshot) -> bool) -> bool {
+    let until = Instant::now() + deadline;
+    while Instant::now() < until {
+        if pred(&gw.stats()) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+fn evictions(snap: &StatsSnapshot, reason: &str) -> u64 {
+    snap.conn_evictions
+        .iter()
+        .find(|(r, _)| *r == reason)
+        .map(|(_, n)| *n)
+        .expect("eviction taxonomy covers every reason")
+}
+
+/// Hostile prefixes at every offset through the reactor: a valid
+/// three-frame stream torn at byte `k`, and the same stream with a
+/// corrupting 0xFF spliced in at byte `k`. Every damaged connection is
+/// cut (or, for tears at message boundaries, served cleanly); the
+/// server answers an honest connection afterwards.
+#[test]
+fn reactor_survives_torn_and_garbage_bytes_at_every_offset() {
+    let (components, service) = derived_system();
+    let gw = gateway(&components, &service, GatewayConfig::default());
+    let mut server = ReactorServer::bind(
+        gw.clone(),
+        "127.0.0.1:0",
+        ReactorConfig {
+            loops: 1,
+            ..ReactorConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // A valid wire stream: Event, Stall, Close on one session.
+    let mut stream_bytes = Vec::new();
+    for frame in [
+        Frame::Event {
+            session: 9,
+            event: 0,
+        },
+        Frame::Stall { session: 9 },
+        Frame::Close { session: 9 },
+    ] {
+        protoquot_runtime::codec::encode_frame(&frame, &mut stream_bytes);
+    }
+
+    // Torn at every offset: send a strict prefix, then EOF.
+    for k in 0..stream_bytes.len() {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(&stream_bytes[..k]).expect("prefix write");
+        conn.shutdown(Shutdown::Write).expect("half-close");
+        // Drain whatever replies the complete frames earned; the
+        // server must close the connection promptly either way.
+        let mut sink = Vec::new();
+        conn.read_to_end(&mut sink)
+            .expect("server must close a torn connection, not stall it");
+    }
+
+    // Garbage at every offset: valid bytes up to `k`, then 0xFF as a
+    // wrecked length prefix once the next message starts.
+    for k in 0..stream_bytes.len() {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Enough 0xFF to both complete any partially sent payload
+        // (≤ 14 bytes outstanding) and still leave a wrecked length
+        // prefix for the message after it.
+        let mut bytes = stream_bytes[..k].to_vec();
+        bytes.extend_from_slice(&[0xFF; 24]);
+        conn.write_all(&bytes).expect("garbage write");
+        let mut sink = Vec::new();
+        conn.read_to_end(&mut sink)
+            .expect("server must cut a garbage connection, not stall it");
+    }
+
+    // Damage was counted: every mid-message tear and every corrupt
+    // length prefix is a protocol eviction. (Tears at message
+    // boundaries are clean closes, not evictions.)
+    let snap = gw.stats();
+    assert!(
+        evictions(&snap, "protocol") > 0,
+        "protocol damage left no eviction trace: {snap}"
+    );
+
+    // An honest client is still served.
+    let mut honest = TcpConn::connect(addr).expect("connect after the abuse");
+    let reply = honest
+        .call(&Frame::Event {
+            session: 777,
+            event: 0,
+        })
+        .expect("honest call after the abuse");
+    assert_eq!(reply.session(), 777);
+    server.stop();
+}
+
+/// The deterministic fields of a snapshot, serialized for equality:
+/// everything scheduling-independent that a lockstep campaign pins.
+fn deterministic_stats(snap: &StatsSnapshot) -> String {
+    format!(
+        "opened={} closed={} expelled={} rejects={:?} evictions={:?} accepted={} frames={}",
+        snap.sessions_opened,
+        snap.sessions_closed,
+        snap.sessions_expelled,
+        snap.rejects,
+        snap.conn_evictions,
+        snap.accepted,
+        snap.frames,
+    )
+}
+
+/// A session flood over one connection against a capped server:
+/// everything past the cap bounces with `resource_limit`, every frame
+/// is answered (no stall), and the resulting stats are identical at 1
+/// and 8 gateway workers.
+#[test]
+fn session_flood_is_evicted_not_stalled_at_any_worker_count() {
+    let (components, service) = derived_system();
+    let mut stats = Vec::new();
+    for workers in [1usize, 8] {
+        let gw = gateway(
+            &components,
+            &service,
+            GatewayConfig {
+                workers,
+                ..GatewayConfig::default()
+            },
+        );
+        let mut server = ReactorServer::bind(
+            gw.clone(),
+            "127.0.0.1:0",
+            ReactorConfig {
+                loops: 2,
+                limits: ConnLimits {
+                    max_sessions_per_conn: 8,
+                    ..ConnLimits::default()
+                },
+                ..ReactorConfig::default()
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        let mut conn = TcpConn::connect(addr).expect("connect");
+        // 64 fresh sessions on one connection, lockstep. The first 8
+        // are admitted; 56 bounce at the transport with
+        // `resource_limit` before ever touching the gateway table.
+        for s in 0..64u64 {
+            let reply = conn
+                .call(&Frame::Event {
+                    session: s,
+                    event: 0,
+                })
+                .expect("flood frame must be answered, not stalled");
+            assert_eq!(reply.session(), s, "reply misattributed");
+        }
+        // Close the admitted ones so the accounting is settled.
+        for s in 0..64u64 {
+            conn.call(&Frame::Close { session: s })
+                .expect("close must be answered");
+        }
+        server.stop();
+        stats.push(deterministic_stats(&gw.stats()));
+    }
+    assert_eq!(
+        stats[0], stats[1],
+        "flood accounting depends on worker count"
+    );
+    assert!(
+        stats[0].contains("(\"resource_limit\", 56)"),
+        "cap overflow must bounce with resource_limit: {}",
+        stats[0]
+    );
+}
+
+/// A client that writes frames and never reads replies must be dropped
+/// once the reactor's outbound cap is exceeded — and the drop is a
+/// counted `slow_consumer` eviction, not a silent disappearance.
+#[test]
+fn slow_consumer_is_a_counted_eviction() {
+    let (components, service) = derived_system();
+    let gw = gateway(&components, &service, GatewayConfig::default());
+    let mut server = ReactorServer::bind(
+        gw.clone(),
+        "127.0.0.1:0",
+        ReactorConfig {
+            loops: 1,
+            // Tiny cap so the kernel's socket buffers are the only
+            // slack a non-reading client gets.
+            outbuf_cap: 4 << 10,
+            ..ReactorConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    // Pin the client's kernel receive buffer tiny. An explicit size
+    // switches off receive autotuning, so the kernel cannot quietly
+    // absorb tens of megabytes of replies on behalf of a client that
+    // never reads — the reactor's own cap becomes the binding limit.
+    reactor::set_recv_buffer(conn.as_raw_fd(), 4096).expect("clamp client rcvbuf");
+    let mut chunk = Vec::new();
+    for i in 0..4096u64 {
+        protoquot_runtime::codec::encode_frame(
+            &Frame::Event {
+                session: i % 4,
+                event: 0,
+            },
+            &mut chunk,
+        );
+    }
+    // Keep pouring frames without ever reading replies. The kernel's
+    // socket buffers (bounded by rmem_max + wmem_max) absorb replies
+    // for a while; once they are full the reactor's 4 KiB cap trips
+    // and the server cuts us — a failed write IS the eviction landing.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        if conn.write_all(&chunk).is_err() {
+            break;
+        }
+        if evictions(&gw.stats(), "slow_consumer") > 0 {
+            break;
+        }
+    }
+    // The counter is bumped before the drop, so it is visible at the
+    // latest shortly after the write side starts failing.
+    let evicted = wait_for(&gw, Duration::from_secs(5), |snap| {
+        evictions(snap, "slow_consumer") > 0
+    });
+    let snap = gw.stats();
+    assert!(
+        evicted,
+        "non-reading client was never evicted as a slow consumer: {snap}"
+    );
+    drop(conn);
+    // The pool is not wedged: an honest client still gets answers.
+    let mut honest = TcpConn::connect(addr).expect("connect after eviction");
+    let reply = honest
+        .call(&Frame::Event {
+            session: 999_999,
+            event: 0,
+        })
+        .expect("honest call after slow-consumer eviction");
+    assert_eq!(reply.session(), 999_999);
+    server.stop();
+}
+
+/// The full adversarial battery produces byte-identical JSON against
+/// identically configured blocking and reactor servers, with every
+/// attack neutralized.
+#[test]
+fn adversarial_report_is_transport_invariant() {
+    let (components, service) = derived_system();
+    let limits = ConnLimits {
+        max_sessions_per_conn: 16,
+        read_deadline: Duration::from_millis(100),
+    };
+    let cfg = AdversarialConfig {
+        frames_per_attack: 32,
+        churn_conns: 8,
+        drip_hold: Duration::from_millis(600),
+        ..AdversarialConfig::default()
+    };
+
+    let gw = gateway(&components, &service, GatewayConfig::default());
+    let mut blocking = TcpServer::bind_with(gw.clone(), "127.0.0.1:0", limits).expect("bind");
+    let blocking_report =
+        adversarial(blocking.local_addr(), &cfg).expect("campaign over blocking transport");
+    blocking.stop();
+
+    let gw = gateway(&components, &service, GatewayConfig::default());
+    let mut reactor = ReactorServer::bind(
+        gw.clone(),
+        "127.0.0.1:0",
+        ReactorConfig {
+            loops: 2,
+            limits,
+            ..ReactorConfig::default()
+        },
+    )
+    .expect("bind");
+    let reactor_report =
+        adversarial(reactor.local_addr(), &cfg).expect("campaign over reactor transport");
+    reactor.stop();
+
+    assert!(
+        blocking_report.is_contained(),
+        "blocking transport failed to contain the battery:\n{blocking_report}"
+    );
+    assert!(
+        reactor_report.is_contained(),
+        "reactor transport failed to contain the battery:\n{reactor_report}"
+    );
+    assert_eq!(
+        blocking_report.to_json(),
+        reactor_report.to_json(),
+        "adversarial report depends on the transport:\nblocking: {blocking_report}\nreactor: {reactor_report}"
+    );
+}

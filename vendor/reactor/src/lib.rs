@@ -63,11 +63,15 @@ struct EpollEvent {
     data: u64,
 }
 
+const SOL_SOCKET: i32 = 1;
+const SO_RCVBUF: i32 = 8;
+
 extern "C" {
     fn epoll_create1(flags: i32) -> i32;
     fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
     fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
     fn close(fd: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const u8, optlen: u32) -> i32;
 }
 
 fn check(ret: i32) -> io::Result<i32> {
@@ -76,6 +80,27 @@ fn check(ret: i32) -> io::Result<i32> {
     } else {
         Ok(ret)
     }
+}
+
+/// Pins a socket's kernel receive buffer to `bytes` (the kernel doubles
+/// the value for bookkeeping and enforces its floor). Setting the size
+/// explicitly also switches off receive-buffer autotuning for the
+/// socket, which is the property deterministic backpressure tests rely
+/// on: a peer that never reads then absorbs a bounded amount instead of
+/// letting the kernel grow its window indefinitely.
+pub fn set_recv_buffer(fd: RawFd, bytes: i32) -> io::Result<()> {
+    // SAFETY: `fd` is a caller-owned open socket; the option value is a
+    // plain `i32` read by the kernel within `optlen` bytes.
+    check(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&bytes as *const i32).cast(),
+            std::mem::size_of::<i32>() as u32,
+        )
+    })
+    .map(|_| ())
 }
 
 /// Caller-chosen identifier attached to a registration and echoed back on
