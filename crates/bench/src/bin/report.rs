@@ -187,22 +187,32 @@ fn pump_throughput_on(
     (total as f64 / secs, total)
 }
 
-/// EXP-R3 pump over a live reactor server on loopback TCP: `clients`
-/// threads each multiplex `sessions_per_client` concurrent sessions
-/// over **one** socket, pushing a sampled accepted trace through every
-/// session in batched rounds (one frame per session per round, replies
-/// drained before the next round — so per-session wire order is
-/// program order). Returns `(accepted events/sec, frames pumped)`.
+/// EXP-R3/R5 pump over a live reactor server on loopback TCP:
+/// `clients` threads each multiplex `sessions_per_client` concurrent
+/// sessions over **one** socket, pushing a sampled accepted trace
+/// through every session in batched rounds (one frame per session per
+/// round, replies drained before the next round — so per-session wire
+/// order is program order). `batching: false` drops the server to the
+/// per-frame dispatch path (the EXP-R5 before/after axis). Returns
+/// `(accepted events/sec, frames pumped)`.
 fn reactor_pump_throughput(
     clients: usize,
     sessions_per_client: u64,
     trace_len: usize,
+    batching: bool,
 ) -> (f64, u64) {
     let cfg = protoquot_protocols::colocated_configuration();
     let service = exactly_once();
     let q = solve(&cfg.b, &service, &cfg.int).expect("Fig. 14 converter exists");
-    let gw = Gateway::new(&[&cfg.b, &q.converter], &service, GatewayConfig::default())
-        .expect("gateway must compile the system");
+    let gw = Gateway::new(
+        &[&cfg.b, &q.converter],
+        &service,
+        GatewayConfig {
+            batching,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway must compile the system");
     let trace = gw.program().sample_accepted(trace_len);
     assert!(!trace.is_empty(), "colocated system must relay events");
     let mut server = ReactorServer::bind(gw.clone(), "127.0.0.1:0", ReactorConfig::default())
@@ -404,9 +414,10 @@ fn quick_smoke() -> i32 {
         .map(|_| pump_throughput(1, false, 8, 2_048).0)
         .fold(0.0f64, f64::max);
     // Best-of-2 reactor pump (EXP-R3 workload, scaled down for CI): 256
-    // sessions multiplexed over one real loopback socket.
+    // sessions multiplexed over one real loopback socket, batched
+    // dispatch on (the production default).
     let reactor_events_per_sec = (0..2)
-        .map(|_| reactor_pump_throughput(1, 256, 256).0)
+        .map(|_| reactor_pump_throughput(1, 256, 256, true).0)
         .fold(0.0f64, f64::max);
     let guard_build_ms = guard_build_time();
     let json = format!(
@@ -1111,6 +1122,37 @@ fn main() {
                     "blocking", "-", "-", "(thread-per-conn)"
                 );
             }
+        }
+    }
+
+    println!("\n== EXP-R5: batched dispatch — reactor pump, batched vs per-frame ==");
+    {
+        // The same reactor mux pump with the gateway's batched hot
+        // path switched off: every readiness chunk is then dispatched
+        // one frame at a time through `Gateway::call` with a boxed
+        // responder and a waker round-trip per reply, exactly the
+        // pre-batching runtime. The before/after ratio is the price
+        // of per-frame dispatch the batch path eliminates — one shard
+        // lookup, one session lock, one contiguous guard-DFA run per
+        // session per readiness batch, replies coalesced into a
+        // single buffered write.
+        println!(
+            "{:>10} {:>10} {:>12} {:>14} {:>14} {:>10}",
+            "clients", "sessions", "frames", "per-frame/s", "batched/s", "speedup"
+        );
+        for &(clients, sessions) in &[(1usize, 256u64), (1, 1_024), (2, 512)] {
+            let best = |batching: bool| {
+                (0..2)
+                    .map(|_| reactor_pump_throughput(clients, sessions, 256, batching))
+                    .fold((0.0f64, 0u64), |acc, r| (acc.0.max(r.0), r.1))
+            };
+            let (per_frame, frames) = best(false);
+            let (batched, _) = best(true);
+            println!(
+                "{clients:>10} {sessions:>10} {frames:>12} {per_frame:>14.0} \
+                 {batched:>14.0} {:>9.2}x",
+                batched / per_frame
+            );
         }
     }
 

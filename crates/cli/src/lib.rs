@@ -109,13 +109,14 @@ usage:
   protoquot serve (FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K])
             [--addr HOST:PORT] [--transport blocking|reactor] [--loops N]
             [--threads N] [--duration SECS] [--stats] [--frame-budget N]
-            [--max-sessions-per-conn N] [--read-deadline SECS]
+            [--max-sessions-per-conn N] [--read-deadline SECS] [--no-batch]
   protoquot drive (FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K])
             (--connect HOST:PORT | --loopback) [--runs N] [--threads T] [--steps N]
-            [--sessions-per-conn N] [--faults loss,dup,reorder,burst] [--seed S]
-            [--duration SECS] [--expect-clean] [--adversarial] [--json]
+            [--sessions-per-conn N] [--pipeline N] [--faults loss,dup,reorder,burst]
+            [--seed S] [--duration SECS] [--expect-clean] [--adversarial] [--json]
+            [--no-batch]
   protoquot fuzz [FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K]]
-            [--target codec|guard|gateway|all] [--seed S] [--iters N] [--max-len N]
+            [--target codec|guard|gateway|batch|all] [--seed S] [--iters N] [--max-len N]
             [--no-shrink] [--json]
 
 FILE contains specifications in the textual language, e.g.:
@@ -191,6 +192,7 @@ const VALUED: &[&str] = &[
     "--target",
     "--iters",
     "--max-len",
+    "--pipeline",
 ];
 
 fn parse_args(rest: &[String]) -> Result<Parsed, CliError> {
@@ -912,7 +914,7 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
          --builtin colocated|symmetric|ab-nak [--mutate K]) [--addr HOST:PORT] \
          [--transport blocking|reactor] [--loops N] [--threads N] \
          [--duration SECS] [--stats] [--frame-budget N] \
-         [--max-sessions-per-conn N] [--read-deadline SECS]",
+         [--max-sessions-per-conn N] [--read-deadline SECS] [--no-batch]",
     )?;
     let workers: usize = match p.value("--threads") {
         Some(v) => v
@@ -953,6 +955,9 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
     let cfg = GatewayConfig {
         workers,
         session_frame_budget: frame_budget,
+        // `--no-batch` drops every transport back to the per-frame
+        // dispatch path — the differential oracle for the batched one.
+        batching: !p.has("--no-batch"),
         ..GatewayConfig::default()
     };
     let gw = Gateway::new(&parts, &service, cfg).map_err(|e| CliError(e.to_string()))?;
@@ -1049,8 +1054,8 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
         "usage: protoquot drive (FILE --service SPEC --components S1,S2,... | \
          --builtin colocated|symmetric|ab-nak [--mutate K]) (--connect HOST:PORT | \
          --loopback) [--runs N] [--threads T] [--steps N] [--sessions-per-conn N] \
-         [--faults loss,dup,reorder,burst] [--seed S] [--duration SECS] \
-         [--expect-clean] [--adversarial] [--json]",
+         [--pipeline N] [--faults loss,dup,reorder,burst] [--seed S] [--duration SECS] \
+         [--expect-clean] [--adversarial] [--json] [--no-batch]",
     )?;
     let parse_num = |flag: &str, default: u64| -> Result<u64, CliError> {
         match p.value(flag) {
@@ -1062,6 +1067,10 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
     };
     let faults = FaultPlan::parse(p.value("--faults").unwrap_or(""))
         .map_err(|e| CliError(format!("--faults: {e}")))?;
+    let pipeline = parse_num("--pipeline", 1)?;
+    if !(1..=64).contains(&pipeline) {
+        return err("--pipeline must be between 1 and 64");
+    }
     let cfg = DriveConfig {
         runs: parse_num("--runs", 100)?,
         threads: parse_num("--threads", 1)? as usize,
@@ -1070,12 +1079,14 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
         faults,
         duration: parse_duration(&p)?,
         sessions_per_conn: parse_num("--sessions-per-conn", 1)?,
+        pipeline,
         ..DriveConfig::default()
     };
     // `--sessions-per-conn` selects the multiplexed campaign: the same
     // per-session state machines, batched over one connection per
-    // thread instead of one blocking call per frame.
-    let mux = p.value("--sessions-per-conn").is_some();
+    // thread instead of one blocking call per frame. `--pipeline` is a
+    // property of that campaign, so it selects it too.
+    let mux = p.value("--sessions-per-conn").is_some() || p.value("--pipeline").is_some();
     let report = match (p.value("--connect"), p.has("--loopback")) {
         (Some(addr), false) => {
             let addr = addr.to_string();
@@ -1093,6 +1104,7 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
             let parts: Vec<&Spec> = components.iter().collect();
             let gw_cfg = GatewayConfig {
                 workers: cfg.threads.max(1),
+                batching: !p.has("--no-batch"),
                 ..GatewayConfig::default()
             };
             let gw = Gateway::new(&parts, &service, gw_cfg).map_err(|e| CliError(e.to_string()))?;
@@ -1137,9 +1149,9 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
 }
 
 /// `protoquot fuzz`: the deterministic fuzz engine over the codec,
-/// guard, and gateway targets. Without a FILE or `--builtin` the
-/// colocated paper system is fuzzed (the targets need *a* compiled
-/// system; hostile inputs do not care which).
+/// guard, gateway, and batch-dispatch targets. Without a FILE or
+/// `--builtin` the colocated paper system is fuzzed (the targets need
+/// *a* compiled system; hostile inputs do not care which).
 fn cmd_fuzz(rest: &[String]) -> Result<String, CliError> {
     let p = parse_args(rest)?;
     let (components, service) = if p.value("--builtin").is_none() && p.positional.is_empty() {
@@ -1149,7 +1161,7 @@ fn cmd_fuzz(rest: &[String]) -> Result<String, CliError> {
             &p,
             "usage: protoquot fuzz [FILE --service SPEC --components S1,S2,... | \
                  --builtin colocated|symmetric|ab-nak [--mutate K]] \
-                 [--target codec|guard|gateway|all] [--seed S] [--iters N] \
+                 [--target codec|guard|gateway|batch|all] [--seed S] [--iters N] \
                  [--max-len N] [--no-shrink] [--json]",
         )?
     };
@@ -1178,7 +1190,7 @@ fn cmd_fuzz(rest: &[String]) -> Result<String, CliError> {
         "all" => FuzzTarget::ALL.to_vec(),
         name => match FuzzTarget::parse(name) {
             Some(t) => vec![t],
-            None => return err("--target must be codec, guard, gateway, or all"),
+            None => return err("--target must be codec, guard, gateway, batch, or all"),
         },
     };
     let parts: Vec<&Spec> = components.iter().collect();
@@ -1664,6 +1676,68 @@ mod tests {
             }
         }
         panic!("no mutation index was convicted by the driven gateway");
+    }
+
+    #[test]
+    fn drive_pipeline_and_batching_flags_do_not_change_the_report() {
+        // One clean multiplexed campaign, then the same seed with the
+        // batched dispatch disabled and with a pipeline window: the
+        // reports must be byte-identical (the flags change the hot
+        // path, never the outcome).
+        let base = &[
+            "drive",
+            "--builtin",
+            "colocated",
+            "--loopback",
+            "--runs",
+            "8",
+            "--steps",
+            "200",
+            "--sessions-per-conn",
+            "4",
+            "--expect-clean",
+            "--json",
+        ];
+        let batched = run_ok(base);
+        let mut no_batch = base.to_vec();
+        no_batch.push("--no-batch");
+        assert_eq!(batched, run_ok(&no_batch), "--no-batch changed the report");
+        let mut piped = base.to_vec();
+        piped.extend(["--pipeline", "8"]);
+        assert_eq!(batched, run_ok(&piped), "--pipeline changed the report");
+    }
+
+    #[test]
+    fn drive_pipeline_selects_mux_and_validates_depth() {
+        // --pipeline alone selects the multiplexed campaign (no
+        // --sessions-per-conn needed) and rejects absurd depths.
+        let out = run_ok(&[
+            "drive",
+            "--builtin",
+            "colocated",
+            "--loopback",
+            "--runs",
+            "4",
+            "--steps",
+            "200",
+            "--pipeline",
+            "4",
+            "--expect-clean",
+        ]);
+        assert!(out.contains("runs 4"), "{out}");
+        let args: Vec<String> = [
+            "drive",
+            "--builtin",
+            "colocated",
+            "--loopback",
+            "--pipeline",
+            "0",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let e = run(&args).unwrap_err();
+        assert!(e.to_string().contains("--pipeline must be"), "{e}");
     }
 
     #[test]

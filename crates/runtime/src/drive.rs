@@ -23,12 +23,16 @@
 //!   tasks by the session id in their headers.
 //!
 //! Because the two paths share the per-session state machine verbatim
-//! and each task keeps exactly one frame outstanding (so per-session
-//! wire order is program order and the gateway's bounded queues never
-//! push back), a mux campaign produces the *same* report as a lockstep
-//! campaign over the same config — transports and concurrency change
-//! the schedule of bytes, not the verdicts. `tests/reactor_transport.rs`
-//! pins this byte-for-byte across transports.
+//! and each task keeps exactly one frame outstanding by default (so
+//! per-session wire order is program order and the gateway's bounded
+//! queues never push back), a mux campaign produces the *same* report
+//! as a lockstep campaign over the same config — transports and
+//! concurrency change the schedule of bytes, not the verdicts.
+//! `tests/reactor_transport.rs` pins this byte-for-byte across
+//! transports. [`DriveConfig::pipeline`] deepens the per-session
+//! window (speculative accepts, see `PipelinedTask`) so the load
+//! generator can saturate a batching server; reports stay
+//! deterministic at any depth.
 //!
 //! When the local watchdog sees a deadlock or livelock, the client
 //! *attests* a stall ([`crate::codec::Frame::Stall`]); the gateway
@@ -73,6 +77,18 @@ pub struct DriveConfig {
     /// [`drive_mux`] campaigns (total concurrency = `threads` × this).
     /// Ignored by the lockstep [`drive`] path.
     pub sessions_per_conn: u64,
+    /// Outstanding frames each multiplexed session keeps in flight
+    /// (clamped to at least 1; ignored by the lockstep [`drive`]
+    /// path). Above 1 the driver *speculates*: it consumes an
+    /// optimistic `Accepted` for each unanswered event frame and keeps
+    /// sending, rolling the accounting back if the real reply turns
+    /// out to be a rejection. Reports stay deterministic and
+    /// thread/carrier-invariant at any depth, and runs that are never
+    /// rejected (a clean converter) report identically to depth 1;
+    /// rejected runs may legitimately count extra `frames_sent` for
+    /// the frames that were already on the wire when the rejection
+    /// landed.
+    pub pipeline: u64,
 }
 
 impl Default for DriveConfig {
@@ -87,6 +103,7 @@ impl Default for DriveConfig {
             probe_budget: 20_000,
             duration: None,
             sessions_per_conn: 1,
+            pipeline: 1,
         }
     }
 }
@@ -554,6 +571,143 @@ impl<'a> SessionTask<'a> {
     }
 }
 
+/// A [`SessionTask`] with up to [`DriveConfig::pipeline`] frames in
+/// flight at once, used by [`drive_mux`] to saturate a batching
+/// server.
+///
+/// The underlying state machine consumes exactly one reply per frame,
+/// so pipelining works by *speculation*: while the next frame to send
+/// would be an event, the wrapper feeds the task an optimistic
+/// `Accepted` and queues the next frame immediately, counting how many
+/// optimistic replies are unconfirmed. Real replies arrive in
+/// per-session order, so each `Accepted` confirms the oldest
+/// speculation. A real rejection means the run actually ended at that
+/// frame: the wrapper rolls back the unconfirmed accepts, records the
+/// rejection, seals the session with a `Close`, and discards the
+/// replies of the frames that were already on the wire. Stall
+/// attestations and closes are never speculated past — their replies
+/// change control flow — so a parked task drains its window first.
+///
+/// Everything here is a deterministic function of the reply sequence,
+/// which is itself deterministic per session, so campaign reports stay
+/// thread- and carrier-invariant at any depth; at depth 1 no
+/// speculation ever happens and the behavior is exactly the classic
+/// one-outstanding-frame loop.
+struct PipelinedTask<'a> {
+    task: SessionTask<'a>,
+    /// Frame window (≥ 1).
+    depth: u64,
+    /// Frames on the wire without a real reply yet.
+    in_flight: u64,
+    /// Optimistic `Accepted`s consumed but not yet confirmed.
+    speculated: u64,
+    /// A rejection landed mid-window: the run is over, remaining
+    /// in-flight replies (including the sealing `Close`) are drained
+    /// and discarded.
+    draining: bool,
+}
+
+impl<'a> PipelinedTask<'a> {
+    fn new(task: SessionTask<'a>, depth: u64) -> PipelinedTask<'a> {
+        PipelinedTask {
+            task,
+            depth: depth.max(1),
+            in_flight: 0,
+            speculated: 0,
+            draining: false,
+        }
+    }
+
+    /// Tops the window up: queues frames until the depth is reached,
+    /// the task parks on a reply it cannot speculate past (stall or
+    /// close), or the run ends.
+    fn fill(&mut self, conn: &mut dyn MuxTransport) -> io::Result<()> {
+        while !self.draining && !self.task.done && self.in_flight < self.depth {
+            let frame =
+                if self.in_flight == 0 && self.speculated == 0 && self.task.pending.is_none() {
+                    self.task.advance(None)
+                } else if matches!(self.task.pending, Some(Pending::Event)) {
+                    self.speculated += 1;
+                    self.task.advance(Some(Reply::Accepted {
+                        session: self.task.session,
+                    }))
+                } else {
+                    // Parked on a stall or close reply, or waiting for the
+                    // window's tail reply at depth 1.
+                    return Ok(());
+                };
+            match frame {
+                Some(frame) => {
+                    conn.queue(&frame)?;
+                    self.in_flight += 1;
+                }
+                None => return Ok(()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Consumes one real reply (always for the oldest in-flight frame:
+    /// per-session reply order is wire order) and refills the window.
+    fn on_reply(&mut self, reply: Reply, conn: &mut dyn MuxTransport) -> io::Result<()> {
+        self.in_flight -= 1;
+        if self.draining {
+            return Ok(());
+        }
+        if self.speculated > 0 {
+            // The oldest in-flight frame was an event we already
+            // answered optimistically.
+            match reply {
+                Reply::Accepted { .. } => self.speculated -= 1,
+                Reply::Rejected { reason, .. } => {
+                    // Speculation was wrong: the run ended here. Roll
+                    // back the unconfirmed accepts, record the verdict
+                    // with the step count as of now, and seal the
+                    // session the way `finish` would.
+                    self.task.out.accepted -= self.speculated;
+                    self.speculated = 0;
+                    self.task.record_reject(reason);
+                    self.task.out.steps = self.task.runner.steps();
+                    self.task.pending = None;
+                    self.task.tail_action = None;
+                    self.draining = true;
+                    conn.queue(&Frame::Close {
+                        session: self.task.session,
+                    })?;
+                    self.in_flight += 1;
+                    return Ok(());
+                }
+            }
+        } else if let Some(frame) = self.task.advance(Some(reply)) {
+            conn.queue(&frame)?;
+            self.in_flight += 1;
+        }
+        self.fill(conn)
+    }
+
+    /// Whether the run is over and every in-flight reply is accounted
+    /// for — only then may the outcome be taken.
+    fn complete(&self) -> bool {
+        self.in_flight == 0 && (self.task.done || self.draining)
+    }
+
+    /// The connection died. Unconfirmed speculative accepts are rolled
+    /// back before the terminal bookkeeping so the outcome never
+    /// counts an accept the server was not seen to grant.
+    fn fail(&mut self, e: &io::Error) {
+        self.task.out.accepted -= self.speculated;
+        self.speculated = 0;
+        if !self.draining {
+            self.task.fail(e);
+        }
+        self.task.done = true;
+    }
+
+    fn into_outcome(self) -> RunOutcome {
+        self.task.into_outcome()
+    }
+}
+
 /// One session over a lockstep connection: drive the [`SessionTask`]
 /// frame by frame, each `call` blocking for its reply.
 fn run_one(
@@ -580,13 +734,17 @@ fn run_one(
 
 /// Drives `cfg.runs` sessions multiplexed over [`MuxTransport`]
 /// connections: each of `cfg.threads` worker threads keeps up to
-/// [`DriveConfig::sessions_per_conn`] concurrent `SessionTask`s live
-/// on one connection, batching their frames per exchange and routing
-/// each reply to the task its session id names.
+/// [`DriveConfig::sessions_per_conn`] concurrent `PipelinedTask`s
+/// live on one connection, batching their frames per exchange and
+/// routing each reply to the task its session id names.
 ///
-/// Every task holds at most one outstanding frame, so per-session wire
-/// order equals program order and the report matches a lockstep
-/// [`drive`] campaign over the same config, field for field.
+/// At the default [`DriveConfig::pipeline`] of 1 every task holds at
+/// most one outstanding frame, so per-session wire order equals
+/// program order and the report matches a lockstep [`drive`] campaign
+/// over the same config, field for field. Deeper pipelines keep up to
+/// that many frames in flight per session (see `PipelinedTask`);
+/// reports stay deterministic, and runs the server never rejects are
+/// still identical to depth 1.
 pub fn drive_mux<F>(
     components: &[Spec],
     service: &Spec,
@@ -608,11 +766,12 @@ where
     let deadline = cfg.duration.map(|d| Instant::now() + d);
     let outcomes: Mutex<Vec<RunOutcome>> = Mutex::new(Vec::new());
     let per_conn = cfg.sessions_per_conn.max(1) as usize;
+    let depth = cfg.pipeline.max(1);
     std::thread::scope(|scope| {
         for _ in 0..cfg.threads.max(1) {
             scope.spawn(|| {
                 let mut conn: Option<Box<dyn MuxTransport>> = None;
-                let mut tasks: HashMap<u64, SessionTask> = HashMap::new();
+                let mut tasks: HashMap<u64, PipelinedTask> = HashMap::new();
                 let mut replies: Vec<Reply> = Vec::new();
                 let mut exhausted = false;
                 let push = |out: RunOutcome| {
@@ -643,17 +802,20 @@ where
                                 }
                             };
                         }
-                        let mut task = SessionTask::new(components, service, &codec, cfg, run);
-                        match task.advance(None) {
-                            Some(frame) => {
-                                if let Err(e) = conn.as_mut().unwrap().queue(&frame) {
-                                    task.fail(&e);
+                        let task = SessionTask::new(components, service, &codec, cfg, run);
+                        let mut task = PipelinedTask::new(task, depth);
+                        match task.fill(conn.as_mut().unwrap().as_mut()) {
+                            Ok(()) => {
+                                if task.complete() {
                                     push(task.into_outcome());
-                                    continue;
+                                } else {
+                                    tasks.insert(run, task);
                                 }
-                                tasks.insert(run, task);
                             }
-                            None => push(task.into_outcome()),
+                            Err(e) => {
+                                task.fail(&e);
+                                push(task.into_outcome());
+                            }
                         }
                     }
                     if tasks.is_empty() {
@@ -672,18 +834,19 @@ where
                                 let Some(mut task) = tasks.remove(&session) else {
                                     continue; // reply for an already-failed task
                                 };
-                                match task.advance(Some(reply)) {
-                                    Some(frame) => match conn.as_mut().unwrap().queue(&frame) {
-                                        Ok(()) => {
+                                match task.on_reply(reply, conn.as_mut().unwrap().as_mut()) {
+                                    Ok(()) => {
+                                        if task.complete() {
+                                            push(task.into_outcome());
+                                        } else {
                                             tasks.insert(session, task);
                                         }
-                                        Err(e) => {
-                                            task.fail(&e);
-                                            push(task.into_outcome());
-                                            failed = Some(e);
-                                        }
-                                    },
-                                    None => push(task.into_outcome()),
+                                    }
+                                    Err(e) => {
+                                        task.fail(&e);
+                                        push(task.into_outcome());
+                                        failed = Some(e);
+                                    }
                                 }
                             }
                             if let Some(e) = failed {
@@ -708,7 +871,7 @@ where
 }
 
 /// Terminally fails every in-flight task with `e`.
-fn fail_all<F: Fn(RunOutcome)>(tasks: &mut HashMap<u64, SessionTask>, e: &io::Error, push: &F) {
+fn fail_all<F: Fn(RunOutcome)>(tasks: &mut HashMap<u64, PipelinedTask>, e: &io::Error, push: &F) {
     for (_, mut task) in tasks.drain() {
         task.fail(e);
         push(task.into_outcome());
@@ -796,6 +959,61 @@ mod tests {
                 assert!(lockstep.accepted > 0, "derived campaign relayed nothing");
             }
         }
+    }
+
+    /// Pipelined campaigns: a converter the server never rejects
+    /// produces a report byte-identical to lockstep at any depth (all
+    /// speculation confirms), and a convicted mutant — where
+    /// speculation rolls back — still reports identically across
+    /// thread counts and depths-of-window (determinism), with the same
+    /// set of convicted runs as depth 1.
+    #[test]
+    fn pipelined_campaigns_stay_deterministic() {
+        let system = colocated_configuration();
+        let service = exactly_once();
+        let q = solve(&system.b, &service, &system.int).expect("colocated converter derives");
+        let mutant = (0..8)
+            .find_map(|k| redirect_transition(&q.converter, k))
+            .expect("converter has transitions to mutate");
+        let piped = |components: &[Spec], threads: usize, pipeline: u64| {
+            let gw = gateway(components, &service);
+            let mut c = cfg(8, threads);
+            c.pipeline = pipeline;
+            drive_mux(components, &service, &c, || {
+                Ok(Box::new(LoopbackMux::new(gw.clone())) as Box<dyn MuxTransport>)
+            })
+        };
+        let derived = [system.b.clone(), q.converter.clone()];
+        let gw = gateway(&derived, &service);
+        let lockstep = drive(&derived, &service, &cfg(1, 1), || {
+            Ok(Box::new(LoopbackConn::new(gw.clone())) as Box<dyn Conn>)
+        });
+        assert!(lockstep.is_clean(), "derived converter was convicted");
+        for pipeline in [2, 4, 16] {
+            assert_eq!(
+                lockstep.to_json(),
+                piped(&derived, 1, pipeline).to_json(),
+                "clean pipelined campaign diverged at depth {pipeline}"
+            );
+        }
+        let mutated = [system.b.clone(), mutant.clone()];
+        let one = piped(&mutated, 1, 4);
+        assert!(one.convicted_runs > 0, "mutant campaign saw no convictions");
+        assert_eq!(
+            one.to_json(),
+            piped(&mutated, 2, 4).to_json(),
+            "pipelined mutant report depends on thread count"
+        );
+        // Speculation may widen frames_sent on rejected runs, but the
+        // verdicts must match the classic window exactly.
+        let classic = piped(&mutated, 1, 1);
+        let convicted = |r: &DriveReport| {
+            r.outcomes
+                .iter()
+                .map(|o| (o.run, o.conviction.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(convicted(&one), convicted(&classic));
     }
 
     /// A mux connection that dies mid-campaign records transport errors

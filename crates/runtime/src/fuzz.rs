@@ -21,6 +21,11 @@
 //!   budgets): every frame must produce exactly one reply carrying the
 //!   frame's session id, without panicking a worker or wedging the
 //!   pool.
+//! * **batch** — [`Gateway::call_batch`] differentially against
+//!   per-frame [`Gateway::call`] on a second, identically configured
+//!   gateway: the same frame program, cut at an input-derived split
+//!   width, must produce the same per-session reply sequences and a
+//!   well-formed inline reply stream at every split.
 //!
 //! Every case is keyed by `(seed, target, case-index)` alone, so a
 //! finding's reproduction needs nothing but the seed printed in the
@@ -34,12 +39,12 @@ use crate::codec::{
     decode_frame, decode_reply, encode_frame, encode_reply, read_frame, read_reply, Frame,
     FrameBuffer, RejectReason, Reply, ReplyBuffer,
 };
-use crate::gateway::{Gateway, GatewayConfig, GatewayError};
+use crate::gateway::{BatchScratch, Gateway, GatewayConfig, GatewayError};
 use crate::guard::{GuardProgram, SessionGuard, SessionGuardReference};
 use protoquot_spec::Spec;
 use rand::prelude::*;
 use serde::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -85,11 +90,19 @@ pub enum FuzzTarget {
     Guard,
     /// The gateway dispatch path under arbitrary frame programs.
     Gateway,
+    /// Batched dispatch ([`Gateway::call_batch`]) differentially
+    /// against per-frame dispatch on arbitrary frame splits.
+    Batch,
 }
 
 impl FuzzTarget {
     /// Every target, in report order.
-    pub const ALL: [FuzzTarget; 3] = [FuzzTarget::Codec, FuzzTarget::Guard, FuzzTarget::Gateway];
+    pub const ALL: [FuzzTarget; 4] = [
+        FuzzTarget::Codec,
+        FuzzTarget::Guard,
+        FuzzTarget::Gateway,
+        FuzzTarget::Batch,
+    ];
 
     /// Stable name used in reports and on the CLI.
     pub fn name(self) -> &'static str {
@@ -97,6 +110,7 @@ impl FuzzTarget {
             FuzzTarget::Codec => "codec",
             FuzzTarget::Guard => "guard",
             FuzzTarget::Gateway => "gateway",
+            FuzzTarget::Batch => "batch",
         }
     }
 
@@ -106,6 +120,7 @@ impl FuzzTarget {
             "codec" => FuzzTarget::Codec,
             "guard" => FuzzTarget::Guard,
             "gateway" => FuzzTarget::Gateway,
+            "batch" => FuzzTarget::Batch,
             _ => return None,
         })
     }
@@ -250,20 +265,20 @@ pub fn fuzz(
     cfg: &FuzzConfig,
 ) -> Result<FuzzReport, GatewayError> {
     let prog = Arc::new(GuardProgram::new(parts, service).map_err(GatewayError::Spec)?);
-    let gateway = Gateway::new(
-        parts,
-        service,
-        GatewayConfig {
-            workers: 2,
-            // Evictable immediately: the campaign trims the session
-            // table between cases so the table stays small.
-            idle_timeout: Duration::ZERO,
-            // A tiny budget so the fuzzer exercises the expulsion path
-            // on ordinary inputs, not only on 1000-frame outliers.
-            session_frame_budget: 24,
-            ..GatewayConfig::default()
-        },
-    )?;
+    let fuzz_gateway_cfg = GatewayConfig {
+        workers: 2,
+        // Evictable immediately: the campaign trims the session
+        // table between cases so the table stays small.
+        idle_timeout: Duration::ZERO,
+        // A tiny budget so the fuzzer exercises the expulsion path
+        // on ordinary inputs, not only on 1000-frame outliers.
+        session_frame_budget: 24,
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::new(parts, service, fuzz_gateway_cfg.clone())?;
+    // The batch target's per-frame oracle: identical configuration,
+    // separate session state.
+    let oracle = Gateway::new(parts, service, fuzz_gateway_cfg)?;
     let mut harness = Harness::spawn();
     let mut report = FuzzReport {
         seed: cfg.seed,
@@ -274,7 +289,7 @@ pub fn fuzz(
         let mut executed = 0u64;
         for case in 0..cfg.iters {
             let input = gen_input(cfg, target, case);
-            let body = case_body(target, &prog, &gateway, case);
+            let body = case_body(target, &prog, &gateway, &oracle, case);
             let verdict = harness.run(&input, &body, cfg.hang_timeout);
             executed += 1;
             if let Some(kind) = verdict {
@@ -290,8 +305,9 @@ pub fn fuzz(
                     input,
                 });
             }
-            if target == FuzzTarget::Gateway && case % 64 == 63 {
+            if matches!(target, FuzzTarget::Gateway | FuzzTarget::Batch) && case % 64 == 63 {
                 gateway.evict_idle();
+                oracle.evict_idle();
             }
         }
         report.executed.push((target, executed));
@@ -308,6 +324,7 @@ fn case_body(
     target: FuzzTarget,
     prog: &Arc<GuardProgram>,
     gateway: &Gateway,
+    oracle: &Gateway,
     case: u64,
 ) -> CaseBody {
     match target {
@@ -323,6 +340,12 @@ fn case_body(
             let base = case.wrapping_mul(16);
             Arc::new(move |input| gateway_case(&gateway, base, input))
         }
+        FuzzTarget::Batch => {
+            let gateway = gateway.clone();
+            let oracle = oracle.clone();
+            let base = case.wrapping_mul(16);
+            Arc::new(move |input| batch_case(&gateway, &oracle, base, input))
+        }
     }
 }
 
@@ -336,6 +359,7 @@ fn case_seed(seed: u64, target: FuzzTarget, case: u64) -> u64 {
         FuzzTarget::Codec => 0x1u64,
         FuzzTarget::Guard => 0x2,
         FuzzTarget::Gateway => 0x3,
+        FuzzTarget::Batch => 0x4,
     };
     seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case.wrapping_mul(0xBF58_476D_1CE4_E5B9)
 }
@@ -637,6 +661,104 @@ fn gateway_case(gateway: &Gateway, base_session: u64, input: &[u8]) -> Option<St
             session: base_session + s,
         });
         if reply.session() != base_session + s {
+            return Some("close reply misattributed".to_string());
+        }
+    }
+    None
+}
+
+/// Batch target: the same frame programs as the gateway target, cut at
+/// arbitrary batch boundaries through [`Gateway::call_batch`] and
+/// differentially checked against a per-frame oracle gateway with
+/// identical configuration and separate session state. Batch replies
+/// are ordered within a session, not across sessions, so both sides
+/// are compared as per-session reply sequences.
+fn batch_case(
+    batched: &Gateway,
+    oracle: &Gateway,
+    base_session: u64,
+    input: &[u8],
+) -> Option<String> {
+    let mut frames = Vec::with_capacity(input.len() / 3 + 1);
+    for op in input.chunks(3) {
+        let (kind, lo, hi) = (
+            op[0],
+            op.get(1).copied().unwrap_or(0),
+            op.get(2).copied().unwrap_or(0),
+        );
+        let session = base_session + (kind >> 4) as u64 % 4;
+        frames.push(match kind & 0x03 {
+            0 | 1 => Frame::Event {
+                session,
+                event: u16::from_be_bytes([lo, hi]),
+            },
+            2 => Frame::Stall { session },
+            _ => Frame::Close { session },
+        });
+    }
+    // The oracle runs every frame through the per-frame path.
+    let mut want: HashMap<u64, Vec<Reply>> = HashMap::new();
+    for &frame in &frames {
+        want.entry(frame.session())
+            .or_default()
+            .push(oracle.call(frame));
+    }
+    // The batched side runs the same frames through call_batch at an
+    // input-derived batch size, decoding replies back off the wire.
+    let split = (input.first().copied().unwrap_or(0) as usize % 7) + 1;
+    let mut got: HashMap<u64, Vec<Reply>> = HashMap::new();
+    let mut scratch = BatchScratch::new();
+    let mut out = Vec::new();
+    let mut dec = ReplyBuffer::new();
+    for chunk in frames.chunks(split) {
+        out.clear();
+        let mut slow_frames = Vec::new();
+        batched.call_batch(chunk, &mut scratch, &mut out, &mut |f| slow_frames.push(f));
+        dec.extend(&out);
+        loop {
+            match dec.next_reply() {
+                Ok(Some(reply)) => got.entry(reply.session()).or_default().push(reply),
+                Ok(None) => break,
+                Err(e) => return Some(format!("batch reply stream undecodable: {e}")),
+            }
+        }
+        if dec.is_mid_message() {
+            return Some("batch reply stream torn mid-message".to_string());
+        }
+        // A single-threaded case never contends a session, so nothing
+        // should route slow; answer anything that does through the
+        // per-frame path regardless, so a misrouting bug surfaces as
+        // a divergence rather than a lost reply.
+        for frame in slow_frames {
+            let reply = batched.call(frame);
+            got.entry(reply.session()).or_default().push(reply);
+        }
+    }
+    if got != want {
+        for s in 0..4 {
+            let session = base_session + s;
+            if got.get(&session) != want.get(&session) {
+                return Some(format!(
+                    "session {session}: batched {:?} != per-frame {:?}",
+                    got.get(&session),
+                    want.get(&session)
+                ));
+            }
+        }
+        return Some("batched replies != per-frame replies".to_string());
+    }
+    // Leave no live session behind on either gateway; the close
+    // replies are the final-state differential.
+    for s in 0..4 {
+        let session = base_session + s;
+        let b = batched.call(Frame::Close { session });
+        let o = oracle.call(Frame::Close { session });
+        if b != o {
+            return Some(format!(
+                "final close diverges on session {session}: batched {b:?}, per-frame {o:?}"
+            ));
+        }
+        if b.session() != session {
             return Some("close reply misattributed".to_string());
         }
     }

@@ -33,7 +33,7 @@
 //! before the next is taken on the submit path, so the gateway cannot
 //! deadlock against its own workers.
 
-use crate::codec::{Frame, RejectReason, Reply, WireCodec, WireError};
+use crate::codec::{encode_reply, Frame, RejectReason, Reply, WireCodec, WireError};
 use crate::guard::{Conviction, GuardProgram, SessionGuard, SessionGuardReference};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use protoquot_spec::{Spec, SpecError};
@@ -103,6 +103,13 @@ pub struct GatewayConfig {
     /// differential suites and the EXP-R2 before/after comparison flip
     /// this; production traffic keeps the default `false`.
     pub reference_guard: bool,
+    /// Let transports take [`Gateway::call_batch`] — whole readiness
+    /// chunks processed per session-lock acquisition with replies
+    /// encoded straight into the connection's outbound buffer. `false`
+    /// forces the per-frame `submit`/`call` path everywhere; the
+    /// differential suites and EXP-R5 flip this, production traffic
+    /// keeps the default `true`.
+    pub batching: bool,
 }
 
 impl Default for GatewayConfig {
@@ -114,12 +121,71 @@ impl Default for GatewayConfig {
             idle_timeout: Duration::from_secs(30),
             session_frame_budget: 0,
             reference_guard: false,
+            batching: true,
         }
     }
 }
 
 /// Callback answering one submitted frame.
 pub type Responder = Box<dyn FnOnce(Reply) + Send>;
+
+/// One batch group: the frames of one session, chained in arrival
+/// order through [`BatchScratch::next`].
+struct BatchGroup {
+    session: u64,
+    head: u32,
+    tail: u32,
+    count: u32,
+}
+
+/// Reusable per-connection scratch for [`Gateway::call_batch`]:
+/// groups a batch's frames by session without allocating in the
+/// steady state. Grouping is an intrusive linked list over frame
+/// indices — one hash lookup per frame, groups iterated in order of
+/// first appearance, per-session frame order preserved.
+#[derive(Default)]
+pub struct BatchScratch {
+    by_session: HashMap<u64, u32>,
+    groups: Vec<BatchGroup>,
+    /// `next[i]` is the index of the next frame of the same session,
+    /// or `u32::MAX` at a chain's tail.
+    next: Vec<u32>,
+}
+
+impl BatchScratch {
+    /// An empty scratch; buffers grow to the largest batch seen and
+    /// are retained across calls.
+    pub fn new() -> BatchScratch {
+        BatchScratch::default()
+    }
+
+    fn group(&mut self, frames: &[Frame]) {
+        self.by_session.clear();
+        self.groups.clear();
+        self.next.clear();
+        self.next.resize(frames.len(), u32::MAX);
+        for (i, frame) in frames.iter().enumerate() {
+            let i = i as u32;
+            match self.by_session.entry(frame.session()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let g = &mut self.groups[*e.get() as usize];
+                    self.next[g.tail as usize] = i;
+                    g.tail = i;
+                    g.count += 1;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(self.groups.len() as u32);
+                    self.groups.push(BatchGroup {
+                        session: frame.session(),
+                        head: i,
+                        tail: i,
+                        count: 1,
+                    });
+                }
+            }
+        }
+    }
+}
 
 /// The per-session guard, in whichever implementation the gateway was
 /// configured with. Both expose identical conviction semantics; the
@@ -349,6 +415,92 @@ impl Gateway {
                 Reply::Rejected {
                     session,
                     reason: RejectReason::Draining,
+                }
+            }
+        }
+    }
+
+    /// Whether transports should take the [`Gateway::call_batch`] path
+    /// ([`GatewayConfig::batching`]).
+    pub fn batching_enabled(&self) -> bool {
+        self.inner.cfg.batching
+    }
+
+    /// Processes one transport batch — every frame decoded from one
+    /// readiness chunk — grouped by session: one shard lookup, one
+    /// session-lock acquisition, and one contiguous guard-DFA run per
+    /// session per batch. Replies for inline-processed frames are
+    /// encoded straight into `out` (the caller's reusable outbound
+    /// buffer) with no per-frame allocation or responder.
+    ///
+    /// A session that is already scheduled or queued cannot be
+    /// processed inline without reordering it against its in-flight
+    /// frames, so *all* of its frames in this batch are handed to
+    /// `slow` in order; the callback must forward each one to
+    /// [`Gateway::submit`] with a responder that appends to the same
+    /// outbound buffer. Frame accounting splits accordingly: inline
+    /// frames are counted here, slow-path frames when `submit` sees
+    /// them.
+    ///
+    /// Replies land in `out` grouped by session (groups in order of
+    /// first appearance, per-session order preserved) — equivalent to
+    /// per-frame execution for any client that attributes replies by
+    /// the session id in their headers, which both campaign drivers
+    /// do. The per-frame [`Gateway::call`] path is the differential
+    /// oracle for this equivalence.
+    pub fn call_batch(
+        &self,
+        frames: &[Frame],
+        scratch: &mut BatchScratch,
+        out: &mut Vec<u8>,
+        slow: &mut dyn FnMut(Frame),
+    ) {
+        if frames.is_empty() {
+            return;
+        }
+        let inner = &self.inner;
+        inner.stats.note_batch(frames.len());
+        if inner.draining.load(Ordering::Acquire) {
+            for frame in frames {
+                inner.stats.note_frame();
+                inner.stats.note_reject(RejectReason::Draining);
+                encode_reply(
+                    &Reply::Rejected {
+                        session: frame.session(),
+                        reason: RejectReason::Draining,
+                    },
+                    out,
+                );
+            }
+            return;
+        }
+        scratch.group(frames);
+        for g in &scratch.groups {
+            let core = self.core_for(g.session);
+            let mut locked = core.lock().unwrap();
+            if !locked.scheduled && locked.queue.is_empty() {
+                let mut idx = g.head;
+                loop {
+                    inner.stats.note_frame();
+                    let reply = process(inner, &mut locked, frames[idx as usize]);
+                    encode_reply(&reply, out);
+                    if idx == g.tail {
+                        break;
+                    }
+                    idx = scratch.next[idx as usize];
+                }
+                locked.last_active = Instant::now();
+                inner.stats.note_batch_inline(g.count as usize);
+            } else {
+                drop(locked);
+                inner.stats.note_batch_slow(g.count as usize);
+                let mut idx = g.head;
+                loop {
+                    slow(frames[idx as usize]);
+                    if idx == g.tail {
+                        break;
+                    }
+                    idx = scratch.next[idx as usize];
                 }
             }
         }
@@ -717,6 +869,154 @@ mod tests {
         let snap = gw.stats();
         assert_eq!(snap.accepted, 32 * 100);
         assert_eq!(snap.convictions, 0);
+        gw.drain();
+    }
+
+    /// Batched execution is observationally equivalent to per-frame
+    /// execution: for every session, the reply sequence produced by
+    /// `call_batch` over an interleaved multi-session batch matches
+    /// what sequential `call`s produce, and the stats agree.
+    #[test]
+    fn call_batch_matches_per_frame_replies() {
+        let batched = gateway(GatewayConfig::default());
+        let oracle = gateway(GatewayConfig::default());
+        let ev = |gw: &Gateway, s, name| {
+            gw.codec()
+                .event_frame(s, protoquot_spec::EventId::new(name))
+                .unwrap()
+        };
+        let frames: Vec<Frame> = vec![
+            ev(&batched, 1, "acc"),
+            ev(&batched, 2, "del"), // fresh-session violation: convicts 2
+            ev(&batched, 1, "del"),
+            Frame::Stall { session: 3 },
+            ev(&batched, 2, "acc"), // already convicted
+            ev(&batched, 1, "acc"),
+            Frame::Close { session: 3 },
+        ];
+        let mut per_session: HashMap<u64, Vec<Reply>> = HashMap::new();
+        for &frame in &frames {
+            per_session
+                .entry(frame.session())
+                .or_default()
+                .push(oracle.call(frame));
+        }
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        let mut slow_frames = Vec::new();
+        batched.call_batch(&frames, &mut scratch, &mut out, &mut |f| {
+            slow_frames.push(f)
+        });
+        assert!(
+            slow_frames.is_empty(),
+            "uncontended sessions must stay inline"
+        );
+        // Replies come back grouped by session; per-session order must
+        // match the oracle's.
+        let mut rdec = crate::codec::ReplyBuffer::new();
+        rdec.extend(&out);
+        let mut batched_per_session: HashMap<u64, Vec<Reply>> = HashMap::new();
+        while let Some(reply) = rdec.next_reply().unwrap() {
+            batched_per_session
+                .entry(reply.session())
+                .or_default()
+                .push(reply);
+        }
+        assert_eq!(batched_per_session, per_session);
+        let (a, b) = (batched.stats(), oracle.stats());
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.convictions, b.convictions);
+        assert_eq!(a.rejects, b.rejects);
+        assert_eq!(a.frames, b.frames);
+        assert_eq!(a.batches, 1);
+        assert_eq!(a.batch_frames, frames.len() as u64);
+        assert_eq!(a.batch_inline, frames.len() as u64);
+        assert_eq!(a.batch_slow, 0);
+        batched.drain();
+        oracle.drain();
+    }
+
+    /// A draining gateway bounces a whole batch with per-frame
+    /// `Draining` rejects, still encoded into the caller's buffer.
+    #[test]
+    fn call_batch_rejects_everything_while_draining() {
+        let gw = gateway(GatewayConfig::default());
+        gw.drain();
+        let frames = [
+            Frame::Stall { session: 7 },
+            Frame::Close { session: 8 },
+            Frame::Stall { session: 7 },
+        ];
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        gw.call_batch(&frames, &mut scratch, &mut out, &mut |_| {
+            panic!("draining batches never take the slow path")
+        });
+        let mut rdec = crate::codec::ReplyBuffer::new();
+        rdec.extend(&out);
+        let mut replies = Vec::new();
+        while let Some(reply) = rdec.next_reply().unwrap() {
+            replies.push(reply);
+        }
+        let rej = |session| Reply::Rejected {
+            session,
+            reason: RejectReason::Draining,
+        };
+        assert_eq!(replies, vec![rej(7), rej(8), rej(7)]);
+    }
+
+    /// A session with queued work is never processed inline — all of
+    /// its frames in the batch route through the `slow` callback, in
+    /// order, while other sessions in the same batch stay inline.
+    #[test]
+    fn call_batch_routes_contended_sessions_to_slow_path() {
+        let gw = gateway(GatewayConfig::default());
+        // Queue a frame on session 1 behind a responder that blocks
+        // until we release it, so the session stays scheduled.
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        gw.submit(
+            Frame::Stall { session: 1 },
+            Box::new(move |_| {
+                let _ = entered_tx.send(());
+                let _ = release_rx.recv();
+            }),
+        );
+        entered_rx.recv().unwrap();
+        // While the worker is parked inside session 1's responder, a
+        // second frame keeps its queue non-empty.
+        gw.submit(Frame::Stall { session: 1 }, Box::new(|_| {}));
+        let frames = [
+            Frame::Stall { session: 1 },
+            Frame::Stall { session: 2 },
+            Frame::Close { session: 1 },
+        ];
+        let mut scratch = BatchScratch::new();
+        let mut out = Vec::new();
+        let mut slow_frames = Vec::new();
+        gw.call_batch(&frames, &mut scratch, &mut out, &mut |f| {
+            slow_frames.push(f)
+        });
+        assert_eq!(
+            slow_frames,
+            vec![Frame::Stall { session: 1 }, Frame::Close { session: 1 }]
+        );
+        let mut rdec = crate::codec::ReplyBuffer::new();
+        rdec.extend(&out);
+        assert_eq!(
+            rdec.next_reply().unwrap(),
+            Some(Reply::Accepted { session: 2 })
+        );
+        assert_eq!(rdec.next_reply().unwrap(), None);
+        let snap = gw.stats();
+        assert_eq!(snap.batch_inline, 1);
+        assert_eq!(snap.batch_slow, 2);
+        release_tx.send(()).unwrap();
+        // The caller owns slow-path forwarding; mirror what transports
+        // do so the campaign accounting stays balanced.
+        for frame in slow_frames {
+            gw.submit(frame, Box::new(|_| {}));
+        }
         gw.drain();
     }
 

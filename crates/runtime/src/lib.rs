@@ -17,7 +17,12 @@
 //!   retained as the differential oracle;
 //! * [`gateway`] — a sharded, session-multiplexed relay: striped
 //!   session table, per-session bounded queues drained by a worker
-//!   pool, backpressure, idle eviction, graceful drain;
+//!   pool, backpressure, idle eviction, graceful drain; transports
+//!   hand it whole readiness batches via [`Gateway::call_batch`] —
+//!   one shard lookup, one session lock, and one contiguous guard-DFA
+//!   run per session per batch, replies encoded zero-copy into the
+//!   caller's outbound buffer (the per-frame [`Gateway::call`] path
+//!   is kept as the differential oracle);
 //! * [`transport`] — carriers of the same bytes: in-memory loopback,
 //!   blocking thread-per-connection TCP ([`TcpServer`], kept as the
 //!   differential oracle), and a non-blocking epoll reactor
@@ -28,7 +33,10 @@
 //!   schedules over the wire, attesting stalls to the server; one
 //!   session at a time per connection ([`drive()`]) or many concurrent
 //!   sessions multiplexed over each connection ([`drive_mux`]), with
-//!   byte-identical reports either way;
+//!   byte-identical reports either way, and an optional per-session
+//!   pipeline window ([`DriveConfig::pipeline`]) that speculates
+//!   accepts to keep a batching server saturated — deterministic at
+//!   any depth;
 //! * [`mod@fuzz`] — a vendored deterministic fuzz engine (seeded
 //!   corpus, structure-aware frame mutators, panic/hang detection,
 //!   ddmin shrinking) over the codec, guard, and gateway dispatch —
@@ -70,7 +78,7 @@ pub use adversarial::{adversarial, AdversarialConfig, AdversarialReport, AttackO
 pub use codec::{Frame, FrameBuffer, RejectReason, Reply, ReplyBuffer, WireCodec, WireError};
 pub use drive::{drive, drive_mux, DriveConfig, DriveReport, RunOutcome};
 pub use fuzz::{Finding, FindingKind, FuzzConfig, FuzzReport, FuzzTarget};
-pub use gateway::{Gateway, GatewayConfig, GatewayError, Responder};
+pub use gateway::{BatchScratch, Gateway, GatewayConfig, GatewayError, Responder};
 pub use guard::{Conviction, GuardBuildStats, GuardProgram, SessionGuard, SessionGuardReference};
 pub use stats::{ConnEvictReason, RuntimeStats, StatsSnapshot};
 pub use transport::{

@@ -87,6 +87,17 @@ fn conn_evict_slot(reason: ConnEvictReason) -> usize {
     }
 }
 
+/// Power-of-two batch-size histogram buckets: bucket `i` counts
+/// batches of `2^i ..= 2^(i+1)-1` frames, the last bucket is open.
+const BATCH_BUCKETS: usize = 8;
+
+/// Stable labels of the batch-size buckets, for snapshots.
+const BATCH_BUCKET_NAMES: [&str; BATCH_BUCKETS] = ["1", "2", "4", "8", "16", "32", "64", "128+"];
+
+fn batch_bucket(frames: usize) -> usize {
+    (usize::BITS - 1 - frames.max(1).leading_zeros()).min(BATCH_BUCKETS as u32 - 1) as usize
+}
+
 /// Shared counters of one gateway.
 pub struct RuntimeStats {
     started: Instant,
@@ -103,6 +114,22 @@ pub struct RuntimeStats {
     rejects: [AtomicU64; 9],
     convictions: AtomicU64,
     queue_high_water: AtomicU64,
+    /// Batches taken through `Gateway::call_batch`.
+    batches: AtomicU64,
+    /// Frames carried by those batches.
+    batch_frames: AtomicU64,
+    /// Batched frames processed inline under the session lock (no
+    /// responder, no pool dispatch).
+    batch_inline: AtomicU64,
+    /// Batched frames deferred to the worker-queue slow path because
+    /// their session was already scheduled or queued.
+    batch_slow: AtomicU64,
+    /// Batch-size histogram, power-of-two buckets.
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+    /// Raw bytes read off transport sockets.
+    bytes_in: AtomicU64,
+    /// Raw bytes written back to transport sockets.
+    bytes_out: AtomicU64,
     /// Accepted frames per event-table index.
     per_event: Vec<AtomicU64>,
     /// Build-time cost of the guard DFA (fixed at construction).
@@ -132,6 +159,13 @@ impl RuntimeStats {
             rejects: Default::default(),
             convictions: AtomicU64::new(0),
             queue_high_water: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_frames: AtomicU64::new(0),
+            batch_inline: AtomicU64::new(0),
+            batch_slow: AtomicU64::new(0),
+            batch_hist: Default::default(),
+            bytes_in: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
             per_event: (0..num_events).map(|_| AtomicU64::new(0)).collect(),
             guard_build,
         }
@@ -208,6 +242,34 @@ impl RuntimeStats {
             .fetch_max(depth as u64, Ordering::Relaxed);
     }
 
+    /// One `call_batch` of `frames` frames entered the gateway.
+    pub fn note_batch(&self, frames: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_frames
+            .fetch_add(frames as u64, Ordering::Relaxed);
+        self.batch_hist[batch_bucket(frames)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `n` batched frames were processed inline under the session lock.
+    pub fn note_batch_inline(&self, n: usize) {
+        self.batch_inline.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// `n` batched frames fell back to the worker-queue slow path.
+    pub fn note_batch_slow(&self, n: usize) {
+        self.batch_slow.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// `n` raw bytes arrived from a transport socket.
+    pub fn note_bytes_in(&self, n: usize) {
+        self.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// `n` raw bytes were written back to a transport socket.
+    pub fn note_bytes_out(&self, n: usize) {
+        self.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
     /// An immutable snapshot with derived rates.
     pub fn snapshot(&self, table: &EventTable) -> StatsSnapshot {
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
@@ -237,6 +299,17 @@ impl RuntimeStats {
                 .collect(),
             convictions: self.convictions.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_frames: self.batch_frames.load(Ordering::Relaxed),
+            batch_inline: self.batch_inline.load(Ordering::Relaxed),
+            batch_slow: self.batch_slow.load(Ordering::Relaxed),
+            batch_hist: BATCH_BUCKET_NAMES
+                .iter()
+                .zip(&self.batch_hist)
+                .map(|(&name, c)| (name, c.load(Ordering::Relaxed)))
+                .collect(),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
             per_event: table
                 .events
                 .iter()
@@ -282,6 +355,21 @@ pub struct StatsSnapshot {
     pub convictions: u64,
     /// Deepest per-session queue observed.
     pub queue_high_water: u64,
+    /// Batches taken through `Gateway::call_batch`.
+    pub batches: u64,
+    /// Frames carried by those batches.
+    pub batch_frames: u64,
+    /// Batched frames processed inline under the session lock.
+    pub batch_inline: u64,
+    /// Batched frames deferred to the worker-queue slow path.
+    pub batch_slow: u64,
+    /// Batch-size histogram: power-of-two buckets (`"1"`, `"2"`, …,
+    /// `"128+"`), every bucket listed with zero counts included.
+    pub batch_hist: Vec<(&'static str, u64)>,
+    /// Raw bytes read off transport sockets.
+    pub bytes_in: u64,
+    /// Raw bytes written back to transport sockets.
+    pub bytes_out: u64,
     /// Accepted frames per event name, in event-table order.
     pub per_event: Vec<(String, u64)>,
     /// Size and build cost of the compiled guard DFA.
@@ -333,6 +421,25 @@ impl StatsSnapshot {
             "queue_high_water".into(),
             Value::Int(self.queue_high_water as i128),
         );
+        let mut b = BTreeMap::new();
+        b.insert("batches".into(), Value::Int(self.batches as i128));
+        b.insert("frames".into(), Value::Int(self.batch_frames as i128));
+        b.insert("inline".into(), Value::Int(self.batch_inline as i128));
+        b.insert("slow_path".into(), Value::Int(self.batch_slow as i128));
+        b.insert(
+            "sizes".into(),
+            Value::Obj(
+                self.batch_hist
+                    .iter()
+                    .map(|&(name, n)| (name.to_string(), Value::Int(n as i128)))
+                    .collect(),
+            ),
+        );
+        o.insert("batching".into(), Value::Obj(b));
+        let mut w = BTreeMap::new();
+        w.insert("in".into(), Value::Int(self.bytes_in as i128));
+        w.insert("out".into(), Value::Int(self.bytes_out as i128));
+        o.insert("bytes".into(), Value::Obj(w));
         o.insert(
             "per_event".into(),
             Value::Obj(
@@ -411,6 +518,26 @@ impl std::fmt::Display for StatsSnapshot {
             self.convictions,
             self.queue_high_water
         )?;
+        if self.batches > 0 {
+            let sizes: Vec<String> = self
+                .batch_hist
+                .iter()
+                .filter(|&&(_, n)| n > 0)
+                .map(|&(name, n)| format!("{name}={n}"))
+                .collect();
+            writeln!(
+                f,
+                "batches {} | batched frames {} (inline {} slow {}) | sizes {}",
+                self.batches,
+                self.batch_frames,
+                self.batch_inline,
+                self.batch_slow,
+                sizes.join(" ")
+            )?;
+        }
+        if self.bytes_in > 0 || self.bytes_out > 0 {
+            writeln!(f, "bytes in {} out {}", self.bytes_in, self.bytes_out)?;
+        }
         if !self.rejects.is_empty() {
             let parts: Vec<String> = self
                 .rejects
@@ -563,6 +690,58 @@ mod tests {
             hit[slot] = true;
         }
         assert!(hit.iter().all(|&h| h));
+    }
+
+    /// Batch counters and byte counters land in the snapshot, the JSON
+    /// tree, and the text rendering; the histogram buckets by the
+    /// floor power of two with an open top bucket.
+    #[test]
+    fn batch_and_byte_counters_round_trip() {
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(3), 1);
+        assert_eq!(batch_bucket(4), 2);
+        assert_eq!(batch_bucket(127), 6);
+        assert_eq!(batch_bucket(128), 7);
+        assert_eq!(batch_bucket(100_000), 7);
+
+        let table = EventTable::new(&Alphabet::from_names(["acc"]));
+        let stats = RuntimeStats::new(table.len());
+        stats.note_batch(1);
+        stats.note_batch(3);
+        stats.note_batch(256);
+        stats.note_batch_inline(255);
+        stats.note_batch_slow(5);
+        stats.note_bytes_in(4096);
+        stats.note_bytes_out(1234);
+
+        let snap = stats.snapshot(&table);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.batch_frames, 260);
+        assert_eq!(snap.batch_inline, 255);
+        assert_eq!(snap.batch_slow, 5);
+        assert_eq!(snap.batch_hist.len(), BATCH_BUCKETS);
+        assert!(snap.batch_hist.contains(&("1", 1)));
+        assert!(snap.batch_hist.contains(&("2", 1)));
+        assert!(snap.batch_hist.contains(&("128+", 1)));
+        assert_eq!(snap.bytes_in, 4096);
+        assert_eq!(snap.bytes_out, 1234);
+
+        let value = snap.to_value();
+        let b = value.as_obj().unwrap()["batching"].as_obj().unwrap();
+        assert_eq!(b["batches"], Value::Int(3));
+        assert_eq!(b["frames"], Value::Int(260));
+        assert_eq!(b["inline"], Value::Int(255));
+        assert_eq!(b["slow_path"], Value::Int(5));
+        assert_eq!(b["sizes"].as_obj().unwrap()["128+"], Value::Int(1));
+        assert_eq!(b["sizes"].as_obj().unwrap()["64"], Value::Int(0));
+        let w = value.as_obj().unwrap()["bytes"].as_obj().unwrap();
+        assert_eq!(w["in"], Value::Int(4096));
+        assert_eq!(w["out"], Value::Int(1234));
+
+        let text = format!("{snap}");
+        assert!(text.contains("batches 3 | batched frames 260 (inline 255 slow 5)"));
+        assert!(text.contains("bytes in 4096 out 1234"));
     }
 
     #[test]

@@ -41,10 +41,10 @@
 //! connection session cap and the torn-frame read deadline.
 
 use crate::codec::{
-    decode_frame, decode_reply, encode_frame, encode_reply, read_payload, write_frame, write_reply,
-    Frame, FrameBuffer, RejectReason, Reply, ReplyBuffer,
+    decode_frame, decode_reply, encode_frame, encode_reply, encode_reply_array, read_payload,
+    write_frame, write_reply, Frame, FrameBuffer, RejectReason, Reply, ReplyBuffer,
 };
-use crate::gateway::Gateway;
+use crate::gateway::{BatchScratch, Gateway};
 use crate::stats::ConnEvictReason;
 use reactor::{Events, Interest, Poll, Token, Waker};
 use std::collections::{HashMap, HashSet};
@@ -262,14 +262,17 @@ impl Drop for TcpServer {
     }
 }
 
-/// Reads frames off one connection, submitting each to the gateway;
-/// replies are written (in completion order — lockstep clients see
-/// call order) through a mutex-shared clone of the stream.
+/// Reads frames off one connection; replies are written (in completion
+/// order — lockstep clients see call order) through a mutex-shared
+/// clone of the stream.
 ///
 /// Reads are batched: every socket wakeup pulls whatever bytes are
-/// available into a [`FrameBuffer`] and submits *all* complete frames
-/// it holds, so pipelined clients pay one read syscall — and one
-/// worker scheduling round per session — for a whole burst of frames.
+/// available into a [`FrameBuffer`] and processes *all* complete frames
+/// it holds, so pipelined clients pay one read syscall for a whole
+/// burst of frames. When the gateway has batching enabled the burst
+/// goes through [`Gateway::call_batch`] — replies for the whole chunk
+/// are encoded into one reusable buffer and written with a single
+/// locked `write_all`; otherwise each frame is submitted individually.
 /// Partial frames stay buffered across reads; an EOF that strands one
 /// is reported as a torn stream, never silently dropped. Cuts that
 /// evict an abusive peer (garbage, torn stream, slow drip) are
@@ -287,6 +290,12 @@ fn serve_connection(
     let mut frames = FrameBuffer::new();
     let mut sessions = ConnSessions::default();
     let mut chunk = [0u8; 16 * 1024];
+    let batching = gateway.batching_enabled();
+    // Batch-path scratch, reused across read wakeups.
+    let mut batch: Vec<Frame> = Vec::new();
+    let mut admitted: Vec<Frame> = Vec::new();
+    let mut scratch = BatchScratch::new();
+    let mut out: Vec<u8> = Vec::new();
     // First byte of an unfinished message, for the read deadline.
     let mut mid_since: Option<Instant> = None;
     while !stop.load(Ordering::Acquire) {
@@ -322,30 +331,86 @@ fn serve_connection(
             Err(e) => return Err(e),
         };
         frames.extend(&chunk[..got]);
-        loop {
-            match frames.next_frame() {
-                Ok(Some(frame)) => {
-                    if let Err(reason) = sessions.admit(&frame, limits.max_sessions_per_conn) {
-                        let reply = gateway.transport_reject(frame.session(), reason);
+        if batching {
+            gateway.runtime_stats().note_bytes_in(got);
+            // Decode everything first; frames decoded before any wire
+            // damage are still answered, matching the per-frame path.
+            batch.clear();
+            let mut wire_err = None;
+            loop {
+                match frames.next_frame() {
+                    Ok(Some(frame)) => batch.push(frame),
+                    Ok(None) => break,
+                    Err(e) => {
+                        wire_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            out.clear();
+            let mut slow = |frame: Frame| {
+                let writer = Arc::clone(&writer);
+                gateway.submit(
+                    frame,
+                    Box::new(move |reply| {
                         let mut w = writer.lock().unwrap();
                         let _ = write_reply(&mut *w, &reply);
-                        continue;
+                    }),
+                );
+            };
+            admitted.clear();
+            for &frame in &batch {
+                match sessions.admit(&frame, limits.max_sessions_per_conn) {
+                    Ok(()) => admitted.push(frame),
+                    Err(reason) => {
+                        // Flush the admitted run first so a bounced
+                        // session's earlier replies keep their order.
+                        gateway.call_batch(&admitted, &mut scratch, &mut out, &mut slow);
+                        admitted.clear();
+                        let reply = gateway.transport_reject(frame.session(), reason);
+                        encode_reply(&reply, &mut out);
                     }
-                    let writer = Arc::clone(&writer);
-                    gateway.submit(
-                        frame,
-                        Box::new(move |reply| {
+                }
+            }
+            gateway.call_batch(&admitted, &mut scratch, &mut out, &mut slow);
+            admitted.clear();
+            if !out.is_empty() {
+                let mut w = writer.lock().unwrap();
+                w.write_all(&out)?;
+                gateway.runtime_stats().note_bytes_out(out.len());
+            }
+            if let Some(e) = wire_err {
+                gateway
+                    .runtime_stats()
+                    .note_conn_evict(ConnEvictReason::Protocol);
+                return Err(e.into());
+            }
+        } else {
+            loop {
+                match frames.next_frame() {
+                    Ok(Some(frame)) => {
+                        if let Err(reason) = sessions.admit(&frame, limits.max_sessions_per_conn) {
+                            let reply = gateway.transport_reject(frame.session(), reason);
                             let mut w = writer.lock().unwrap();
                             let _ = write_reply(&mut *w, &reply);
-                        }),
-                    );
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    gateway
-                        .runtime_stats()
-                        .note_conn_evict(ConnEvictReason::Protocol);
-                    return Err(e.into());
+                            continue;
+                        }
+                        let writer = Arc::clone(&writer);
+                        gateway.submit(
+                            frame,
+                            Box::new(move |reply| {
+                                let mut w = writer.lock().unwrap();
+                                let _ = write_reply(&mut *w, &reply);
+                            }),
+                        );
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        gateway
+                            .runtime_stats()
+                            .note_conn_evict(ConnEvictReason::Protocol);
+                        return Err(e.into());
+                    }
                 }
             }
         }
@@ -459,6 +524,13 @@ struct ReactorConn {
     /// First byte of an unfinished inbound message, for the read
     /// deadline sweep.
     mid_since: Option<Instant>,
+    /// Frames decoded from the current readiness event, reused across
+    /// events (batched path only).
+    batch: Vec<Frame>,
+    /// Admitted run being accumulated for [`Gateway::call_batch`].
+    admitted: Vec<Frame>,
+    /// Session-grouping scratch for [`Gateway::call_batch`].
+    scratch: BatchScratch,
 }
 
 /// A non-blocking TCP acceptor in front of a gateway: all connections
@@ -611,6 +683,14 @@ fn event_loop(
                             }
                             if keep && ev.is_readable() {
                                 keep = read_conn(gateway, shared, Token(t), conn, &mut chunk, cfg);
+                                // Inline batch replies land in the
+                                // outbound buffer without a waker
+                                // round-trip; flush them right away.
+                                if keep {
+                                    keep =
+                                        flush_conn(gateway, poll, Token(t), conn, cfg.outbuf_cap)
+                                            .is_ok();
+                                }
                             }
                             keep
                         }
@@ -736,13 +816,19 @@ fn register_conn(
             write_interest: false,
             sessions: ConnSessions::default(),
             mid_since: None,
+            batch: Vec::new(),
+            admitted: Vec::new(),
+            scratch: BatchScratch::new(),
         },
     );
 }
 
 /// Drains the socket's readable bytes into the connection's
-/// [`FrameBuffer`] and submits every complete frame. Returns `false`
-/// when the connection is finished (EOF, error, or protocol damage).
+/// [`FrameBuffer`] and processes every complete frame — through
+/// [`Gateway::call_batch`] when batching is enabled, per-frame
+/// `submit` otherwise. Returns `false` when the connection is finished
+/// (EOF, error, or protocol damage); frames decoded before the damage
+/// are still answered either way.
 fn read_conn(
     gateway: &Gateway,
     shared: &Arc<LoopShared>,
@@ -751,6 +837,21 @@ fn read_conn(
     chunk: &mut [u8],
     cfg: &ReactorConfig,
 ) -> bool {
+    if !gateway.batching_enabled() {
+        return read_conn_per_frame(gateway, shared, token, conn, chunk, cfg);
+    }
+    let keep = read_into_batch(gateway, conn, chunk);
+    if !conn.batch.is_empty() {
+        process_batch(gateway, shared, token, conn, cfg);
+        conn.batch.clear();
+    }
+    keep
+}
+
+/// Batched read half: pulls bounded chunks into the frame buffer and
+/// decodes complete frames into `conn.batch` without touching the
+/// gateway. Returns whether the connection stays registered.
+fn read_into_batch(gateway: &Gateway, conn: &mut ReactorConn, chunk: &mut [u8]) -> bool {
     // Bounded work per readiness event. A peer that writes continuously
     // would otherwise keep this loop inside `read` forever — starving
     // every other connection on the loop AND the flush pass that
@@ -765,8 +866,8 @@ fn read_conn(
         reads += 1;
         match conn.stream.read(chunk) {
             // EOF. A partial frame left in the buffer is a torn stream;
-            // either way the connection is done (replies already in
-            // flight for its frames go to the orphaned buffer).
+            // either way the connection is done after the frames
+            // already decoded are processed.
             Ok(0) => {
                 if conn.frames.is_mid_message() {
                     gateway
@@ -776,29 +877,11 @@ fn read_conn(
                 return false;
             }
             Ok(n) => {
+                gateway.runtime_stats().note_bytes_in(n);
                 conn.frames.extend(&chunk[..n]);
                 loop {
                     match conn.frames.next_frame() {
-                        Ok(Some(frame)) => {
-                            if let Err(reason) = conn
-                                .sessions
-                                .admit(&frame, cfg.limits.max_sessions_per_conn)
-                            {
-                                let reply = gateway.transport_reject(frame.session(), reason);
-                                encode_reply(&reply, &mut conn.out.lock().unwrap().buf);
-                                shared.request_flush(token.0);
-                                continue;
-                            }
-                            let out = Arc::clone(&conn.out);
-                            let shared = Arc::clone(shared);
-                            gateway.submit(
-                                frame,
-                                Box::new(move |reply| {
-                                    encode_reply(&reply, &mut out.lock().unwrap().buf);
-                                    shared.request_flush(token.0);
-                                }),
-                            );
-                        }
+                        Ok(Some(frame)) => conn.batch.push(frame),
                         Ok(None) => break,
                         // Adversarial or corrupt input: cut the
                         // connection, exactly like the blocking server.
@@ -828,6 +911,127 @@ fn read_conn(
     }
 }
 
+/// Runs one readiness event's decoded frames through
+/// [`Gateway::call_batch`] under a single outbound-buffer lock: one
+/// session-grouped DFA pass, inline replies appended straight to the
+/// buffer, contended sessions forwarded to the worker queue with the
+/// classic responder. The caller flushes once afterwards — inline
+/// replies never pay the waker round-trip.
+fn process_batch(
+    gateway: &Gateway,
+    shared: &Arc<LoopShared>,
+    token: Token,
+    conn: &mut ReactorConn,
+    cfg: &ReactorConfig,
+) {
+    let cap = cfg.limits.max_sessions_per_conn;
+    let out = &conn.out;
+    let mut ob = out.lock().unwrap();
+    let mut slow = |frame: Frame| {
+        let out = Arc::clone(out);
+        let shared = Arc::clone(shared);
+        gateway.submit(
+            frame,
+            Box::new(move |reply| {
+                encode_reply(&reply, &mut out.lock().unwrap().buf);
+                shared.request_flush(token.0);
+            }),
+        );
+    };
+    conn.admitted.clear();
+    for &frame in &conn.batch {
+        match conn.sessions.admit(&frame, cap) {
+            Ok(()) => conn.admitted.push(frame),
+            Err(reason) => {
+                // Flush the admitted run first so a bounced session's
+                // earlier replies keep their order in the buffer.
+                gateway.call_batch(&conn.admitted, &mut conn.scratch, &mut ob.buf, &mut slow);
+                conn.admitted.clear();
+                let reply = gateway.transport_reject(frame.session(), reason);
+                encode_reply(&reply, &mut ob.buf);
+            }
+        }
+    }
+    gateway.call_batch(&conn.admitted, &mut conn.scratch, &mut ob.buf, &mut slow);
+    conn.admitted.clear();
+}
+
+/// Per-frame fallback ([`GatewayConfig::batching`] off): every decoded
+/// frame is submitted individually and every reply pays a responder
+/// and a flush wakeup. Kept as the differential oracle for the batched
+/// path.
+///
+/// [`GatewayConfig::batching`]: crate::gateway::GatewayConfig::batching
+fn read_conn_per_frame(
+    gateway: &Gateway,
+    shared: &Arc<LoopShared>,
+    token: Token,
+    conn: &mut ReactorConn,
+    chunk: &mut [u8],
+    cfg: &ReactorConfig,
+) -> bool {
+    let mut reads = 0usize;
+    loop {
+        if reads == MAX_READS_PER_EVENT {
+            return true;
+        }
+        reads += 1;
+        match conn.stream.read(chunk) {
+            Ok(0) => {
+                if conn.frames.is_mid_message() {
+                    gateway
+                        .runtime_stats()
+                        .note_conn_evict(ConnEvictReason::Protocol);
+                }
+                return false;
+            }
+            Ok(n) => {
+                gateway.runtime_stats().note_bytes_in(n);
+                conn.frames.extend(&chunk[..n]);
+                loop {
+                    match conn.frames.next_frame() {
+                        Ok(Some(frame)) => {
+                            if let Err(reason) = conn
+                                .sessions
+                                .admit(&frame, cfg.limits.max_sessions_per_conn)
+                            {
+                                let reply = gateway.transport_reject(frame.session(), reason);
+                                encode_reply(&reply, &mut conn.out.lock().unwrap().buf);
+                                shared.request_flush(token.0);
+                                continue;
+                            }
+                            let out = Arc::clone(&conn.out);
+                            let shared = Arc::clone(shared);
+                            gateway.submit(
+                                frame,
+                                Box::new(move |reply| {
+                                    encode_reply(&reply, &mut out.lock().unwrap().buf);
+                                    shared.request_flush(token.0);
+                                }),
+                            );
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            gateway
+                                .runtime_stats()
+                                .note_conn_evict(ConnEvictReason::Protocol);
+                            return false;
+                        }
+                    }
+                }
+                if conn.frames.is_mid_message() {
+                    conn.mid_since.get_or_insert_with(Instant::now);
+                } else {
+                    conn.mid_since = None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
 /// Writes as much buffered output as the socket takes. Registers
 /// `EPOLLOUT` interest while bytes remain, drops it once drained, and
 /// evicts the connection as a counted slow consumer when the backlog
@@ -844,7 +1048,10 @@ fn flush_conn(
         let start = out.start;
         match (&conn.stream).write(&out.buf[start..]) {
             Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-            Ok(n) => out.start += n,
+            Ok(n) => {
+                out.start += n;
+                gateway.runtime_stats().note_bytes_out(n);
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
@@ -1016,14 +1223,26 @@ impl MuxTransport for MuxClient {
 }
 
 /// In-process [`MuxTransport`]: frames go through the real encoder and
-/// decoder straight into [`Gateway::submit`]; replies round-trip the
-/// wire format into a condvar-guarded queue the exchange drains. The
-/// differential twin of [`MuxClient`] for socket-free tests and
-/// benchmarks.
+/// decoder; with batching enabled they accumulate until
+/// [`MuxTransport::exchange`] runs the whole burst through
+/// [`Gateway::call_batch`] and decodes the inline reply bytes from a
+/// reused wire buffer, otherwise each frame goes straight into
+/// [`Gateway::submit`]. Slow-path replies round-trip the wire format
+/// (stack-encoded, no per-reply allocation) into a condvar-guarded
+/// queue the exchange drains. The differential twin of [`MuxClient`]
+/// for socket-free tests and benchmarks.
 pub struct LoopbackMux {
     gateway: Gateway,
     pending: Arc<(Mutex<Vec<Reply>>, Condvar)>,
     buf: Vec<u8>,
+    /// Decoded frames awaiting the next exchange (batched path only).
+    queued: Vec<Frame>,
+    /// Session-grouping scratch for [`Gateway::call_batch`].
+    scratch: BatchScratch,
+    /// Reused inline-reply wire buffer.
+    wire: Vec<u8>,
+    /// Reused inline-reply decoder.
+    rdec: ReplyBuffer,
 }
 
 impl LoopbackMux {
@@ -1033,8 +1252,28 @@ impl LoopbackMux {
             gateway,
             pending: Arc::new((Mutex::new(Vec::new()), Condvar::new())),
             buf: Vec::with_capacity(32),
+            queued: Vec::new(),
+            scratch: BatchScratch::new(),
+            wire: Vec::new(),
+            rdec: ReplyBuffer::new(),
         }
     }
+}
+
+/// The slow-path responder both loopback-mux paths share: round-trips
+/// the reply through the stack wire encoder into the pending queue.
+fn loopback_mux_responder(
+    pending: &Arc<(Mutex<Vec<Reply>>, Condvar)>,
+) -> Box<dyn FnOnce(Reply) + Send + 'static> {
+    let pending = Arc::clone(pending);
+    Box::new(move |reply| {
+        let (wire, len) = encode_reply_array(&reply);
+        if let Ok(reply) = decode_reply(&wire[4..len]) {
+            let (lock, cv) = &*pending;
+            lock.lock().unwrap().push(reply);
+            cv.notify_one();
+        }
+    })
 }
 
 impl MuxTransport for LoopbackMux {
@@ -1042,26 +1281,35 @@ impl MuxTransport for LoopbackMux {
         self.buf.clear();
         encode_frame(frame, &mut self.buf);
         let decoded = decode_frame(&self.buf[4..])?;
-        let pending = Arc::clone(&self.pending);
-        self.gateway.submit(
-            decoded,
-            Box::new(move |reply| {
-                let mut wire = Vec::with_capacity(16);
-                encode_reply(&reply, &mut wire);
-                if let Ok(reply) = decode_reply(&wire[4..]) {
-                    let (lock, cv) = &*pending;
-                    lock.lock().unwrap().push(reply);
-                    cv.notify_one();
-                }
-            }),
-        );
+        if self.gateway.batching_enabled() {
+            self.queued.push(decoded);
+            return Ok(());
+        }
+        self.gateway
+            .submit(decoded, loopback_mux_responder(&self.pending));
         Ok(())
     }
 
     fn exchange(&mut self, wait: bool, replies: &mut Vec<Reply>) -> io::Result<()> {
+        let mut inline = 0usize;
+        if !self.queued.is_empty() {
+            self.wire.clear();
+            let gateway = &self.gateway;
+            let pending = &self.pending;
+            let mut slow = |frame: Frame| {
+                gateway.submit(frame, loopback_mux_responder(pending));
+            };
+            gateway.call_batch(&self.queued, &mut self.scratch, &mut self.wire, &mut slow);
+            self.queued.clear();
+            self.rdec.extend(&self.wire);
+            while let Some(r) = self.rdec.next_reply()? {
+                replies.push(r);
+                inline += 1;
+            }
+        }
         let (lock, cv) = &*self.pending;
         let mut got = lock.lock().unwrap();
-        if wait {
+        if wait && inline == 0 {
             // Gateway workers always answer admitted frames, so a bare
             // wait cannot hang; the timeout guards responder drops
             // during teardown.

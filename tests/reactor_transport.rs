@@ -36,10 +36,19 @@ fn config(runs: u64, threads: usize, sessions_per_conn: u64) -> DriveConfig {
 
 /// A fresh gateway per campaign: closed sessions are tombstoned until
 /// idle eviction, and every campaign reuses run indices as session ids.
-fn gateway(components: &[Spec], service: &Spec) -> Gateway {
+/// `batching: false` is the per-frame dispatch oracle for the batched
+/// hot path (`--no-batch` on the CLI).
+fn gateway_with(components: &[Spec], service: &Spec, batching: bool) -> Gateway {
     let parts: Vec<&Spec> = components.iter().collect();
-    Gateway::new(&parts, service, GatewayConfig::default())
-        .expect("gateway must compile the system")
+    let cfg = GatewayConfig {
+        batching,
+        ..GatewayConfig::default()
+    };
+    Gateway::new(&parts, service, cfg).expect("gateway must compile the system")
+}
+
+fn gateway(components: &[Spec], service: &Spec) -> Gateway {
+    gateway_with(components, service, true)
 }
 
 /// One campaign over the named carrier, with its own server teardown.
@@ -49,7 +58,18 @@ fn campaign(
     service: &Spec,
     cfg: &DriveConfig,
 ) -> (DriveReport, u64, u64) {
-    let gw = gateway(components, service);
+    campaign_with(carrier, components, service, cfg, true)
+}
+
+/// [`campaign`] with the gateway's batched dispatch switched on or off.
+fn campaign_with(
+    carrier: &str,
+    components: &[Spec],
+    service: &Spec,
+    cfg: &DriveConfig,
+    batching: bool,
+) -> (DriveReport, u64, u64) {
+    let gw = gateway_with(components, service, batching);
     let report = match carrier {
         "loopback" => drive(components, service, cfg, || {
             Ok(Box::new(LoopbackConn::new(gw.clone())) as Box<dyn Conn>)
@@ -140,6 +160,78 @@ fn reports_identical_across_all_transports() {
                 "{label}: {carrier} leaked connections ({opened} opened, {closed} closed)"
             );
         }
+    }
+}
+
+/// The batched wire hot path against its per-frame oracle: with
+/// `GatewayConfig::batching` off, every carrier falls back to one
+/// `Gateway::call`-style dispatch per frame (boxed responder, waker
+/// round-trip). Fixed-seed campaigns must be byte-identical either
+/// way — for the verified converter and for a convicted mutant alike,
+/// so conviction outcomes (and their counts) carry over exactly.
+#[test]
+fn batched_and_per_frame_dispatch_agree_across_transports() {
+    let system = colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&system.b, &service, &system.int).expect("colocated converter derives");
+    let mutant = (0..8)
+        .find_map(|k| {
+            let m = redirect_transition(&q.converter, k)?;
+            let ok = converter_verdict(&system.b, &service, &m)
+                .map(|v| v.is_ok())
+                .unwrap_or(false);
+            (!ok).then_some(m)
+        })
+        .expect("some single-transition mutant is statically rejected");
+
+    for (label, converter, expect_clean) in
+        [("derived", &q.converter, true), ("mutant", &mutant, false)]
+    {
+        let components = [system.b.clone(), converter.clone()];
+        let cfg = config(24, 2, 8);
+        for carrier in ["loopback", "blocking", "reactor-mux"] {
+            let (batched, _, _) = campaign_with(carrier, &components, &service, &cfg, true);
+            let (per_frame, _, _) = campaign_with(carrier, &components, &service, &cfg, false);
+            assert_eq!(
+                batched.to_json(),
+                per_frame.to_json(),
+                "{label}: {carrier} batched dispatch diverges from per-frame dispatch"
+            );
+            assert_eq!(batched.is_clean(), expect_clean, "{label}: {carrier}");
+            if !expect_clean {
+                assert!(
+                    batched.convicted_runs > 0,
+                    "{label}: {carrier} lost the convictions"
+                );
+            }
+        }
+    }
+}
+
+/// Client-side pipelining composes with the server's batched dispatch:
+/// a clean campaign driven with a deep speculation window over the
+/// reactor produces the same report as the unpipelined multiplexed
+/// campaign (which in turn equals the loopback baseline).
+#[test]
+fn pipelined_reactor_campaigns_match_lockstep() {
+    let system = colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&system.b, &service, &system.int).expect("colocated converter derives");
+    let components = [system.b.clone(), q.converter.clone()];
+    let cfg = config(24, 2, 8);
+    let (baseline, _, _) = campaign("reactor-mux", &components, &service, &cfg);
+    assert!(baseline.is_clean(), "verified converter convicted");
+    for pipeline in [4u64, 16] {
+        let piped_cfg = DriveConfig {
+            pipeline,
+            ..config(24, 2, 8)
+        };
+        let (piped, _, _) = campaign("reactor-mux", &components, &service, &piped_cfg);
+        assert_eq!(
+            baseline.to_json(),
+            piped.to_json(),
+            "pipeline depth {pipeline} changed the reactor campaign report"
+        );
     }
 }
 

@@ -20,8 +20,8 @@ use protoquot_protocols::{
     symmetric_configuration, RandomParams,
 };
 use protoquot_runtime::{
-    drive, Conn, DriveConfig, DriveReport, Frame, Gateway, GatewayConfig, GuardProgram,
-    LoopbackConn, Reply, SessionGuard, SessionGuardReference, WireCodec,
+    drive, drive_mux, Conn, DriveConfig, DriveReport, Frame, Gateway, GatewayConfig, GuardProgram,
+    LoopbackConn, LoopbackMux, MuxTransport, Reply, SessionGuard, SessionGuardReference, WireCodec,
 };
 use protoquot_sim::{redirect_transition, FaultPlan};
 use protoquot_spec::{compose_all, has_trace, Alphabet, EventId, Spec, SpecBuilder};
@@ -475,6 +475,89 @@ fn dfa_and_reference_guards_agree_on_random_components() {
             &service,
             0xC0FF_EE00 ^ seed,
         );
+    }
+}
+
+/// One multiplexed loopback campaign — the carrier that hands whole
+/// readiness batches to [`Gateway::call_batch`] — against a gateway
+/// with `threads` workers and batched dispatch on or off.
+fn mux_campaign(
+    components: &[Spec],
+    service: &Spec,
+    threads: usize,
+    batching: bool,
+) -> DriveReport {
+    let parts: Vec<&Spec> = components.iter().collect();
+    let gw = Gateway::new(
+        &parts,
+        service,
+        GatewayConfig {
+            workers: threads,
+            batching,
+            ..GatewayConfig::default()
+        },
+    )
+    .expect("gateway must compile the system");
+    let cfg = DriveConfig {
+        sessions_per_conn: 8,
+        ..config(threads)
+    };
+    let report = drive_mux(components, service, &cfg, || {
+        Ok(Box::new(LoopbackMux::new(gw.clone())) as Box<dyn MuxTransport>)
+    });
+    gw.drain();
+    assert_eq!(
+        gw.stats().convictions,
+        report.convicted_runs,
+        "gateway conviction counter disagrees with the drive report"
+    );
+    report
+}
+
+/// Batched dispatch against its per-frame oracle at 1 and 8 workers:
+/// with `GatewayConfig::batching` off every frame takes the classic
+/// `submit` + boxed-responder path, yet fixed-seed multiplexed
+/// campaigns must stay byte-identical — for the derived converter and
+/// for a statically rejected mutant, so convictions carry over with
+/// identical counts and reasons at every worker count.
+#[test]
+fn batched_campaigns_match_per_frame_campaigns() {
+    let cfg = colocated_configuration();
+    let service = exactly_once();
+    let q = solve(&cfg.b, &service, &cfg.int).expect("colocated converter derives");
+    let mutant = (0..8)
+        .find_map(|k| {
+            let m = redirect_transition(&q.converter, k)?;
+            let ok = converter_verdict(&cfg.b, &service, &m)
+                .map(|v| v.is_ok())
+                .unwrap_or(false);
+            (!ok).then_some(m)
+        })
+        .expect("some single-transition mutant is statically rejected");
+    for (kind, converter, expect_clean) in
+        [("derived", &q.converter, true), ("mutant", &mutant, false)]
+    {
+        let components = [cfg.b.clone(), converter.clone()];
+        for threads in [1usize, 8] {
+            let batched = mux_campaign(&components, &service, threads, true);
+            let per_frame = mux_campaign(&components, &service, threads, false);
+            assert_eq!(
+                batched.to_json(),
+                per_frame.to_json(),
+                "{kind}: batched and per-frame campaigns diverge at {threads} workers"
+            );
+            assert_eq!(
+                batched.is_clean(),
+                expect_clean,
+                "{kind}: unexpected verdict at {threads} workers: {batched}"
+            );
+            if !expect_clean {
+                assert!(
+                    batched.convicted_runs > 0,
+                    "{kind}: convictions lost at {threads} workers"
+                );
+            }
+        }
     }
 }
 
