@@ -31,9 +31,10 @@
 
 use protoquot_core::{prune_useless, solve_with, ProgressStrategy, QuotientOptions};
 use protoquot_runtime::{
-    adversarial, drive, drive_mux, AdversarialConfig, Conn, ConnLimits, DriveConfig, FuzzConfig,
-    FuzzTarget, Gateway, GatewayConfig, LoopbackConn, LoopbackMux, MuxClient, MuxTransport,
-    ReactorConfig, ReactorServer, TcpConn, TcpServer,
+    adversarial, drive, drive_mux, table_hash, AdversarialConfig, CompiledArtifact, Conn,
+    ConnLimits, ConverterRegistry, DriveConfig, FuzzConfig, FuzzTarget, Gateway, GatewayConfig,
+    LoopbackConn, LoopbackMux, MuxClient, MuxTransport, ReactorConfig, ReactorServer, TcpConn,
+    TcpServer,
 };
 use protoquot_sim::{
     redirect_transition, run_monitored, FaultPlan, FleetConfig, FleetRunner, MonitorVerdict,
@@ -93,9 +94,10 @@ usage:
   protoquot check FILE --impl SPEC --service SPEC
   protoquot solve FILE --service SPEC --int e1,e2,... [--b SPEC...]
             [--dot] [--prune] [--vacuous] [--reachable] [--threads N] [--stats]
-            [--emit compiled]
+            [--emit compiled [--out PATH]]
   protoquot solve FILE --problem NAME [--dot] [--prune] [--vacuous] [--reachable]
-            [--threads N] [--stats] [--emit compiled]
+            [--threads N] [--stats] [--emit compiled [--out PATH]]
+  protoquot solve --builtin colocated|symmetric|ab-nak [--mutate K] [options as above]
   protoquot simulate FILE --service SPEC --components S1,S2,...
             [--steps N] [--seed K] [--loss COMPONENT=WEIGHT]...
   protoquot minimize FILE SPEC
@@ -110,14 +112,16 @@ usage:
             [--addr HOST:PORT] [--transport blocking|reactor] [--loops N]
             [--threads N] [--duration SECS] [--stats] [--frame-budget N]
             [--max-sessions-per-conn N] [--read-deadline SECS] [--no-batch]
+            [--registry DIR [--control HOST:PORT]] [--require-hello]
+  protoquot reload --control HOST:PORT --artifact PATH
   protoquot drive (FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K])
             (--connect HOST:PORT | --loopback) [--runs N] [--threads T] [--steps N]
             [--sessions-per-conn N] [--pipeline N] [--faults loss,dup,reorder,burst]
             [--seed S] [--duration SECS] [--expect-clean] [--adversarial] [--json]
-            [--no-batch]
+            [--no-batch] [--no-hello]
   protoquot fuzz [FILE --service SPEC --components S1,S2,... | --builtin NAME [--mutate K]]
-            [--target codec|guard|gateway|batch|all] [--seed S] [--iters N] [--max-len N]
-            [--no-shrink] [--json]
+            [--target codec|guard|gateway|batch|artifact|all] [--seed S] [--iters N]
+            [--max-len N] [--no-shrink] [--json]
 
 FILE contains specifications in the textual language, e.g.:
 
@@ -148,6 +152,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "explore" => cmd_explore(rest),
         "soak" => cmd_soak(rest),
         "serve" => cmd_serve(rest),
+        "reload" => cmd_reload(rest),
         "drive" => cmd_drive(rest),
         "fuzz" => cmd_fuzz(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
@@ -193,6 +198,10 @@ const VALUED: &[&str] = &[
     "--iters",
     "--max-len",
     "--pipeline",
+    "--out",
+    "--registry",
+    "--control",
+    "--artifact",
 ];
 
 fn parse_args(rest: &[String]) -> Result<Parsed, CliError> {
@@ -345,10 +354,19 @@ fn cmd_check(rest: &[String]) -> Result<String, CliError> {
 
 fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
     let p = parse_args(rest)?;
+    // A built-in target needs no spec file: the configuration carries
+    // B, the interface and the service.
+    if let Some(name) = p.value("--builtin") {
+        if !p.positional.is_empty() {
+            return err("--builtin does not take a FILE");
+        }
+        let (cfg, service) = builtin_configuration(name)?;
+        return solve_system(&p, cfg.b, &service, &cfg.int);
+    }
     let [file] = &p.positional[..] else {
         return err(
-            "usage: protoquot solve FILE (--problem NAME | --service SPEC --int e1,e2,... \
-             [--b SPEC...])",
+            "usage: protoquot solve (FILE (--problem NAME | --service SPEC --int e1,e2,... \
+             [--b SPEC...]) | --builtin colocated|symmetric|ab-nak)",
         );
     };
     let source = load_source(file)?;
@@ -404,6 +422,13 @@ fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
     } else {
         compose_all(&parts).map_err(|e| CliError(e.to_string()))?
     };
+    let srv = srv.clone();
+    solve_system(&p, b, &srv, &int)
+}
+
+/// The shared back half of `solve`: derives the converter for one
+/// resolved quotient problem and renders/emits it per the flags.
+fn solve_system(p: &Parsed, b: Spec, srv: &Spec, int: &Alphabet) -> Result<String, CliError> {
     let safety_threads: usize = match p.value("--threads") {
         Some(v) => v
             .parse()
@@ -428,12 +453,29 @@ fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
         srv.name(),
         int
     ));
-    match solve_with(&b, srv, &int, &options) {
+    match solve_with(&b, srv, int, &options) {
         Ok(q) => {
             let converter = if p.has("--prune") {
                 prune_useless(&b, srv, &q.converter)
             } else {
                 q.converter
+            };
+            // A deliberate bug, e.g. to exercise registry admission:
+            // redirect the K-th external transition of the derived
+            // converter before verification and emission.
+            let converter = match p.value("--mutate") {
+                Some(k) => {
+                    let k: usize = k
+                        .parse()
+                        .map_err(|_| CliError("--mutate must be a transition index".into()))?;
+                    redirect_transition(&converter, k).ok_or_else(|| {
+                        CliError(format!(
+                            "--mutate {k}: converter has only {} external transitions",
+                            converter.num_external()
+                        ))
+                    })?
+                }
+                None => converter,
             };
             out.push_str(&format!(
                 "converter derived: {} states, {} transitions \
@@ -445,6 +487,14 @@ fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
                 q.stats.progress_iterations
             ));
             if p.has("--stats") {
+                // The wire identity the runtime will negotiate: the
+                // name-sorted event table of the service alphabet.
+                let tbl = EventTable::new(srv.alphabet());
+                out.push_str(&format!(
+                    "event table: {} events, hash {:016x}\n",
+                    tbl.len(),
+                    table_hash(&tbl)
+                ));
                 let se = &q.stats.safety_engine;
                 out.push_str(&format!(
                     "safety engine: {} states, {} transitions, {} dedup hits, \
@@ -482,11 +532,17 @@ fn cmd_solve(rest: &[String]) -> Result<String, CliError> {
                 Some("compiled") => {
                     out.push_str(&emit_compiled(&b, srv, &converter)?);
                     out.push('\n');
+                    if let Some(path) = p.value("--out") {
+                        out.push_str(&emit_artifact(&b, srv, &converter, path)?);
+                    }
                 }
                 Some(other) => {
                     return err(format!(
                         "--emit: unknown format `{other}` (known: compiled)"
                     ))
+                }
+                None if p.value("--out").is_some() => {
+                    return err("--out needs --emit compiled");
                 }
                 None => out.push_str(&if p.has("--json") {
                     protoquot_spec::serde_impl::to_json(&converter)
@@ -732,21 +788,7 @@ fn cmd_explore(rest: &[String]) -> Result<String, CliError> {
 /// exactly-once). The converter is derived on the spot; `--mutate K`
 /// redirects its `K`-th external transition to seed a deliberate bug.
 fn builtin_soak_system(name: &str, mutate: Option<&str>) -> Result<(Vec<Spec>, Spec), CliError> {
-    use protoquot_protocols::paper::{colocated_configuration, symmetric_configuration};
-    use protoquot_protocols::service::{at_least_once, exactly_once};
-    let (cfg, service) = match name {
-        "colocated" => (colocated_configuration(), exactly_once()),
-        "symmetric" => (symmetric_configuration(), at_least_once()),
-        "ab-nak" => (
-            protoquot_protocols::nak::ab_to_nak_configuration(),
-            exactly_once(),
-        ),
-        other => {
-            return err(format!(
-                "unknown builtin `{other}` (known: colocated, symmetric, ab-nak)"
-            ))
-        }
-    };
+    let (cfg, service) = builtin_configuration(name)?;
     let q = protoquot_core::solve(&cfg.b, &service, &cfg.int)
         .map_err(|e| CliError(format!("cannot derive the {name} converter: {e}")))?;
     let mut converter = q.converter;
@@ -762,6 +804,29 @@ fn builtin_soak_system(name: &str, mutate: Option<&str>) -> Result<(Vec<Spec>, S
         })?;
     }
     Ok((vec![cfg.b, converter], service))
+}
+
+/// The raw quotient configuration of one built-in §5 target: the fixed
+/// components composed as `B`, the interface alphabet, and the service
+/// contract.
+fn builtin_configuration(
+    name: &str,
+) -> Result<(protoquot_protocols::paper::Configuration, Spec), CliError> {
+    use protoquot_protocols::paper::{colocated_configuration, symmetric_configuration};
+    use protoquot_protocols::service::{at_least_once, exactly_once};
+    Ok(match name {
+        "colocated" => (colocated_configuration(), exactly_once()),
+        "symmetric" => (symmetric_configuration(), at_least_once()),
+        "ab-nak" => (
+            protoquot_protocols::nak::ab_to_nak_configuration(),
+            exactly_once(),
+        ),
+        other => {
+            return err(format!(
+                "unknown builtin `{other}` (known: colocated, symmetric, ab-nak)"
+            ))
+        }
+    })
 }
 
 /// Resolves the soak/serve/drive target system: either `--builtin NAME
@@ -894,6 +959,24 @@ fn emit_compiled(b: &Spec, srv: &Spec, converter: &Spec) -> Result<String, CliEr
     serde_json::to_string(&Value::Obj(o)).map_err(|e| CliError(e.to_string()))
 }
 
+/// Writes the binary `PQCA` artifact of the derived system to `path`
+/// and returns a receipt line with the content and event-table hashes
+/// — everything `protoquot reload` needs to take it live.
+fn emit_artifact(b: &Spec, srv: &Spec, converter: &Spec, path: &str) -> Result<String, CliError> {
+    let parts = [b, converter];
+    let bytes = protoquot_runtime::artifact::encode(&parts, srv)
+        .map_err(|e| CliError(format!("cannot compile the artifact: {e}")))?;
+    let artifact =
+        CompiledArtifact::decode(&bytes).expect("a freshly encoded artifact always decodes");
+    std::fs::write(path, &bytes).map_err(|e| CliError(format!("cannot write `{path}`: {e}")))?;
+    Ok(format!(
+        "wrote {path}: {} bytes, content {:016x}, event table {:016x}\n",
+        bytes.len(),
+        artifact.content_hash,
+        artifact.table_hash
+    ))
+}
+
 fn parse_duration(p: &Parsed) -> Result<Option<Duration>, CliError> {
     match p.value("--duration") {
         Some(v) => {
@@ -914,7 +997,8 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
          --builtin colocated|symmetric|ab-nak [--mutate K]) [--addr HOST:PORT] \
          [--transport blocking|reactor] [--loops N] [--threads N] \
          [--duration SECS] [--stats] [--frame-budget N] \
-         [--max-sessions-per-conn N] [--read-deadline SECS] [--no-batch]",
+         [--max-sessions-per-conn N] [--read-deadline SECS] [--no-batch] \
+         [--registry DIR [--control HOST:PORT]] [--require-hello]",
     )?;
     let workers: usize = match p.value("--threads") {
         Some(v) => v
@@ -940,6 +1024,7 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
             .map_err(|_| CliError("--read-deadline must be seconds (0 disables)".into()))?;
         limits.read_deadline = Duration::from_secs_f64(secs);
     }
+    limits.require_hello = p.has("--require-hello");
     let loops: usize = match p.value("--loops") {
         Some(v) => v
             .parse()
@@ -962,6 +1047,23 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
     };
     let gw = Gateway::new(&parts, &service, cfg).map_err(|e| CliError(e.to_string()))?;
     let mut out = String::new();
+    // The registry + control surface: verified artifacts admitted over
+    // the control socket hot-swap the serving gateway.
+    let mut control = None;
+    if let Some(dir) = p.value("--registry") {
+        let registry = ConverterRegistry::open(dir, &service, gw.active_version())
+            .map_err(|e| CliError(format!("cannot open registry `{dir}`: {e}")))?
+            .with_verify_threads(workers);
+        if let Some(addr) = p.value("--control") {
+            let c = ControlServer::bind(addr, registry, gw.clone())
+                .map_err(|e| CliError(format!("cannot bind control socket {addr}: {e}")))?;
+            println!("control on {}", c.local_addr());
+            out.push_str(&format!("control on {}\n", c.local_addr()));
+            control = Some(c);
+        }
+    } else if p.value("--control").is_some() {
+        return err("--control needs --registry DIR");
+    }
     enum Server {
         Blocking(TcpServer),
         Reactor(ReactorServer),
@@ -1014,6 +1116,9 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
         Some(Server::Reactor(mut s)) => s.stop(),
         None => {}
     }
+    if let Some(c) = control {
+        c.stop();
+    }
     gw.drain();
     let snap = gw.stats();
     out.push_str(&format!("{snap}\n"));
@@ -1022,6 +1127,132 @@ fn cmd_serve(rest: &[String]) -> Result<String, CliError> {
         out.push('\n');
     }
     Ok(out)
+}
+
+/// The reload control surface of `protoquot serve`: a line-oriented
+/// TCP listener answering `reload PATH` by running the artifact at
+/// PATH through the registry's admission gate (decode, rebuild,
+/// re-verify against the pinned service) and, on admission, hot-swapping
+/// the serving gateway — new sessions bind the new version, existing
+/// sessions drain on the old one.
+///
+/// Replies are a single line: `ok version N content HASH table HASH`
+/// or `error: ...`. The listener serves one command per connection.
+struct ControlServer {
+    local: std::net::SocketAddr,
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ControlServer {
+    fn bind(
+        addr: &str,
+        mut registry: ConverterRegistry,
+        gw: Gateway,
+    ) -> std::io::Result<ControlServer> {
+        use std::io::{BufRead, BufReader, Write};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let listener = std::net::TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let stopped = std::sync::Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stopped.load(Ordering::Relaxed) {
+                let (stream, _) = match listener.accept() {
+                    Ok(conn) => conn,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                        continue;
+                    }
+                    Err(_) => break,
+                };
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                if reader.read_line(&mut line).is_err() {
+                    continue;
+                }
+                let reply = match line.trim().strip_prefix("reload ") {
+                    Some(path) if !path.is_empty() => {
+                        match Self::reload(&mut registry, &gw, path.trim()) {
+                            Ok(msg) => msg,
+                            Err(e) => format!("error: {e}"),
+                        }
+                    }
+                    _ => "error: expected `reload PATH`".to_string(),
+                };
+                let mut stream = reader.into_inner();
+                let _ = writeln!(stream, "{reply}");
+            }
+        });
+        Ok(ControlServer {
+            local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// Admission then swap; refusal at either gate leaves the old
+    /// version serving untouched.
+    fn reload(
+        registry: &mut ConverterRegistry,
+        gw: &Gateway,
+        path: &str,
+    ) -> Result<String, String> {
+        let admitted = registry.admit_file(path).map_err(|e| e.to_string())?;
+        gw.swap(admitted.version, admitted.program)
+            .map_err(|e| e.to_string())?;
+        Ok(format!(
+            "ok version {} content {:016x} table {:016x}",
+            admitted.version, admitted.content_hash, admitted.table_hash
+        ))
+    }
+
+    fn local_addr(&self) -> std::net::SocketAddr {
+        self.local
+    }
+
+    fn stop(mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// `protoquot reload`: asks a serving gateway's control socket to
+/// admit and hot-swap the artifact at `--artifact PATH` (a path on the
+/// server's filesystem, as emitted by `solve --emit compiled --out`).
+fn cmd_reload(rest: &[String]) -> Result<String, CliError> {
+    use std::io::{BufRead, BufReader, Write};
+    let p = parse_args(rest)?;
+    let usage = "usage: protoquot reload --control HOST:PORT --artifact PATH";
+    let Some(addr) = p.value("--control") else {
+        return err(usage);
+    };
+    let Some(path) = p.value("--artifact") else {
+        return err(usage);
+    };
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError(format!("cannot reach control socket {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| CliError(e.to_string()))?;
+    writeln!(stream, "reload {path}").map_err(|e| CliError(format!("control send: {e}")))?;
+    let mut line = String::new();
+    BufReader::new(stream)
+        .read_line(&mut line)
+        .map_err(|e| CliError(format!("control read: {e}")))?;
+    let line = line.trim();
+    if line.starts_with("ok ") {
+        Ok(format!("{line}\n"))
+    } else if line.is_empty() {
+        err("control socket closed without a reply")
+    } else {
+        err(format!("reload refused: {line}"))
+    }
 }
 
 fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
@@ -1055,7 +1286,7 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
          --builtin colocated|symmetric|ab-nak [--mutate K]) (--connect HOST:PORT | \
          --loopback) [--runs N] [--threads T] [--steps N] [--sessions-per-conn N] \
          [--pipeline N] [--faults loss,dup,reorder,burst] [--seed S] [--duration SECS] \
-         [--expect-clean] [--adversarial] [--json] [--no-batch]",
+         [--expect-clean] [--adversarial] [--json] [--no-batch] [--no-hello]",
     )?;
     let parse_num = |flag: &str, default: u64| -> Result<u64, CliError> {
         match p.value(flag) {
@@ -1090,13 +1321,27 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
     let report = match (p.value("--connect"), p.has("--loopback")) {
         (Some(addr), false) => {
             let addr = addr.to_string();
+            // Negotiate the wire identity at connection open (the
+            // event-table hash is derived from the service alphabet,
+            // exactly as the server derives its own); `--no-hello`
+            // drives as a legacy peer instead.
+            let hash =
+                (!p.has("--no-hello")).then(|| table_hash(&EventTable::new(service.alphabet())));
             if mux {
                 drive_mux(&components, &service, &cfg, move || {
-                    MuxClient::connect(&addr).map(|c| Box::new(c) as Box<dyn MuxTransport>)
+                    match hash {
+                        Some(h) => MuxClient::connect_negotiated(&addr, h),
+                        None => MuxClient::connect(&addr),
+                    }
+                    .map(|c| Box::new(c) as Box<dyn MuxTransport>)
                 })
             } else {
                 drive(&components, &service, &cfg, move || {
-                    TcpConn::connect(&addr).map(|c| Box::new(c) as Box<dyn Conn>)
+                    match hash {
+                        Some(h) => TcpConn::connect_negotiated(&addr, h),
+                        None => TcpConn::connect(&addr),
+                    }
+                    .map(|c| Box::new(c) as Box<dyn Conn>)
                 })
             }
         }
@@ -1149,7 +1394,8 @@ fn cmd_drive(rest: &[String]) -> Result<String, CliError> {
 }
 
 /// `protoquot fuzz`: the deterministic fuzz engine over the codec,
-/// guard, gateway, and batch-dispatch targets. Without a FILE or
+/// guard, gateway, batch-dispatch, and artifact-loader targets.
+/// Without a FILE or
 /// `--builtin` the colocated paper system is fuzzed (the targets need
 /// *a* compiled system; hostile inputs do not care which).
 fn cmd_fuzz(rest: &[String]) -> Result<String, CliError> {
@@ -1161,7 +1407,7 @@ fn cmd_fuzz(rest: &[String]) -> Result<String, CliError> {
             &p,
             "usage: protoquot fuzz [FILE --service SPEC --components S1,S2,... | \
                  --builtin colocated|symmetric|ab-nak [--mutate K]] \
-                 [--target codec|guard|gateway|batch|all] [--seed S] [--iters N] \
+                 [--target codec|guard|gateway|batch|artifact|all] [--seed S] [--iters N] \
                  [--max-len N] [--no-shrink] [--json]",
         )?
     };
@@ -1190,7 +1436,7 @@ fn cmd_fuzz(rest: &[String]) -> Result<String, CliError> {
         "all" => FuzzTarget::ALL.to_vec(),
         name => match FuzzTarget::parse(name) {
             Some(t) => vec![t],
-            None => return err("--target must be codec, guard, gateway, batch, or all"),
+            None => return err("--target must be codec, guard, gateway, batch, artifact, or all"),
         },
     };
     let parts: Vec<&Spec> = components.iter().collect();
@@ -1630,6 +1876,130 @@ mod tests {
                 .to_string()
                 .contains("unknown format"));
         })
+    }
+
+    #[test]
+    fn solve_stats_reports_event_table_hash() {
+        with_file(|path| {
+            let out = run_ok(&["solve", path, "--problem", "relay", "--stats"]);
+            assert!(out.contains("event table: 2 events, hash "), "{out}");
+        })
+    }
+
+    #[test]
+    fn solve_emit_compiled_out_writes_a_loadable_artifact() {
+        with_file(|path| {
+            let mut artifact_path = std::env::temp_dir();
+            artifact_path.push(format!(
+                "protoquot-cli-artifact-{}.pqca",
+                std::process::id()
+            ));
+            let artifact_path = artifact_path.to_str().unwrap().to_string();
+            let out = run_ok(&[
+                "solve",
+                path,
+                "--problem",
+                "relay",
+                "--emit",
+                "compiled",
+                "--out",
+                &artifact_path,
+            ]);
+            // The JSON stdout is unchanged; the receipt line follows it.
+            assert!(out.contains("\"tau_star\""), "{out}");
+            assert!(out.contains(&format!("wrote {artifact_path}:")), "{out}");
+            // The file decodes, re-verifies, and carries the same wire
+            // identity the stats line reports.
+            let bytes = std::fs::read(&artifact_path).unwrap();
+            let artifact = CompiledArtifact::decode(&bytes).expect("emitted artifact decodes");
+            let (_, service, prog) = artifact.instantiate().expect("emitted artifact rebuilds");
+            assert_eq!(service.name(), "S");
+            assert_eq!(
+                table_hash(&EventTable::new(service.alphabet())),
+                artifact.table_hash
+            );
+            drop(prog);
+            let _ = std::fs::remove_file(&artifact_path);
+            // --out without --emit compiled is rejected.
+            let args: Vec<String> = ["solve", path, "--problem", "relay", "--out", "/tmp/x"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            assert!(run(&args)
+                .unwrap_err()
+                .to_string()
+                .contains("--out needs --emit compiled"));
+        })
+    }
+
+    /// The control surface end to end: an emitted artifact admitted
+    /// over the control socket swaps the gateway; a mutant artifact is
+    /// refused at admission with the old version still serving.
+    #[test]
+    fn reload_control_socket_swaps_and_refuses() {
+        let (components, service) = builtin_soak_system("colocated", None).unwrap();
+        let parts: Vec<&Spec> = components.iter().collect();
+        let gw = Gateway::new(&parts, &service, GatewayConfig::default()).unwrap();
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("protoquot-cli-registry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let registry = ConverterRegistry::open(&dir, &service, gw.active_version()).unwrap();
+        let control = ControlServer::bind("127.0.0.1:0", registry, gw.clone()).unwrap();
+        let addr = control.local_addr().to_string();
+
+        // A verified v2 artifact (same system, freshly encoded).
+        let bytes = protoquot_runtime::artifact::encode(&parts, &service).unwrap();
+        let good = dir.join("v2.pqca");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&good, &bytes).unwrap();
+        let out = run_ok(&[
+            "reload",
+            "--control",
+            &addr,
+            "--artifact",
+            good.to_str().unwrap(),
+        ]);
+        assert!(out.starts_with("ok version 2 "), "{out}");
+        assert_eq!(gw.active_version(), 2);
+
+        // A mutant artifact (internally consistent, fails re-verify).
+        let mutant = (0..16)
+            .find_map(|k| {
+                let m = redirect_transition(&components[1], k)?;
+                let mutated = [&components[0], &m];
+                let bytes = protoquot_runtime::artifact::encode(&mutated, &service).ok()?;
+                CompiledArtifact::decode(&bytes).ok()?.instantiate().ok()?;
+                Some(bytes)
+            })
+            .expect("some mutant encodes");
+        let bad = dir.join("mutant.pqca");
+        std::fs::write(&bad, &mutant).unwrap();
+        let args: Vec<String> = ["reload", "--control", &addr, "--artifact"]
+            .iter()
+            .map(|s| s.to_string())
+            .chain([bad.to_str().unwrap().to_string()])
+            .collect();
+        let e = run(&args).unwrap_err().to_string();
+        assert!(e.contains("reload refused"), "{e}");
+        // The refusal left version 2 serving.
+        assert_eq!(gw.active_version(), 2);
+
+        // Garbage is a clean error too.
+        let junk = dir.join("junk.pqca");
+        std::fs::write(&junk, b"not an artifact").unwrap();
+        let args: Vec<String> = ["reload", "--control", &addr, "--artifact"]
+            .iter()
+            .map(|s| s.to_string())
+            .chain([junk.to_str().unwrap().to_string()])
+            .collect();
+        assert!(run(&args)
+            .unwrap_err()
+            .to_string()
+            .contains("reload refused"));
+        assert_eq!(gw.active_version(), 2);
+
+        control.stop();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -248,6 +248,9 @@ fn note_reply(out: &mut AttackOutcome, reply: &Reply) {
         Reply::Rejected { reason, .. } => {
             *out.rejects.entry(reason.name().to_string()).or_insert(0) += 1;
         }
+        // Connection-plane: only ever answers a Hello, which no attack
+        // sends; counted in `replies` but classified as neither.
+        Reply::HelloAck { .. } => {}
     }
 }
 

@@ -1,0 +1,659 @@
+//! The compiled converter artifact: a binary, content-addressed,
+//! strictly-validated container for one derived system.
+//!
+//! `solve --emit compiled --out PATH` writes one; the
+//! [`crate::registry`] stores, admits and hot-swaps them; `protoquot
+//! fuzz --target artifact` feeds the loader mutated bytes and demands
+//! clean [`ArtifactError`]s.
+//!
+//! ## Layout (all integers big-endian)
+//!
+//! ```text
+//! magic            4  b"PQCA"
+//! format version   4  u32, currently 1
+//! content hash     8  FNV-1a-64 over every payload byte
+//! table hash       8  codec::table_hash of the event table
+//! payload:
+//!   service          SpecDoc
+//!   part count       u32
+//!   parts            SpecDocs (fixed components first, converter last)
+//!   guard DFA:
+//!     nsym             u32
+//!     dfa_initial      u32
+//!     trans            u64 count + count × u32
+//!     any_fail         u64 count + count × u8 (0|1)
+//!     subset_size      u64 count + count × u32
+//!     initial verdict  u8 code (0 none, 1 not-a-trace, 2 service
+//!                      violation, 3 stalled) + u16 event for 1/2
+//! ```
+//!
+//! A `SpecDoc` is encoded as: name, alphabet (count + names), states
+//! (count + names), initial `u32`, external transitions (count ×
+//! `(u32, name, u32)`), internal transitions (count × `(u32, u32)`);
+//! strings are a `u32` length plus UTF-8 bytes.
+//!
+//! The artifact carries *both* the source specs and the determinized
+//! guard tables. The specs are load-bearing: registry admission re-runs
+//! [`protoquot_spec::verify_system`] on them before a version may go
+//! live, and [`CompiledArtifact::instantiate`] rebuilds the guard from
+//! them and refuses the artifact unless the rebuilt tables are
+//! byte-identical to the stored ones — a tampered or bit-rotted table
+//! can never reach a session even if its content hash was re-stamped.
+
+use crate::codec::table_hash;
+use crate::guard::{Conviction, GuardProgram};
+use protoquot_spec::{Spec, SpecDoc, SpecError};
+use std::fmt;
+
+/// Leading magic of every compiled artifact.
+pub const ARTIFACT_MAGIC: [u8; 4] = *b"PQCA";
+
+/// The one format version this build reads and writes.
+pub const ARTIFACT_FORMAT: u32 = 1;
+
+/// Sanity cap on any single encoded string (event, state, spec name):
+/// far above anything a real spec produces, low enough that a corrupt
+/// length prefix cannot demand a gigabyte.
+const MAX_STRING: usize = 1 << 20;
+
+/// Why artifact bytes were refused. Every path out of
+/// [`CompiledArtifact::decode`] and [`CompiledArtifact::instantiate`]
+/// is one of these — hostile bytes must never panic or hang.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArtifactError {
+    /// The first four bytes are not [`ARTIFACT_MAGIC`].
+    BadMagic,
+    /// The format version is one this build does not read.
+    UnsupportedFormat(u32),
+    /// The stored content hash does not match the payload bytes.
+    ContentHash {
+        /// Hash stamped in the header.
+        stored: u64,
+        /// Hash of the bytes actually present.
+        computed: u64,
+    },
+    /// Truncated, overlong, or structurally invalid bytes; the message
+    /// names the offending field.
+    Malformed(String),
+    /// The embedded specs do not rebuild into a valid system.
+    Spec(SpecError),
+    /// The guard rebuilt from the embedded specs disagrees with the
+    /// stored tables (or the stored table hash): the artifact was
+    /// tampered with after compilation.
+    Divergence(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic => write!(f, "not a compiled artifact (bad magic)"),
+            ArtifactError::UnsupportedFormat(v) => {
+                write!(f, "unsupported artifact format {v} (this build reads {ARTIFACT_FORMAT})")
+            }
+            ArtifactError::ContentHash { stored, computed } => write!(
+                f,
+                "content hash mismatch: header says {stored:016x}, payload hashes to {computed:016x}"
+            ),
+            ArtifactError::Malformed(m) => write!(f, "malformed artifact: {m}"),
+            ArtifactError::Spec(e) => write!(f, "embedded specs are invalid: {e}"),
+            ArtifactError::Divergence(m) => write!(f, "artifact diverges from its specs: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<SpecError> for ArtifactError {
+    fn from(e: SpecError) -> ArtifactError {
+        ArtifactError::Spec(e)
+    }
+}
+
+/// The guard-DFA tables as stored in an artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArtifactDfa {
+    /// `|Σ|` — the transition-row stride.
+    pub nsym: u32,
+    /// Initial DFA state.
+    pub dfa_initial: u32,
+    /// Dense transition/verdict table, `dfa_states × nsym`.
+    pub trans: Vec<u32>,
+    /// Per-state attested-stall confirmation flags.
+    pub any_fail: Vec<bool>,
+    /// Per-state composite-subset sizes.
+    pub subset_size: Vec<u32>,
+    /// Conviction sessions start with, if any: the verdict code and
+    /// the event index (0 for stalls).
+    pub initial_verdict: Option<(u8, u16)>,
+}
+
+/// One decoded compiled artifact: integrity-checked bytes parsed into
+/// specs plus guard tables, not yet trusted to serve traffic — that
+/// takes [`CompiledArtifact::instantiate`] (table agreement) and, for
+/// the registry, a `verify_system` run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledArtifact {
+    /// FNV-1a-64 of the payload — the artifact's identity in the
+    /// registry's on-disk store.
+    pub content_hash: u64,
+    /// Negotiation fingerprint of the event table
+    /// ([`crate::codec::table_hash`]).
+    pub table_hash: u64,
+    /// The service specification the system was derived against.
+    pub service: SpecDoc,
+    /// The system parts: fixed components first, converter last.
+    pub parts: Vec<SpecDoc>,
+    /// The determinized guard tables.
+    pub dfa: ArtifactDfa,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_doc(out: &mut Vec<u8>, doc: &SpecDoc) {
+    put_str(out, &doc.name);
+    out.extend_from_slice(&(doc.alphabet.len() as u32).to_be_bytes());
+    for name in &doc.alphabet {
+        put_str(out, name);
+    }
+    out.extend_from_slice(&(doc.states.len() as u32).to_be_bytes());
+    for name in &doc.states {
+        put_str(out, name);
+    }
+    out.extend_from_slice(&(doc.initial as u32).to_be_bytes());
+    out.extend_from_slice(&(doc.external.len() as u32).to_be_bytes());
+    for (from, event, to) in &doc.external {
+        out.extend_from_slice(&(*from as u32).to_be_bytes());
+        put_str(out, event);
+        out.extend_from_slice(&(*to as u32).to_be_bytes());
+    }
+    out.extend_from_slice(&(doc.internal.len() as u32).to_be_bytes());
+    for (from, to) in &doc.internal {
+        out.extend_from_slice(&(*from as u32).to_be_bytes());
+        out.extend_from_slice(&(*to as u32).to_be_bytes());
+    }
+}
+
+/// Compiles `parts` (converter included) against `service` and encodes
+/// the whole system — specs plus determinized guard tables — as one
+/// artifact.
+pub fn encode(parts: &[&Spec], service: &Spec) -> Result<Vec<u8>, ArtifactError> {
+    let prog = GuardProgram::new(parts, service)?;
+    Ok(encode_with_program(parts, service, &prog))
+}
+
+/// Same as [`encode`] for a caller that already built the guard (the
+/// CLI builds one for `--stats` anyway).
+pub fn encode_with_program(parts: &[&Spec], service: &Spec, prog: &GuardProgram) -> Vec<u8> {
+    let mut payload = Vec::new();
+    put_doc(&mut payload, &SpecDoc::from(service));
+    payload.extend_from_slice(&(parts.len() as u32).to_be_bytes());
+    for part in parts {
+        put_doc(&mut payload, &SpecDoc::from(*part));
+    }
+    let t = prog.dfa_tables();
+    payload.extend_from_slice(&(t.nsym as u32).to_be_bytes());
+    payload.extend_from_slice(&t.dfa_initial.to_be_bytes());
+    payload.extend_from_slice(&(t.trans.len() as u64).to_be_bytes());
+    for &x in t.trans {
+        payload.extend_from_slice(&x.to_be_bytes());
+    }
+    payload.extend_from_slice(&(t.any_fail.len() as u64).to_be_bytes());
+    payload.extend(t.any_fail.iter().map(|&b| u8::from(b)));
+    payload.extend_from_slice(&(t.subset_size.len() as u64).to_be_bytes());
+    for &x in t.subset_size {
+        payload.extend_from_slice(&x.to_be_bytes());
+    }
+    match verdict_code(t.initial_verdict) {
+        None => payload.push(0),
+        Some((code, event)) => {
+            payload.push(code);
+            payload.extend_from_slice(&event.to_be_bytes());
+        }
+    }
+
+    let mut out = Vec::with_capacity(24 + payload.len());
+    out.extend_from_slice(&ARTIFACT_MAGIC);
+    out.extend_from_slice(&ARTIFACT_FORMAT.to_be_bytes());
+    out.extend_from_slice(&fnv1a(&payload).to_be_bytes());
+    out.extend_from_slice(&table_hash(prog.table()).to_be_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn verdict_code(v: Option<&Conviction>) -> Option<(u8, u16)> {
+    v.map(|c| match c {
+        Conviction::NotATrace { event } => (1, *event),
+        Conviction::ServiceViolation { event } => (2, *event),
+        Conviction::Stalled => (3, 0),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Decoding: the strict, fuzzable loader
+// ---------------------------------------------------------------------
+
+/// Bounds-checked big-endian reader over the payload.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], ArtifactError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| {
+                ArtifactError::Malformed(format!(
+                    "truncated inside {what}: need {n} bytes at offset {}, have {}",
+                    self.at,
+                    self.bytes.len() - self.at
+                ))
+            })?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, ArtifactError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, ArtifactError> {
+        Ok(u16::from_be_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, ArtifactError> {
+        Ok(u32::from_be_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, ArtifactError> {
+        Ok(u64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, ArtifactError> {
+        let len = self.u32(what)? as usize;
+        if len > MAX_STRING {
+            return Err(ArtifactError::Malformed(format!(
+                "{what}: string length {len} exceeds the {MAX_STRING}-byte cap"
+            )));
+        }
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ArtifactError::Malformed(format!("{what}: string is not UTF-8")))
+    }
+
+    /// A count whose elements occupy at least `min_elem` bytes each:
+    /// rejects counts the remaining bytes cannot possibly satisfy, so a
+    /// corrupt prefix cannot demand a huge allocation.
+    fn count(&mut self, min_elem: usize, what: &str) -> Result<usize, ArtifactError> {
+        let n = self.u32(what)? as usize;
+        let remaining = self.bytes.len() - self.at;
+        if n.saturating_mul(min_elem) > remaining {
+            return Err(ArtifactError::Malformed(format!(
+                "{what}: count {n} cannot fit in {remaining} remaining bytes"
+            )));
+        }
+        Ok(n)
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+fn get_doc(r: &mut Reader<'_>, what: &str) -> Result<SpecDoc, ArtifactError> {
+    let name = r.str(&format!("{what}.name"))?;
+    let n = r.count(4, &format!("{what}.alphabet"))?;
+    let mut alphabet = Vec::with_capacity(n);
+    for _ in 0..n {
+        alphabet.push(r.str(&format!("{what}.alphabet entry"))?);
+    }
+    let n = r.count(4, &format!("{what}.states"))?;
+    let mut states = Vec::with_capacity(n);
+    for _ in 0..n {
+        states.push(r.str(&format!("{what}.state name"))?);
+    }
+    let initial = r.u32(&format!("{what}.initial"))? as usize;
+    let n = r.count(12, &format!("{what}.external"))?;
+    let mut external = Vec::with_capacity(n);
+    for _ in 0..n {
+        let from = r.u32(&format!("{what}.external.from"))? as usize;
+        let event = r.str(&format!("{what}.external.event"))?;
+        let to = r.u32(&format!("{what}.external.to"))? as usize;
+        external.push((from, event, to));
+    }
+    let n = r.count(8, &format!("{what}.internal"))?;
+    let mut internal = Vec::with_capacity(n);
+    for _ in 0..n {
+        let from = r.u32(&format!("{what}.internal.from"))? as usize;
+        let to = r.u32(&format!("{what}.internal.to"))? as usize;
+        internal.push((from, to));
+    }
+    Ok(SpecDoc {
+        name,
+        alphabet,
+        states,
+        initial,
+        external,
+        internal,
+    })
+}
+
+fn get_u32_seq(r: &mut Reader<'_>, what: &str) -> Result<Vec<u32>, ArtifactError> {
+    let n = r.u64(what)? as usize;
+    let remaining = r.bytes.len() - r.at;
+    if n.saturating_mul(4) > remaining {
+        return Err(ArtifactError::Malformed(format!(
+            "{what}: count {n} cannot fit in {remaining} remaining bytes"
+        )));
+    }
+    let raw = r.take(n * 4, what)?;
+    Ok(raw
+        .chunks_exact(4)
+        .map(|c| u32::from_be_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+impl CompiledArtifact {
+    /// Parses and integrity-checks artifact bytes. Strict: every length
+    /// is bounds-checked, the content hash must match the payload, and
+    /// trailing bytes are an error. This is the surface `protoquot fuzz
+    /// --target artifact` attacks; it must return [`ArtifactError`] on
+    /// any hostile input, never panic.
+    ///
+    /// A decoded artifact is *parsed*, not *trusted*:
+    /// [`CompiledArtifact::instantiate`] rebuilds the guard from the
+    /// embedded specs and compares tables, and registry admission runs
+    /// `verify_system` on top.
+    pub fn decode(bytes: &[u8]) -> Result<CompiledArtifact, ArtifactError> {
+        if bytes.len() < 24 {
+            return Err(ArtifactError::Malformed(format!(
+                "{} bytes is shorter than the 24-byte header",
+                bytes.len()
+            )));
+        }
+        if bytes[0..4] != ARTIFACT_MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let format = u32::from_be_bytes(bytes[4..8].try_into().unwrap());
+        if format != ARTIFACT_FORMAT {
+            return Err(ArtifactError::UnsupportedFormat(format));
+        }
+        let stored = u64::from_be_bytes(bytes[8..16].try_into().unwrap());
+        let table_hash = u64::from_be_bytes(bytes[16..24].try_into().unwrap());
+        let payload = &bytes[24..];
+        let computed = fnv1a(payload);
+        if stored != computed {
+            return Err(ArtifactError::ContentHash { stored, computed });
+        }
+
+        let mut r = Reader {
+            bytes: payload,
+            at: 0,
+        };
+        let service = get_doc(&mut r, "service")?;
+        let nparts = r.count(4, "parts")?;
+        let mut parts = Vec::with_capacity(nparts);
+        for i in 0..nparts {
+            parts.push(get_doc(&mut r, &format!("part {i}"))?);
+        }
+        if parts.is_empty() {
+            return Err(ArtifactError::Malformed("artifact holds no parts".into()));
+        }
+        let nsym = r.u32("dfa.nsym")?;
+        let dfa_initial = r.u32("dfa.initial")?;
+        let trans = get_u32_seq(&mut r, "dfa.trans")?;
+        let n = r.u64("dfa.any_fail")? as usize;
+        let remaining = r.bytes.len() - r.at;
+        if n > remaining {
+            return Err(ArtifactError::Malformed(format!(
+                "dfa.any_fail: count {n} cannot fit in {remaining} remaining bytes"
+            )));
+        }
+        let mut any_fail = Vec::with_capacity(n);
+        for &b in r.take(n, "dfa.any_fail")? {
+            match b {
+                0 => any_fail.push(false),
+                1 => any_fail.push(true),
+                other => {
+                    return Err(ArtifactError::Malformed(format!(
+                        "dfa.any_fail: flag byte {other} is neither 0 nor 1"
+                    )))
+                }
+            }
+        }
+        let subset_size = get_u32_seq(&mut r, "dfa.subset_size")?;
+        let initial_verdict = match r.u8("dfa.initial_verdict")? {
+            0 => None,
+            code @ 1..=3 => {
+                let event = if code == 3 {
+                    0
+                } else {
+                    r.u16("dfa.initial_verdict event")?
+                };
+                Some((code, event))
+            }
+            other => {
+                return Err(ArtifactError::Malformed(format!(
+                    "dfa.initial_verdict: unknown code {other}"
+                )))
+            }
+        };
+        if !r.done() {
+            return Err(ArtifactError::Malformed(format!(
+                "{} trailing bytes after the artifact",
+                r.bytes.len() - r.at
+            )));
+        }
+
+        // Structural consistency of the tables themselves.
+        if nsym == 0 && !trans.is_empty() {
+            return Err(ArtifactError::Malformed(
+                "dfa.trans is non-empty but nsym is 0".into(),
+            ));
+        }
+        if nsym != 0 && trans.len() % nsym as usize != 0 {
+            return Err(ArtifactError::Malformed(format!(
+                "dfa.trans length {} is not a multiple of nsym {nsym}",
+                trans.len()
+            )));
+        }
+        let states = if nsym == 0 {
+            0
+        } else {
+            trans.len() / nsym as usize
+        };
+        if any_fail.len() != states || subset_size.len() != states {
+            return Err(ArtifactError::Malformed(format!(
+                "per-state arrays disagree: {states} states, {} any_fail, {} subset_size",
+                any_fail.len(),
+                subset_size.len()
+            )));
+        }
+
+        Ok(CompiledArtifact {
+            content_hash: stored,
+            table_hash,
+            service,
+            parts,
+            dfa: ArtifactDfa {
+                nsym,
+                dfa_initial,
+                trans,
+                any_fail,
+                subset_size,
+                initial_verdict,
+            },
+        })
+    }
+
+    /// Rebuilds the runnable system: specs out of the embedded docs, a
+    /// fresh [`GuardProgram`] compiled from them, and a proof of
+    /// agreement — the rebuilt guard's event-table hash and DFA tables
+    /// must match the stored ones exactly, else the artifact is
+    /// refused with [`ArtifactError::Divergence`].
+    ///
+    /// Returns `(parts, service, program)`; the specs feed registry
+    /// admission (`verify_system`), the program feeds the gateway.
+    pub fn instantiate(&self) -> Result<(Vec<Spec>, Spec, GuardProgram), ArtifactError> {
+        let service = Spec::try_from(self.service.clone())?;
+        let parts = self
+            .parts
+            .iter()
+            .map(|doc| Spec::try_from(doc.clone()))
+            .collect::<Result<Vec<Spec>, SpecError>>()?;
+        let refs: Vec<&Spec> = parts.iter().collect();
+        let prog = GuardProgram::new(&refs, &service)?;
+        let rebuilt_hash = table_hash(prog.table());
+        if rebuilt_hash != self.table_hash {
+            return Err(ArtifactError::Divergence(format!(
+                "event-table hash: stored {:016x}, rebuilt {rebuilt_hash:016x}",
+                self.table_hash
+            )));
+        }
+        let t = prog.dfa_tables();
+        if t.nsym as u64 != u64::from(self.dfa.nsym) || t.dfa_initial != self.dfa.dfa_initial {
+            return Err(ArtifactError::Divergence(format!(
+                "DFA shape: stored nsym {} initial {}, rebuilt nsym {} initial {}",
+                self.dfa.nsym, self.dfa.dfa_initial, t.nsym, t.dfa_initial
+            )));
+        }
+        if t.trans != &self.dfa.trans[..]
+            || t.any_fail != &self.dfa.any_fail[..]
+            || t.subset_size != &self.dfa.subset_size[..]
+        {
+            return Err(ArtifactError::Divergence(
+                "DFA tables are not byte-identical to a rebuild from the embedded specs".into(),
+            ));
+        }
+        if verdict_code(t.initial_verdict) != self.dfa.initial_verdict {
+            return Err(ArtifactError::Divergence(
+                "initial verdict disagrees with a rebuild from the embedded specs".into(),
+            ));
+        }
+        Ok((parts, service, prog))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protoquot_core::solve;
+    use protoquot_protocols::{colocated_configuration, exactly_once};
+
+    fn artifact_bytes() -> Vec<u8> {
+        let system = colocated_configuration();
+        let service = exactly_once();
+        let q = solve(&system.b, &service, &system.int).expect("converter derives");
+        encode(&[&system.b, &q.converter], &service).expect("system compiles")
+    }
+
+    /// emit → load → byte-identical guard DFA and event table (the
+    /// satellite roundtrip requirement).
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let bytes = artifact_bytes();
+        let art = CompiledArtifact::decode(&bytes).expect("decodes");
+        let (parts, service, prog) = art.instantiate().expect("instantiates");
+        // The rebuilt guard's tables equal the stored ones (instantiate
+        // already asserted this; double-check through the accessor).
+        let t = prog.dfa_tables();
+        assert_eq!(t.trans, &art.dfa.trans[..]);
+        assert_eq!(table_hash(prog.table()), art.table_hash);
+        // Re-encoding the instantiated system reproduces the artifact
+        // byte for byte: content addressing is deterministic.
+        let refs: Vec<&Spec> = parts.iter().collect();
+        let again = encode(&refs, &service).expect("recompiles");
+        assert_eq!(again, bytes, "re-encode must be byte-identical");
+        assert_eq!(
+            CompiledArtifact::decode(&again).unwrap().content_hash,
+            art.content_hash
+        );
+    }
+
+    #[test]
+    fn header_damage_is_refused_cleanly() {
+        let bytes = artifact_bytes();
+        // Magic.
+        let mut b = bytes.clone();
+        b[0] ^= 0xFF;
+        assert_eq!(CompiledArtifact::decode(&b), Err(ArtifactError::BadMagic));
+        // Format version.
+        let mut b = bytes.clone();
+        b[7] = 99;
+        assert!(matches!(
+            CompiledArtifact::decode(&b),
+            Err(ArtifactError::UnsupportedFormat(99))
+        ));
+        // Content hash.
+        let mut b = bytes.clone();
+        b[15] ^= 0x01;
+        assert!(matches!(
+            CompiledArtifact::decode(&b),
+            Err(ArtifactError::ContentHash { .. })
+        ));
+        // Short header.
+        assert!(matches!(
+            CompiledArtifact::decode(&bytes[..20]),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    /// Every single-byte truncation of a valid artifact decodes to a
+    /// clean error — the loader never panics on torn files.
+    #[test]
+    fn every_truncation_errors_cleanly() {
+        let bytes = artifact_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                CompiledArtifact::decode(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must not decode"
+            );
+        }
+        // Trailing garbage is also refused (hash covers payload only up
+        // to its own length, so extend + rehash to isolate the check).
+        let mut b = bytes.clone();
+        b.push(0);
+        assert!(CompiledArtifact::decode(&b).is_err());
+    }
+
+    /// A payload flip that is *re-stamped* with a matching content hash
+    /// still cannot reach a session: instantiate rebuilds the guard
+    /// from the specs and catches table tampering.
+    #[test]
+    fn restamped_table_tampering_is_caught_at_instantiate() {
+        let bytes = artifact_bytes();
+        let mut art = CompiledArtifact::decode(&bytes).expect("decodes");
+        assert!(!art.dfa.trans.is_empty());
+        // Redirect one DFA edge, leaving the specs untouched.
+        let i = art
+            .dfa
+            .trans
+            .iter()
+            .position(|&t| t == u32::MAX)
+            .expect("some dead edge exists");
+        art.dfa.trans[i] = art.dfa.dfa_initial;
+        assert!(matches!(
+            art.instantiate(),
+            Err(ArtifactError::Divergence(_))
+        ));
+    }
+}

@@ -16,15 +16,18 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
 
-/// Hard cap on payload length: the protocol's largest payload is 11
-/// bytes, so anything bigger is a corrupt or foreign stream.
+/// Hard cap on payload length: the protocol's largest payload is the
+/// 21-byte hello/hello-ack, so anything bigger is a corrupt or foreign
+/// stream.
 pub const MAX_PAYLOAD: usize = 64;
 
 const TAG_EVENT: u8 = 0x01;
 const TAG_STALL: u8 = 0x02;
 const TAG_CLOSE: u8 = 0x03;
+const TAG_HELLO: u8 = 0x04;
 const TAG_ACCEPTED: u8 = 0x81;
 const TAG_REJECTED: u8 = 0x82;
+const TAG_HELLO_ACK: u8 = 0x83;
 
 /// A client → gateway message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,15 +51,32 @@ pub enum Frame {
         /// Session to close.
         session: u64,
     },
+    /// Version negotiation, sent once at connection open: the client's
+    /// [`EventTable`] hash ([`table_hash`]) and the converter version it
+    /// was built against (0 = any). A gateway acks with
+    /// [`Reply::HelloAck`] on agreement and rejects with
+    /// [`RejectReason::VersionMismatch`] otherwise. Hellos address the
+    /// connection, not a session; the session field is conventionally 0
+    /// and takes no session slot.
+    Hello {
+        /// Conventionally 0 — hello is per-connection.
+        session: u64,
+        /// FNV-1a hash of the sender's event table ([`table_hash`]).
+        table_hash: u64,
+        /// Registry version the sender expects, or 0 for "whatever is
+        /// active".
+        version: u32,
+    },
 }
 
 impl Frame {
     /// The session id the frame addresses.
     pub fn session(&self) -> u64 {
         match *self {
-            Frame::Event { session, .. } | Frame::Stall { session } | Frame::Close { session } => {
-                session
-            }
+            Frame::Event { session, .. }
+            | Frame::Stall { session }
+            | Frame::Close { session }
+            | Frame::Hello { session, .. } => session,
         }
     }
 }
@@ -87,6 +107,10 @@ pub enum RejectReason {
     /// The frame overran a configured resource budget (per-session
     /// frame budget, or per-connection session cap at the transport).
     ResourceLimit,
+    /// Version negotiation failed: the peer's hello carried an
+    /// [`EventTable`] hash (or pinned converter version) that does not
+    /// match the active one — or a hello was required and never came.
+    VersionMismatch,
 }
 
 impl RejectReason {
@@ -102,6 +126,7 @@ impl RejectReason {
             RejectReason::Closed => "closed",
             RejectReason::UnknownEvent => "unknown_event",
             RejectReason::ResourceLimit => "resource_limit",
+            RejectReason::VersionMismatch => "version_mismatch",
         }
     }
 
@@ -130,6 +155,7 @@ impl RejectReason {
             RejectReason::Closed => 7,
             RejectReason::UnknownEvent => 8,
             RejectReason::ResourceLimit => 9,
+            RejectReason::VersionMismatch => 10,
         }
     }
 
@@ -144,6 +170,7 @@ impl RejectReason {
             7 => RejectReason::Closed,
             8 => RejectReason::UnknownEvent,
             9 => RejectReason::ResourceLimit,
+            10 => RejectReason::VersionMismatch,
             _ => return None,
         })
     }
@@ -161,6 +188,7 @@ impl fmt::Display for RejectReason {
             RejectReason::Closed => "closed",
             RejectReason::UnknownEvent => "unknown-event",
             RejectReason::ResourceLimit => "resource-limit",
+            RejectReason::VersionMismatch => "version-mismatch",
         };
         f.write_str(s)
     }
@@ -181,13 +209,26 @@ pub enum Reply {
         /// Why.
         reason: RejectReason,
     },
+    /// Version negotiation succeeded: answers a [`Frame::Hello`] with
+    /// the gateway's own [`EventTable`] hash and the active converter
+    /// version, so both ends can log what they agreed on.
+    HelloAck {
+        /// Echoes the hello's session (conventionally 0).
+        session: u64,
+        /// FNV-1a hash of the gateway's event table ([`table_hash`]).
+        table_hash: u64,
+        /// The active converter version serving this connection.
+        version: u32,
+    },
 }
 
 impl Reply {
     /// The session id the reply addresses.
     pub fn session(&self) -> u64 {
         match *self {
-            Reply::Accepted { session } | Reply::Rejected { session, .. } => session,
+            Reply::Accepted { session }
+            | Reply::Rejected { session, .. }
+            | Reply::HelloAck { session, .. } => session,
         }
     }
 }
@@ -228,14 +269,25 @@ pub fn encode_frame(frame: &Frame, out: &mut Vec<u8>) {
             out.push(TAG_CLOSE);
             out.extend_from_slice(&session.to_be_bytes());
         }
+        Frame::Hello {
+            session,
+            table_hash,
+            version,
+        } => {
+            out.push(TAG_HELLO);
+            out.extend_from_slice(&session.to_be_bytes());
+            out.extend_from_slice(&table_hash.to_be_bytes());
+            out.extend_from_slice(&version.to_be_bytes());
+        }
     }
     let len = (out.len() - start - 4) as u32;
     out[start..start + 4].copy_from_slice(&len.to_be_bytes());
 }
 
 /// Largest encoded reply on the wire: 4-byte length prefix plus the
-/// 10-byte `Rejected` payload. [`encode_reply_array`] is sized by it.
-pub const MAX_REPLY_WIRE: usize = 14;
+/// 21-byte `HelloAck` payload. [`encode_reply_array`] is sized by it;
+/// the hot-path replies (`Accepted`, `Rejected`) still use 13–14 bytes.
+pub const MAX_REPLY_WIRE: usize = 25;
 
 /// Encodes `reply` into a stack buffer — the allocation-free twin of
 /// [`encode_reply`] for per-reply responder paths that would otherwise
@@ -256,6 +308,18 @@ pub fn encode_reply_array(reply: &Reply) -> ([u8; MAX_REPLY_WIRE], usize) {
             buf[13] = reason.code();
             (buf, 14)
         }
+        Reply::HelloAck {
+            session,
+            table_hash,
+            version,
+        } => {
+            buf[3] = 21;
+            buf[4] = TAG_HELLO_ACK;
+            buf[5..13].copy_from_slice(&session.to_be_bytes());
+            buf[13..21].copy_from_slice(&table_hash.to_be_bytes());
+            buf[21..25].copy_from_slice(&version.to_be_bytes());
+            (buf, 25)
+        }
     }
 }
 
@@ -272,6 +336,16 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
             out.push(TAG_REJECTED);
             out.extend_from_slice(&session.to_be_bytes());
             out.push(reason.code());
+        }
+        Reply::HelloAck {
+            session,
+            table_hash,
+            version,
+        } => {
+            out.push(TAG_HELLO_ACK);
+            out.extend_from_slice(&session.to_be_bytes());
+            out.extend_from_slice(&table_hash.to_be_bytes());
+            out.extend_from_slice(&version.to_be_bytes());
         }
     }
     let len = (out.len() - start - 4) as u32;
@@ -299,6 +373,15 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, WireError> {
         }
         (TAG_STALL, 9) => Ok(Frame::Stall { session }),
         (TAG_CLOSE, 9) => Ok(Frame::Close { session }),
+        (TAG_HELLO, 21) => {
+            let table_hash = u64::from_be_bytes(payload[9..17].try_into().unwrap());
+            let version = u32::from_be_bytes(payload[17..21].try_into().unwrap());
+            Ok(Frame::Hello {
+                session,
+                table_hash,
+                version,
+            })
+        }
         (tag, len) => Err(WireError(format!("bad frame tag {tag:#x} / length {len}"))),
     }
 }
@@ -315,6 +398,15 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
             let reason = RejectReason::from_code(payload[9])
                 .ok_or_else(|| WireError(format!("bad reject reason {}", payload[9])))?;
             Ok(Reply::Rejected { session, reason })
+        }
+        (TAG_HELLO_ACK, 21) => {
+            let table_hash = u64::from_be_bytes(payload[9..17].try_into().unwrap());
+            let version = u32::from_be_bytes(payload[17..21].try_into().unwrap());
+            Ok(Reply::HelloAck {
+                session,
+                table_hash,
+                version,
+            })
         }
         (tag, len) => Err(WireError(format!("bad reply tag {tag:#x} / length {len}"))),
     }
@@ -565,6 +657,35 @@ impl ReplyBuffer {
     }
 }
 
+/// FNV-1a hash of an [`EventTable`]'s event *names*, in table (i.e.
+/// sorted-name) order, each name terminated by a NUL so the
+/// concatenation is unambiguous.
+///
+/// This is the version-negotiation fingerprint carried by
+/// [`Frame::Hello`] and [`Reply::HelloAck`]: two processes agree on it
+/// exactly when they map every wire index to the same event name, which
+/// is the property the codec needs — numeric [`EventId`]s are
+/// process-local and never enter the hash.
+pub fn table_hash(table: &EventTable) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    let mut byte = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    };
+    for i in 0..table.len() {
+        let e = table
+            .event(i as u32)
+            .expect("indices below len are populated");
+        for &b in e.name().as_bytes() {
+            byte(b);
+        }
+        byte(0);
+    }
+    h
+}
+
 /// Maps spec events to wire indices and back, over the shared
 /// name-sorted [`EventTable`].
 #[derive(Clone)]
@@ -605,6 +726,12 @@ impl WireCodec {
         &self.table
     }
 
+    /// The negotiation fingerprint of the shared table; see
+    /// [`table_hash`].
+    pub fn table_hash(&self) -> u64 {
+        table_hash(&self.table)
+    }
+
     /// The event frame for `e` in `session`, or `None` if `e` is not
     /// an observable event.
     pub fn event_frame(&self, session: u64, e: EventId) -> Option<Frame> {
@@ -637,6 +764,11 @@ mod tests {
             },
             Frame::Stall { session: 7 },
             Frame::Close { session: u64::MAX },
+            Frame::Hello {
+                session: 0,
+                table_hash: 0x0123_4567_89AB_CDEF,
+                version: 42,
+            },
         ] {
             let mut buf = Vec::new();
             encode_frame(&f, &mut buf);
@@ -648,7 +780,14 @@ mod tests {
 
     #[test]
     fn replies_round_trip() {
-        let mut replies = vec![Reply::Accepted { session: 1 }];
+        let mut replies = vec![
+            Reply::Accepted { session: 1 },
+            Reply::HelloAck {
+                session: 0,
+                table_hash: 0xFEED_FACE_CAFE_F00D,
+                version: 3,
+            },
+        ];
         for reason in [
             RejectReason::NotATrace,
             RejectReason::ServiceViolation,
@@ -659,6 +798,7 @@ mod tests {
             RejectReason::Closed,
             RejectReason::UnknownEvent,
             RejectReason::ResourceLimit,
+            RejectReason::VersionMismatch,
         ] {
             replies.push(Reply::Rejected { session: 9, reason });
         }
@@ -705,6 +845,31 @@ mod tests {
         assert!(codec
             .event_frame(3, protoquot_spec::EventId::new("unrelated"))
             .is_none());
+    }
+
+    /// The negotiation fingerprint depends on event *names* only: two
+    /// codecs built from the same alphabet agree regardless of interner
+    /// history, and any alphabet difference changes the hash.
+    #[test]
+    fn table_hash_is_name_stable_and_alphabet_sensitive() {
+        let _ = protoquot_spec::EventId::new("zz_hash_probe");
+        let a: Alphabet = ["zz_hash_probe", "aa_hash_probe"].into_iter().collect();
+        let b: Alphabet = ["aa_hash_probe", "zz_hash_probe"].into_iter().collect();
+        let ca = WireCodec::new(&a).unwrap();
+        let cb = WireCodec::new(&b).unwrap();
+        assert_eq!(ca.table_hash(), cb.table_hash());
+        let c: Alphabet = ["aa_hash_probe", "zz_hash_probe", "mm_hash_probe"]
+            .into_iter()
+            .collect();
+        let cc = WireCodec::new(&c).unwrap();
+        assert_ne!(ca.table_hash(), cc.table_hash());
+        // NUL termination keeps name boundaries unambiguous.
+        let d: Alphabet = ["ab", "c"].into_iter().collect();
+        let e: Alphabet = ["a", "bc"].into_iter().collect();
+        assert_ne!(
+            WireCodec::new(&d).unwrap().table_hash(),
+            WireCodec::new(&e).unwrap().table_hash()
+        );
     }
 
     #[test]
@@ -966,6 +1131,11 @@ mod tests {
         let mut replies = vec![
             Reply::Accepted { session: 0 },
             Reply::Accepted { session: u64::MAX },
+            Reply::HelloAck {
+                session: 0,
+                table_hash: u64::MAX,
+                version: u32::MAX,
+            },
         ];
         for reason in [
             RejectReason::NotATrace,
@@ -977,6 +1147,7 @@ mod tests {
             RejectReason::Closed,
             RejectReason::UnknownEvent,
             RejectReason::ResourceLimit,
+            RejectReason::VersionMismatch,
         ] {
             replies.push(Reply::Rejected {
                 session: 0xDEAD_BEEF,

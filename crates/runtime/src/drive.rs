@@ -404,6 +404,8 @@ impl<'a> SessionTask<'a> {
                 match reply {
                     Some(Reply::Accepted { .. }) => self.out.accepted += 1,
                     Some(Reply::Rejected { reason, .. }) => self.record_reject(reason),
+                    // Connection-plane; never answers an event frame.
+                    Some(Reply::HelloAck { .. }) => {}
                     None => return self.finish(),
                 }
                 let stop = self.out.conviction.is_some() || self.out.rejected.is_some();
@@ -416,7 +418,7 @@ impl<'a> SessionTask<'a> {
             }
             Some(Pending::Stall) => {
                 match reply {
-                    Some(Reply::Accepted { .. }) => {}
+                    Some(Reply::Accepted { .. }) | Some(Reply::HelloAck { .. }) => {}
                     Some(Reply::Rejected { reason, .. }) => self.record_reject(reason),
                     None => {}
                 }
@@ -659,6 +661,8 @@ impl<'a> PipelinedTask<'a> {
             // answered optimistically.
             match reply {
                 Reply::Accepted { .. } => self.speculated -= 1,
+                // Connection-plane; never answers an event frame.
+                Reply::HelloAck { .. } => {}
                 Reply::Rejected { reason, .. } => {
                     // Speculation was wrong: the run ended here. Roll
                     // back the unconfirmed accepts, record the verdict

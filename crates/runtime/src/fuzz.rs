@@ -4,7 +4,7 @@
 //! shim: a seeded SplitMix64 corpus (the vendored [`rand`] generator),
 //! byte-level and structure-aware frame mutators, crash and hang
 //! detection, and ddmin input shrinking reusing the chunk-removal
-//! strategy of `protoquot_sim`'s schedule shrinker. Three targets
+//! strategy of `protoquot_sim`'s schedule shrinker. Five targets
 //! cover the paths hostile bytes can reach:
 //!
 //! * **codec** — [`FrameBuffer`]/[`ReplyBuffer`] incremental decode on
@@ -26,6 +26,11 @@
 //!   gateway: the same frame program, cut at an input-derived split
 //!   width, must produce the same per-session reply sequences and a
 //!   well-formed inline reply stream at every split.
+//! * **artifact** — the [`CompiledArtifact`] loader on mutated,
+//!   truncated, and bit-flipped copies of a valid compiled artifact:
+//!   every mutation must decode to a clean [`ArtifactError`] or a
+//!   verified artifact — never a panic or a hang — and the unmutated
+//!   bytes must keep decoding and instantiating.
 //!
 //! Every case is keyed by `(seed, target, case-index)` alone, so a
 //! finding's reproduction needs nothing but the seed printed in the
@@ -35,6 +40,7 @@
 //! reporting. [`FuzzReport::to_json`] is deterministic — timing never
 //! enters it — so CI can pin the clean report byte for byte.
 
+use crate::artifact::{encode_with_program, ArtifactError, CompiledArtifact};
 use crate::codec::{
     decode_frame, decode_reply, encode_frame, encode_reply, read_frame, read_reply, Frame,
     FrameBuffer, RejectReason, Reply, ReplyBuffer,
@@ -93,15 +99,19 @@ pub enum FuzzTarget {
     /// Batched dispatch ([`Gateway::call_batch`]) differentially
     /// against per-frame dispatch on arbitrary frame splits.
     Batch,
+    /// The compiled-artifact loader ([`CompiledArtifact::decode`]) on
+    /// mutated copies of a valid artifact.
+    Artifact,
 }
 
 impl FuzzTarget {
     /// Every target, in report order.
-    pub const ALL: [FuzzTarget; 4] = [
+    pub const ALL: [FuzzTarget; 5] = [
         FuzzTarget::Codec,
         FuzzTarget::Guard,
         FuzzTarget::Gateway,
         FuzzTarget::Batch,
+        FuzzTarget::Artifact,
     ];
 
     /// Stable name used in reports and on the CLI.
@@ -111,6 +121,7 @@ impl FuzzTarget {
             FuzzTarget::Guard => "guard",
             FuzzTarget::Gateway => "gateway",
             FuzzTarget::Batch => "batch",
+            FuzzTarget::Artifact => "artifact",
         }
     }
 
@@ -121,6 +132,7 @@ impl FuzzTarget {
             "guard" => FuzzTarget::Guard,
             "gateway" => FuzzTarget::Gateway,
             "batch" => FuzzTarget::Batch,
+            "artifact" => FuzzTarget::Artifact,
             _ => return None,
         })
     }
@@ -279,6 +291,8 @@ pub fn fuzz(
     // The batch target's per-frame oracle: identical configuration,
     // separate session state.
     let oracle = Gateway::new(parts, service, fuzz_gateway_cfg)?;
+    // The artifact target mutates copies of this known-good encoding.
+    let artifact_base: Arc<Vec<u8>> = Arc::new(encode_with_program(parts, service, &prog));
     let mut harness = Harness::spawn();
     let mut report = FuzzReport {
         seed: cfg.seed,
@@ -289,7 +303,7 @@ pub fn fuzz(
         let mut executed = 0u64;
         for case in 0..cfg.iters {
             let input = gen_input(cfg, target, case);
-            let body = case_body(target, &prog, &gateway, &oracle, case);
+            let body = case_body(target, &prog, &gateway, &oracle, &artifact_base, case);
             let verdict = harness.run(&input, &body, cfg.hang_timeout);
             executed += 1;
             if let Some(kind) = verdict {
@@ -325,6 +339,7 @@ fn case_body(
     prog: &Arc<GuardProgram>,
     gateway: &Gateway,
     oracle: &Gateway,
+    artifact_base: &Arc<Vec<u8>>,
     case: u64,
 ) -> CaseBody {
     match target {
@@ -346,6 +361,10 @@ fn case_body(
             let base = case.wrapping_mul(16);
             Arc::new(move |input| batch_case(&gateway, &oracle, base, input))
         }
+        FuzzTarget::Artifact => {
+            let base = Arc::clone(artifact_base);
+            Arc::new(move |input| artifact_case(&base, input))
+        }
     }
 }
 
@@ -360,6 +379,7 @@ fn case_seed(seed: u64, target: FuzzTarget, case: u64) -> u64 {
         FuzzTarget::Guard => 0x2,
         FuzzTarget::Gateway => 0x3,
         FuzzTarget::Batch => 0x4,
+        FuzzTarget::Artifact => 0x5,
     };
     seed ^ t.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ case.wrapping_mul(0xBF58_476D_1CE4_E5B9)
 }
@@ -381,24 +401,33 @@ fn gen_input(cfg: &FuzzConfig, target: FuzzTarget, case: u64) -> Vec<u8> {
     for _ in 0..msgs {
         let session = rng.gen_range(0u64..4);
         if rng.gen_bool(0.75) {
-            let frame = match rng.gen_range(0u8..4) {
+            let frame = match rng.gen_range(0u8..5) {
                 0 | 1 => Frame::Event {
                     session,
                     event: rng.gen_range(0u16..512),
                 },
                 2 => Frame::Stall { session },
+                3 => Frame::Hello {
+                    session,
+                    table_hash: rng.next_u64(),
+                    version: rng.gen_range(0u32..4),
+                },
                 _ => Frame::Close { session },
             };
             encode_frame(&frame, &mut bytes);
         } else {
-            let reply = if rng.gen_bool(0.5) {
-                Reply::Accepted { session }
-            } else {
-                Reply::Rejected {
+            let reply = match rng.gen_range(0u8..3) {
+                0 => Reply::Accepted { session },
+                1 => Reply::HelloAck {
                     session,
-                    reason: RejectReason::from_code(rng.gen_range(1u16..10) as u8)
-                        .expect("codes 1..=9 are all assigned"),
-                }
+                    table_hash: rng.next_u64(),
+                    version: rng.gen_range(0u32..4),
+                },
+                _ => Reply::Rejected {
+                    session,
+                    reason: RejectReason::from_code(rng.gen_range(1u16..11) as u8)
+                        .expect("codes 1..=10 are all assigned"),
+                },
             };
             encode_reply(&reply, &mut bytes);
         }
@@ -765,6 +794,56 @@ fn batch_case(
     None
 }
 
+/// Artifact target: the input bytes are read as a mutation program
+/// applied to a copy of a known-good compiled artifact — bit flips,
+/// byte overwrites, truncations, insertions — and the loader must
+/// classify every result cleanly. The empty program (pristine bytes)
+/// must keep decoding and instantiating; anything that still decodes
+/// after mutation must also survive `instantiate` without panicking
+/// (either rebuilding the guard or refusing with a divergence).
+fn artifact_case(base: &Arc<Vec<u8>>, input: &[u8]) -> Option<String> {
+    let mut bytes = base.as_ref().clone();
+    for op in input.chunks(3) {
+        let (kind, lo, hi) = (
+            op[0],
+            op.get(1).copied().unwrap_or(0),
+            op.get(2).copied().unwrap_or(0),
+        );
+        if bytes.is_empty() {
+            break;
+        }
+        let pos = u16::from_be_bytes([lo, hi]) as usize % bytes.len();
+        match kind & 0x03 {
+            0 => bytes[pos] ^= 1 << ((kind >> 4) & 7),
+            1 => bytes[pos] = kind,
+            2 => bytes.truncate(pos),
+            _ => bytes.insert(pos, kind),
+        }
+    }
+    let pristine = bytes == **base;
+    match CompiledArtifact::decode(&bytes) {
+        Err(e) => {
+            if pristine {
+                return Some(format!("pristine artifact refused to decode: {e}"));
+            }
+            // A clean, classified refusal is exactly the contract.
+            let _: ArtifactError = e;
+        }
+        Ok(artifact) => {
+            // Rarely, mutations cancel out (or hit nothing); whatever
+            // decodes must also instantiate or refuse — never panic.
+            match artifact.instantiate() {
+                Ok(_) => {}
+                Err(e) if pristine => {
+                    return Some(format!("pristine artifact refused to instantiate: {e}"));
+                }
+                Err(_) => {}
+            }
+        }
+    }
+    None
+}
+
 // ---------------------------------------------------------------------
 // Harness: crash + hang detection
 // ---------------------------------------------------------------------
@@ -917,9 +996,10 @@ mod tests {
         }
     }
 
-    /// The fixed-seed smoke campaign over all three targets finds
-    /// nothing — the codec, guard, and gateway hold their invariants
-    /// on hostile input — and its report is deterministic.
+    /// The fixed-seed smoke campaign over every target finds nothing
+    /// — the codec, guard, gateway, batcher, and artifact loader hold
+    /// their invariants on hostile input — and its report is
+    /// deterministic.
     #[test]
     fn fixed_seed_smoke_is_clean_and_deterministic() {
         let system = colocated_configuration();

@@ -33,14 +33,14 @@
 //! before the next is taken on the submit path, so the gateway cannot
 //! deadlock against its own workers.
 
-use crate::codec::{encode_reply, Frame, RejectReason, Reply, WireCodec, WireError};
+use crate::codec::{encode_reply, table_hash, Frame, RejectReason, Reply, WireCodec, WireError};
 use crate::guard::{Conviction, GuardProgram, SessionGuard, SessionGuardReference};
 use crate::stats::{RuntimeStats, StatsSnapshot};
 use protoquot_spec::{Spec, SpecError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use threadpool::ThreadPool;
 
@@ -55,6 +55,9 @@ pub enum GatewayError {
     /// The compiled event table cannot be carried by the wire format
     /// (more events than a 16-bit frame index addresses).
     Wire(WireError),
+    /// A hot-swap was refused: event-table mismatch, stale version
+    /// number, or the previous version still draining (N-1 support).
+    Swap(String),
 }
 
 impl std::fmt::Display for GatewayError {
@@ -62,6 +65,7 @@ impl std::fmt::Display for GatewayError {
         match self {
             GatewayError::Spec(e) => write!(f, "{e}"),
             GatewayError::Wire(e) => write!(f, "{e}"),
+            GatewayError::Swap(e) => write!(f, "swap refused: {e}"),
         }
     }
 }
@@ -235,12 +239,25 @@ struct SessionCore {
     /// Event + stall frames processed, charged against
     /// [`GatewayConfig::session_frame_budget`].
     frames_seen: u64,
+    /// Converter version this session was bound to at first contact.
+    /// Fixed for the session's lifetime: a hot-swap never rebinds a
+    /// live session, it only changes what *new* sessions get.
+    version: u32,
 }
 
 type Shard = Mutex<HashMap<u64, Arc<Mutex<SessionCore>>>>;
 
 struct GatewayInner {
-    prog: Arc<GuardProgram>,
+    /// The active converter: `(version, program)`. Read once per
+    /// session open — never on the per-frame path, which goes through
+    /// the session's own `Guard`.
+    active: RwLock<(u32, Arc<GuardProgram>)>,
+    /// The N-1 version still draining sessions, if any. Retired (and
+    /// cleared) when its per-version session count reaches zero.
+    prev: Mutex<Option<(u32, Arc<GuardProgram>)>>,
+    /// FNV-1a hash of the event table — the wire identity every
+    /// admissible converter version must share.
+    table_hash: u64,
     codec: WireCodec,
     stats: RuntimeStats,
     shards: Vec<Shard>,
@@ -249,6 +266,42 @@ struct GatewayInner {
     pending: AtomicU64,
     draining: AtomicBool,
     cfg: GatewayConfig,
+}
+
+impl GatewayInner {
+    /// Answers a hello: ack with our identity when the peer's table
+    /// hash matches (and its pinned version, if any, is the active
+    /// one), otherwise a counted `VersionMismatch` reject. No session
+    /// state is created or touched.
+    fn hello_reply(&self, session: u64, peer_hash: u64, peer_version: u32) -> Reply {
+        let active_version = self.active.read().unwrap().0;
+        if peer_hash == self.table_hash && (peer_version == 0 || peer_version == active_version) {
+            Reply::HelloAck {
+                session,
+                table_hash: self.table_hash,
+                version: active_version,
+            }
+        } else {
+            self.stats.note_reject(RejectReason::VersionMismatch);
+            Reply::Rejected {
+                session,
+                reason: RejectReason::VersionMismatch,
+            }
+        }
+    }
+
+    /// Accounts a session leaving `version`; when that drains the
+    /// previous (non-active) version to zero sessions, retires it —
+    /// dropping the last gateway reference to its program.
+    fn note_session_gone(&self, version: u32) {
+        if self.stats.note_version_close(version) == 0 {
+            let mut prev = self.prev.lock().unwrap();
+            if prev.as_ref().is_some_and(|(v, _)| *v == version) {
+                *prev = None;
+                self.stats.note_version_retired();
+            }
+        }
+    }
 }
 
 /// A cloneable handle to one running gateway.
@@ -266,14 +319,26 @@ impl Gateway {
         service: &Spec,
         cfg: GatewayConfig,
     ) -> Result<Gateway, GatewayError> {
-        let prog = Arc::new(GuardProgram::new(parts, service)?);
+        Gateway::with_program(Arc::new(GuardProgram::new(parts, service)?), cfg)
+    }
+
+    /// Starts a gateway on an already-compiled program (e.g. one
+    /// instantiated from a registry artifact), bound as version 1.
+    pub fn with_program(
+        prog: Arc<GuardProgram>,
+        cfg: GatewayConfig,
+    ) -> Result<Gateway, GatewayError> {
         let codec = WireCodec::from_table(Arc::clone(prog.table()))?;
         let stats = RuntimeStats::with_guard_build(codec.table().len(), prog.build_stats().clone());
+        let hash = table_hash(codec.table());
+        stats.set_wire_identity(hash, 1);
         let shards = (0..cfg.shards.max(1)).map(|_| Shard::default()).collect();
         let pool = ThreadPool::new(cfg.workers.max(1));
         Ok(Gateway {
             inner: Arc::new(GatewayInner {
-                prog,
+                active: RwLock::new((1, prog)),
+                prev: Mutex::new(None),
+                table_hash: hash,
                 codec,
                 stats,
                 shards,
@@ -290,9 +355,74 @@ impl Gateway {
         &self.inner.codec
     }
 
-    /// The compiled guard program (shared by every session).
-    pub fn program(&self) -> &Arc<GuardProgram> {
-        &self.inner.prog
+    /// The currently active compiled guard program. New sessions bind
+    /// this; sessions opened before a hot-swap keep the program they
+    /// were born with.
+    pub fn program(&self) -> Arc<GuardProgram> {
+        Arc::clone(&self.inner.active.read().unwrap().1)
+    }
+
+    /// The currently active converter version.
+    pub fn active_version(&self) -> u32 {
+        self.inner.active.read().unwrap().0
+    }
+
+    /// FNV-1a hash of the event table — the wire identity negotiated
+    /// at hello and required of every swapped-in converter version.
+    pub fn table_hash(&self) -> u64 {
+        self.inner.table_hash
+    }
+
+    /// Hot-swaps the active converter to `prog` as `version`.
+    ///
+    /// New sessions bind `prog` immediately; existing sessions drain
+    /// on the program they were born with. One previous version may be
+    /// draining at a time (N-1 support): a second swap is refused
+    /// until the earlier version's session count reaches zero and it
+    /// is retired. The replacement must carry a byte-identical event
+    /// table (same wire identity) and a strictly newer version number.
+    pub fn swap(&self, version: u32, prog: Arc<GuardProgram>) -> Result<(), GatewayError> {
+        let inner = &self.inner;
+        let new_hash = table_hash(prog.table());
+        if new_hash != inner.table_hash {
+            return Err(GatewayError::Swap(format!(
+                "event-table hash {:016x} does not match the wire identity {:016x}",
+                new_hash, inner.table_hash
+            )));
+        }
+        // Lock order: active (write) then prev — matched nowhere else,
+        // so no cycle. Session open takes active (read) only; session
+        // close takes prev only.
+        let mut active = inner.active.write().unwrap();
+        if version <= active.0 {
+            return Err(GatewayError::Swap(format!(
+                "version {version} is not newer than active version {}",
+                active.0
+            )));
+        }
+        let mut prev = inner.prev.lock().unwrap();
+        if let Some((draining, _)) = prev.as_ref() {
+            let left = inner.stats.sessions_on_version(*draining);
+            if left > 0 {
+                return Err(GatewayError::Swap(format!(
+                    "version {draining} still draining {left} session(s); \
+                     only one previous version may drain at a time"
+                )));
+            }
+            // Fully drained but never observed a close (e.g. no
+            // session ever bound it): retire it now.
+            *prev = None;
+            inner.stats.note_version_retired();
+        }
+        let old = std::mem::replace(&mut *active, (version, prog));
+        if inner.stats.sessions_on_version(old.0) > 0 {
+            *prev = Some(old);
+        } else {
+            inner.stats.note_version_retired();
+        }
+        inner.stats.note_swap();
+        inner.stats.set_wire_identity(inner.table_hash, version);
+        Ok(())
     }
 
     /// The session core for `session`, created on first contact.
@@ -301,14 +431,20 @@ impl Gateway {
         let shard = &inner.shards[(session % inner.shards.len() as u64) as usize];
         let mut map = shard.lock().unwrap();
         Arc::clone(map.entry(session).or_insert_with(|| {
+            let (version, prog) = {
+                let active = inner.active.read().unwrap();
+                (active.0, Arc::clone(&active.1))
+            };
             inner.stats.note_open();
+            inner.stats.note_version_open(version);
             Arc::new(Mutex::new(SessionCore {
-                guard: Guard::new(&inner.prog, inner.cfg.reference_guard),
+                guard: Guard::new(&prog, inner.cfg.reference_guard),
                 queue: VecDeque::new(),
                 scheduled: false,
                 closed: false,
                 last_active: Instant::now(),
                 frames_seen: 0,
+                version,
             }))
         }))
     }
@@ -367,6 +503,15 @@ impl Gateway {
             });
             return;
         }
+        if let Frame::Hello {
+            table_hash: peer_hash,
+            version: peer_version,
+            ..
+        } = frame
+        {
+            respond(inner.hello_reply(session, peer_hash, peer_version));
+            return;
+        }
         let core = self.core_for(session);
         self.enqueue(&core, session, frame, respond);
     }
@@ -386,6 +531,16 @@ impl Gateway {
                 session,
                 reason: RejectReason::Draining,
             };
+        }
+        if let Frame::Hello {
+            table_hash: peer_hash,
+            version: peer_version,
+            ..
+        } = frame
+        {
+            // Negotiation is connection-level: answered without
+            // creating (or touching) any session state.
+            return inner.hello_reply(session, peer_hash, peer_version);
         }
         let core = self.core_for(session);
         {
@@ -511,6 +666,7 @@ impl Gateway {
     pub fn evict_idle(&self) -> usize {
         let inner = &self.inner;
         let mut evicted = 0;
+        let mut gone_versions = Vec::new();
         for shard in &inner.shards {
             let mut map = shard.lock().unwrap();
             map.retain(|_, core| {
@@ -524,10 +680,16 @@ impl Gateway {
                     } else {
                         inner.stats.note_evict();
                     }
+                    gone_versions.push(core.version);
                     evicted += 1;
                 }
                 !stale
             });
+        }
+        // Version accounting outside the shard locks: draining the
+        // previous version to zero retires it here.
+        for version in gone_versions {
+            inner.note_session_gone(version);
         }
         evicted
     }
@@ -545,6 +707,15 @@ impl Gateway {
     /// The live counters, for transports to record connection events.
     pub(crate) fn runtime_stats(&self) -> &RuntimeStats {
         &self.inner.stats
+    }
+
+    /// Answers a transport-level hello: counted like any frame, acked
+    /// or rejected from the gateway's wire identity, touching no
+    /// session state. Transports call this for hellos they intercept
+    /// at connection open.
+    pub(crate) fn hello(&self, session: u64, peer_hash: u64, peer_version: u32) -> Reply {
+        self.inner.stats.note_frame();
+        self.inner.hello_reply(session, peer_hash, peer_version)
     }
 
     /// Accounts a frame a *transport* refused before submission (e.g.
@@ -605,6 +776,17 @@ fn drain_session(inner: &Arc<GatewayInner>, core: &Arc<Mutex<SessionCore>>, _ses
 /// Applies one frame to a session under its lock.
 fn process(inner: &GatewayInner, core: &mut SessionCore, frame: Frame) -> Reply {
     let session = frame.session();
+    // A hello that reaches a session path (batched loopback) is still
+    // connection-level: answered from the gateway's wire identity,
+    // exempt from the closed flag and the frame budget.
+    if let Frame::Hello {
+        table_hash: peer_hash,
+        version: peer_version,
+        ..
+    } = frame
+    {
+        return inner.hello_reply(session, peer_hash, peer_version);
+    }
     let reject = |reason: RejectReason| {
         inner.stats.note_reject(reason);
         Reply::Rejected { session, reason }
@@ -663,6 +845,7 @@ fn process(inner: &GatewayInner, core: &mut SessionCore, frame: Frame) -> Reply 
             core.closed = true;
             Reply::Accepted { session }
         }
+        Frame::Hello { .. } => unreachable!("hello answered before session processing"),
     }
 }
 
@@ -1060,5 +1243,147 @@ mod tests {
         assert_eq!(a.accepted, b.accepted);
         assert_eq!(a.convictions, b.convictions);
         assert_eq!(a.rejects, b.rejects);
+    }
+
+    /// A behaviourally identical implementation with renamed states:
+    /// same alphabet (same event table, same wire identity), distinct
+    /// compiled program — the shape of a legitimate converter rev.
+    fn relay_system_v2() -> (Spec, Spec) {
+        let mut b = SpecBuilder::new("impl-v2");
+        let t0 = b.state("t0");
+        let t1 = b.state("t1");
+        b.ext(t0, "acc", t1);
+        b.ext(t1, "del", t0);
+        let implementation = b.build().unwrap();
+        let (_, service) = relay_system();
+        (implementation, service)
+    }
+
+    #[test]
+    fn hello_negotiation_acks_match_and_rejects_mismatch() {
+        let gw = gateway(GatewayConfig::default());
+        let hash = gw.table_hash();
+        assert_ne!(hash, 0);
+        // Matching hash, unpinned version: ack with our identity.
+        assert_eq!(
+            gw.call(Frame::Hello {
+                session: 0,
+                table_hash: hash,
+                version: 0,
+            }),
+            Reply::HelloAck {
+                session: 0,
+                table_hash: hash,
+                version: 1,
+            }
+        );
+        // Pinning the active version also acks.
+        assert_eq!(
+            gw.call(Frame::Hello {
+                session: 0,
+                table_hash: hash,
+                version: 1,
+            }),
+            Reply::HelloAck {
+                session: 0,
+                table_hash: hash,
+                version: 1,
+            }
+        );
+        // A peer speaking a different event table is turned away.
+        assert_eq!(
+            gw.call(Frame::Hello {
+                session: 0,
+                table_hash: hash ^ 1,
+                version: 0,
+            }),
+            Reply::Rejected {
+                session: 0,
+                reason: RejectReason::VersionMismatch,
+            }
+        );
+        // So is one pinned to a version we no longer (or never) serve.
+        assert_eq!(
+            gw.call(Frame::Hello {
+                session: 0,
+                table_hash: hash,
+                version: 7,
+            }),
+            Reply::Rejected {
+                session: 0,
+                reason: RejectReason::VersionMismatch,
+            }
+        );
+        // Negotiation is connection-level: no session state was made.
+        assert_eq!(gw.resident_sessions(), 0);
+        let snap = gw.stats();
+        assert_eq!(snap.sessions_opened, 0);
+        assert!(snap.rejects.contains(&("version_mismatch", 2)));
+        assert_eq!(snap.table_hash, hash);
+        assert_eq!(snap.active_version, 1);
+        gw.drain();
+    }
+
+    #[test]
+    fn hot_swap_binds_new_sessions_and_drains_old_before_retiring() {
+        let cfg = GatewayConfig {
+            idle_timeout: Duration::from_millis(0),
+            ..GatewayConfig::default()
+        };
+        let gw = gateway(cfg);
+        let acc = |s| {
+            gw.codec()
+                .event_frame(s, protoquot_spec::EventId::new("acc"))
+                .unwrap()
+        };
+        // Session 1 opens on version 1.
+        assert_eq!(gw.call(acc(1)), Reply::Accepted { session: 1 });
+        // Swap in the rev: same event table, new program, version 2.
+        let (impl2, service) = relay_system_v2();
+        let prog2 = Arc::new(GuardProgram::new(&[&impl2], &service).unwrap());
+        gw.swap(2, Arc::clone(&prog2)).unwrap();
+        assert_eq!(gw.active_version(), 2);
+        // Session 1 keeps draining on v1; session 2 binds v2.
+        let del1 = gw
+            .codec()
+            .event_frame(1, protoquot_spec::EventId::new("del"))
+            .unwrap();
+        assert_eq!(gw.call(del1), Reply::Accepted { session: 1 });
+        assert_eq!(gw.call(acc(2)), Reply::Accepted { session: 2 });
+        let snap = gw.stats();
+        assert_eq!(snap.active_version, 2);
+        assert_eq!(snap.swaps, 1);
+        assert_eq!(snap.version_sessions, vec![(1, 1), (2, 1)]);
+        // A third version is refused while v1 still drains (N-1).
+        let err = gw.swap(3, Arc::clone(&prog2)).unwrap_err();
+        assert!(matches!(err, GatewayError::Swap(_)), "{err}");
+        // Stale or duplicate version numbers are refused outright.
+        assert!(gw.swap(2, Arc::clone(&prog2)).is_err());
+        // A program speaking a different event table can never go live.
+        let mut b = SpecBuilder::new("other");
+        let s0 = b.state("s0");
+        b.ext(s0, "foo", s0);
+        let other = b.build().unwrap();
+        let mut b = SpecBuilder::new("other-svc");
+        let u0 = b.state("u0");
+        b.ext(u0, "foo", u0);
+        let other_svc = b.build().unwrap();
+        let alien = Arc::new(GuardProgram::new(&[&other], &other_svc).unwrap());
+        assert!(matches!(gw.swap(3, alien), Err(GatewayError::Swap(_))));
+        // Drain v1: close its session, sweep it out — v1 retires and
+        // the next swap is admitted.
+        assert_eq!(
+            gw.call(Frame::Close { session: 1 }),
+            Reply::Accepted { session: 1 }
+        );
+        gw.drain();
+        gw.evict_idle();
+        let snap = gw.stats();
+        assert_eq!(snap.versions_retired, 1);
+        // The zero-timeout sweep also evicted session 2, so no version
+        // holds sessions — but the *active* version never retires.
+        assert_eq!(snap.version_sessions, vec![]);
+        gw.swap(3, prog2).unwrap();
+        assert_eq!(gw.active_version(), 3);
     }
 }

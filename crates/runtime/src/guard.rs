@@ -127,6 +127,26 @@ const T_STALL: u32 = u32::MAX - 2;
 /// Targets at or above this value are verdicts, not states.
 const T_SENTINEL_BASE: u32 = T_STALL;
 
+/// Borrowed view of a [`GuardProgram`]'s determinized tables — the
+/// exact arrays the per-frame check reads — exposed for the compiled
+/// artifact format ([`crate::artifact`]), which persists them and
+/// asserts a loaded artifact's tables are byte-identical to a fresh
+/// rebuild from its embedded specs.
+pub struct GuardDfaTables<'a> {
+    /// `|Σ|` — the transition-row stride.
+    pub nsym: usize,
+    /// Initial DFA state.
+    pub dfa_initial: u32,
+    /// Dense `|states| × nsym` transition/verdict table.
+    pub trans: &'a [u32],
+    /// Per-state attested-stall confirmation flags.
+    pub any_fail: &'a [bool],
+    /// Per-state composite-subset sizes.
+    pub subset_size: &'a [u32],
+    /// Set when sessions start convicted.
+    pub initial_verdict: Option<&'a Conviction>,
+}
+
 /// Compiled guard shared by every session of one gateway.
 pub struct GuardProgram {
     table: Arc<EventTable>,
@@ -409,6 +429,21 @@ impl GuardProgram {
     /// Build-time cost and size of the guard DFA.
     pub fn build_stats(&self) -> &GuardBuildStats {
         &self.build
+    }
+
+    /// Borrowed view of the determinized tables, for compiled-artifact
+    /// serialization and the byte-identical rebuild check on load. The
+    /// subset construction is deterministic for a given system, so two
+    /// builds of the same specs always return identical tables.
+    pub fn dfa_tables(&self) -> GuardDfaTables<'_> {
+        GuardDfaTables {
+            nsym: self.nsym,
+            dfa_initial: self.dfa_initial,
+            trans: &self.trans,
+            any_fail: &self.any_fail,
+            subset_size: &self.subset_size,
+            initial_verdict: self.initial_verdict.as_ref(),
+        }
     }
 
     /// Walks the DFA greedily (first non-convicting event from each

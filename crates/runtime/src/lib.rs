@@ -47,7 +47,17 @@
 //!   transport-invariant containment report — `drive --adversarial`;
 //! * [`stats`] — lock-free counters with JSON snapshots, including
 //!   the connection-eviction taxonomy (`slow_consumer`, `slow_read`,
-//!   `protocol`) behind the resource limits in [`transport`].
+//!   `protocol`) behind the resource limits in [`transport`];
+//! * [`artifact`] — the `PQCA` compiled-converter format: specs plus
+//!   the prebuilt guard-DFA tables under a content hash, with a
+//!   strict fuzzable loader whose [`CompiledArtifact::instantiate`]
+//!   demands the rebuilt guard be byte-identical to the stored one;
+//! * [`registry`] — the versioned converter store behind live
+//!   hot-swap: admission re-runs [`protoquot_spec::verify_system`]
+//!   against the pinned service contract before an artifact can go
+//!   live via [`Gateway::swap`], while peers negotiate the wire
+//!   identity (event-table hash + active version) in a hello
+//!   handshake that is byte-identical across transports.
 //!
 //! The headline property, enforced by `tests/runtime_agreement.rs` at
 //! the workspace root: **every event sequence the runtime accepts is a
@@ -66,20 +76,26 @@
 #![warn(missing_docs)]
 
 pub mod adversarial;
+pub mod artifact;
 pub mod codec;
 pub mod drive;
 pub mod fuzz;
 pub mod gateway;
 pub mod guard;
+pub mod registry;
 pub mod stats;
 pub mod transport;
 
 pub use adversarial::{adversarial, AdversarialConfig, AdversarialReport, AttackOutcome};
-pub use codec::{Frame, FrameBuffer, RejectReason, Reply, ReplyBuffer, WireCodec, WireError};
+pub use artifact::{ArtifactDfa, ArtifactError, CompiledArtifact, ARTIFACT_FORMAT, ARTIFACT_MAGIC};
+pub use codec::{
+    table_hash, Frame, FrameBuffer, RejectReason, Reply, ReplyBuffer, WireCodec, WireError,
+};
 pub use drive::{drive, drive_mux, DriveConfig, DriveReport, RunOutcome};
 pub use fuzz::{Finding, FindingKind, FuzzConfig, FuzzReport, FuzzTarget};
 pub use gateway::{BatchScratch, Gateway, GatewayConfig, GatewayError, Responder};
 pub use guard::{Conviction, GuardBuildStats, GuardProgram, SessionGuard, SessionGuardReference};
+pub use registry::{AdmittedVersion, ConverterRegistry, RegistryError};
 pub use stats::{ConnEvictReason, RuntimeStats, StatsSnapshot};
 pub use transport::{
     Conn, ConnLimits, LoopbackConn, LoopbackMux, MuxClient, MuxTransport, ReactorConfig,

@@ -1,0 +1,333 @@
+//! The versioned converter registry: on-disk artifact store plus
+//! admission gating for hot-swaps.
+//!
+//! A [`ConverterRegistry`] is bound to one *service contract* (the
+//! unchanged top-level [`Spec`]) and hands out monotonically numbered
+//! converter versions. Admission of candidate bytes is the runtime's
+//! refinement check, in three layers:
+//!
+//! 1. **Integrity** — [`CompiledArtifact::decode`]: magic, format,
+//!    content hash, strict bounds on every field.
+//! 2. **Self-agreement** — [`CompiledArtifact::instantiate`]: the
+//!    guard rebuilt from the embedded specs must be byte-identical to
+//!    the stored tables, and carry the stored event-table hash.
+//! 3. **Contract** — the embedded service spec must equal the
+//!    registry's, and [`protoquot_spec::verify_system`] must re-prove
+//!    that the parts satisfy it. A converter that would convict honest
+//!    traffic can never go live, no matter what its artifact claims.
+//!
+//! Only then is the artifact persisted (content-addressed as
+//! `<content-hash>.pqca` under the registry directory) and assigned
+//! the next version number. The returned [`AdmittedVersion`] carries
+//! the compiled [`GuardProgram`] ready for [`Gateway::swap`]; the
+//! gateway — not the registry — owns the active/draining version
+//! slots and the per-version session accounting.
+//!
+//! [`Gateway::swap`]: crate::gateway::Gateway::swap
+
+use crate::artifact::{ArtifactError, CompiledArtifact};
+use crate::guard::GuardProgram;
+use protoquot_spec::{verify_system, Spec, SpecError};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Why a candidate artifact was refused admission (or the store
+/// misbehaved).
+#[derive(Debug)]
+pub enum RegistryError {
+    /// Reading or writing the on-disk store failed.
+    Io(io::Error),
+    /// The bytes failed integrity or self-agreement checks.
+    Artifact(ArtifactError),
+    /// The artifact was derived against a different service contract
+    /// than the one this registry serves.
+    ServiceMismatch {
+        /// Name of the service the registry is bound to.
+        expected: String,
+        /// Name of the service embedded in the artifact.
+        got: String,
+    },
+    /// `verify_system` refused the rebuilt system: either it failed to
+    /// compose/validate, or it does not satisfy the service.
+    Refused(String),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::Io(e) => write!(f, "registry store: {e}"),
+            RegistryError::Artifact(e) => write!(f, "{e}"),
+            RegistryError::ServiceMismatch { expected, got } => write!(
+                f,
+                "artifact serves contract `{got}`, registry is bound to `{expected}`"
+            ),
+            RegistryError::Refused(m) => write!(f, "admission refused: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+impl From<io::Error> for RegistryError {
+    fn from(e: io::Error) -> RegistryError {
+        RegistryError::Io(e)
+    }
+}
+
+impl From<ArtifactError> for RegistryError {
+    fn from(e: ArtifactError) -> RegistryError {
+        RegistryError::Artifact(e)
+    }
+}
+
+impl From<SpecError> for RegistryError {
+    fn from(e: SpecError) -> RegistryError {
+        RegistryError::Refused(e.to_string())
+    }
+}
+
+/// One admitted converter version, ready to go live.
+pub struct AdmittedVersion {
+    /// The version number assigned by the registry (monotonic).
+    pub version: u32,
+    /// Content hash of the artifact — its identity in the store.
+    pub content_hash: u64,
+    /// Event-table hash — the wire identity it negotiates.
+    pub table_hash: u64,
+    /// The compiled guard, ready for `Gateway::swap`.
+    pub program: Arc<GuardProgram>,
+    /// Where the artifact was persisted.
+    pub path: PathBuf,
+}
+
+/// A directory of verified converter artifacts for one service
+/// contract, handing out monotonically numbered versions.
+pub struct ConverterRegistry {
+    dir: PathBuf,
+    service: Spec,
+    threads: usize,
+    next_version: u32,
+}
+
+impl ConverterRegistry {
+    /// Opens (creating if needed) the registry directory `dir`, bound
+    /// to `service`. The first admitted artifact becomes version
+    /// `base_version + 1` — pass the gateway's current active version
+    /// so swaps are always strictly newer.
+    pub fn open<P: AsRef<Path>>(
+        dir: P,
+        service: &Spec,
+        base_version: u32,
+    ) -> io::Result<ConverterRegistry> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(ConverterRegistry {
+            dir,
+            service: service.clone(),
+            threads: 1,
+            next_version: base_version.saturating_add(1),
+        })
+    }
+
+    /// Worker threads for the admission `verify_system` run.
+    pub fn with_verify_threads(mut self, threads: usize) -> ConverterRegistry {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The registry directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The version the next admitted artifact will receive.
+    pub fn next_version(&self) -> u32 {
+        self.next_version
+    }
+
+    /// Content hashes of every artifact currently persisted in the
+    /// store (files named `<hash>.pqca`), sorted.
+    pub fn stored(&self) -> io::Result<Vec<u64>> {
+        let mut hashes = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if path.extension().and_then(|e| e.to_str()) != Some("pqca") {
+                continue;
+            }
+            if let Ok(h) = u64::from_str_radix(stem, 16) {
+                hashes.push(h);
+            }
+        }
+        hashes.sort_unstable();
+        Ok(hashes)
+    }
+
+    /// Runs the full admission gate on candidate bytes; on success the
+    /// artifact is persisted and the next version number assigned.
+    ///
+    /// The admitted program is *not* installed anywhere — pass
+    /// `AdmittedVersion::program` to `Gateway::swap` to take it live.
+    pub fn admit(&mut self, bytes: &[u8]) -> Result<AdmittedVersion, RegistryError> {
+        let artifact = CompiledArtifact::decode(bytes)?;
+        let (parts, service, prog) = artifact.instantiate()?;
+        if service != self.service {
+            return Err(RegistryError::ServiceMismatch {
+                expected: self.service.name().to_string(),
+                got: service.name().to_string(),
+            });
+        }
+        // The refinement re-check: the embedded system must still
+        // satisfy the unchanged contract, proven by the same engine
+        // that admitted the original derivation.
+        let refs: Vec<&Spec> = parts.iter().collect();
+        let verdict = verify_system(&refs, &self.service, self.threads)?;
+        if let Err(violation) = &verdict.verdict {
+            return Err(RegistryError::Refused(format!(
+                "system does not satisfy `{}`: {violation}",
+                self.service.name()
+            )));
+        }
+        let path = self
+            .dir
+            .join(format!("{:016x}.pqca", artifact.content_hash));
+        // Content-addressed: identical bytes are already in place.
+        if !path.exists() {
+            fs::write(&path, bytes)?;
+        }
+        let version = self.next_version;
+        self.next_version += 1;
+        Ok(AdmittedVersion {
+            version,
+            content_hash: artifact.content_hash,
+            table_hash: artifact.table_hash,
+            program: Arc::new(prog),
+            path,
+        })
+    }
+
+    /// [`ConverterRegistry::admit`] on a file.
+    pub fn admit_file<P: AsRef<Path>>(
+        &mut self,
+        path: P,
+    ) -> Result<AdmittedVersion, RegistryError> {
+        let bytes = fs::read(path)?;
+        self.admit(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::encode;
+    use protoquot_core::solve;
+    use protoquot_protocols::{colocated_configuration, exactly_once};
+
+    fn derived() -> (Vec<Spec>, Spec) {
+        let system = colocated_configuration();
+        let service = exactly_once();
+        let q = solve(&system.b, &service, &system.int).expect("converter derives");
+        (vec![system.b.clone(), q.converter], service)
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("protoquot-registry-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn admits_verified_artifacts_with_monotonic_versions() {
+        let (parts, service) = derived();
+        let refs: Vec<&Spec> = parts.iter().collect();
+        let bytes = encode(&refs, &service).unwrap();
+        let dir = tempdir("admit");
+        let mut reg = ConverterRegistry::open(&dir, &service, 1).unwrap();
+        let v2 = reg.admit(&bytes).expect("verified artifact admits");
+        assert_eq!(v2.version, 2);
+        assert!(v2.path.exists());
+        assert_eq!(reg.stored().unwrap(), vec![v2.content_hash]);
+        // Re-admitting the same bytes assigns a fresh version but
+        // reuses the content-addressed file.
+        let v3 = reg.admit(&bytes).unwrap();
+        assert_eq!(v3.version, 3);
+        assert_eq!(v3.content_hash, v2.content_hash);
+        assert_eq!(reg.stored().unwrap().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A mutant converter — a transition redirected so the system no
+    /// longer satisfies the service — is refused at admission even
+    /// though its artifact is internally consistent (encoded from the
+    /// mutant itself, so hash and tables all agree).
+    #[test]
+    fn mutant_converter_is_refused_at_admission() {
+        let (parts, service) = derived();
+        let dir = tempdir("mutant");
+        let mut refused = false;
+        for k in 0..16 {
+            let Some(mutant) = protoquot_sim::redirect_transition(&parts[1], k) else {
+                break;
+            };
+            let mutated: Vec<&Spec> = vec![&parts[0], &mutant];
+            let Ok(bytes) = encode(&mutated, &service) else {
+                // A mutant that cannot even compile a guard never
+                // reaches admission; try the next one.
+                continue;
+            };
+            let mut reg = ConverterRegistry::open(&dir, &service, 1).unwrap();
+            if let Err(RegistryError::Refused(msg)) = reg.admit(&bytes) {
+                assert!(!msg.is_empty());
+                // Nothing was persisted and no version was burned.
+                assert_eq!(reg.stored().unwrap(), Vec::<u64>::new());
+                assert_eq!(reg.next_version(), 2);
+                refused = true;
+                break;
+            }
+            let _ = fs::remove_dir_all(&dir);
+        }
+        assert!(
+            refused,
+            "some redirected-transition mutant must be refused at admission"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_service_contract_is_refused() {
+        let (parts, service) = derived();
+        let refs: Vec<&Spec> = parts.iter().collect();
+        let bytes = encode(&refs, &service).unwrap();
+        let mut b = protoquot_spec::SpecBuilder::new("other-contract");
+        let s0 = b.state("s0");
+        for e in ["a", "b"] {
+            b.ext(s0, e, s0);
+        }
+        let other = b.build().unwrap();
+        let dir = tempdir("contract");
+        let mut reg = ConverterRegistry::open(&dir, &other, 1).unwrap();
+        assert!(matches!(
+            reg.admit(&bytes),
+            Err(RegistryError::ServiceMismatch { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_bytes_are_an_artifact_error() {
+        let (_, service) = derived();
+        let dir = tempdir("corrupt");
+        let mut reg = ConverterRegistry::open(&dir, &service, 0).unwrap();
+        assert!(matches!(
+            reg.admit(b"not an artifact"),
+            Err(RegistryError::Artifact(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -11,9 +11,10 @@ use protoquot_spec::EventTable;
 use serde::Value;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-const REASONS: [RejectReason; 9] = [
+const REASONS: [RejectReason; 10] = [
     RejectReason::NotATrace,
     RejectReason::ServiceViolation,
     RejectReason::Stalled,
@@ -23,6 +24,7 @@ const REASONS: [RejectReason; 9] = [
     RejectReason::Closed,
     RejectReason::UnknownEvent,
     RejectReason::ResourceLimit,
+    RejectReason::VersionMismatch,
 ];
 
 /// Counter slot for a reject reason. Exhaustive on purpose: adding a
@@ -39,6 +41,7 @@ fn reason_slot(reason: RejectReason) -> usize {
         RejectReason::Closed => 6,
         RejectReason::UnknownEvent => 7,
         RejectReason::ResourceLimit => 8,
+        RejectReason::VersionMismatch => 9,
     }
 }
 
@@ -111,7 +114,7 @@ pub struct RuntimeStats {
     conn_evictions: [AtomicU64; 3],
     frames: AtomicU64,
     accepted: AtomicU64,
-    rejects: [AtomicU64; 9],
+    rejects: [AtomicU64; 10],
     convictions: AtomicU64,
     queue_high_water: AtomicU64,
     /// Batches taken through `Gateway::call_batch`.
@@ -134,6 +137,18 @@ pub struct RuntimeStats {
     per_event: Vec<AtomicU64>,
     /// Build-time cost of the guard DFA (fixed at construction).
     guard_build: GuardBuildStats,
+    /// Negotiation fingerprint of the active event table
+    /// ([`crate::codec::table_hash`]); 0 until the gateway sets it.
+    table_hash: AtomicU64,
+    /// The converter version new sessions bind (registry version id).
+    active_version: AtomicU64,
+    /// Live sessions per converter version. Touched only at session
+    /// open/close/evict — never on the per-frame path.
+    version_sessions: Mutex<BTreeMap<u32, u64>>,
+    /// Completed hot-swaps (`Gateway` activations after the first).
+    swaps: AtomicU64,
+    /// Old versions fully drained and released.
+    versions_retired: AtomicU64,
 }
 
 impl RuntimeStats {
@@ -168,7 +183,62 @@ impl RuntimeStats {
             bytes_out: AtomicU64::new(0),
             per_event: (0..num_events).map(|_| AtomicU64::new(0)).collect(),
             guard_build,
+            table_hash: AtomicU64::new(0),
+            active_version: AtomicU64::new(0),
+            version_sessions: Mutex::new(BTreeMap::new()),
+            swaps: AtomicU64::new(0),
+            versions_retired: AtomicU64::new(0),
         }
+    }
+
+    /// Records the gateway's wire identity: the negotiation fingerprint
+    /// of its event table and the converter version new sessions bind.
+    /// Called at construction and again on every hot-swap.
+    pub fn set_wire_identity(&self, table_hash: u64, version: u32) {
+        self.table_hash.store(table_hash, Ordering::Relaxed);
+        self.active_version
+            .store(u64::from(version), Ordering::Relaxed);
+    }
+
+    /// A hot-swap activated a new converter version.
+    pub fn note_swap(&self) {
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An old converter version's last session ended and its program
+    /// was released.
+    pub fn note_version_retired(&self) {
+        self.versions_retired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session bound converter version `version` at open.
+    pub fn note_version_open(&self, version: u32) {
+        let mut map = self.version_sessions.lock().expect("stats mutex poisoned");
+        *map.entry(version).or_insert(0) += 1;
+    }
+
+    /// A session bound to `version` ended (close, evict, or expel);
+    /// returns the sessions still live on that version, so the gateway
+    /// can retire a fully drained old program.
+    pub fn note_version_close(&self, version: u32) -> u64 {
+        let mut map = self.version_sessions.lock().expect("stats mutex poisoned");
+        match map.get_mut(&version) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                *n
+            }
+            Some(_) => {
+                map.remove(&version);
+                0
+            }
+            None => 0,
+        }
+    }
+
+    /// Live sessions currently bound to `version`.
+    pub fn sessions_on_version(&self, version: u32) -> u64 {
+        let map = self.version_sessions.lock().expect("stats mutex poisoned");
+        map.get(&version).copied().unwrap_or(0)
     }
 
     /// A session was created.
@@ -317,6 +387,17 @@ impl RuntimeStats {
                 .map(|(e, c)| (e.name(), c.load(Ordering::Relaxed)))
                 .collect(),
             guard_build: self.guard_build.clone(),
+            table_hash: self.table_hash.load(Ordering::Relaxed),
+            active_version: self.active_version.load(Ordering::Relaxed) as u32,
+            version_sessions: self
+                .version_sessions
+                .lock()
+                .expect("stats mutex poisoned")
+                .iter()
+                .map(|(&v, &n)| (v, n))
+                .collect(),
+            swaps: self.swaps.load(Ordering::Relaxed),
+            versions_retired: self.versions_retired.load(Ordering::Relaxed),
         }
     }
 }
@@ -374,6 +455,17 @@ pub struct StatsSnapshot {
     pub per_event: Vec<(String, u64)>,
     /// Size and build cost of the compiled guard DFA.
     pub guard_build: GuardBuildStats,
+    /// Negotiation fingerprint of the active event table (0 when the
+    /// gateway never set one — bare `RuntimeStats` in tests).
+    pub table_hash: u64,
+    /// Converter version new sessions bind.
+    pub active_version: u32,
+    /// Live sessions per converter version, ascending by version.
+    pub version_sessions: Vec<(u32, u64)>,
+    /// Completed hot-swaps.
+    pub swaps: u64,
+    /// Old versions fully drained and released.
+    pub versions_retired: u64,
 }
 
 impl StatsSnapshot {
@@ -468,6 +560,27 @@ impl StatsSnapshot {
         );
         g.insert("build_ms".into(), Value::Float(self.guard_build.build_ms));
         o.insert("guard_build".into(), Value::Obj(g));
+        o.insert(
+            "table_hash".into(),
+            Value::Str(format!("{:016x}", self.table_hash)),
+        );
+        let mut r = BTreeMap::new();
+        r.insert(
+            "active_version".into(),
+            Value::Int(self.active_version as i128),
+        );
+        r.insert("swaps".into(), Value::Int(self.swaps as i128));
+        r.insert("retired".into(), Value::Int(self.versions_retired as i128));
+        r.insert(
+            "sessions".into(),
+            Value::Obj(
+                self.version_sessions
+                    .iter()
+                    .map(|&(v, n)| (format!("{v}"), Value::Int(n as i128)))
+                    .collect(),
+            ),
+        );
+        o.insert("registry".into(), Value::Obj(r));
         Value::Obj(o)
     }
 
@@ -552,6 +665,29 @@ impl std::fmt::Display for StatsSnapshot {
             .map(|(name, n)| format!("{name}={n}"))
             .collect();
         writeln!(f, "events {}", parts.join(" "))?;
+        if self.table_hash != 0 || self.active_version != 0 {
+            let per_version: Vec<String> = self
+                .version_sessions
+                .iter()
+                .map(|&(v, n)| format!("v{v}={n}"))
+                .collect();
+            writeln!(
+                f,
+                "wire table hash {:016x} | version {} | sessions per version {}{}",
+                self.table_hash,
+                self.active_version,
+                if per_version.is_empty() {
+                    "-".to_string()
+                } else {
+                    per_version.join(" ")
+                },
+                if self.swaps > 0 || self.versions_retired > 0 {
+                    format!(" | swaps {} retired {}", self.swaps, self.versions_retired)
+                } else {
+                    String::new()
+                }
+            )?;
+        }
         write!(f, "guard dfa {}", self.guard_build)
     }
 }
@@ -742,6 +878,54 @@ mod tests {
         let text = format!("{snap}");
         assert!(text.contains("batches 3 | batched frames 260 (inline 255 slow 5)"));
         assert!(text.contains("bytes in 4096 out 1234"));
+    }
+
+    /// Per-version session accounting, swap/retire counters and the
+    /// wire identity all round-trip into snapshots, JSON and text.
+    #[test]
+    fn version_accounting_round_trips() {
+        let table = EventTable::new(&Alphabet::from_names(["acc"]));
+        let stats = RuntimeStats::new(table.len());
+        stats.set_wire_identity(0xABCD_EF01_2345_6789, 1);
+        stats.note_version_open(1);
+        stats.note_version_open(1);
+        stats.note_version_open(1);
+        // Swap to v2: new sessions bind v2, v1 drains.
+        stats.set_wire_identity(0xABCD_EF01_2345_6789, 2);
+        stats.note_swap();
+        stats.note_version_open(2);
+        assert_eq!(stats.note_version_close(1), 2);
+        assert_eq!(stats.sessions_on_version(1), 2);
+        assert_eq!(stats.note_version_close(1), 1);
+        assert_eq!(stats.note_version_close(1), 0, "v1 fully drained");
+        stats.note_version_retired();
+        // Closing an unknown version is a no-op, not an underflow.
+        assert_eq!(stats.note_version_close(7), 0);
+
+        let snap = stats.snapshot(&table);
+        assert_eq!(snap.table_hash, 0xABCD_EF01_2345_6789);
+        assert_eq!(snap.active_version, 2);
+        assert_eq!(snap.version_sessions, vec![(2, 1)]);
+        assert_eq!(snap.swaps, 1);
+        assert_eq!(snap.versions_retired, 1);
+
+        let value = snap.to_value();
+        let obj = value.as_obj().unwrap();
+        assert_eq!(
+            obj["table_hash"],
+            Value::Str("abcdef0123456789".to_string())
+        );
+        let r = obj["registry"].as_obj().unwrap();
+        assert_eq!(r["active_version"], Value::Int(2));
+        assert_eq!(r["swaps"], Value::Int(1));
+        assert_eq!(r["retired"], Value::Int(1));
+        assert_eq!(r["sessions"].as_obj().unwrap()["2"], Value::Int(1));
+
+        let text = format!("{snap}");
+        assert!(text.contains("wire table hash abcdef0123456789"));
+        assert!(text.contains("version 2"));
+        assert!(text.contains("v2=1"));
+        assert!(text.contains("swaps 1 retired 1"));
     }
 
     #[test]

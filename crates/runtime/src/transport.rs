@@ -78,6 +78,13 @@ pub struct ConnLimits {
     /// slow-reader attack. Measured from the first byte of the
     /// unfinished message. `Duration::ZERO` disables the deadline.
     pub read_deadline: Duration,
+    /// Require version negotiation: a connection's first frame must be
+    /// a hello carrying the gateway's event-table hash. A legacy peer
+    /// that leads with anything else is answered with one counted
+    /// [`RejectReason::VersionMismatch`] and cut. `false` (the
+    /// default) answers hellos when offered but tolerates their
+    /// absence.
+    pub require_hello: bool,
 }
 
 impl Default for ConnLimits {
@@ -87,15 +94,31 @@ impl Default for ConnLimits {
             // Complete frames are ≤ 15 bytes; a peer mid-frame for ten
             // seconds is dripping, not slow.
             read_deadline: Duration::from_secs(10),
+            require_hello: false,
         }
     }
 }
 
+/// What a transport does with one decoded frame, as decided by
+/// [`ConnSessions::gate`]. Every server path maps these identically,
+/// which is what keeps negotiation byte-identical across transports.
+enum Gate {
+    /// Submit the frame to the gateway.
+    Forward,
+    /// Answer `reply` at the transport; keep the connection.
+    Reply(Reply),
+    /// Answer `reply`, then cut the connection.
+    Refuse(Reply),
+}
+
 /// Tracks the live-session set of one connection against
-/// [`ConnLimits::max_sessions_per_conn`].
+/// [`ConnLimits::max_sessions_per_conn`], plus whether the connection
+/// has completed hello negotiation.
 #[derive(Default)]
 struct ConnSessions {
     live: HashSet<u64>,
+    /// Whether a hello was acked on this connection.
+    hello_done: bool,
 }
 
 impl ConnSessions {
@@ -117,6 +140,36 @@ impl ConnSessions {
                 self.live.insert(*session);
                 Ok(())
             }
+            // Hello is connection-level: it never holds a session slot.
+            Frame::Hello { .. } => Ok(()),
+        }
+    }
+
+    /// Connection-level admission for one decoded frame: hello
+    /// negotiation first, then the session cap. Shared by every server
+    /// path of both transports.
+    fn gate(&mut self, gateway: &Gateway, frame: &Frame, limits: &ConnLimits) -> Gate {
+        match frame {
+            Frame::Hello {
+                session,
+                table_hash,
+                version,
+            } => {
+                let reply = gateway.hello(*session, *table_hash, *version);
+                if matches!(reply, Reply::HelloAck { .. }) {
+                    self.hello_done = true;
+                    Gate::Reply(reply)
+                } else {
+                    Gate::Refuse(reply)
+                }
+            }
+            _ if limits.require_hello && !self.hello_done => Gate::Refuse(
+                gateway.transport_reject(frame.session(), RejectReason::VersionMismatch),
+            ),
+            _ => match self.admit(frame, limits.max_sessions_per_conn) {
+                Ok(()) => Gate::Forward,
+                Err(reason) => Gate::Reply(gateway.transport_reject(frame.session(), reason)),
+            },
         }
     }
 }
@@ -167,6 +220,29 @@ impl TcpConn {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(TcpConn { stream })
+    }
+
+    /// Connects and negotiates: sends a hello carrying `table_hash`
+    /// (version unpinned) and fails with [`io::ErrorKind::ConnectionRefused`]
+    /// unless the server acks it. Required against servers running
+    /// with [`ConnLimits::require_hello`].
+    pub fn connect_negotiated<A: ToSocketAddrs>(addr: A, table_hash: u64) -> io::Result<TcpConn> {
+        let mut conn = TcpConn::connect(addr)?;
+        match conn.call(&Frame::Hello {
+            session: 0,
+            table_hash,
+            version: 0,
+        })? {
+            Reply::HelloAck { .. } => Ok(conn),
+            Reply::Rejected { reason, .. } => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("server refused hello: {reason}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected hello reply: {other:?}"),
+            )),
+        }
     }
 }
 
@@ -359,16 +435,23 @@ fn serve_connection(
                 );
             };
             admitted.clear();
+            let mut refused = false;
             for &frame in &batch {
-                match sessions.admit(&frame, limits.max_sessions_per_conn) {
-                    Ok(()) => admitted.push(frame),
-                    Err(reason) => {
+                match sessions.gate(gateway, &frame, &limits) {
+                    Gate::Forward => admitted.push(frame),
+                    Gate::Reply(reply) => {
                         // Flush the admitted run first so a bounced
                         // session's earlier replies keep their order.
                         gateway.call_batch(&admitted, &mut scratch, &mut out, &mut slow);
                         admitted.clear();
-                        let reply = gateway.transport_reject(frame.session(), reason);
                         encode_reply(&reply, &mut out);
+                    }
+                    Gate::Refuse(reply) => {
+                        gateway.call_batch(&admitted, &mut scratch, &mut out, &mut slow);
+                        admitted.clear();
+                        encode_reply(&reply, &mut out);
+                        refused = true;
+                        break;
                     }
                 }
             }
@@ -378,6 +461,12 @@ fn serve_connection(
                 let mut w = writer.lock().unwrap();
                 w.write_all(&out)?;
                 gateway.runtime_stats().note_bytes_out(out.len());
+            }
+            if refused {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    "connection refused at hello negotiation",
+                ));
             }
             if let Some(e) = wire_err {
                 gateway
@@ -389,11 +478,21 @@ fn serve_connection(
             loop {
                 match frames.next_frame() {
                     Ok(Some(frame)) => {
-                        if let Err(reason) = sessions.admit(&frame, limits.max_sessions_per_conn) {
-                            let reply = gateway.transport_reject(frame.session(), reason);
-                            let mut w = writer.lock().unwrap();
-                            let _ = write_reply(&mut *w, &reply);
-                            continue;
+                        match sessions.gate(gateway, &frame, &limits) {
+                            Gate::Forward => {}
+                            Gate::Reply(reply) => {
+                                let mut w = writer.lock().unwrap();
+                                let _ = write_reply(&mut *w, &reply);
+                                continue;
+                            }
+                            Gate::Refuse(reply) => {
+                                let mut w = writer.lock().unwrap();
+                                let _ = write_reply(&mut *w, &reply);
+                                return Err(io::Error::new(
+                                    io::ErrorKind::ConnectionRefused,
+                                    "connection refused at hello negotiation",
+                                ));
+                            }
                         }
                         let writer = Arc::clone(&writer);
                         gateway.submit(
@@ -685,12 +784,12 @@ fn event_loop(
                                 keep = read_conn(gateway, shared, Token(t), conn, &mut chunk, cfg);
                                 // Inline batch replies land in the
                                 // outbound buffer without a waker
-                                // round-trip; flush them right away.
-                                if keep {
-                                    keep =
-                                        flush_conn(gateway, poll, Token(t), conn, cfg.outbuf_cap)
-                                            .is_ok();
-                                }
+                                // round-trip; flush them right away —
+                                // even before a cut, so a negotiation
+                                // refusal reaches the peer.
+                                keep = flush_conn(gateway, poll, Token(t), conn, cfg.outbuf_cap)
+                                    .is_ok()
+                                    && keep;
                             }
                             keep
                         }
@@ -840,9 +939,9 @@ fn read_conn(
     if !gateway.batching_enabled() {
         return read_conn_per_frame(gateway, shared, token, conn, chunk, cfg);
     }
-    let keep = read_into_batch(gateway, conn, chunk);
+    let mut keep = read_into_batch(gateway, conn, chunk);
     if !conn.batch.is_empty() {
-        process_batch(gateway, shared, token, conn, cfg);
+        keep = process_batch(gateway, shared, token, conn, cfg) && keep;
         conn.batch.clear();
     }
     keep
@@ -916,15 +1015,16 @@ fn read_into_batch(gateway: &Gateway, conn: &mut ReactorConn, chunk: &mut [u8]) 
 /// session-grouped DFA pass, inline replies appended straight to the
 /// buffer, contended sessions forwarded to the worker queue with the
 /// classic responder. The caller flushes once afterwards — inline
-/// replies never pay the waker round-trip.
+/// replies never pay the waker round-trip. Returns `false` when the
+/// connection must be cut (hello negotiation refused); the refusal
+/// reply is already in the outbound buffer.
 fn process_batch(
     gateway: &Gateway,
     shared: &Arc<LoopShared>,
     token: Token,
     conn: &mut ReactorConn,
     cfg: &ReactorConfig,
-) {
-    let cap = cfg.limits.max_sessions_per_conn;
+) -> bool {
     let out = &conn.out;
     let mut ob = out.lock().unwrap();
     let mut slow = |frame: Frame| {
@@ -939,21 +1039,29 @@ fn process_batch(
         );
     };
     conn.admitted.clear();
+    let mut keep = true;
     for &frame in &conn.batch {
-        match conn.sessions.admit(&frame, cap) {
-            Ok(()) => conn.admitted.push(frame),
-            Err(reason) => {
+        match conn.sessions.gate(gateway, &frame, &cfg.limits) {
+            Gate::Forward => conn.admitted.push(frame),
+            Gate::Reply(reply) => {
                 // Flush the admitted run first so a bounced session's
                 // earlier replies keep their order in the buffer.
                 gateway.call_batch(&conn.admitted, &mut conn.scratch, &mut ob.buf, &mut slow);
                 conn.admitted.clear();
-                let reply = gateway.transport_reject(frame.session(), reason);
                 encode_reply(&reply, &mut ob.buf);
+            }
+            Gate::Refuse(reply) => {
+                gateway.call_batch(&conn.admitted, &mut conn.scratch, &mut ob.buf, &mut slow);
+                conn.admitted.clear();
+                encode_reply(&reply, &mut ob.buf);
+                keep = false;
+                break;
             }
         }
     }
     gateway.call_batch(&conn.admitted, &mut conn.scratch, &mut ob.buf, &mut slow);
     conn.admitted.clear();
+    keep
 }
 
 /// Per-frame fallback ([`GatewayConfig::batching`] off): every decoded
@@ -991,14 +1099,20 @@ fn read_conn_per_frame(
                 loop {
                     match conn.frames.next_frame() {
                         Ok(Some(frame)) => {
-                            if let Err(reason) = conn
-                                .sessions
-                                .admit(&frame, cfg.limits.max_sessions_per_conn)
-                            {
-                                let reply = gateway.transport_reject(frame.session(), reason);
-                                encode_reply(&reply, &mut conn.out.lock().unwrap().buf);
-                                shared.request_flush(token.0);
-                                continue;
+                            match conn.sessions.gate(gateway, &frame, &cfg.limits) {
+                                Gate::Forward => {}
+                                Gate::Reply(reply) => {
+                                    encode_reply(&reply, &mut conn.out.lock().unwrap().buf);
+                                    shared.request_flush(token.0);
+                                    continue;
+                                }
+                                Gate::Refuse(reply) => {
+                                    // The cut's refusal reply still
+                                    // goes out: the event loop flushes
+                                    // once before dropping the conn.
+                                    encode_reply(&reply, &mut conn.out.lock().unwrap().buf);
+                                    return false;
+                                }
                             }
                             let out = Arc::clone(&conn.out);
                             let shared = Arc::clone(shared);
@@ -1142,6 +1256,31 @@ impl MuxClient {
             replies: ReplyBuffer::new(),
             chunk: vec![0u8; READ_CHUNK],
         })
+    }
+
+    /// Connects and negotiates: sends a hello carrying `table_hash`
+    /// (version unpinned) and fails with [`io::ErrorKind::ConnectionRefused`]
+    /// unless the server acks it before anything else.
+    pub fn connect_negotiated<A: ToSocketAddrs>(addr: A, table_hash: u64) -> io::Result<MuxClient> {
+        let mut conn = MuxClient::connect(addr)?;
+        conn.queue(&Frame::Hello {
+            session: 0,
+            table_hash,
+            version: 0,
+        })?;
+        let mut replies = Vec::new();
+        conn.exchange(true, &mut replies)?;
+        match replies.first() {
+            Some(Reply::HelloAck { .. }) => Ok(conn),
+            Some(Reply::Rejected { reason, .. }) => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("server refused hello: {reason}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected hello reply: {other:?}"),
+            )),
+        }
     }
 
     /// Writes until the socket would block; true when fully flushed.
@@ -1549,6 +1688,76 @@ mod tests {
         }
         assert_eq!(seen.len(), 16);
         gw.drain();
+    }
+
+    /// Strict negotiation on both servers: a negotiated client is
+    /// served, a mismatched hash is refused at connect, and a legacy
+    /// no-hello peer gets one counted `VersionMismatch` and is cut.
+    #[test]
+    fn strict_hello_gates_both_transports() {
+        let acc = EventId::new("acc");
+        for reactor in [false, true] {
+            let gw = relay_gateway();
+            let hash = gw.table_hash();
+            let limits = ConnLimits {
+                require_hello: true,
+                ..ConnLimits::default()
+            };
+            let (addr, mut tcp_server, mut reactor_server) = if reactor {
+                let s = ReactorServer::bind(
+                    gw.clone(),
+                    "127.0.0.1:0",
+                    ReactorConfig {
+                        limits,
+                        ..ReactorConfig::default()
+                    },
+                )
+                .unwrap();
+                (s.local_addr(), None, Some(s))
+            } else {
+                let s = TcpServer::bind_with(gw.clone(), "127.0.0.1:0", limits).unwrap();
+                (s.local_addr(), Some(s), None)
+            };
+            let f = gw.codec().event_frame(1, acc).unwrap();
+            // A negotiated client is served normally.
+            let mut conn = TcpConn::connect_negotiated(addr, hash).unwrap();
+            assert_eq!(conn.call(&f).unwrap(), Reply::Accepted { session: 1 });
+            // A peer speaking a different event table never gets in.
+            let err = match TcpConn::connect_negotiated(addr, hash ^ 1) {
+                Err(e) => e,
+                Ok(_) => panic!("mismatched table hash must be refused at hello"),
+            };
+            assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+            // A legacy peer that skips the hello is bounced and cut.
+            let mut legacy = TcpConn::connect(addr).unwrap();
+            assert_eq!(
+                legacy.call(&f).unwrap(),
+                Reply::Rejected {
+                    session: 1,
+                    reason: RejectReason::VersionMismatch,
+                }
+            );
+            // The negotiated mux shape works against the same server.
+            let mut mux = MuxClient::connect_negotiated(addr, hash).unwrap();
+            let f2 = gw.codec().event_frame(2, acc).unwrap();
+            mux.queue(&f2).unwrap();
+            let mut replies = Vec::new();
+            mux.exchange(true, &mut replies).unwrap();
+            assert_eq!(replies, vec![Reply::Accepted { session: 2 }]);
+            if let Some(s) = tcp_server.as_mut() {
+                s.stop();
+            }
+            if let Some(s) = reactor_server.as_mut() {
+                s.stop();
+            }
+            let snap = gw.stats();
+            assert!(
+                snap.rejects.contains(&("version_mismatch", 2)),
+                "reactor={reactor}: {:?}",
+                snap.rejects
+            );
+            gw.drain();
+        }
     }
 
     #[test]

@@ -25,10 +25,10 @@
 use protoquot_core::solve;
 use protoquot_protocols::{colocated_configuration, exactly_once};
 use protoquot_runtime::{
-    adversarial, AdversarialConfig, Conn, ConnLimits, Frame, Gateway, GatewayConfig, ReactorConfig,
-    ReactorServer, StatsSnapshot, TcpConn, TcpServer,
+    adversarial, table_hash, AdversarialConfig, Conn, ConnLimits, Frame, Gateway, GatewayConfig,
+    ReactorConfig, ReactorServer, StatsSnapshot, TcpConn, TcpServer,
 };
-use protoquot_spec::Spec;
+use protoquot_spec::{EventTable, Spec};
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::os::fd::AsRawFd;
@@ -299,6 +299,160 @@ fn slow_consumer_is_a_counted_eviction() {
     server.stop();
 }
 
+/// Writes `lead` to a fresh connection against a strict-hello server,
+/// half-closes, and returns every byte the server answered before
+/// cutting the connection.
+fn refusal_bytes(addr: std::net::SocketAddr, lead: &[u8]) -> Vec<u8> {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.write_all(lead).expect("lead write");
+    conn.shutdown(Shutdown::Write).expect("half-close");
+    let mut bytes = Vec::new();
+    conn.read_to_end(&mut bytes)
+        .expect("server must cut a refused connection, not stall it");
+    bytes
+}
+
+fn rejects(snap: &StatsSnapshot, reason: &str) -> u64 {
+    snap.rejects
+        .iter()
+        .find(|(r, _)| *r == reason)
+        .map(|(_, n)| *n)
+        .expect("reject taxonomy covers every reason")
+}
+
+/// Version negotiation under `require_hello`, pinned across both
+/// transports:
+///
+/// * a peer carrying the gateway's event-table hash is acked and
+///   served;
+/// * a mismatched hash is answered with one `version_mismatch` reject
+///   and cut;
+/// * a legacy peer that leads with an event frame (no hello at all)
+///   gets the same treatment;
+/// * garbage in place of a hello is a protocol eviction, not a stall;
+/// * the refusal bytes on the wire are identical between the blocking
+///   and reactor servers, and none of it is a conviction.
+#[test]
+fn hello_negotiation_is_enforced_and_transport_invariant() {
+    let (components, service) = derived_system();
+    let hash = table_hash(&EventTable::new(service.alphabet()));
+    let limits = ConnLimits {
+        require_hello: true,
+        ..ConnLimits::default()
+    };
+
+    // The exact leads every server sees.
+    let mut bad_hello = Vec::new();
+    protoquot_runtime::codec::encode_frame(
+        &Frame::Hello {
+            session: 7,
+            table_hash: hash ^ 1,
+            version: 0,
+        },
+        &mut bad_hello,
+    );
+    let mut legacy_lead = Vec::new();
+    protoquot_runtime::codec::encode_frame(
+        &Frame::Event {
+            session: 5,
+            event: 0,
+        },
+        &mut legacy_lead,
+    );
+
+    let mut transcripts = Vec::new();
+    for reactor_mode in [false, true] {
+        let gw = gateway(&components, &service, GatewayConfig::default());
+        let (addr, mut stop): (_, Box<dyn FnMut()>) = if reactor_mode {
+            let mut server = ReactorServer::bind(
+                gw.clone(),
+                "127.0.0.1:0",
+                ReactorConfig {
+                    loops: 1,
+                    limits,
+                    ..ReactorConfig::default()
+                },
+            )
+            .expect("bind reactor");
+            (server.local_addr(), Box::new(move || server.stop()))
+        } else {
+            let mut server =
+                TcpServer::bind_with(gw.clone(), "127.0.0.1:0", limits).expect("bind blocking");
+            (server.local_addr(), Box::new(move || server.stop()))
+        };
+
+        // A peer with the right hash negotiates and is served.
+        let mut honest = TcpConn::connect_negotiated(addr, hash).expect("negotiated connect");
+        let reply = honest
+            .call(&Frame::Event {
+                session: 1,
+                event: 0,
+            })
+            .expect("negotiated peer is served");
+        assert_eq!(reply.session(), 1);
+        honest
+            .call(&Frame::Close { session: 1 })
+            .expect("close after service");
+        drop(honest);
+
+        // A mismatched hash is refused at connect.
+        let err = match TcpConn::connect_negotiated(addr, hash ^ 1) {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched hash must be refused at hello"),
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+
+        // Raw transcripts: mismatched hello, legacy no-hello lead, and
+        // garbage where the hello should be.
+        let mismatch = refusal_bytes(addr, &bad_hello);
+        let legacy = refusal_bytes(addr, &legacy_lead);
+        let garbage = refusal_bytes(addr, &[0xFF; 24]);
+        assert!(
+            garbage.is_empty(),
+            "garbage in place of a hello earned a reply: {garbage:?}"
+        );
+        // Both refusals decode as a rejected reply carrying the
+        // version-mismatch reason, addressed to the offending session.
+        for (bytes, session) in [(&mismatch, 7u64), (&legacy, 5u64)] {
+            let mut replies = protoquot_runtime::ReplyBuffer::new();
+            replies.extend(bytes);
+            match replies.next_reply().expect("refusal decodes") {
+                Some(protoquot_runtime::Reply::Rejected { session: s, reason }) => {
+                    assert_eq!(s, session);
+                    assert_eq!(reason.name(), "version_mismatch");
+                }
+                other => panic!("refusal was not a rejection: {other:?}"),
+            }
+            assert_eq!(
+                replies.next_reply().expect("no trailing bytes"),
+                None,
+                "refusal must be exactly one reply"
+            );
+        }
+
+        stop();
+        let snap = gw.stats();
+        // Three refused peers (connect_negotiated + raw hello + legacy
+        // lead), every one counted, none a conviction.
+        assert_eq!(
+            rejects(&snap, "version_mismatch"),
+            3,
+            "version mismatches must be counted: {snap}"
+        );
+        assert_eq!(snap.convictions, 0, "negotiation is not a conviction");
+        assert!(
+            evictions(&snap, "protocol") > 0,
+            "garbage hello must be a protocol eviction: {snap}"
+        );
+        transcripts.push((mismatch, legacy));
+    }
+    assert_eq!(
+        transcripts[0], transcripts[1],
+        "hello refusal bytes depend on the transport"
+    );
+}
+
 /// The full adversarial battery produces byte-identical JSON against
 /// identically configured blocking and reactor servers, with every
 /// attack neutralized.
@@ -308,6 +462,7 @@ fn adversarial_report_is_transport_invariant() {
     let limits = ConnLimits {
         max_sessions_per_conn: 16,
         read_deadline: Duration::from_millis(100),
+        ..ConnLimits::default()
     };
     let cfg = AdversarialConfig {
         frames_per_attack: 32,
